@@ -1,0 +1,117 @@
+// C1 — Section 2 claims: "Projected peak performance ... 640 MFLOPS per
+// node.  A 64-node NSC would have a total memory of 128 Gbytes and maximum
+// performance of 40 GFLOPS."
+//
+// Reproduces the scaling table with simulated multi-node Jacobi: each node
+// owns a z-slab of the grid; after every program run (two sweeps) the
+// hyperspace router exchanges ghost layers between hypercube neighbors.
+#include "bench_common.h"
+
+namespace {
+
+using namespace nsc;
+
+struct ScalingRow {
+  int nodes = 1;
+  double peak_gflops = 0;
+  double achieved_mflops = 0;
+  double comm_fraction = 0;
+};
+
+ScalingRow runScale(int dimension) {
+  arch::Machine machine;
+  const int local_nz = 10;  // owned layers + 2 ghost layers per node
+  cfd::JacobiBuildOptions options;
+  options.grid = {8, 8, local_nz + 2};
+  options.h = 1.0 / 7.0;
+  options.convergence_mode = false;
+  options.fixed_sweeps = 2;
+  const cfd::JacobiProgram jacobi(machine, options);
+  const cfd::PoissonProblem problem =
+      cfd::PoissonProblem::manufactured(8, 8, local_nz + 2);
+
+  mc::Generator generator(machine);
+  const mc::GenerateResult gen = generator.generate(jacobi.program());
+
+  sim::HypercubeSystem system(machine, dimension);
+  system.loadAll(gen.exe);
+  for (int n = 0; n < system.numNodes(); ++n) {
+    jacobi.load(system.node(n), problem);
+  }
+
+  const int W = options.grid.W();
+  const auto pad = static_cast<std::uint64_t>(jacobi.layout().pad);
+  sim::SystemStats stats;
+  for (int phase = 0; phase < 3; ++phase) {
+    system.runPhase(stats);
+    // Ghost exchange: top owned layer -> lower neighbor's high ghost,
+    // bottom owned layer -> upper neighbor's low ghost (ring order over
+    // hypercube node ids; e-cube routes the hops).
+    system.beginExchange();
+    for (int n = 0; n < system.numNodes(); ++n) {
+      const int up = (n + 1) % system.numNodes();
+      const int down = (n + system.numNodes() - 1) % system.numNodes();
+      if (system.numNodes() == 1) break;
+      const auto top_owned = pad + static_cast<std::uint64_t>(local_nz * W);
+      const auto bottom_owned = pad + static_cast<std::uint64_t>(W);
+      // The freshest iterate after an even sweep count is the A set; all
+      // copies receive the halo.
+      for (const arch::PlaneId p : jacobi.layout().u_a) {
+        system.sendVector(n, jacobi.layout().u_a[0], top_owned, W, up, p,
+                          pad + 0);
+        system.sendVector(n, jacobi.layout().u_a[0], bottom_owned, W, down, p,
+                          pad + static_cast<std::uint64_t>((local_nz + 1) * W));
+      }
+    }
+    system.endExchange(stats);
+    for (int n = 0; n < system.numNodes(); ++n) system.node(n).restart();
+  }
+
+  ScalingRow row;
+  row.nodes = system.numNodes();
+  row.peak_gflops =
+      system.numNodes() * machine.config().peakMflopsPerNode() / 1000.0;
+  row.achieved_mflops = stats.aggregateMflops(machine.config().clock_mhz);
+  row.comm_fraction = stats.makespanCycles() == 0
+                          ? 0.0
+                          : static_cast<double>(stats.comm_cycles) /
+                                static_cast<double>(stats.makespanCycles());
+  return row;
+}
+
+void printClaims() {
+  bench::banner("claims_performance",
+                "Section 2 performance claims (640 MFLOPS/node, 40 GFLOPS, "
+                "128 GB)");
+  arch::Machine machine;
+  std::printf("nodes  peak GFLOPS  memory      achieved MFLOPS  comm%%\n");
+  for (int dim = 0; dim <= 6; ++dim) {
+    const ScalingRow row = runScale(dim);
+    std::printf("%5d  %11.2f  %-10s  %15.1f  %5.1f\n", row.nodes,
+                row.peak_gflops,
+                common::bytesHuman(static_cast<std::uint64_t>(row.nodes) *
+                                   machine.config().totalMemoryBytes())
+                    .c_str(),
+                row.achieved_mflops, 100.0 * row.comm_fraction);
+  }
+  std::printf("\nshape check: peak scales linearly to ~40 GFLOPS and 128 GB "
+              "at 64 nodes (paper's Section 2);\nachieved MFLOPS scales with "
+              "node count until communication bites.\n\n");
+}
+
+void BM_SystemPhase(benchmark::State& state) {
+  const int dim = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(runScale(dim).achieved_mflops);
+  }
+}
+BENCHMARK(BM_SystemPhase)->Arg(0)->Arg(2)->Arg(4);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  printClaims();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,58 @@
+// F1 — Figure 1: "Simplified diagram of the datapath architecture of the
+// Navier-Stokes Computer", regenerated from the machine description, plus
+// the architectural inventory the figure annotates.
+#include "bench_common.h"
+#include "render/datapath.h"
+
+namespace {
+
+void printFigure() {
+  nsc::bench::banner("fig01_datapath", "Figure 1 (datapath architecture)");
+  nsc::arch::Machine machine;
+  std::printf("%s\n", nsc::render::datapathAscii(machine).c_str());
+  std::printf("%s\n", machine.describe().c_str());
+  const auto& cfg = machine.config();
+  std::printf("paper claims vs model:\n");
+  std::printf("  functional units / node : paper 32      model %d\n", cfg.numFus());
+  std::printf("  memory                  : paper 2 GB    model %s\n",
+              nsc::common::bytesHuman(cfg.totalMemoryBytes()).c_str());
+  std::printf("  peak MFLOPS / node      : paper 640     model %.0f\n",
+              cfg.peakMflopsPerNode());
+  std::printf("  64-node system          : paper 40 GFLOPS / 128 GB   model "
+              "%.1f GFLOPS / %s\n\n",
+              64 * cfg.peakMflopsPerNode() / 1000.0,
+              nsc::common::bytesHuman(64 * cfg.totalMemoryBytes()).c_str());
+}
+
+void BM_RenderDatapathAscii(benchmark::State& state) {
+  nsc::arch::Machine machine;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nsc::render::datapathAscii(machine));
+  }
+}
+BENCHMARK(BM_RenderDatapathAscii);
+
+void BM_RenderDatapathSvg(benchmark::State& state) {
+  nsc::arch::Machine machine;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nsc::render::datapathSvg(machine));
+  }
+}
+BENCHMARK(BM_RenderDatapathSvg);
+
+void BM_BuildMachineModel(benchmark::State& state) {
+  for (auto _ : state) {
+    nsc::arch::Machine machine;
+    benchmark::DoNotOptimize(machine.sources().size());
+  }
+}
+BENCHMARK(BM_BuildMachineModel);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  printFigure();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

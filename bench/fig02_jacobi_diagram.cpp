@@ -1,0 +1,73 @@
+// F2 — Figure 2: the hand-drawn pipeline diagram for the point Jacobi
+// update of the 3-D Poisson equation, here built programmatically from the
+// same design and rendered.
+#include "bench_common.h"
+
+namespace {
+
+using namespace nsc;
+
+void printFigure() {
+  bench::banner("fig02_jacobi_diagram", "Figure 2 (hand-drawn Jacobi pipeline)");
+  arch::Machine machine;
+  cfd::JacobiBuildOptions options;
+  options.grid = {8, 8, 8};
+  options.h = 1.0 / 7.0;
+  const cfd::JacobiProgram jacobi(machine, options);
+
+  prog::Program sweep_only;
+  sweep_only.pipelines.push_back(jacobi.program()[0]);
+  ed::Editor editor = editorForProgram(machine, sweep_only);
+  std::printf("%s\n", renderDiagramAscii(editor).c_str());
+
+  const prog::PipelineDiagram& d = jacobi.program()[0];
+  int enabled = 0;
+  for (const prog::AlsUse& use : d.als_uses) {
+    for (const prog::FuUse& fu : use.fu) enabled += fu.enabled;
+  }
+  std::printf("diagram statistics (one sweep instruction):\n");
+  std::printf("  ALSs placed          : %zu\n", d.als_uses.size());
+  std::printf("  functional units     : %d of %d\n", enabled,
+              machine.config().numFus());
+  std::printf("  switch connections   : %zu\n", d.connections.size());
+  std::printf("  DMA streams          : %zu (reads+writes)\n", d.dma.size());
+  std::printf("  shift/delay units    : %zu\n", d.sd_uses.size());
+  const prog::TimingResult t = prog::analyzeTiming(machine, d);
+  std::printf("  pipeline fill depth  : %d cycles\n\n", t.depth);
+}
+
+void BM_BuildJacobiProgram(benchmark::State& state) {
+  arch::Machine machine;
+  cfd::JacobiBuildOptions options;
+  options.grid = {8, 8, 8};
+  options.h = 1.0 / 7.0;
+  for (auto _ : state) {
+    cfd::JacobiProgram jacobi(machine, options);
+    benchmark::DoNotOptimize(jacobi.program().size());
+  }
+}
+BENCHMARK(BM_BuildJacobiProgram);
+
+void BM_RenderJacobiDiagram(benchmark::State& state) {
+  arch::Machine machine;
+  cfd::JacobiBuildOptions options;
+  options.grid = {8, 8, 8};
+  options.h = 1.0 / 7.0;
+  const cfd::JacobiProgram jacobi(machine, options);
+  prog::Program sweep_only;
+  sweep_only.pipelines.push_back(jacobi.program()[0]);
+  ed::Editor editor = editorForProgram(machine, sweep_only);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(renderDiagramAscii(editor));
+  }
+}
+BENCHMARK(BM_RenderJacobiDiagram);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  printFigure();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

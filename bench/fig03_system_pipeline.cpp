@@ -1,0 +1,97 @@
+// F3 — Figure 3: "Major components of the visual programming system":
+// graphical editor -> checker -> microcode generator (-> simulated NSC).
+// Measures each stage on the paper's example program.
+#include <chrono>
+
+#include "bench_common.h"
+
+namespace {
+
+using namespace nsc;
+using Clock = std::chrono::steady_clock;
+
+double msSince(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+void printFigure() {
+  bench::banner("fig03_system_pipeline", "Figure 3 (system components)");
+  std::printf("User <-> Graphical Editor <-> Checker (knowledge base)\n");
+  std::printf("             |\n");
+  std::printf("             v semantic data structures\n");
+  std::printf("        Microcode Generator -> executable program -> NSC\n\n");
+
+  Workbench bench;
+  const auto t0 = Clock::now();
+  const ed::SessionResult session = bench.runSession(bench::figure11Session());
+  const double t_edit = msSince(t0);
+
+  const auto t1 = Clock::now();
+  const check::DiagnosticList diags = bench.editor().checkAll();
+  const double t_check = msSince(t1);
+
+  const auto t2 = Clock::now();
+  const mc::GenerateResult gen = bench.editor().generate();
+  const double t_generate = msSince(t2);
+
+  // Load the Poisson data and run the one-instruction program.
+  arch::Machine machine;
+  cfd::JacobiBuildOptions options;
+  options.grid = {8, 8, 8};
+  options.h = 1.0 / 7.0;
+  const cfd::JacobiProgram jacobi(machine, options);
+  const cfd::PoissonProblem problem = cfd::PoissonProblem::manufactured(8, 8, 8);
+  jacobi.load(bench.node(), problem);
+  const auto t3 = Clock::now();
+  bench.node().load(gen.exe);
+  const sim::RunStats run = bench.node().run();
+  const double t_simulate = msSince(t3);
+
+  std::printf("stage timings on the Figure-11 program (one sweep, 8^3 grid):\n");
+  std::printf("  edit (session replay, %d commands)  : %8.3f ms  (%d refused)\n",
+              session.commands, t_edit, session.failures);
+  std::printf("  thorough check (%zu diagnostics)     : %8.3f ms\n",
+              diags.all().size(), t_check);
+  std::printf("  microcode generation (%zu words)     : %8.3f ms  ok=%d\n",
+              gen.exe.words.size(), t_generate, gen.ok);
+  std::printf("  simulation (%llu machine cycles)   : %8.3f ms\n\n",
+              static_cast<unsigned long long>(run.total_cycles), t_simulate);
+}
+
+void BM_SessionReplay(benchmark::State& state) {
+  const std::string script = bench::figure11Session();
+  for (auto _ : state) {
+    Workbench bench;
+    benchmark::DoNotOptimize(bench.runSession(script).commands);
+  }
+}
+BENCHMARK(BM_SessionReplay);
+
+void BM_ThoroughCheck(benchmark::State& state) {
+  Workbench bench;
+  bench.runSession(bench::figure11Session());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bench.editor().checkAll().all().size());
+  }
+}
+BENCHMARK(BM_ThoroughCheck);
+
+void BM_MicrocodeGeneration(benchmark::State& state) {
+  Workbench bench;
+  bench.runSession(bench::figure11Session());
+  const prog::Program program = bench.editor().program();
+  mc::Generator generator(bench.machine());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(generator.generate(program).exe.words.size());
+  }
+}
+BENCHMARK(BM_MicrocodeGeneration);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  printFigure();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

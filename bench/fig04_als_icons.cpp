@@ -1,0 +1,51 @@
+// F4 — Figure 4: the ALS icons (singlet, doublets, triplet) with their
+// "double box" integer-capable units and I/O pads.
+#include "bench_common.h"
+
+namespace {
+
+using namespace nsc;
+
+void printFigure() {
+  bench::banner("fig04_als_icons", "Figure 4 (ALS icons)");
+  for (const ed::IconKind kind :
+       {ed::IconKind::kSinglet, ed::IconKind::kDoublet,
+        ed::IconKind::kDoubletBypass, ed::IconKind::kTriplet}) {
+    std::printf("--- %s ---\n%s\n", iconKindName(kind),
+                ed::renderIconAscii(kind).c_str());
+  }
+  std::printf("pads: o = I/O pad; inner box = integer/logical circuitry\n\n");
+}
+
+void BM_RenderIcon(benchmark::State& state) {
+  const auto kind = static_cast<ed::IconKind>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ed::renderIconAscii(kind));
+  }
+}
+BENCHMARK(BM_RenderIcon)->DenseRange(0, 3);
+
+void BM_IconHitTest(benchmark::State& state) {
+  arch::Machine machine;
+  ed::Editor editor(machine);
+  const ed::Rect draw = editor.layout().drawing;
+  for (int i = 0; i < 4; ++i) {
+    editor.placeIcon(ed::IconKind::kTriplet,
+                     {draw.x + 30 + i * 180, draw.y + 40});
+  }
+  const ed::Icon icon = editor.doc().scene.icons()[2];
+  const ed::Point pad = icon.outputPad(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(editor.doc().scene.padAt(pad, machine));
+  }
+}
+BENCHMARK(BM_IconHitTest);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  printFigure();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

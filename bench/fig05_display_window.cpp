@@ -1,0 +1,48 @@
+// F5 — Figure 5: "Display window for the visual environment": message
+// strip, control-flow region, drawing area, control panel, at the Sun-3's
+// 1152x900 resolution.
+#include "bench_common.h"
+
+namespace {
+
+using namespace nsc;
+
+void printFigure() {
+  bench::banner("fig05_display_window", "Figure 5 (display window)");
+  arch::Machine machine;
+  ed::Editor editor(machine);
+  const ed::Rect draw = editor.layout().drawing;
+  editor.placeIcon(ed::IconKind::kTriplet, {draw.x + 60, draw.y + 80});
+  std::printf("%s\n", ed::renderWindowAscii(editor).c_str());
+  std::printf("regions: message strip (top), control-flow (left), drawing "
+              "area (center), control panel (right)\n\n");
+}
+
+void BM_RenderWindow(benchmark::State& state) {
+  arch::Machine machine;
+  ed::Editor editor(machine);
+  const ed::Rect draw = editor.layout().drawing;
+  editor.placeIcon(ed::IconKind::kTriplet, {draw.x + 60, draw.y + 80});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ed::renderWindowAscii(editor));
+  }
+}
+BENCHMARK(BM_RenderWindow);
+
+void BM_RenderWindowSvg(benchmark::State& state) {
+  arch::Machine machine;
+  ed::Editor editor(machine);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ed::renderWindowSvg(editor));
+  }
+}
+BENCHMARK(BM_RenderWindowSvg);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  printFigure();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,67 @@
+// F6 — Figure 6: "Selecting and positioning an icon" — the palette drag
+// interaction, measured at mouse-event granularity.
+#include "bench_common.h"
+
+namespace {
+
+using namespace nsc;
+
+void printFigure() {
+  bench::banner("fig06_place_icon", "Figure 6 (selecting & positioning)");
+  arch::Machine machine;
+  ed::Editor editor(machine);
+  const ed::Rect draw = editor.layout().drawing;
+  editor.beginPaletteDrag(ed::IconKind::kTriplet);
+  for (int step = 0; step <= 6; ++step) {
+    editor.mouseMove({editor.layout().control_panel.x - step * 110,
+                      editor.layout().control_panel.y + 30 + step * 40});
+  }
+  editor.mouseUp({draw.x + 240, draw.y + 140});
+  std::printf("after the drag (icon dropped at 240,140 in the drawing "
+              "area):\n\n%s\n", ed::renderWindowAscii(editor).c_str());
+  std::printf("message strip: %s\n\n", editor.message().c_str());
+}
+
+void BM_PaletteDragPlace(benchmark::State& state) {
+  arch::Machine machine;
+  for (auto _ : state) {
+    ed::Editor editor(machine);
+    const ed::Rect draw = editor.layout().drawing;
+    editor.beginPaletteDrag(ed::IconKind::kTriplet);
+    for (int step = 0; step < 8; ++step) {
+      editor.mouseMove({draw.x + 40 * step, draw.y + 20 * step});
+    }
+    editor.mouseUp({draw.x + 240, draw.y + 140});
+    benchmark::DoNotOptimize(editor.doc().scene.icons().size());
+  }
+}
+BENCHMARK(BM_PaletteDragPlace);
+
+void BM_MouseMoveHitTesting(benchmark::State& state) {
+  // Cost of one motion event while dragging an icon across a busy scene.
+  arch::Machine machine;
+  ed::Editor editor(machine);
+  const ed::Rect draw = editor.layout().drawing;
+  for (int i = 0; i < 8; ++i) {
+    editor.placeIcon(ed::IconKind::kDoublet,
+                     {draw.x + 30 + (i % 4) * 190, draw.y + 40 + (i / 4) * 220});
+  }
+  const ed::Icon icon = editor.doc().scene.icons()[0];
+  editor.mouseDown({icon.pos.x + 10, icon.pos.y + 10});
+  int t = 0;
+  for (auto _ : state) {
+    editor.mouseMove({draw.x + 50 + (t % 500), draw.y + 60 + (t % 300)});
+    ++t;
+  }
+  editor.mouseUp({draw.x + 50, draw.y + 60});
+}
+BENCHMARK(BM_MouseMoveHitTesting);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  printFigure();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,60 @@
+// F7 — Figure 7: "Display after all ALSs have been positioned" — the
+// Jacobi pipeline's units placed, before wiring.
+#include "bench_common.h"
+
+namespace {
+
+using namespace nsc;
+
+const char* kPlacementSession = R"(
+pipeline "sweep A->B"
+place doublet als 4 at 200,120
+place doublet als 6 at 200,320
+place triplet als 12 at 420,60
+place triplet als 13 at 420,300
+place triplet als 14 at 420,540
+place triplet als 15 at 700,60
+)";
+
+void printFigure() {
+  bench::banner("fig07_all_placed", "Figure 7 (all ALSs positioned)");
+  Workbench bench;
+  const ed::SessionResult session = bench.runSession(kPlacementSession);
+  std::printf("%s\n", ed::renderWindowAscii(bench.editor()).c_str());
+  const auto& stats = bench.editor().stats();
+  std::printf("session: %d commands, %d refused\n", session.commands,
+              session.failures);
+  std::printf("editor actions: %llu attempted, %llu refused, %llu checker "
+              "queries\n",
+              static_cast<unsigned long long>(stats.actions_attempted),
+              static_cast<unsigned long long>(stats.actions_refused),
+              static_cast<unsigned long long>(stats.checker_queries));
+  std::printf("icons on screen: %zu  (drawing area occupancy)\n\n",
+              bench.editor().doc().scene.icons().size());
+}
+
+void BM_PlacementSession(benchmark::State& state) {
+  for (auto _ : state) {
+    Workbench bench;
+    benchmark::DoNotOptimize(bench.runSession(kPlacementSession).commands);
+  }
+}
+BENCHMARK(BM_PlacementSession);
+
+void BM_FullFigure11Session(benchmark::State& state) {
+  const std::string script = nsc::bench::figure11Session();
+  for (auto _ : state) {
+    Workbench bench;
+    benchmark::DoNotOptimize(bench.runSession(script).commands);
+  }
+}
+BENCHMARK(BM_FullFigure11Session);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  printFigure();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,98 @@
+// F8 — Figure 8: "Establishing connections between function units" — the
+// rubber-band interaction with live checker validation, plus the menu
+// population that "reduces the possibilities for making errors".
+#include "bench_common.h"
+#include "common/rng.h"
+
+namespace {
+
+using namespace nsc;
+
+void printFigure() {
+  bench::banner("fig08_connections", "Figure 8 (rubber-band connections)");
+  Workbench bench;
+  bench.runSession(R"(
+pipeline "wiring"
+place triplet als 12 at 300,120
+place triplet als 13 at 650,120
+)");
+  ed::Editor& editor = bench.editor();
+  // Rubber-band fu20.out -> fu23.a with hover feedback.
+  const auto p0 = editor.doc().scene.padPosition(
+      arch::Endpoint::fuOutput(20), bench.machine());
+  const auto p1 = editor.doc().scene.padPosition(
+      arch::Endpoint::fuInput(23, 0), bench.machine());
+  editor.mouseDown(*p0);
+  editor.mouseMove(*p1);
+  std::printf("rubber-band from fu20.out hovering fu23.a: legal=%s\n",
+              editor.hoverLegal().value_or(false) ? "yes" : "no");
+  editor.mouseUp(*p1);
+  std::printf("message strip: %s\n\n", editor.message().c_str());
+
+  // Menu population: what the popup offers from a memory-plane pad.
+  const auto menu = editor.connectionMenu(arch::Endpoint::planeRead(2));
+  std::printf("connection menu from plane2.read offers %zu destinations\n",
+              menu.size());
+
+  // Random-attempt study: how many of 1000 random connection attempts the
+  // checker refuses at edit time on this diagram.
+  common::Rng rng(42);
+  int refused = 0;
+  const auto& sources = bench.machine().sources();
+  const auto& destinations = bench.machine().destinations();
+  for (int i = 0; i < 1000; ++i) {
+    const arch::Endpoint from = sources[rng.below(sources.size())];
+    const arch::Endpoint to = destinations[rng.below(destinations.size())];
+    check::Checker checker(bench.machine());
+    if (!checker.canConnect(editor.doc().semantic, from, to)) ++refused;
+  }
+  std::printf("random attempts refused at edit time: %d / 1000 (%.1f%%)\n\n",
+              refused, refused / 10.0);
+}
+
+void BM_LegalTargetsQuery(benchmark::State& state) {
+  Workbench bench;
+  bench.runSession(nsc::bench::figure11Session());
+  ed::Editor& editor = bench.editor();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        editor.connectionMenu(arch::Endpoint::planeRead(11)).size());
+  }
+}
+BENCHMARK(BM_LegalTargetsQuery);
+
+void BM_CanConnectQuery(benchmark::State& state) {
+  Workbench bench;
+  bench.runSession(nsc::bench::figure11Session());
+  check::Checker checker(bench.machine());
+  const prog::PipelineDiagram& d = bench.editor().doc().semantic;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(checker.canConnect(
+        d, arch::Endpoint::planeRead(11), arch::Endpoint::fuInput(5, 0)));
+  }
+}
+BENCHMARK(BM_CanConnectQuery);
+
+void BM_CommitConnection(benchmark::State& state) {
+  arch::Machine machine;
+  for (auto _ : state) {
+    state.PauseTiming();
+    ed::Editor editor(machine);
+    const ed::Rect draw = editor.layout().drawing;
+    editor.placeIcon(ed::IconKind::kDoublet, {draw.x + 40, draw.y + 40});
+    const arch::FuId fu = machine.als(machine.config().num_singlets).fus[0];
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(editor.connect(arch::Endpoint::planeRead(0),
+                                            arch::Endpoint::fuInput(fu, 0)));
+  }
+}
+BENCHMARK(BM_CommitConnection);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  printFigure();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,70 @@
+// F10 — Figure 10: "Programming individual function units" — the op menu
+// popped up over an FU, filtered by that unit's circuitry.
+#include "bench_common.h"
+
+namespace {
+
+using namespace nsc;
+
+void printFigure() {
+  bench::banner("fig10_fu_ops", "Figure 10 (function-unit op menus)");
+  arch::Machine machine;
+  ed::Editor editor(machine);
+
+  // Show the menu for each capability class of a triplet.
+  const arch::AlsId triplet =
+      machine.config().num_singlets + machine.config().num_doublets;
+  for (int slot = 0; slot < 3; ++slot) {
+    const arch::FuId fu = machine.als(triplet).fus[static_cast<std::size_t>(slot)];
+    const auto menu = editor.opMenu(fu);
+    std::printf("fu%d (%s) menu [%zu ops]:", fu,
+                arch::capMaskName(machine.fu(fu).caps).c_str(), menu.size());
+    for (const arch::OpCode op : menu) {
+      std::printf(" %s", arch::opInfo(op).name);
+    }
+    std::printf("\n");
+  }
+
+  // Legality matrix: every op against every capability class.
+  int legal = 0, total = 0;
+  for (const arch::FuInfo& fu : machine.fus()) {
+    for (int op = 1; op < static_cast<int>(arch::OpCode::kNumOps); ++op) {
+      ++total;
+      legal += machine.fuCanExecute(fu.id, static_cast<arch::OpCode>(op));
+    }
+  }
+  std::printf("\nop-legality matrix: %d of %d (FU, op) pairs legal — the "
+              "menus hide the other %.0f%%\n\n",
+              legal, total, 100.0 * (total - legal) / total);
+}
+
+void BM_OpMenuPopulation(benchmark::State& state) {
+  arch::Machine machine;
+  ed::Editor editor(machine);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(editor.opMenu(static_cast<arch::FuId>(state.range(0))).size());
+  }
+}
+BENCHMARK(BM_OpMenuPopulation)->Arg(0)->Arg(4)->Arg(31);
+
+void BM_SetFuOp(benchmark::State& state) {
+  arch::Machine machine;
+  ed::Editor editor(machine);
+  const ed::Rect draw = editor.layout().drawing;
+  editor.placeIcon(ed::IconKind::kTriplet, {draw.x + 40, draw.y + 40});
+  const arch::FuId fu = machine.als(machine.config().num_singlets +
+                                    machine.config().num_doublets).fus[0];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(editor.setFuOp(fu, arch::OpCode::kAdd));
+  }
+}
+BENCHMARK(BM_SetFuOp);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  printFigure();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

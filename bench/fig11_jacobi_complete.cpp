@@ -1,0 +1,116 @@
+// F11 — Figure 11: "Completed pipeline diagram for the point Jacobi
+// iteration" — the full example end-to-end: diagram, microcode, simulated
+// execution with the residual convergence check, verified against the
+// bit-exact host mirror.
+#include "bench_common.h"
+
+namespace {
+
+using namespace nsc;
+
+void printFigure() {
+  bench::banner("fig11_jacobi_complete", "Figure 11 (completed Jacobi diagram)");
+  arch::Machine machine;
+  cfd::JacobiBuildOptions options;
+  options.grid = {8, 8, 8};
+  options.h = 1.0 / 7.0;
+  options.tol = 1e-6;
+  const cfd::JacobiProgram jacobi(machine, options);
+  const cfd::PoissonProblem problem = cfd::PoissonProblem::manufactured(8, 8, 8);
+
+  // The completed diagram (one sweep instruction).
+  prog::Program sweep_only;
+  sweep_only.pipelines.push_back(jacobi.program()[0]);
+  ed::Editor editor = editorForProgram(machine, sweep_only);
+  std::printf("%s\n", renderDiagramAscii(editor).c_str());
+
+  // The session-drawn diagram matches the generated one semantically.
+  Workbench wb;
+  wb.runSession(bench::figure11Session());
+  const bool session_matches =
+      wb.editor().doc(0).semantic.connections ==
+      jacobi.program()[0].connections;
+  std::printf("editor-session diagram wiring == builder wiring: %s\n\n",
+              session_matches ? "yes" : "NO");
+
+  // Execute to convergence.
+  mc::Generator generator(machine);
+  const mc::GenerateResult gen = generator.generate(jacobi.program());
+  std::printf("microcode: %zu instructions x %zu bits\n",
+              gen.exe.words.size(), generator.spec().widthBits());
+  sim::NodeSim node(machine);
+  node.load(gen.exe);
+  jacobi.load(node, problem);
+  const sim::RunStats run = node.run();
+  const std::uint64_t sweeps = cfd::JacobiProgram::sweepsDone(run);
+
+  // Host mirror.
+  std::vector<double> u = problem.u0, next;
+  double host_res = 0.0;
+  std::vector<double> residual_trace;
+  for (std::uint64_t s = 0; s < sweeps; ++s) {
+    host_res = cfd::linearJacobiSweep(problem, u, next, 1.0);
+    u.swap(next);
+    if (s < 8 || s + 1 == sweeps) residual_trace.push_back(host_res);
+  }
+  const std::vector<double> sim_u = jacobi.extract(node, sweeps);
+
+  std::printf("execution: %llu sweeps to residual <= %g (halted=%d)\n",
+              static_cast<unsigned long long>(sweeps), options.tol,
+              run.halted);
+  std::printf("residual trace (first sweeps then last):");
+  for (double r : residual_trace) std::printf(" %.3e", r);
+  std::printf("\n");
+  std::printf("simulated vs host mirror max |delta|: %.3e (must be 0)\n",
+              cfd::errorLinf(sim_u, u));
+  std::printf("final pipeline residual register: %.6e (host %.6e)\n",
+              jacobi.residual(node), host_res);
+  std::printf("machine cycles: %llu   flops: %llu\n",
+              static_cast<unsigned long long>(run.total_cycles),
+              static_cast<unsigned long long>(run.total_flops));
+  std::printf("achieved: %.1f MFLOPS of %.0f peak (utilization %.1f%% of all "
+              "32 units)\n",
+              run.mflops(machine.config().clock_mhz),
+              machine.config().peakMflopsPerNode(),
+              100.0 * run.fuUtilization());
+  std::printf("error vs manufactured solution: %.3e (discretization bound)\n\n",
+              cfd::errorLinf(sim_u, problem.exactSolution()));
+}
+
+void BM_SimulateOneSweep(benchmark::State& state) {
+  arch::Machine machine;
+  cfd::JacobiBuildOptions options;
+  options.grid = {8, 8, 8};
+  options.h = 1.0 / 7.0;
+  options.convergence_mode = false;
+  options.fixed_sweeps = 2;
+  const cfd::JacobiProgram jacobi(machine, options);
+  const cfd::PoissonProblem problem = cfd::PoissonProblem::manufactured(8, 8, 8);
+  mc::Generator generator(machine);
+  const mc::GenerateResult gen = generator.generate(jacobi.program());
+  sim::NodeSim node(machine);
+  for (auto _ : state) {
+    node.load(gen.exe);
+    jacobi.load(node, problem);
+    benchmark::DoNotOptimize(node.run().total_cycles);
+  }
+}
+BENCHMARK(BM_SimulateOneSweep);
+
+void BM_HostSweepReference(benchmark::State& state) {
+  const cfd::PoissonProblem problem = cfd::PoissonProblem::manufactured(8, 8, 8);
+  std::vector<double> u = problem.u0, next;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cfd::linearJacobiSweep(problem, u, next, 1.0));
+  }
+}
+BENCHMARK(BM_HostSweepReference);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  printFigure();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,133 @@
+#include "arch/machine.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace nsc::arch {
+
+MachineConfig MachineConfig::restrictedSubset() {
+  MachineConfig c;
+  // Same FU budget exposed as 32 independent singlets; no caches or
+  // shift/delay units; programmer sees a flat, symmetric machine.
+  c.num_singlets = 32;
+  c.num_doublets = 0;
+  c.num_triplets = 0;
+  c.num_caches = 0;
+  c.num_shift_delay = 0;
+  return c;
+}
+
+namespace {
+
+// Capability layout within one ALS (paper, Section 3 and Figure 4):
+// slot 0 carries the integer/logical circuitry (the "double box" icon);
+// the last slot of a multi-unit ALS carries min/max.  A singlet's lone FU
+// gets both, so the restricted subset remains universal.
+CapMask slotCaps(AlsKind kind, int slot) {
+  CapMask caps = kCapFp;
+  const int count = alsFuCount(kind);
+  if (slot == 0) caps |= kCapIntLogic;
+  if (count == 1 || slot == count - 1) {
+    if (count == 1) {
+      caps |= kCapMinMax;
+    } else if (slot == count - 1) {
+      caps |= kCapMinMax;
+    }
+  }
+  return caps;
+}
+
+}  // namespace
+
+Machine::Machine(MachineConfig config) : config_(config) {
+  // ALS layout order: singlets, then doublets, then triplets.
+  auto addAls = [this](AlsKind kind) {
+    AlsInfo info;
+    info.id = static_cast<AlsId>(als_.size());
+    info.kind = kind;
+    for (int slot = 0; slot < alsFuCount(kind); ++slot) {
+      FuInfo fu;
+      fu.id = static_cast<FuId>(fus_.size());
+      fu.als = info.id;
+      fu.slot = slot;
+      fu.caps = slotCaps(kind, slot);
+      info.fus.push_back(fu.id);
+      fus_.push_back(fu);
+    }
+    als_.push_back(std::move(info));
+  };
+  for (int i = 0; i < config_.num_singlets; ++i) addAls(AlsKind::kSinglet);
+  for (int i = 0; i < config_.num_doublets; ++i) addAls(AlsKind::kDoublet);
+  for (int i = 0; i < config_.num_triplets; ++i) addAls(AlsKind::kTriplet);
+
+  // Dense source ordering: FU outputs, plane reads, cache reads, SD taps.
+  for (const FuInfo& fu : fus_) sources_.push_back(Endpoint::fuOutput(fu.id));
+  for (int p = 0; p < config_.num_memory_planes; ++p) {
+    sources_.push_back(Endpoint::planeRead(p));
+  }
+  for (int c = 0; c < config_.num_caches; ++c) {
+    sources_.push_back(Endpoint::cacheRead(c));
+  }
+  for (int s = 0; s < config_.num_shift_delay; ++s) {
+    for (int t = 0; t < config_.sd_taps; ++t) {
+      sources_.push_back(Endpoint::sdOutput(s, t));
+    }
+  }
+
+  // Dense destination ordering: FU inputs (A then B per FU), plane writes,
+  // cache writes, SD inputs.
+  for (const FuInfo& fu : fus_) {
+    destinations_.push_back(Endpoint::fuInput(fu.id, 0));
+    destinations_.push_back(Endpoint::fuInput(fu.id, 1));
+  }
+  for (int p = 0; p < config_.num_memory_planes; ++p) {
+    destinations_.push_back(Endpoint::planeWrite(p));
+  }
+  for (int c = 0; c < config_.num_caches; ++c) {
+    destinations_.push_back(Endpoint::cacheWrite(c));
+  }
+  for (int s = 0; s < config_.num_shift_delay; ++s) {
+    destinations_.push_back(Endpoint::sdInput(s));
+  }
+}
+
+int Machine::sourceIndex(const Endpoint& e) const {
+  const auto it = std::find(sources_.begin(), sources_.end(), e);
+  return it == sources_.end() ? -1 : static_cast<int>(it - sources_.begin());
+}
+
+int Machine::destinationIndex(const Endpoint& e) const {
+  const auto it = std::find(destinations_.begin(), destinations_.end(), e);
+  return it == destinations_.end() ? -1
+                                   : static_cast<int>(it - destinations_.begin());
+}
+
+bool Machine::isChainPath(FuId from, FuId to) const {
+  const FuInfo& a = fu(from);
+  const FuInfo& b = fu(to);
+  return a.als == b.als && b.slot == a.slot + 1;
+}
+
+std::string Machine::describe() const {
+  using common::strFormat;
+  std::string out;
+  out += strFormat("NSC node: %d functional units in %d ALSs (%d singlets, %d doublets, %d triplets)\n",
+                   config_.numFus(), config_.numAls(), config_.num_singlets,
+                   config_.num_doublets, config_.num_triplets);
+  out += strFormat("memory: %d planes x %s = %s\n", config_.num_memory_planes,
+                   common::bytesHuman(config_.plane_bytes).c_str(),
+                   common::bytesHuman(config_.totalMemoryBytes()).c_str());
+  out += strFormat("caches: %d x %s x %d buffers\n", config_.num_caches,
+                   common::bytesHuman(config_.cache_bytes).c_str(),
+                   config_.cache_buffers);
+  out += strFormat("shift/delay units: %d (%d taps, max delay %d)\n",
+                   config_.num_shift_delay, config_.sd_taps, config_.sd_max_delay);
+  out += strFormat("clock: %.1f MHz, peak %.0f MFLOPS/node\n", config_.clock_mhz,
+                   config_.peakMflopsPerNode());
+  out += strFormat("switch network: %zu sources -> %zu destinations\n",
+                   sources_.size(), destinations_.size());
+  return out;
+}
+
+}  // namespace nsc::arch

@@ -1,0 +1,190 @@
+#include "arch/microword_spec.h"
+
+#include <bit>
+#include <map>
+#include <stdexcept>
+
+#include "common/strings.h"
+
+namespace nsc::arch {
+
+namespace {
+
+std::size_t bitsFor(std::uint64_t max_value) {
+  std::size_t bits = 0;
+  while (max_value > 0) {
+    ++bits;
+    max_value >>= 1;
+  }
+  return bits == 0 ? 1 : bits;
+}
+
+}  // namespace
+
+const char* seqOpName(SeqOp op) {
+  switch (op) {
+    case SeqOp::kNext: return "next";
+    case SeqOp::kJump: return "jump";
+    case SeqOp::kBranchIf: return "brif";
+    case SeqOp::kBranchNot: return "brnot";
+    case SeqOp::kLoop: return "loop";
+    case SeqOp::kHalt: return "halt";
+  }
+  return "?";
+}
+
+MicrowordSpec::MicrowordSpec(const Machine& machine) {
+  const MachineConfig& cfg = machine.config();
+
+  // Per-functional-unit control.
+  const std::size_t rf_delay_bits = bitsFor(static_cast<std::uint64_t>(cfg.rf_max_delay));
+  const std::size_t rf_addr_bits =
+      bitsFor(static_cast<std::uint64_t>(cfg.register_file_words - 1));
+  for (const FuInfo& fu : machine.fus()) {
+    add("fu", fuField(fu.id, "enable"), 1);
+    add("fu", fuField(fu.id, "opcode"), 6);
+    add("fu", fuField(fu.id, "in_a_sel"), 3);
+    add("fu", fuField(fu.id, "in_b_sel"), 3);
+    add("fu", fuField(fu.id, "rf_mode"), 2);
+    add("fu", fuField(fu.id, "rf_delay"), rf_delay_bits);
+    add("fu", fuField(fu.id, "rf_addr"), rf_addr_bits);
+  }
+
+  // Per-ALS control: bypass pattern (doublet-as-singlet etc.).
+  for (const AlsInfo& als : machine.als()) {
+    add("als", common::strFormat("als%02d.bypass", als.id), 2);
+  }
+
+  // Switch network: one source-select per destination port.
+  switch_select_width_ = bitsFor(machine.sources().size());  // +1 for "none"
+  for (std::size_t d = 0; d < machine.destinations().size(); ++d) {
+    add("switch", switchField(static_cast<int>(d)), switch_select_width_);
+  }
+
+  // Per-memory-plane DMA engine.
+  const std::size_t plane_addr_bits = bitsFor(cfg.planeWords() - 1);
+  for (PlaneId p = 0; p < cfg.num_memory_planes; ++p) {
+    add("plane", planeField(p, "mode"), 2);  // 0 idle, 1 read, 2 write
+    add("plane", planeField(p, "base"), plane_addr_bits);
+    add("plane", planeField(p, "stride"), 16);
+    add("plane", planeField(p, "count"), 24);
+    add("plane", planeField(p, "count2"), 16);   // two-level transfers
+    add("plane", planeField(p, "stride2"), 24);
+  }
+
+  // Per-cache DMA engine.
+  const std::size_t cache_addr_bits = bitsFor(cfg.cacheWords() - 1);
+  for (CacheId c = 0; c < cfg.num_caches; ++c) {
+    add("cache", cacheField(c, "mode"), 2);
+    add("cache", cacheField(c, "read_buffer"), 1);
+    add("cache", cacheField(c, "base"), cache_addr_bits);
+    add("cache", cacheField(c, "stride"), 8);
+    add("cache", cacheField(c, "count"), cache_addr_bits + 1);
+    add("cache", cacheField(c, "swap"), 1);
+  }
+
+  // Shift/delay units: tap delays for reformatting one stream into several
+  // shifted copies.
+  const std::size_t sd_delay_bits = bitsFor(static_cast<std::uint64_t>(cfg.sd_max_delay));
+  for (SdId s = 0; s < cfg.num_shift_delay; ++s) {
+    add("sd", sdField(s, "enable"), 1);
+    for (int t = 0; t < cfg.sd_taps; ++t) {
+      add("sd", sdField(s, common::strFormat("tap%d", t)), sd_delay_bits);
+    }
+  }
+
+  // Condition latch: after the pipeline drains, the last value produced by
+  // fu `cond.src_fu` is compared against 0.5 and stored in condition
+  // register `cond.reg` (the FU computes the boolean itself with a cmp op).
+  add("cond", "cond.enable", 1);
+  add("cond", "cond.src_fu", bitsFor(static_cast<std::uint64_t>(machine.config().numFus() - 1)));
+  add("cond", "cond.reg", 2);
+
+  // Sequencer control.
+  add("seq", "seq.op", 3);
+  add("seq", "seq.target", 12);
+  add("seq", "seq.cond_reg", 2);
+  add("seq", "seq.count", 16);
+
+  // Interrupt-enable mask (completion interrupts per DMA group).
+  add("irq", "irq.mask", 16);
+}
+
+void MicrowordSpec::add(const std::string& section, const std::string& name,
+                        std::size_t width) {
+  MicroField f;
+  f.name = name;
+  f.section = section;
+  f.offset = width_;
+  f.width = width;
+  index_[name] = fields_.size();
+  fields_.push_back(std::move(f));
+  width_ += width;
+}
+
+const MicroField& MicrowordSpec::field(const std::string& name) const {
+  const auto it = index_.find(name);
+  if (it == index_.end()) {
+    throw std::out_of_range("unknown microword field: " + name);
+  }
+  return fields_[it->second];
+}
+
+void MicrowordSpec::set(common::BitVector& word, const std::string& name,
+                        std::uint64_t value) const {
+  const MicroField& f = field(name);
+  word.setField(f.offset, f.width, value);
+}
+
+std::uint64_t MicrowordSpec::get(const common::BitVector& word,
+                                 const std::string& name) const {
+  const MicroField& f = field(name);
+  return word.field(f.offset, f.width);
+}
+
+void MicrowordSpec::setSigned(common::BitVector& word, const std::string& name,
+                              std::int64_t value) const {
+  const MicroField& f = field(name);
+  const std::uint64_t mask =
+      f.width >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << f.width) - 1);
+  word.setField(f.offset, f.width, static_cast<std::uint64_t>(value) & mask);
+}
+
+std::int64_t MicrowordSpec::getSigned(const common::BitVector& word,
+                                      const std::string& name) const {
+  const MicroField& f = field(name);
+  std::uint64_t raw = word.field(f.offset, f.width);
+  if (f.width < 64 && (raw & (std::uint64_t{1} << (f.width - 1)))) {
+    raw |= ~((std::uint64_t{1} << f.width) - 1);  // sign extend
+  }
+  return static_cast<std::int64_t>(raw);
+}
+
+std::string MicrowordSpec::fuField(FuId fu, const std::string& leaf) {
+  return common::strFormat("fu%02d.%s", fu, leaf.c_str());
+}
+
+std::string MicrowordSpec::switchField(int dest_index) {
+  return common::strFormat("sw.dst%03d", dest_index);
+}
+
+std::string MicrowordSpec::planeField(PlaneId p, const std::string& leaf) {
+  return common::strFormat("plane%02d.%s", p, leaf.c_str());
+}
+
+std::string MicrowordSpec::cacheField(CacheId c, const std::string& leaf) {
+  return common::strFormat("cache%02d.%s", c, leaf.c_str());
+}
+
+std::string MicrowordSpec::sdField(SdId s, const std::string& leaf) {
+  return common::strFormat("sd%d.%s", s, leaf.c_str());
+}
+
+std::vector<std::pair<std::string, std::size_t>>
+MicrowordSpec::sectionBitCounts() const {
+  std::map<std::string, std::size_t> counts;
+  for (const MicroField& f : fields_) counts[f.section] += f.width;
+  return {counts.begin(), counts.end()};
+}
+
+}  // namespace nsc::arch

@@ -1,0 +1,97 @@
+// MicrowordSpec: the bit-level layout of one NSC instruction.
+//
+// "Each instruction must be specified in a complex hierarchical microcode
+// which contains specific control for every function unit, register file,
+// switch setting, DMA unit, etc. ... This requires a few thousand bits of
+// information per instruction, encoded in dozens of separate fields."
+// (paper, Section 3.)
+//
+// The real format was never published; this spec is *generated* from the
+// machine description so that every modelled component has its control
+// bits, and so the width/field-count claims can be measured (bench
+// claims_microword).  Field names are stable strings ("fu07.opcode",
+// "plane03.stride", "sw.dst042", ...), grouped into sections.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "arch/machine.h"
+#include "common/bitvector.h"
+
+namespace nsc::arch {
+
+struct MicroField {
+  std::string name;
+  std::string section;  // "fu", "als", "switch", "plane", "cache", "sd",
+                        // "seq", "cond", "irq"
+  std::size_t offset = 0;
+  std::size_t width = 0;
+};
+
+// Sequencer opcodes stored in the "seq.op" field of each microword.  The
+// central sequencer provides high-level control flow (paper, Section 2).
+enum class SeqOp : std::uint8_t {
+  kNext = 0,    // fall through to the next instruction
+  kJump,        // unconditional branch to seq.target
+  kBranchIf,    // branch to seq.target if condition register is set
+  kBranchNot,   // branch to seq.target if condition register is clear
+  kLoop,        // decrement loop counter; branch to seq.target while > 0
+  kHalt,        // stop the sequencer
+};
+
+const char* seqOpName(SeqOp op);
+
+class MicrowordSpec {
+ public:
+  explicit MicrowordSpec(const Machine& machine);
+
+  std::size_t widthBits() const { return width_; }
+  const std::vector<MicroField>& fields() const { return fields_; }
+
+  bool hasField(const std::string& name) const {
+    return index_.count(name) > 0;
+  }
+  const MicroField& field(const std::string& name) const;
+
+  // Accessors on a microword (a BitVector of widthBits()).
+  void set(common::BitVector& word, const std::string& name,
+           std::uint64_t value) const;
+  std::uint64_t get(const common::BitVector& word,
+                    const std::string& name) const;
+
+  // Signed fields (e.g. DMA strides) stored as two's complement.
+  void setSigned(common::BitVector& word, const std::string& name,
+                 std::int64_t value) const;
+  std::int64_t getSigned(const common::BitVector& word,
+                         const std::string& name) const;
+
+  common::BitVector makeWord() const { return common::BitVector(width_); }
+
+  // Field name builders.
+  static std::string fuField(FuId fu, const std::string& leaf);
+  static std::string switchField(int dest_index);
+  static std::string planeField(PlaneId p, const std::string& leaf);
+  static std::string cacheField(CacheId c, const std::string& leaf);
+  static std::string sdField(SdId s, const std::string& leaf);
+
+  // Width of the switch source-select value; value 0 means "no source",
+  // value i+1 selects machine.sources()[i].
+  std::size_t switchSelectWidth() const { return switch_select_width_; }
+
+  // Section statistics for the claims bench.
+  std::vector<std::pair<std::string, std::size_t>> sectionBitCounts() const;
+
+ private:
+  void add(const std::string& section, const std::string& name,
+           std::size_t width);
+
+  std::vector<MicroField> fields_;
+  std::unordered_map<std::string, std::size_t> index_;
+  std::size_t width_ = 0;
+  std::size_t switch_select_width_ = 0;
+};
+
+}  // namespace nsc::arch

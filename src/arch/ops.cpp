@@ -1,0 +1,96 @@
+#include "arch/ops.h"
+
+#include <array>
+#include <cmath>
+#include <cstring>
+
+namespace nsc::arch {
+
+namespace {
+
+// Latencies are plausible 1980s pipelined-ECL figures; they matter only
+// relative to each other (the checker's alignment rule and the generator's
+// delay balancing are exercised by any non-uniform assignment).
+constexpr std::array<OpInfo, static_cast<std::size_t>(OpCode::kNumOps)> kOps = {{
+    {OpCode::kNop, "nop", 0, 0, 1, false},
+    {OpCode::kPass, "pass", 1, kCapFp, 1, false},
+    {OpCode::kAdd, "add", 2, kCapFp, 6, true},
+    {OpCode::kSub, "sub", 2, kCapFp, 6, true},
+    {OpCode::kMul, "mul", 2, kCapFp, 7, true},
+    {OpCode::kDiv, "div", 2, kCapFp, 20, true},
+    {OpCode::kNeg, "neg", 1, kCapFp, 2, true},
+    {OpCode::kAbs, "abs", 1, kCapFp, 2, true},
+    {OpCode::kSqrt, "sqrt", 1, kCapFp, 22, true},
+    {OpCode::kRecip, "recip", 1, kCapFp, 20, true},
+    {OpCode::kCmpLt, "cmplt", 2, kCapFp, 3, true},
+    {OpCode::kCmpLe, "cmple", 2, kCapFp, 3, true},
+    {OpCode::kCmpEq, "cmpeq", 2, kCapFp, 3, true},
+    {OpCode::kIAdd, "iadd", 2, kCapIntLogic, 3, false},
+    {OpCode::kISub, "isub", 2, kCapIntLogic, 3, false},
+    {OpCode::kIMul, "imul", 2, kCapIntLogic, 5, false},
+    {OpCode::kAnd, "and", 2, kCapIntLogic, 2, false},
+    {OpCode::kOr, "or", 2, kCapIntLogic, 2, false},
+    {OpCode::kXor, "xor", 2, kCapIntLogic, 2, false},
+    {OpCode::kNot, "not", 1, kCapIntLogic, 2, false},
+    {OpCode::kShl, "shl", 2, kCapIntLogic, 2, false},
+    {OpCode::kShr, "shr", 2, kCapIntLogic, 2, false},
+    {OpCode::kMin, "min", 2, kCapMinMax, 4, true},
+    {OpCode::kMax, "max", 2, kCapMinMax, 4, true},
+}};
+
+std::int64_t toInt(double v) { return static_cast<std::int64_t>(v); }
+
+}  // namespace
+
+const OpInfo& opInfo(OpCode op) {
+  return kOps[static_cast<std::size_t>(op)];
+}
+
+std::optional<OpCode> opByName(std::string_view name) {
+  for (const OpInfo& info : kOps) {
+    if (name == info.name) return info.op;
+  }
+  return std::nullopt;
+}
+
+std::vector<OpCode> opsForCaps(CapMask caps) {
+  std::vector<OpCode> out;
+  for (const OpInfo& info : kOps) {
+    if (info.op == OpCode::kNop) continue;
+    if ((info.required_cap & caps) == info.required_cap) out.push_back(info.op);
+  }
+  return out;
+}
+
+double evalOp(OpCode op, double a, double b) {
+  switch (op) {
+    case OpCode::kNop: return 0.0;
+    case OpCode::kPass: return a;
+    case OpCode::kAdd: return a + b;
+    case OpCode::kSub: return a - b;
+    case OpCode::kMul: return a * b;
+    case OpCode::kDiv: return a / b;
+    case OpCode::kNeg: return -a;
+    case OpCode::kAbs: return std::fabs(a);
+    case OpCode::kSqrt: return std::sqrt(a);
+    case OpCode::kRecip: return 1.0 / a;
+    case OpCode::kCmpLt: return a < b ? 1.0 : 0.0;
+    case OpCode::kCmpLe: return a <= b ? 1.0 : 0.0;
+    case OpCode::kCmpEq: return a == b ? 1.0 : 0.0;
+    case OpCode::kIAdd: return static_cast<double>(toInt(a) + toInt(b));
+    case OpCode::kISub: return static_cast<double>(toInt(a) - toInt(b));
+    case OpCode::kIMul: return static_cast<double>(toInt(a) * toInt(b));
+    case OpCode::kAnd: return static_cast<double>(toInt(a) & toInt(b));
+    case OpCode::kOr: return static_cast<double>(toInt(a) | toInt(b));
+    case OpCode::kXor: return static_cast<double>(toInt(a) ^ toInt(b));
+    case OpCode::kNot: return static_cast<double>(~toInt(a));
+    case OpCode::kShl: return static_cast<double>(toInt(a) << (toInt(b) & 63));
+    case OpCode::kShr: return static_cast<double>(toInt(a) >> (toInt(b) & 63));
+    case OpCode::kMin: return a < b ? a : b;
+    case OpCode::kMax: return a > b ? a : b;
+    case OpCode::kNumOps: break;
+  }
+  return 0.0;
+}
+
+}  // namespace nsc::arch

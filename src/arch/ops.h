@@ -1,0 +1,74 @@
+// Functional-unit operation catalogue.
+//
+// The paper states every FU performs floating-point operations and some
+// additionally perform integer/logical or max/min computations.  The exact
+// NSC op list was never published; this catalogue covers the operations the
+// paper's example and the CFD workloads need, partitioned into the three
+// capability classes so the checker can enforce the per-ALS asymmetries.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "arch/types.h"
+
+namespace nsc::arch {
+
+enum class OpCode : std::uint8_t {
+  kNop = 0,
+  kPass,  // identity on operand A (used for staging/fanout)
+  // Floating point (kCapFp).
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kNeg,
+  kAbs,
+  kSqrt,
+  kRecip,
+  // Comparisons produce 0.0 / 1.0 (kCapFp); used for condition latching.
+  kCmpLt,
+  kCmpLe,
+  kCmpEq,
+  // Integer / logical (kCapIntLogic); operands truncated to int64.
+  kIAdd,
+  kISub,
+  kIMul,
+  kAnd,
+  kOr,
+  kXor,
+  kNot,
+  kShl,
+  kShr,
+  // Min / max (kCapMinMax).
+  kMin,
+  kMax,
+
+  kNumOps,
+};
+
+struct OpInfo {
+  OpCode op;
+  const char* name;
+  int arity;             // 1 or 2 (kNop has arity 0)
+  CapMask required_cap;  // capability an FU needs to execute this op
+  int latency;           // pipeline stages at the machine clock
+  bool counts_as_flop;   // contributes to MFLOPS accounting
+};
+
+// Table lookup; every OpCode below kNumOps has an entry.
+const OpInfo& opInfo(OpCode op);
+
+// Name lookup for parsers/menus; returns nullopt for unknown names.
+std::optional<OpCode> opByName(std::string_view name);
+
+// All ops an FU with capability mask `caps` may execute, in menu order.
+std::vector<OpCode> opsForCaps(CapMask caps);
+
+// Scalar semantics used by both the simulator and the host-side reference
+// evaluation in tests.  For unary ops `b` is ignored.
+double evalOp(OpCode op, double a, double b);
+
+}  // namespace nsc::arch

@@ -1,0 +1,109 @@
+#include "arch/types.h"
+
+#include "common/strings.h"
+
+namespace nsc::arch {
+
+int alsFuCount(AlsKind kind) {
+  switch (kind) {
+    case AlsKind::kSinglet: return 1;
+    case AlsKind::kDoublet: return 2;
+    case AlsKind::kTriplet: return 3;
+  }
+  return 0;
+}
+
+const char* alsKindName(AlsKind kind) {
+  switch (kind) {
+    case AlsKind::kSinglet: return "singlet";
+    case AlsKind::kDoublet: return "doublet";
+    case AlsKind::kTriplet: return "triplet";
+  }
+  return "?";
+}
+
+std::string capMaskName(CapMask caps) {
+  std::string out;
+  if (caps & kCapFp) out += "fp";
+  if (caps & kCapIntLogic) out += out.empty() ? "int" : "+int";
+  if (caps & kCapMinMax) out += out.empty() ? "minmax" : "+minmax";
+  return out.empty() ? "none" : out;
+}
+
+const char* inputSelectName(InputSelect sel) {
+  switch (sel) {
+    case InputSelect::kNone: return "none";
+    case InputSelect::kSwitch: return "switch";
+    case InputSelect::kRegisterFile: return "rf";
+    case InputSelect::kFeedback: return "feedback";
+    case InputSelect::kChain: return "chain";
+  }
+  return "?";
+}
+
+const char* rfModeName(RfMode mode) {
+  switch (mode) {
+    case RfMode::kOff: return "off";
+    case RfMode::kConstant: return "const";
+    case RfMode::kDelay: return "delay";
+    case RfMode::kAccum: return "accum";
+  }
+  return "?";
+}
+
+const char* endpointKindName(EndpointKind kind) {
+  switch (kind) {
+    case EndpointKind::kNone: return "none";
+    case EndpointKind::kFuOutput: return "fu_out";
+    case EndpointKind::kFuInput: return "fu_in";
+    case EndpointKind::kPlaneRead: return "plane_read";
+    case EndpointKind::kPlaneWrite: return "plane_write";
+    case EndpointKind::kCacheRead: return "cache_read";
+    case EndpointKind::kCacheWrite: return "cache_write";
+    case EndpointKind::kSdOutput: return "sd_out";
+    case EndpointKind::kSdInput: return "sd_in";
+  }
+  return "?";
+}
+
+bool endpointIsSource(EndpointKind kind) {
+  switch (kind) {
+    case EndpointKind::kFuOutput:
+    case EndpointKind::kPlaneRead:
+    case EndpointKind::kCacheRead:
+    case EndpointKind::kSdOutput:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool endpointIsDestination(EndpointKind kind) {
+  switch (kind) {
+    case EndpointKind::kFuInput:
+    case EndpointKind::kPlaneWrite:
+    case EndpointKind::kCacheWrite:
+    case EndpointKind::kSdInput:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::string Endpoint::toString() const {
+  switch (kind) {
+    case EndpointKind::kNone: return "none";
+    case EndpointKind::kFuInput:
+      return common::strFormat("fu%d.%s", unit, port == 0 ? "a" : "b");
+    case EndpointKind::kFuOutput: return common::strFormat("fu%d.out", unit);
+    case EndpointKind::kPlaneRead: return common::strFormat("plane%d.read", unit);
+    case EndpointKind::kPlaneWrite: return common::strFormat("plane%d.write", unit);
+    case EndpointKind::kCacheRead: return common::strFormat("cache%d.read", unit);
+    case EndpointKind::kCacheWrite: return common::strFormat("cache%d.write", unit);
+    case EndpointKind::kSdOutput: return common::strFormat("sd%d.tap%d", unit, port);
+    case EndpointKind::kSdInput: return common::strFormat("sd%d.in", unit);
+  }
+  return "?";
+}
+
+}  // namespace nsc::arch

@@ -1,0 +1,112 @@
+// Core identifier and enum types for the NSC machine model.
+//
+// Terminology follows the paper (Section 2): a node holds 32 functional
+// units (FUs) hardwired into arithmetic-logic structures (ALSs) of three
+// kinds (singlet/doublet/triplet); 16 memory planes; 16 double-buffered
+// caches; 2 shift/delay units; a programmable switch network ("FLONET")
+// routing streams among them.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace nsc::arch {
+
+using FuId = int;     // 0 .. numFus()-1, global across the node
+using AlsId = int;    // 0 .. numAls()-1
+using PlaneId = int;  // 0 .. numMemoryPlanes()-1
+using CacheId = int;  // 0 .. numCaches()-1
+using SdId = int;     // 0 .. numShiftDelay()-1
+
+enum class AlsKind : std::uint8_t {
+  kSinglet,  // 1 FU
+  kDoublet,  // 2 FUs
+  kTriplet,  // 3 FUs
+};
+
+int alsFuCount(AlsKind kind);
+const char* alsKindName(AlsKind kind);
+
+// Capability bits of a functional unit.  Every FU does floating point;
+// within each ALS exactly one unit also has integer/logical circuitry and
+// (in doublets/triplets) another has min/max circuitry (paper, Section 3).
+enum FuCapability : std::uint8_t {
+  kCapFp = 1u << 0,
+  kCapIntLogic = 1u << 1,
+  kCapMinMax = 1u << 2,
+};
+using CapMask = std::uint8_t;
+
+std::string capMaskName(CapMask caps);
+
+// Where an FU input draws its operand from.  These select among the
+// microword-controlled paths of Figure 1.
+enum class InputSelect : std::uint8_t {
+  kNone = 0,      // operand unused (unary ops / disabled unit)
+  kSwitch,        // stream routed through the switch network
+  kRegisterFile,  // constant or delayed value from the FU's register file
+  kFeedback,      // the FU's own output fed back (through its register file)
+  kChain,         // hardwired internal path from the previous FU in the ALS
+};
+
+const char* inputSelectName(InputSelect sel);
+
+// Register-file operating mode for one instruction.
+enum class RfMode : std::uint8_t {
+  kOff = 0,
+  kConstant,  // supply a preloaded constant every cycle
+  kDelay,     // circular queue: output = input delayed by rf_delay cycles
+  kAccum,     // feedback accumulator seed/hold (for reductions)
+};
+
+const char* rfModeName(RfMode mode);
+
+// One endpoint of a switch-routed stream.
+enum class EndpointKind : std::uint8_t {
+  kNone = 0,
+  kFuOutput,    // unit = FuId
+  kFuInput,     // unit = FuId, port = 0 (A) or 1 (B)
+  kPlaneRead,   // unit = PlaneId
+  kPlaneWrite,  // unit = PlaneId
+  kCacheRead,   // unit = CacheId
+  kCacheWrite,  // unit = CacheId
+  kSdOutput,    // unit = SdId, port = tap index
+  kSdInput,     // unit = SdId
+};
+
+const char* endpointKindName(EndpointKind kind);
+bool endpointIsSource(EndpointKind kind);
+bool endpointIsDestination(EndpointKind kind);
+
+struct Endpoint {
+  EndpointKind kind = EndpointKind::kNone;
+  int unit = 0;
+  int port = 0;
+
+  auto operator<=>(const Endpoint&) const = default;
+
+  static Endpoint none() { return {}; }
+  static Endpoint fuOutput(FuId fu) { return {EndpointKind::kFuOutput, fu, 0}; }
+  static Endpoint fuInput(FuId fu, int port) {
+    return {EndpointKind::kFuInput, fu, port};
+  }
+  static Endpoint planeRead(PlaneId p) { return {EndpointKind::kPlaneRead, p, 0}; }
+  static Endpoint planeWrite(PlaneId p) { return {EndpointKind::kPlaneWrite, p, 0}; }
+  static Endpoint cacheRead(CacheId c) { return {EndpointKind::kCacheRead, c, 0}; }
+  static Endpoint cacheWrite(CacheId c) { return {EndpointKind::kCacheWrite, c, 0}; }
+  static Endpoint sdOutput(SdId s, int tap) { return {EndpointKind::kSdOutput, s, tap}; }
+  static Endpoint sdInput(SdId s) { return {EndpointKind::kSdInput, s, 0}; }
+
+  bool isNone() const { return kind == EndpointKind::kNone; }
+  std::string toString() const;
+};
+
+struct EndpointHash {
+  std::size_t operator()(const Endpoint& e) const {
+    return std::hash<int>()(static_cast<int>(e.kind) * 1048576 + e.unit * 16 +
+                            e.port);
+  }
+};
+
+}  // namespace nsc::arch

@@ -1,0 +1,47 @@
+// 3-D uniform grid indexing for the paper's example problem: a point
+// Jacobi update for the 3-D Poisson equation on a uniform grid with a
+// residual convergence check (paper, Section 4, Equation 1).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace nsc::cfd {
+
+struct Grid3 {
+  int nx = 8;
+  int ny = 8;
+  int nz = 8;
+
+  int N() const { return nx * ny * nz; }
+  int W() const { return nx * ny; }  // linear offset of a +-z neighbor
+
+  int idx(int i, int j, int k) const { return i + nx * (j + ny * k); }
+  int iOf(int c) const { return c % nx; }
+  int jOf(int c) const { return (c / nx) % ny; }
+  int kOf(int c) const { return c / (nx * ny); }
+
+  bool isBoundary(int c) const {
+    const int i = iOf(c), j = jOf(c), k = kOf(c);
+    return i == 0 || i == nx - 1 || j == 0 || j == ny - 1 || k == 0 ||
+           k == nz - 1;
+  }
+  bool isInterior(int c) const { return !isBoundary(c); }
+
+  // First/last linear index whose six linear-offset neighbors all exist:
+  // the sweep window of the NSC pipeline ("linear Jacobi" span).
+  int linearLo() const { return W() + nx + 1; }
+  int linearHi() const { return N() - 1 - linearLo(); }
+  int linearSpan() const { return linearHi() - linearLo() + 1; }
+
+  // 0/1 mask of true interior cells, used to gate the residual reduction.
+  std::vector<double> interiorMask() const {
+    std::vector<double> mask(static_cast<std::size_t>(N()), 0.0);
+    for (int c = 0; c < N(); ++c) {
+      if (isInterior(c)) mask[static_cast<std::size_t>(c)] = 1.0;
+    }
+    return mask;
+  }
+};
+
+}  // namespace nsc::cfd

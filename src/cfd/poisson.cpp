@@ -1,0 +1,276 @@
+#include "cfd/poisson.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace nsc::cfd {
+
+PoissonProblem PoissonProblem::manufactured(int nx, int ny, int nz) {
+  PoissonProblem p;
+  p.grid = {nx, ny, nz};
+  p.h = 1.0 / (nx - 1);
+  const int n = p.grid.N();
+  p.f.assign(static_cast<std::size_t>(n), 0.0);
+  p.u0.assign(static_cast<std::size_t>(n), 0.0);
+  constexpr double pi = std::numbers::pi;
+  for (int c = 0; c < n; ++c) {
+    const double x = p.grid.iOf(c) * p.h;
+    const double y = p.grid.jOf(c) / static_cast<double>(ny - 1);
+    const double z = p.grid.kOf(c) / static_cast<double>(nz - 1);
+    const double star =
+        std::sin(pi * x) * std::sin(pi * y) * std::sin(pi * z);
+    p.f[static_cast<std::size_t>(c)] = -3.0 * pi * pi * star;
+    // u0: zero interior guess, exact (zero) Dirichlet boundary.
+  }
+  return p;
+}
+
+std::vector<double> PoissonProblem::exactSolution() const {
+  const int n = grid.N();
+  std::vector<double> u(static_cast<std::size_t>(n), 0.0);
+  constexpr double pi = std::numbers::pi;
+  for (int c = 0; c < n; ++c) {
+    const double x = grid.iOf(c) * h;
+    const double y = grid.jOf(c) / static_cast<double>(grid.ny - 1);
+    const double z = grid.kOf(c) / static_cast<double>(grid.nz - 1);
+    u[static_cast<std::size_t>(c)] =
+        std::sin(pi * x) * std::sin(pi * y) * std::sin(pi * z);
+  }
+  return u;
+}
+
+namespace {
+
+void restoreBoundaryFaces(const Grid3& g, const std::vector<double>& from,
+                          std::vector<double>& to) {
+  for (int c = 0; c < g.N(); ++c) {
+    if (g.isBoundary(c)) {
+      to[static_cast<std::size_t>(c)] = from[static_cast<std::size_t>(c)];
+    }
+  }
+}
+
+}  // namespace
+
+double linearJacobiSweep(const PoissonProblem& problem,
+                         const std::vector<double>& u,
+                         std::vector<double>& u_next, double omega) {
+  const Grid3& g = problem.grid;
+  const int nx = g.nx;
+  const int W = g.W();
+  const double h2 = problem.h * problem.h;
+  const double sixth = 1.0 / 6.0;
+  u_next = u;  // out-of-span cells keep previous (boundary) values
+  double res = 0.0;
+  const std::vector<double> mask = g.interiorMask();
+  for (int c = g.linearLo(); c <= g.linearHi(); ++c) {
+    const auto uc = static_cast<std::size_t>(c);
+    // Exact mirror of the pipeline's association order (see header).
+    double sum = (u[uc - 1] + u[uc + 1]);
+    sum = sum + u[uc + static_cast<std::size_t>(nx)];
+    sum = sum + u[uc - static_cast<std::size_t>(nx)];
+    const double t2 =
+        u[uc + static_cast<std::size_t>(W)] + u[uc - static_cast<std::size_t>(W)];
+    const double sum6 = t2 + sum;
+    const double num = sum6 - h2 * problem.f[uc];
+    const double ujac = num * sixth;
+    const double diff = ujac - u[uc];
+    const double masked = std::fabs(diff) * mask[uc];
+    res = masked > res ? masked : res;
+    u_next[uc] = omega == 1.0 ? ujac : (omega * diff) + u[uc];
+  }
+  restoreBoundaryFaces(g, u, u_next);
+  return res;
+}
+
+double jacobiSweep(const PoissonProblem& problem, const std::vector<double>& u,
+                   std::vector<double>& u_next, double omega) {
+  const Grid3& g = problem.grid;
+  const double h2 = problem.h * problem.h;
+  u_next = u;
+  double res = 0.0;
+  for (int k = 1; k < g.nz - 1; ++k) {
+    for (int j = 1; j < g.ny - 1; ++j) {
+      for (int i = 1; i < g.nx - 1; ++i) {
+        const auto c = static_cast<std::size_t>(g.idx(i, j, k));
+        const double sum = u[c - 1] + u[c + 1] +
+                           u[c - static_cast<std::size_t>(g.nx)] +
+                           u[c + static_cast<std::size_t>(g.nx)] +
+                           u[c - static_cast<std::size_t>(g.W())] +
+                           u[c + static_cast<std::size_t>(g.W())];
+        const double ujac = (sum - h2 * problem.f[c]) / 6.0;
+        const double diff = ujac - u[c];
+        res = std::fabs(diff) > res ? std::fabs(diff) : res;
+        u_next[c] = u[c] + omega * diff;
+      }
+    }
+  }
+  return res;
+}
+
+double residualLinf(const PoissonProblem& problem,
+                    const std::vector<double>& u) {
+  const Grid3& g = problem.grid;
+  const double inv_h2 = 1.0 / (problem.h * problem.h);
+  double res = 0.0;
+  for (int k = 1; k < g.nz - 1; ++k) {
+    for (int j = 1; j < g.ny - 1; ++j) {
+      for (int i = 1; i < g.nx - 1; ++i) {
+        const auto c = static_cast<std::size_t>(g.idx(i, j, k));
+        const double lap =
+            (u[c - 1] + u[c + 1] + u[c - static_cast<std::size_t>(g.nx)] +
+             u[c + static_cast<std::size_t>(g.nx)] +
+             u[c - static_cast<std::size_t>(g.W())] +
+             u[c + static_cast<std::size_t>(g.W())] - 6.0 * u[c]) *
+            inv_h2;
+        const double r = problem.f[c] - lap;
+        res = std::fabs(r) > res ? std::fabs(r) : res;
+      }
+    }
+  }
+  return res;
+}
+
+double errorLinf(const std::vector<double>& u, const std::vector<double>& ref) {
+  double e = 0.0;
+  for (std::size_t i = 0; i < u.size() && i < ref.size(); ++i) {
+    const double d = std::fabs(u[i] - ref[i]);
+    e = d > e ? d : e;
+  }
+  return e;
+}
+
+// ---------------------------------------------------------------------------
+// Multigrid
+// ---------------------------------------------------------------------------
+
+std::vector<double> restrictFullWeighting(const Grid3& fine,
+                                          const std::vector<double>& values) {
+  const Grid3 coarse{(fine.nx + 1) / 2, (fine.ny + 1) / 2, (fine.nz + 1) / 2};
+  std::vector<double> out(static_cast<std::size_t>(coarse.N()), 0.0);
+  for (int k = 0; k < coarse.nz; ++k) {
+    for (int j = 0; j < coarse.ny; ++j) {
+      for (int i = 0; i < coarse.nx; ++i) {
+        const int fi = 2 * i, fj = 2 * j, fk = 2 * k;
+        if (i == 0 || j == 0 || k == 0 || i == coarse.nx - 1 ||
+            j == coarse.ny - 1 || k == coarse.nz - 1) {
+          out[static_cast<std::size_t>(coarse.idx(i, j, k))] =
+              values[static_cast<std::size_t>(fine.idx(fi, fj, fk))];
+          continue;
+        }
+        double sum = 0.0;
+        for (int dk = -1; dk <= 1; ++dk) {
+          for (int dj = -1; dj <= 1; ++dj) {
+            for (int di = -1; di <= 1; ++di) {
+              const double w =
+                  (di == 0 ? 2.0 : 1.0) * (dj == 0 ? 2.0 : 1.0) *
+                  (dk == 0 ? 2.0 : 1.0) / 64.0;
+              sum += w * values[static_cast<std::size_t>(
+                             fine.idx(fi + di, fj + dj, fk + dk))];
+            }
+          }
+        }
+        out[static_cast<std::size_t>(coarse.idx(i, j, k))] = sum;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<double> prolongTrilinear(const Grid3& coarse,
+                                     const std::vector<double>& values) {
+  const Grid3 fine{coarse.nx * 2 - 1, coarse.ny * 2 - 1, coarse.nz * 2 - 1};
+  std::vector<double> out(static_cast<std::size_t>(fine.N()), 0.0);
+  for (int k = 0; k < fine.nz; ++k) {
+    for (int j = 0; j < fine.ny; ++j) {
+      for (int i = 0; i < fine.nx; ++i) {
+        // Trilinear interpolation from the enclosing coarse cell corners.
+        const int ci = i / 2, cj = j / 2, ck = k / 2;
+        const bool oi = (i % 2) != 0, oj = (j % 2) != 0, ok = (k % 2) != 0;
+        double sum = 0.0;
+        int terms = 0;
+        for (int dk = 0; dk <= (ok ? 1 : 0); ++dk) {
+          for (int dj = 0; dj <= (oj ? 1 : 0); ++dj) {
+            for (int di = 0; di <= (oi ? 1 : 0); ++di) {
+              sum += values[static_cast<std::size_t>(
+                  coarse.idx(ci + di, cj + dj, ck + dk))];
+              ++terms;
+            }
+          }
+        }
+        out[static_cast<std::size_t>(fine.idx(i, j, k))] = sum / terms;
+      }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void vcycleRecurse(const PoissonProblem& problem, std::vector<double>& u,
+                   const MultigridOptions& options) {
+  const Grid3& g = problem.grid;
+  std::vector<double> next;
+  if (g.nx <= options.min_size || g.ny <= options.min_size ||
+      g.nz <= options.min_size || g.nx % 2 == 0) {
+    // Coarsest level: smooth hard.
+    for (int s = 0; s < 32; ++s) {
+      jacobiSweep(problem, u, next, options.omega);
+      u.swap(next);
+    }
+    return;
+  }
+  for (int s = 0; s < options.pre_smooth; ++s) {
+    jacobiSweep(problem, u, next, options.omega);
+    u.swap(next);
+  }
+
+  // Residual on the fine grid (zero on boundary).
+  std::vector<double> r(u.size(), 0.0);
+  const double inv_h2 = 1.0 / (problem.h * problem.h);
+  for (int k = 1; k < g.nz - 1; ++k) {
+    for (int j = 1; j < g.ny - 1; ++j) {
+      for (int i = 1; i < g.nx - 1; ++i) {
+        const auto c = static_cast<std::size_t>(g.idx(i, j, k));
+        const double lap =
+            (u[c - 1] + u[c + 1] + u[c - static_cast<std::size_t>(g.nx)] +
+             u[c + static_cast<std::size_t>(g.nx)] +
+             u[c - static_cast<std::size_t>(g.W())] +
+             u[c + static_cast<std::size_t>(g.W())] - 6.0 * u[c]) *
+            inv_h2;
+        r[c] = problem.f[c] - lap;
+      }
+    }
+  }
+
+  PoissonProblem coarse;
+  coarse.grid = {(g.nx + 1) / 2, (g.ny + 1) / 2, (g.nz + 1) / 2};
+  coarse.h = problem.h * 2.0;
+  coarse.f = restrictFullWeighting(g, r);
+  // Error equation: boundary of the correction is zero.
+  for (int c = 0; c < coarse.grid.N(); ++c) {
+    if (coarse.grid.isBoundary(c)) coarse.f[static_cast<std::size_t>(c)] = 0.0;
+  }
+  std::vector<double> e(static_cast<std::size_t>(coarse.grid.N()), 0.0);
+  vcycleRecurse(coarse, e, options);
+
+  const std::vector<double> correction = prolongTrilinear(coarse.grid, e);
+  for (int c = 0; c < g.N(); ++c) {
+    if (g.isInterior(c)) u[static_cast<std::size_t>(c)] += correction[static_cast<std::size_t>(c)];
+  }
+
+  for (int s = 0; s < options.post_smooth; ++s) {
+    jacobiSweep(problem, u, next, options.omega);
+    u.swap(next);
+  }
+}
+
+}  // namespace
+
+double vcycle(const PoissonProblem& problem, std::vector<double>& u,
+              const MultigridOptions& options) {
+  vcycleRecurse(problem, u, options);
+  return residualLinf(problem, u);
+}
+
+}  // namespace nsc::cfd

@@ -1,0 +1,82 @@
+// Host-side Poisson problem and reference solvers.
+//
+// These are the ground truth for the NSC simulation: `linearJacobiSweep`
+// mirrors the NSC pipeline's operation order *exactly* (same association,
+// same masked-residual reduction), so simulator output can be compared for
+// bit-identical agreement; `jacobiSweep` is the textbook method; the
+// multigrid V-cycle reproduces the workload of the paper's reference [6]
+// (Nosenchuck, Krist, Zang, "On Multigrid Methods for the Navier-Stokes
+// Computer").
+#pragma once
+
+#include <vector>
+
+#include "cfd/grid.h"
+
+namespace nsc::cfd {
+
+struct PoissonProblem {
+  Grid3 grid;
+  double h = 1.0;         // mesh spacing
+  std::vector<double> f;  // right-hand side of  laplace(u) = f
+  std::vector<double> u0; // initial guess; boundary entries hold g (Dirichlet)
+
+  // Manufactured problem on the unit cube: u* = sin(pi x) sin(pi y)
+  // sin(pi z), f = -3 pi^2 u*, homogeneous Dirichlet boundary.
+  static PoissonProblem manufactured(int nx, int ny, int nz);
+
+  // Exact (manufactured) solution vector for error norms.
+  std::vector<double> exactSolution() const;
+};
+
+// One point-Jacobi sweep mirroring the NSC pipeline bit-for-bit:
+//   sum   = ((u[c-1]+u[c+1]) + u[c+nx]) + u[c-nx]
+//   sum6  = (u[c+W]+u[c-W]) + sum
+//   num   = sum6 - h2*f[c]
+//   ujac  = num * (1/6)
+//   diff  = ujac - u[c]
+//   res   = max(res, |diff| * mask[c])        (seeded with 0)
+//   out   = omega == 1 ? ujac : (omega*diff) + u[c]
+// applied over the linear span [linearLo, linearHi], followed by restoring
+// the six boundary faces from `u` (the previous iterate).  Returns the
+// masked max-residual exactly as the pipeline's accumulator produces it.
+double linearJacobiSweep(const PoissonProblem& problem,
+                         const std::vector<double>& u,
+                         std::vector<double>& u_next, double omega = 1.0);
+
+// Textbook damped point Jacobi over the true interior (for math-level
+// tests; agrees with linearJacobiSweep on interior cells).
+double jacobiSweep(const PoissonProblem& problem, const std::vector<double>& u,
+                   std::vector<double>& u_next, double omega = 1.0);
+
+// Max-norm of the true residual  f - laplace_h(u)  over interior cells.
+double residualLinf(const PoissonProblem& problem,
+                    const std::vector<double>& u);
+
+// Max-norm error against a reference vector over all cells.
+double errorLinf(const std::vector<double>& u, const std::vector<double>& ref);
+
+// ---------------------------------------------------------------------------
+// Multigrid (reference [6] workload)
+// ---------------------------------------------------------------------------
+
+struct MultigridOptions {
+  int pre_smooth = 2;    // damped Jacobi sweeps before coarsening
+  int post_smooth = 2;   // ... after prolongation
+  double omega = 6.0 / 7.0;  // optimal high-frequency damping for 3-D
+  int min_size = 3;      // coarsest grid dimension
+};
+
+// One V-cycle on `u`; returns the interior residual Linf after the cycle.
+// Grids must have nx = ny = nz = 2^k + 1 for vertex-centered coarsening.
+double vcycle(const PoissonProblem& problem, std::vector<double>& u,
+              const MultigridOptions& options = {});
+
+// Full-weighting restriction and trilinear prolongation (exposed for unit
+// tests).
+std::vector<double> restrictFullWeighting(const Grid3& fine,
+                                          const std::vector<double>& values);
+std::vector<double> prolongTrilinear(const Grid3& coarse,
+                                     const std::vector<double>& values);
+
+}  // namespace nsc::cfd

@@ -1,0 +1,606 @@
+#include "checker/checker.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/strings.h"
+#include "program/timing.h"
+
+namespace nsc::check {
+
+using arch::Endpoint;
+using arch::EndpointKind;
+using common::strFormat;
+
+namespace {
+
+// Dataflow-node key for cycle detection: FUs and shift/delay units are the
+// only components a stream can pass *through* within one instruction.
+struct FlowNode {
+  enum class Kind { kNone, kFu, kSd } kind = Kind::kNone;
+  int unit = 0;
+  auto operator<=>(const FlowNode&) const = default;
+};
+
+FlowNode nodeOf(const Endpoint& e) {
+  switch (e.kind) {
+    case EndpointKind::kFuInput:
+    case EndpointKind::kFuOutput:
+      return {FlowNode::Kind::kFu, e.unit};
+    case EndpointKind::kSdInput:
+    case EndpointKind::kSdOutput:
+      return {FlowNode::Kind::kSd, e.unit};
+    default:
+      return {};
+  }
+}
+
+}  // namespace
+
+bool Checker::endpointInRange(const Endpoint& e) const {
+  const arch::MachineConfig& cfg = machine_.config();
+  switch (e.kind) {
+    case EndpointKind::kFuOutput:
+      return e.unit >= 0 && e.unit < cfg.numFus() && e.port == 0;
+    case EndpointKind::kFuInput:
+      return e.unit >= 0 && e.unit < cfg.numFus() && (e.port == 0 || e.port == 1);
+    case EndpointKind::kPlaneRead:
+    case EndpointKind::kPlaneWrite:
+      return e.unit >= 0 && e.unit < cfg.num_memory_planes && e.port == 0;
+    case EndpointKind::kCacheRead:
+    case EndpointKind::kCacheWrite:
+      return e.unit >= 0 && e.unit < cfg.num_caches && e.port == 0;
+    case EndpointKind::kSdOutput:
+      return e.unit >= 0 && e.unit < cfg.num_shift_delay && e.port >= 0 &&
+             e.port < cfg.sd_taps;
+    case EndpointKind::kSdInput:
+      return e.unit >= 0 && e.unit < cfg.num_shift_delay && e.port == 0;
+    case EndpointKind::kNone:
+      return false;
+  }
+  return false;
+}
+
+int Checker::planeStreamCount(const prog::PipelineDiagram& diagram,
+                              arch::PlaneId p, const Endpoint& extra) const {
+  std::set<Endpoint> streams;
+  auto consider = [&](const Endpoint& e) {
+    if ((e.kind == EndpointKind::kPlaneRead ||
+         e.kind == EndpointKind::kPlaneWrite) &&
+        e.unit == p) {
+      streams.insert(e);
+    }
+  };
+  for (const prog::Connection& c : diagram.connections) {
+    consider(c.from);
+    consider(c.to);
+  }
+  consider(extra);
+  return static_cast<int>(streams.size());
+}
+
+bool Checker::wouldCreateCycle(const prog::PipelineDiagram& diagram,
+                               const Endpoint& from, const Endpoint& to) const {
+  // Build adjacency over flow nodes including the candidate edge, then DFS.
+  std::map<FlowNode, std::vector<FlowNode>> adj;
+  auto addEdge = [&](const Endpoint& a, const Endpoint& b) {
+    const FlowNode na = nodeOf(a);
+    const FlowNode nb = nodeOf(b);
+    if (na.kind != FlowNode::Kind::kNone && nb.kind != FlowNode::Kind::kNone) {
+      adj[na].push_back(nb);
+    }
+  };
+  for (const prog::Connection& c : diagram.connections) addEdge(c.from, c.to);
+  addEdge(from, to);
+
+  std::map<FlowNode, int> state;  // 0 unvisited, 1 in progress, 2 done
+  std::vector<std::pair<FlowNode, std::size_t>> stack;
+  for (const auto& [start, unused] : adj) {
+    (void)unused;
+    if (state[start] != 0) continue;
+    stack.push_back({start, 0});
+    state[start] = 1;
+    while (!stack.empty()) {
+      auto& [node, next] = stack.back();
+      const auto& edges = adj[node];
+      if (next < edges.size()) {
+        const FlowNode child = edges[next++];
+        if (state[child] == 1) return true;
+        if (state[child] == 0) {
+          state[child] = 1;
+          stack.push_back({child, 0});
+        }
+      } else {
+        state[node] = 2;
+        stack.pop_back();
+      }
+    }
+  }
+  return false;
+}
+
+std::optional<Diagnostic> Checker::checkConnection(
+    const prog::PipelineDiagram& diagram, const Endpoint& from,
+    const Endpoint& to) const {
+  auto reject = [](Rule rule, std::string message) {
+    return Diagnostic{rule, Severity::kError, std::move(message), -1};
+  };
+
+  if (!endpointIsSource(from.kind)) {
+    return reject(Rule::kEndpointRole,
+                  from.toString() + " cannot source a stream");
+  }
+  if (!endpointIsDestination(to.kind)) {
+    return reject(Rule::kEndpointRole,
+                  to.toString() + " cannot receive a stream");
+  }
+  if (!endpointInRange(from)) {
+    return reject(Rule::kEndpointRange, "no such component: " + from.toString());
+  }
+  if (!endpointInRange(to)) {
+    return reject(Rule::kEndpointRange, "no such component: " + to.toString());
+  }
+  if (from.kind == EndpointKind::kFuOutput &&
+      to.kind == EndpointKind::kFuInput && from.unit == to.unit) {
+    return reject(Rule::kSelfLoop,
+                  strFormat("fu%d cannot feed itself through the switch; "
+                            "use register-file feedback",
+                            from.unit));
+  }
+  if (diagram.connectionTo(to).has_value()) {
+    return reject(Rule::kInputAlreadyDriven,
+                  to.toString() + " is already driven");
+  }
+
+  // Plane contention: "if the user has routed the output from one function
+  // unit to a particular memory plane, the graphical editor will not let
+  // him send the output of a second unit to the same plane."
+  for (const Endpoint* e : {&from, &to}) {
+    if (e->kind == EndpointKind::kPlaneRead ||
+        e->kind == EndpointKind::kPlaneWrite) {
+      const int streams = planeStreamCount(diagram, e->unit, *e);
+      if (streams > machine_.config().plane_streams_per_instruction) {
+        return reject(Rule::kPlaneContention,
+                      strFormat("memory plane %d already carries a stream "
+                                "this instruction",
+                                e->unit));
+      }
+    }
+  }
+
+  const int fanout =
+      static_cast<int>(diagram.connectionsFrom(from).size()) + 1;
+  if (fanout > machine_.config().max_switch_fanout) {
+    return reject(Rule::kFanoutLimit,
+                  strFormat("%s already fans out %d ways",
+                            from.toString().c_str(), fanout - 1));
+  }
+
+  if (wouldCreateCycle(diagram, from, to)) {
+    return reject(Rule::kCycle, "connection would close a combinational loop");
+  }
+  return std::nullopt;
+}
+
+std::vector<Endpoint> Checker::legalTargets(const prog::PipelineDiagram& diagram,
+                                            const Endpoint& from) const {
+  std::vector<Endpoint> out;
+  for (const Endpoint& dst : machine_.destinations()) {
+    if (canConnect(diagram, from, dst)) out.push_back(dst);
+  }
+  return out;
+}
+
+std::vector<arch::OpCode> Checker::legalOps(arch::FuId fu) const {
+  return arch::opsForCaps(machine_.fu(fu).caps);
+}
+
+std::optional<Diagnostic> Checker::checkDma(const prog::PipelineDiagram& diagram,
+                                            const Endpoint& endpoint,
+                                            const prog::DmaSpec& spec) const {
+  auto reject = [](Rule rule, std::string message) {
+    return Diagnostic{rule, Severity::kError, std::move(message), -1};
+  };
+  const arch::MachineConfig& cfg = machine_.config();
+
+  const bool is_plane = endpoint.kind == EndpointKind::kPlaneRead ||
+                        endpoint.kind == EndpointKind::kPlaneWrite;
+  const bool is_cache = endpoint.kind == EndpointKind::kCacheRead ||
+                        endpoint.kind == EndpointKind::kCacheWrite;
+  if (!is_plane && !is_cache) {
+    return reject(Rule::kDmaMissing,
+                  "DMA parameters only apply to planes and caches");
+  }
+  if (!endpointInRange(endpoint)) {
+    return reject(Rule::kEndpointRange,
+                  "no such component: " + endpoint.toString());
+  }
+  if (spec.count == 0) {
+    return reject(Rule::kDmaMissing, "vector length (count) must be at least 1");
+  }
+
+  if (is_cache && (spec.count2 != 1 || spec.stride2 != 0)) {
+    return reject(Rule::kDmaRange,
+                  "two-level transfers are a plane DMA feature; caches take "
+                  "simple vectors");
+  }
+  if (spec.count2 == 0) {
+    return reject(Rule::kDmaMissing, "row count (count2) must be at least 1");
+  }
+
+  const std::uint64_t words = is_plane ? cfg.planeWords() : cfg.cacheWords();
+  // Extremes of base + r*stride2 + e*stride lie at the four corners.
+  const std::int64_t row_span =
+      spec.stride * static_cast<std::int64_t>(spec.count - 1);
+  const std::int64_t col_span =
+      spec.stride2 * static_cast<std::int64_t>(spec.count2 - 1);
+  const std::int64_t origin = static_cast<std::int64_t>(spec.base);
+  std::int64_t lo = origin, hi = origin;
+  for (const std::int64_t corner :
+       {origin + row_span, origin + col_span, origin + row_span + col_span}) {
+    lo = std::min(lo, corner);
+    hi = std::max(hi, corner);
+  }
+  if (lo < 0 || hi >= static_cast<std::int64_t>(words)) {
+    return reject(Rule::kDmaRange,
+                  strFormat("transfer spans words %lld..%lld outside [0, %llu)",
+                            static_cast<long long>(lo),
+                            static_cast<long long>(hi),
+                            static_cast<unsigned long long>(words)));
+  }
+
+  if (is_cache) {
+    if (spec.read_buffer < 0 || spec.read_buffer >= cfg.cache_buffers) {
+      return reject(Rule::kCacheBuffer,
+                    strFormat("cache buffer %d does not exist", spec.read_buffer));
+    }
+    // Read and fill sides of one cache must agree on which buffer the
+    // pipeline reads (writes always land in the other half).
+    const Endpoint other =
+        endpoint.kind == EndpointKind::kCacheRead
+            ? Endpoint::cacheWrite(endpoint.unit)
+            : Endpoint::cacheRead(endpoint.unit);
+    const auto it = diagram.dma.find(other);
+    if (it != diagram.dma.end() && it->second.read_buffer != spec.read_buffer) {
+      return reject(Rule::kCacheBuffer,
+                    strFormat("cache %d read/fill sides disagree on the "
+                              "active buffer",
+                              endpoint.unit));
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Diagnostic> Checker::checkRfDelay(int delay) const {
+  if (delay < 0 || delay > machine_.config().rf_max_delay) {
+    return Diagnostic{Rule::kRfDelayRange, Severity::kError,
+                      strFormat("register-file delay %d outside [0, %d]", delay,
+                                machine_.config().rf_max_delay),
+                      -1};
+  }
+  return std::nullopt;
+}
+
+// ---------------------------------------------------------------------------
+// Thorough checks
+// ---------------------------------------------------------------------------
+
+void Checker::checkConnectionsThorough(const prog::PipelineDiagram& diagram,
+                                       int index, DiagnosticList& out) const {
+  // Re-validate every connection as if it were being added to the diagram
+  // formed by its predecessors; catches hand-built or file-loaded diagrams
+  // that never went through the editor.
+  prog::PipelineDiagram partial;
+  partial.als_uses = diagram.als_uses;
+  partial.sd_uses = diagram.sd_uses;
+  partial.dma = diagram.dma;
+  for (const prog::Connection& c : diagram.connections) {
+    if (auto d = checkConnection(partial, c.from, c.to)) {
+      d->pipeline = index;
+      out.add(d->rule, d->severity, d->message + " (" + c.toString() + ")",
+              index);
+    }
+    partial.connections.push_back(c);
+  }
+}
+
+void Checker::checkFuUses(const prog::PipelineDiagram& diagram, int index,
+                          DiagnosticList& out) const {
+  std::set<arch::AlsId> seen;
+  for (const prog::AlsUse& use : diagram.als_uses) {
+    if (use.als < 0 || use.als >= machine_.config().numAls()) {
+      out.error(Rule::kEndpointRange, strFormat("no such ALS: %d", use.als),
+                index);
+      continue;
+    }
+    if (!seen.insert(use.als).second) {
+      out.error(Rule::kAlsDuplicate,
+                strFormat("ALS %d placed more than once", use.als), index);
+      continue;
+    }
+    const arch::AlsInfo& info = machine_.als(use.als);
+    if (use.bypass && info.kind != arch::AlsKind::kDoublet) {
+      out.error(Rule::kBypass,
+                strFormat("ALS %d is a %s; only doublets have a bypass",
+                          use.als, alsKindName(info.kind)),
+                index);
+    }
+    if (use.fu.size() != info.fus.size()) {
+      out.error(Rule::kEndpointRange,
+                strFormat("ALS %d has %zu units, diagram configures %zu",
+                          use.als, info.fus.size(), use.fu.size()),
+                index);
+      continue;
+    }
+
+    bool any_enabled = false;
+    for (std::size_t slot = 0; slot < use.fu.size(); ++slot) {
+      const prog::FuUse& fu = use.fu[slot];
+      const arch::FuId fu_id = info.fus[slot];
+      if (!fu.enabled) {
+        if (fu.in_a != arch::InputSelect::kNone ||
+            fu.in_b != arch::InputSelect::kNone) {
+          out.error(Rule::kArity,
+                    strFormat("fu%d has wired inputs but is not programmed",
+                              fu_id),
+                    index);
+        }
+        continue;
+      }
+      any_enabled = true;
+      if (use.bypass && slot == 1) {
+        out.error(Rule::kBypass,
+                  strFormat("fu%d is bypassed but programmed", fu_id), index);
+      }
+      if (!machine_.fuCanExecute(fu_id, fu.op)) {
+        out.error(Rule::kCapability,
+                  strFormat("fu%d (%s) cannot execute '%s'", fu_id,
+                            arch::capMaskName(machine_.fu(fu_id).caps).c_str(),
+                            arch::opInfo(fu.op).name),
+                  index);
+      }
+      const arch::OpInfo& op = arch::opInfo(fu.op);
+      const int wired = (fu.in_a != arch::InputSelect::kNone ? 1 : 0) +
+                        (fu.in_b != arch::InputSelect::kNone ? 1 : 0);
+      if (op.arity != wired) {
+        out.error(Rule::kArity,
+                  strFormat("fu%d op '%s' takes %d operand(s), %d wired", fu_id,
+                            op.name, op.arity, wired),
+                  index);
+      }
+      auto checkInput = [&](int port, arch::InputSelect sel) {
+        if ((sel == arch::InputSelect::kSwitch ||
+             sel == arch::InputSelect::kChain) &&
+            !diagram.connectionTo(Endpoint::fuInput(fu_id, port)).has_value()) {
+          out.error(Rule::kMissingDriver,
+                    strFormat("fu%d input %c expects a stream but nothing is "
+                              "wired to it",
+                              fu_id, port == 0 ? 'a' : 'b'),
+                    index);
+        }
+        if (sel == arch::InputSelect::kFeedback &&
+            fu.rf_mode != arch::RfMode::kAccum) {
+          out.error(Rule::kFeedbackMode,
+                    strFormat("fu%d uses feedback without accumulator mode",
+                              fu_id),
+                    index);
+        }
+      };
+      checkInput(0, fu.in_a);
+      checkInput(1, fu.in_b);
+      if (fu.rf_delay < 0 || fu.rf_delay > machine_.config().rf_max_delay) {
+        out.error(Rule::kRfDelayRange,
+                  strFormat("fu%d register-file delay %d outside [0, %d]",
+                            fu_id, fu.rf_delay,
+                            machine_.config().rf_max_delay),
+                  index);
+      }
+      const bool output_used =
+          !diagram.connectionsFrom(Endpoint::fuOutput(fu_id)).empty() ||
+          (diagram.cond.has_value() && diagram.cond->src_fu == fu_id);
+      if (!output_used) {
+        out.warning(Rule::kDanglingOutput,
+                    strFormat("fu%d result is unused", fu_id), index);
+      }
+    }
+    if (!any_enabled) {
+      out.warning(Rule::kUnusedAls,
+                  strFormat("ALS %d is placed but not programmed", use.als),
+                  index);
+    }
+  }
+
+  if (diagram.cond.has_value()) {
+    const prog::FuUse* fu = diagram.findFu(machine_, diagram.cond->src_fu);
+    if (fu == nullptr || !fu->enabled) {
+      out.error(Rule::kCondSource,
+                strFormat("condition latched from fu%d which is not active",
+                          diagram.cond->src_fu),
+                index);
+    }
+    if (diagram.cond->cond_reg < 0 || diagram.cond->cond_reg > 3) {
+      out.error(Rule::kCondSource,
+                strFormat("condition register %d does not exist",
+                          diagram.cond->cond_reg),
+                index);
+    }
+  }
+}
+
+void Checker::checkDmaThorough(const prog::PipelineDiagram& diagram, int index,
+                               DiagnosticList& out) const {
+  // Every plane/cache endpoint used by a connection needs DMA parameters.
+  std::set<Endpoint> used;
+  for (const prog::Connection& c : diagram.connections) {
+    for (const Endpoint* e : {&c.from, &c.to}) {
+      switch (e->kind) {
+        case EndpointKind::kPlaneRead:
+        case EndpointKind::kPlaneWrite:
+        case EndpointKind::kCacheRead:
+        case EndpointKind::kCacheWrite:
+          used.insert(*e);
+          break;
+        default:
+          break;
+      }
+    }
+  }
+  for (const Endpoint& e : used) {
+    const auto it = diagram.dma.find(e);
+    if (it == diagram.dma.end()) {
+      out.error(Rule::kDmaMissing,
+                e.toString() + " carries a stream but has no DMA parameters",
+                index);
+      continue;
+    }
+    if (auto d = checkDma(diagram, e, it->second)) {
+      out.add(d->rule, d->severity, d->message + " (" + e.toString() + ")",
+              index);
+    }
+  }
+}
+
+void Checker::checkStreamLengths(const prog::PipelineDiagram& diagram,
+                                 int index, DiagnosticList& out) const {
+  std::uint64_t read_len = 0;
+  bool have_read = false;
+  for (const auto& [endpoint, spec] : diagram.dma) {
+    const bool is_read = endpoint.kind == EndpointKind::kPlaneRead ||
+                         endpoint.kind == EndpointKind::kCacheRead;
+    if (!is_read || spec.count == 0) continue;
+    if (!have_read) {
+      read_len = spec.totalElements();
+      have_read = true;
+    } else if (spec.totalElements() != read_len) {
+      out.error(Rule::kStreamLength,
+                strFormat("%s streams %llu elements where other reads stream "
+                          "%llu",
+                          endpoint.toString().c_str(),
+                          static_cast<unsigned long long>(spec.totalElements()),
+                          static_cast<unsigned long long>(read_len)),
+                index);
+    }
+  }
+  for (const auto& [endpoint, spec] : diagram.dma) {
+    const bool is_write = endpoint.kind == EndpointKind::kPlaneWrite ||
+                          endpoint.kind == EndpointKind::kCacheWrite;
+    if (!is_write || !have_read || spec.count == 0) continue;
+    // A write may capture at most as many elements as the reads supply:
+    // exactly read_len for elementwise pipelines, fewer when shift/delay
+    // element shifts shorten the valid window, 1 for a reduction result.
+    if (spec.totalElements() > read_len) {
+      out.error(Rule::kStreamLength,
+                strFormat("%s writes %llu elements but the pipeline streams "
+                          "only %llu",
+                          endpoint.toString().c_str(),
+                          static_cast<unsigned long long>(spec.totalElements()),
+                          static_cast<unsigned long long>(read_len)),
+                index);
+    }
+  }
+}
+
+void Checker::checkShiftDelay(const prog::PipelineDiagram& diagram, int index,
+                              DiagnosticList& out) const {
+  const arch::MachineConfig& cfg = machine_.config();
+  std::set<arch::SdId> configured;
+  for (const prog::ShiftDelayUse& use : diagram.sd_uses) {
+    if (use.sd < 0 || use.sd >= cfg.num_shift_delay) {
+      out.error(Rule::kSdConfig,
+                strFormat("no such shift/delay unit: %d", use.sd), index);
+      continue;
+    }
+    configured.insert(use.sd);
+    if (static_cast<int>(use.tap_delays.size()) > cfg.sd_taps) {
+      out.error(Rule::kSdConfig,
+                strFormat("sd%d provides %d taps, %zu configured", use.sd,
+                          cfg.sd_taps, use.tap_delays.size()),
+                index);
+    }
+    for (int delay : use.tap_delays) {
+      if (delay < 0 || delay > cfg.sd_max_delay) {
+        out.error(Rule::kSdConfig,
+                  strFormat("sd%d tap delay %d outside [0, %d]", use.sd, delay,
+                            cfg.sd_max_delay),
+                  index);
+      }
+    }
+    if (!use.tap_delays.empty() &&
+        !diagram.connectionTo(Endpoint::sdInput(use.sd)).has_value()) {
+      out.error(Rule::kMissingDriver,
+                strFormat("sd%d has taps configured but no input stream",
+                          use.sd),
+                index);
+    }
+  }
+  for (const prog::Connection& c : diagram.connections) {
+    if (c.from.kind == EndpointKind::kSdOutput &&
+        configured.count(c.from.unit) == 0) {
+      out.error(Rule::kSdConfig,
+                strFormat("sd%d taps are wired but the unit is not configured",
+                          c.from.unit),
+                index);
+    }
+  }
+}
+
+void Checker::checkTiming(const prog::PipelineDiagram& diagram, int index,
+                          DiagnosticList& out) const {
+  const prog::TimingResult timing = prog::analyzeTiming(machine_, diagram);
+  if (!timing.ok) return;  // structural problems already reported above
+  for (const prog::FuSkew& skew : timing.misaligned) {
+    out.error(Rule::kTimingAlignment,
+              strFormat("fu%d operands arrive at cycles %d and %d; insert a "
+                        "register-file delay of %d",
+                        skew.fu, skew.arrival_a, skew.arrival_b,
+                        std::abs(skew.arrival_a - skew.arrival_b)),
+              index);
+  }
+}
+
+DiagnosticList Checker::checkDiagram(const prog::PipelineDiagram& diagram,
+                                     int pipeline_index) const {
+  DiagnosticList out;
+  checkFuUses(diagram, pipeline_index, out);
+  checkConnectionsThorough(diagram, pipeline_index, out);
+  checkDmaThorough(diagram, pipeline_index, out);
+  checkStreamLengths(diagram, pipeline_index, out);
+  checkShiftDelay(diagram, pipeline_index, out);
+  if (!out.hasErrors()) checkTiming(diagram, pipeline_index, out);
+  return out;
+}
+
+DiagnosticList Checker::checkProgram(const prog::Program& program) const {
+  DiagnosticList out;
+  for (std::size_t i = 0; i < program.size(); ++i) {
+    out.append(checkDiagram(program[i], static_cast<int>(i)));
+  }
+  for (std::size_t i = 0; i < program.size(); ++i) {
+    const prog::SeqControl& seq = program[i].seq;
+    const bool branches = seq.op == arch::SeqOp::kJump ||
+                          seq.op == arch::SeqOp::kBranchIf ||
+                          seq.op == arch::SeqOp::kBranchNot ||
+                          seq.op == arch::SeqOp::kLoop;
+    if (branches &&
+        (seq.target < 0 || seq.target >= static_cast<int>(program.size()))) {
+      out.error(Rule::kSeqTarget,
+                strFormat("branch target %d outside program of %zu pipelines",
+                          seq.target, program.size()),
+                static_cast<int>(i));
+    }
+  }
+  if (!program.empty()) {
+    const prog::SeqControl& last = program.pipelines.back().seq;
+    if (last.op == arch::SeqOp::kNext || last.op == arch::SeqOp::kBranchIf ||
+        last.op == arch::SeqOp::kBranchNot || last.op == arch::SeqOp::kLoop) {
+      out.warning(Rule::kSeqTarget,
+                  "control can run off the end of the program; end with halt "
+                  "or jump",
+                  static_cast<int>(program.size() - 1));
+    }
+  }
+  return out;
+}
+
+}  // namespace nsc::check

@@ -1,0 +1,92 @@
+// The checker: interactive (edit-time) and thorough (generate-time)
+// validation of pipeline diagrams against the NSC architecture.
+//
+// "The graphical editor calls on the checker at appropriate points during
+// interaction with the user to validate the information being input.  Any
+// errors are flagged as soon as they are detected.  In addition, the
+// graphical editor uses the checker's knowledge of the architecture to
+// reduce the possibilities for making errors."  (paper, Section 4.)
+//
+// The editor uses the incremental interface (checkConnection, legalTargets,
+// legalOps, checkDma) to refuse bad actions and to populate popup menus;
+// the microcode generator uses checkDiagram/checkProgram for the thorough
+// global pass.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "arch/machine.h"
+#include "checker/diagnostics.h"
+#include "program/pipeline.h"
+#include "program/program.h"
+
+namespace nsc::check {
+
+class Checker {
+ public:
+  explicit Checker(const arch::Machine& machine) : machine_(machine) {}
+
+  const arch::Machine& machine() const { return machine_; }
+
+  // ---- Incremental (edit-time) interface ----
+
+  // Would wiring `from -> to` into `diagram` break an edit-time rule?
+  // Returns the first violated rule, or nullopt if the connection is legal.
+  std::optional<Diagnostic> checkConnection(const prog::PipelineDiagram& diagram,
+                                            const arch::Endpoint& from,
+                                            const arch::Endpoint& to) const;
+  bool canConnect(const prog::PipelineDiagram& diagram,
+                  const arch::Endpoint& from, const arch::Endpoint& to) const {
+    return !checkConnection(diagram, from, to).has_value();
+  }
+
+  // Every destination endpoint to which a stream from `from` could legally
+  // be wired right now (drives the editor's popup connection menus).
+  std::vector<arch::Endpoint> legalTargets(const prog::PipelineDiagram& diagram,
+                                           const arch::Endpoint& from) const;
+
+  // Operations this functional unit's circuitry supports (drives the
+  // editor's function-unit popup menu, Figure 10).
+  std::vector<arch::OpCode> legalOps(arch::FuId fu) const;
+
+  // Validates the Figure-9 popup subwindow fields before they are
+  // committed.  `diagram` supplies context for cache buffer conflicts.
+  std::optional<Diagnostic> checkDma(const prog::PipelineDiagram& diagram,
+                                     const arch::Endpoint& endpoint,
+                                     const prog::DmaSpec& spec) const;
+
+  std::optional<Diagnostic> checkRfDelay(int delay) const;
+
+  // ---- Thorough (generate-time) interface ----
+
+  DiagnosticList checkDiagram(const prog::PipelineDiagram& diagram,
+                              int pipeline_index = -1) const;
+  DiagnosticList checkProgram(const prog::Program& program) const;
+
+ private:
+  bool endpointInRange(const arch::Endpoint& e) const;
+  // Number of distinct DMA stream endpoints active on memory plane `p`.
+  int planeStreamCount(const prog::PipelineDiagram& diagram, arch::PlaneId p,
+                       const arch::Endpoint& extra) const;
+  bool wouldCreateCycle(const prog::PipelineDiagram& diagram,
+                        const arch::Endpoint& from,
+                        const arch::Endpoint& to) const;
+
+  void checkConnectionsThorough(const prog::PipelineDiagram& diagram,
+                                int index, DiagnosticList& out) const;
+  void checkFuUses(const prog::PipelineDiagram& diagram, int index,
+                   DiagnosticList& out) const;
+  void checkDmaThorough(const prog::PipelineDiagram& diagram, int index,
+                        DiagnosticList& out) const;
+  void checkStreamLengths(const prog::PipelineDiagram& diagram, int index,
+                          DiagnosticList& out) const;
+  void checkShiftDelay(const prog::PipelineDiagram& diagram, int index,
+                       DiagnosticList& out) const;
+  void checkTiming(const prog::PipelineDiagram& diagram, int index,
+                   DiagnosticList& out) const;
+
+  const arch::Machine& machine_;
+};
+
+}  // namespace nsc::check

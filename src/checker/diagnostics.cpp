@@ -1,0 +1,165 @@
+#include "checker/diagnostics.h"
+
+#include "common/strings.h"
+
+namespace nsc::check {
+
+const char* ruleName(Rule rule) {
+  switch (rule) {
+    case Rule::kEndpointRole: return "endpoint-role";
+    case Rule::kEndpointRange: return "endpoint-range";
+    case Rule::kInputAlreadyDriven: return "input-already-driven";
+    case Rule::kSelfLoop: return "self-loop";
+    case Rule::kPlaneContention: return "plane-contention";
+    case Rule::kFanoutLimit: return "fanout-limit";
+    case Rule::kCapability: return "capability";
+    case Rule::kArity: return "arity";
+    case Rule::kBypass: return "bypass";
+    case Rule::kAlsDuplicate: return "als-duplicate";
+    case Rule::kDmaMissing: return "dma-missing";
+    case Rule::kDmaRange: return "dma-range";
+    case Rule::kStreamLength: return "stream-length";
+    case Rule::kCacheBuffer: return "cache-buffer";
+    case Rule::kSdConfig: return "sd-config";
+    case Rule::kRfDelayRange: return "rf-delay-range";
+    case Rule::kFeedbackMode: return "feedback-mode";
+    case Rule::kCycle: return "cycle";
+    case Rule::kTimingAlignment: return "timing-alignment";
+    case Rule::kCondSource: return "cond-source";
+    case Rule::kSeqTarget: return "seq-target";
+    case Rule::kDanglingOutput: return "dangling-output";
+    case Rule::kUnusedAls: return "unused-als";
+    case Rule::kMissingDriver: return "missing-driver";
+  }
+  return "?";
+}
+
+const char* ruleProse(Rule rule) {
+  switch (rule) {
+    case Rule::kEndpointRole:
+      return "Streams must run from an output pad to an input pad.";
+    case Rule::kEndpointRange:
+      return "That component does not exist on this machine.";
+    case Rule::kInputAlreadyDriven:
+      return "This input pad is already wired to another source.";
+    case Rule::kSelfLoop:
+      return "A unit cannot feed its own input through the switch; use the register-file feedback path.";
+    case Rule::kPlaneContention:
+      return "Only one vector stream may use a memory plane during an instruction.";
+    case Rule::kFanoutLimit:
+      return "The switch network cannot fan one stream out this widely.";
+    case Rule::kCapability:
+      return "This functional unit lacks the circuitry for that operation.";
+    case Rule::kArity:
+      return "The operation's operand count does not match the wired inputs.";
+    case Rule::kBypass:
+      return "A bypassed functional unit cannot be programmed.";
+    case Rule::kAlsDuplicate:
+      return "That ALS is already placed in this pipeline.";
+    case Rule::kDmaMissing:
+      return "Memory and cache connections need plane, offset, stride, and count.";
+    case Rule::kDmaRange:
+      return "The DMA transfer runs outside the plane or cache.";
+    case Rule::kStreamLength:
+      return "All vector streams in one pipeline must have the same length.";
+    case Rule::kCacheBuffer:
+      return "A cache cannot read and fill the same half of its double buffer.";
+    case Rule::kSdConfig:
+      return "Shift/delay taps exceed what the unit provides.";
+    case Rule::kRfDelayRange:
+      return "The register file cannot buffer a delay that long.";
+    case Rule::kFeedbackMode:
+      return "Feedback inputs require the register file's accumulator mode.";
+    case Rule::kCycle:
+      return "The wiring forms a combinational loop.";
+    case Rule::kTimingAlignment:
+      return "Operand streams reach this unit out of step; insert a delay.";
+    case Rule::kCondSource:
+      return "The condition must be latched from an enabled functional unit.";
+    case Rule::kSeqTarget:
+      return "The branch target is not a pipeline in this program.";
+    case Rule::kDanglingOutput:
+      return "This unit's result is not used anywhere.";
+    case Rule::kUnusedAls:
+      return "This ALS is placed but none of its units are programmed.";
+    case Rule::kMissingDriver:
+      return "An operand input is not wired to anything.";
+  }
+  return "?";
+}
+
+CheckPhase rulePhase(Rule rule) {
+  switch (rule) {
+    // Rules the graphical editor enforces as the user works: connection
+    // attempts, menu contents, popup field validation.
+    case Rule::kEndpointRole:
+    case Rule::kEndpointRange:
+    case Rule::kInputAlreadyDriven:
+    case Rule::kSelfLoop:
+    case Rule::kPlaneContention:
+    case Rule::kFanoutLimit:
+    case Rule::kCapability:
+    case Rule::kBypass:
+    case Rule::kAlsDuplicate:
+    case Rule::kDmaRange:
+    case Rule::kCacheBuffer:
+    case Rule::kSdConfig:
+    case Rule::kRfDelayRange:
+    case Rule::kCycle:
+      return CheckPhase::kEditTime;
+    // Whole-diagram / whole-program conditions checked at generate time.
+    case Rule::kArity:
+    case Rule::kDmaMissing:
+    case Rule::kStreamLength:
+    case Rule::kFeedbackMode:
+    case Rule::kTimingAlignment:
+    case Rule::kCondSource:
+    case Rule::kSeqTarget:
+    case Rule::kDanglingOutput:
+    case Rule::kUnusedAls:
+    case Rule::kMissingDriver:
+      return CheckPhase::kGenerateTime;
+  }
+  return CheckPhase::kGenerateTime;
+}
+
+std::string Diagnostic::format() const {
+  std::string out = severity == Severity::kError ? "error" : "warning";
+  out += common::strFormat(" [%s]", ruleName(rule));
+  if (pipeline >= 0) out += common::strFormat(" (pipeline %d)", pipeline);
+  out += ": ";
+  out += message;
+  return out;
+}
+
+void DiagnosticList::add(Rule rule, Severity severity, std::string message,
+                         int pipeline) {
+  items_.push_back({rule, severity, std::move(message), pipeline});
+}
+
+bool DiagnosticList::hasErrors() const { return errorCount() > 0; }
+
+std::size_t DiagnosticList::errorCount() const {
+  std::size_t n = 0;
+  for (const Diagnostic& d : items_) n += d.severity == Severity::kError;
+  return n;
+}
+
+std::size_t DiagnosticList::warningCount() const {
+  return items_.size() - errorCount();
+}
+
+void DiagnosticList::append(const DiagnosticList& other) {
+  items_.insert(items_.end(), other.items_.begin(), other.items_.end());
+}
+
+std::string DiagnosticList::format() const {
+  std::string out;
+  for (const Diagnostic& d : items_) {
+    out += d.format();
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace nsc::check

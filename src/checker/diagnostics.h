@@ -1,0 +1,94 @@
+// Diagnostics and the architectural rule catalogue.
+//
+// "The checker contains, in a knowledge base or other suitable
+// representation, detailed information about the architecture of the NSC
+// ... the checker also knows all of the rules about conflicts, constraints,
+// asymmetries and other restrictions."  (paper, Section 4.)
+//
+// Each rule has a stable id, a short name, and prose shown to the user in
+// the editor's message strip.  The usability bench classifies injected
+// errors by which rule catches them and in which phase (edit time vs
+// generate time), reproducing the paper's claim that "errors are caught
+// sooner when they do occur".
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace nsc::check {
+
+enum class Severity { kWarning, kError };
+
+enum class Rule {
+  kEndpointRole,        // stream must run source -> destination
+  kEndpointRange,       // unit/port index outside the machine
+  kInputAlreadyDriven,  // destination already has a driver
+  kSelfLoop,            // FU output wired to its own input via the switch
+  kPlaneContention,     // more than one DMA stream on a memory plane
+  kFanoutLimit,         // switch source fanned out too widely
+  kCapability,          // op requires circuitry this FU lacks
+  kArity,               // operand count does not match the op
+  kBypass,              // bypassed doublet slot is enabled
+  kAlsDuplicate,        // same ALS placed twice in one diagram
+  kDmaMissing,          // plane/cache stream without DMA parameters
+  kDmaRange,            // DMA base/stride/count leaves the plane/cache
+  kStreamLength,        // vector lengths disagree across the pipeline
+  kCacheBuffer,         // double-buffer misuse
+  kSdConfig,            // shift/delay tap misuse
+  kRfDelayRange,        // register-file queue deeper than the hardware
+  kFeedbackMode,        // feedback input without accumulator mode
+  kCycle,               // combinational cycle in the dataflow
+  kTimingAlignment,     // operand streams arrive skewed at an FU
+  kCondSource,          // condition latch names a disabled FU
+  kSeqTarget,           // sequencer branch target outside the program
+  kDanglingOutput,      // warning: enabled FU output feeds nothing
+  kUnusedAls,           // warning: ALS placed but entirely disabled
+  kMissingDriver,       // enabled FU input never connected
+};
+
+const char* ruleName(Rule rule);
+// One-sentence prose for the editor's message strip.
+const char* ruleProse(Rule rule);
+
+// Phase in which the environment can catch a given rule's violations:
+// edit-time rules are enforced interactively by the graphical editor; the
+// rest are caught by the thorough check when microcode is generated
+// (paper, Section 4: "More extensive checking could be done when the
+// visual representations are translated to microcode").
+enum class CheckPhase { kEditTime, kGenerateTime };
+CheckPhase rulePhase(Rule rule);
+
+struct Diagnostic {
+  Rule rule = Rule::kEndpointRole;
+  Severity severity = Severity::kError;
+  std::string message;
+  int pipeline = -1;  // instruction index, -1 when not applicable
+
+  std::string format() const;
+};
+
+class DiagnosticList {
+ public:
+  void add(Rule rule, Severity severity, std::string message,
+           int pipeline = -1);
+  void error(Rule rule, std::string message, int pipeline = -1) {
+    add(rule, Severity::kError, std::move(message), pipeline);
+  }
+  void warning(Rule rule, std::string message, int pipeline = -1) {
+    add(rule, Severity::kWarning, std::move(message), pipeline);
+  }
+
+  const std::vector<Diagnostic>& all() const { return items_; }
+  bool hasErrors() const;
+  std::size_t errorCount() const;
+  std::size_t warningCount() const;
+  bool empty() const { return items_.empty(); }
+
+  void append(const DiagnosticList& other);
+  std::string format() const;
+
+ private:
+  std::vector<Diagnostic> items_;
+};
+
+}  // namespace nsc::check

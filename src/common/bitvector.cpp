@@ -1,0 +1,116 @@
+#include "common/bitvector.h"
+
+#include <bit>
+#include <cassert>
+#include <stdexcept>
+
+namespace nsc::common {
+
+namespace {
+constexpr std::size_t kWordBits = 64;
+
+std::uint64_t maskOf(std::size_t width) {
+  return width >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << width) - 1);
+}
+}  // namespace
+
+BitVector::BitVector(std::size_t width_bits)
+    : width_(width_bits), words_((width_bits + kWordBits - 1) / kWordBits, 0) {}
+
+void BitVector::setField(std::size_t offset, std::size_t width,
+                         std::uint64_t value) {
+  if (width > 64 || offset + width > width_) {
+    throw std::out_of_range("BitVector::setField out of range");
+  }
+  if (width == 0) return;
+  value &= maskOf(width);
+  const std::size_t w0 = offset / kWordBits;
+  const std::size_t b0 = offset % kWordBits;
+  const std::size_t in_first = std::min(width, kWordBits - b0);
+  words_[w0] &= ~(maskOf(in_first) << b0);
+  words_[w0] |= (value & maskOf(in_first)) << b0;
+  if (in_first < width) {
+    const std::size_t rest = width - in_first;
+    words_[w0 + 1] &= ~maskOf(rest);
+    words_[w0 + 1] |= value >> in_first;
+  }
+}
+
+std::uint64_t BitVector::field(std::size_t offset, std::size_t width) const {
+  if (width > 64 || offset + width > width_) {
+    throw std::out_of_range("BitVector::field out of range");
+  }
+  if (width == 0) return 0;
+  const std::size_t w0 = offset / kWordBits;
+  const std::size_t b0 = offset % kWordBits;
+  const std::size_t in_first = std::min(width, kWordBits - b0);
+  std::uint64_t value = (words_[w0] >> b0) & maskOf(in_first);
+  if (in_first < width) {
+    const std::size_t rest = width - in_first;
+    value |= (words_[w0 + 1] & maskOf(rest)) << in_first;
+  }
+  return value;
+}
+
+void BitVector::setBit(std::size_t index, bool value) {
+  setField(index, 1, value ? 1 : 0);
+}
+
+bool BitVector::bit(std::size_t index) const { return field(index, 1) != 0; }
+
+std::size_t BitVector::popcount() const {
+  std::size_t total = 0;
+  for (std::uint64_t w : words_) total += std::popcount(w);
+  return total;
+}
+
+bool BitVector::allZero() const {
+  for (std::uint64_t w : words_) {
+    if (w != 0) return false;
+  }
+  return true;
+}
+
+void BitVector::clear() {
+  for (auto& w : words_) w = 0;
+}
+
+std::string BitVector::toHex() const {
+  static const char* digits = "0123456789abcdef";
+  std::string out;
+  const std::size_t nibbles = (width_ + 3) / 4;
+  out.reserve(nibbles);
+  for (std::size_t i = nibbles; i-- > 0;) {
+    const std::size_t offset = i * 4;
+    const std::size_t w = std::min<std::size_t>(4, width_ - offset);
+    out.push_back(digits[field(offset, w)]);
+  }
+  return out;
+}
+
+BitVector BitVector::fromHex(std::string_view hex, std::size_t width_bits) {
+  BitVector bv(width_bits);
+  const std::size_t nibbles = (width_bits + 3) / 4;
+  if (hex.size() != nibbles) {
+    throw std::invalid_argument("BitVector::fromHex size mismatch");
+  }
+  for (std::size_t i = 0; i < nibbles; ++i) {
+    const char c = hex[nibbles - 1 - i];
+    std::uint64_t v = 0;
+    if (c >= '0' && c <= '9') {
+      v = static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      v = static_cast<std::uint64_t>(c - 'a' + 10);
+    } else if (c >= 'A' && c <= 'F') {
+      v = static_cast<std::uint64_t>(c - 'A' + 10);
+    } else {
+      throw std::invalid_argument("BitVector::fromHex bad digit");
+    }
+    const std::size_t offset = i * 4;
+    const std::size_t w = std::min<std::size_t>(4, width_bits - offset);
+    bv.setField(offset, w, v);
+  }
+  return bv;
+}
+
+}  // namespace nsc::common

@@ -1,0 +1,55 @@
+// Arbitrary-width bit vector with bit-field access.
+//
+// The NSC microword is "a few thousand bits ... encoded in dozens of
+// separate fields" (paper, Section 3).  BitVector is the storage type for
+// microwords: a fixed width chosen at construction, with get/set of
+// arbitrary [offset, offset+width) fields that may straddle 64-bit word
+// boundaries.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nsc::common {
+
+class BitVector {
+ public:
+  BitVector() = default;
+  explicit BitVector(std::size_t width_bits);
+
+  std::size_t width() const { return width_; }
+
+  // Field accessors.  `width` must be in [0, 64]; the field must lie
+  // entirely inside the vector.  Values wider than the field are masked.
+  void setField(std::size_t offset, std::size_t width, std::uint64_t value);
+  std::uint64_t field(std::size_t offset, std::size_t width) const;
+
+  void setBit(std::size_t index, bool value);
+  bool bit(std::size_t index) const;
+
+  // Number of set bits in the whole vector.
+  std::size_t popcount() const;
+
+  // All bits zero?
+  bool allZero() const;
+
+  void clear();
+
+  // Hex string, most-significant word first, for golden tests and dumps.
+  std::string toHex() const;
+  static BitVector fromHex(std::string_view hex, std::size_t width_bits);
+
+  bool operator==(const BitVector& other) const = default;
+
+  // Raw word access for serialization; words are little-endian (word 0
+  // holds bits [0, 64)).
+  const std::vector<std::uint64_t>& words() const { return words_; }
+
+ private:
+  std::size_t width_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace nsc::common

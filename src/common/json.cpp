@@ -1,0 +1,293 @@
+#include "common/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/strings.h"
+
+namespace nsc::common {
+
+std::int64_t Json::getInt(const std::string& key, std::int64_t fallback) const {
+  if (!has(key) || !at(key).isNumber()) return fallback;
+  return at(key).asInt();
+}
+
+double Json::getDouble(const std::string& key, double fallback) const {
+  if (!has(key) || !at(key).isNumber()) return fallback;
+  return at(key).asDouble();
+}
+
+std::string Json::getString(const std::string& key, std::string fallback) const {
+  if (!has(key) || !at(key).isString()) return fallback;
+  return at(key).asString();
+}
+
+bool Json::getBool(const std::string& key, bool fallback) const {
+  if (!has(key) || !at(key).isBool()) return fallback;
+  return at(key).asBool();
+}
+
+namespace {
+
+void appendEscaped(std::string& out, const std::string& s) {
+  out.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += strFormat("\\u%04x", c);
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void appendNumber(std::string& out, double v) {
+  if (std::floor(v) == v && std::abs(v) < 1e15) {
+    out += strFormat("%lld", static_cast<long long>(v));
+  } else {
+    out += strFormat("%.17g", v);
+  }
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<Json> parse() {
+    skipWs();
+    auto v = parseValue();
+    if (!v) return v;
+    skipWs();
+    if (pos_ != text_.size()) {
+      return Result<Json>::error(errAt("trailing characters"));
+    }
+    return v;
+  }
+
+ private:
+  std::string errAt(const std::string& what) {
+    return strFormat("JSON parse error at offset %zu: %s", pos_, what.c_str());
+  }
+
+  void skipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Result<Json> parseValue() {
+    if (pos_ >= text_.size()) return Result<Json>::error(errAt("unexpected end"));
+    const char c = text_[pos_];
+    switch (c) {
+      case '{': return parseObject();
+      case '[': return parseArray();
+      case '"': {
+        auto s = parseString();
+        if (!s) return Result<Json>::error(s.message());
+        return Json(std::move(s).value());
+      }
+      case 't':
+        if (text_.substr(pos_, 4) == "true") { pos_ += 4; return Json(true); }
+        return Result<Json>::error(errAt("bad literal"));
+      case 'f':
+        if (text_.substr(pos_, 5) == "false") { pos_ += 5; return Json(false); }
+        return Result<Json>::error(errAt("bad literal"));
+      case 'n':
+        if (text_.substr(pos_, 4) == "null") { pos_ += 4; return Json(nullptr); }
+        return Result<Json>::error(errAt("bad literal"));
+      default: return parseNumber();
+    }
+  }
+
+  Result<Json> parseNumber() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) ++pos_;
+    bool any = false;
+    auto digits = [&] {
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+        any = true;
+      }
+    };
+    digits();
+    if (pos_ < text_.size() && text_[pos_] == '.') { ++pos_; digits(); }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) ++pos_;
+      digits();
+    }
+    if (!any) return Result<Json>::error(errAt("bad number"));
+    const std::string token(text_.substr(start, pos_ - start));
+    return Json(std::strtod(token.c_str(), nullptr));
+  }
+
+  Result<std::string> parseString() {
+    if (!consume('"')) return Result<std::string>::error(errAt("expected string"));
+    std::string out;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) break;
+        char e = text_[pos_++];
+        switch (e) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'n': out.push_back('\n'); break;
+          case 't': out.push_back('\t'); break;
+          case 'r': out.push_back('\r'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return Result<std::string>::error(errAt("bad \\u"));
+            const std::string hex(text_.substr(pos_, 4));
+            pos_ += 4;
+            const long code = std::strtol(hex.c_str(), nullptr, 16);
+            if (code < 0x80) {
+              out.push_back(static_cast<char>(code));
+            } else {
+              // Latin-1 subset is enough for our files; encode as UTF-8.
+              out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            }
+            break;
+          }
+          default: return Result<std::string>::error(errAt("bad escape"));
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+    return Result<std::string>::error(errAt("unterminated string"));
+  }
+
+  Result<Json> parseArray() {
+    consume('[');
+    JsonArray arr;
+    skipWs();
+    if (consume(']')) return Json(std::move(arr));
+    while (true) {
+      skipWs();
+      auto v = parseValue();
+      if (!v) return v;
+      arr.push_back(std::move(v).value());
+      skipWs();
+      if (consume(']')) return Json(std::move(arr));
+      if (!consume(',')) return Result<Json>::error(errAt("expected , or ]"));
+    }
+  }
+
+  Result<Json> parseObject() {
+    consume('{');
+    JsonObject obj;
+    skipWs();
+    if (consume('}')) return Json(std::move(obj));
+    while (true) {
+      skipWs();
+      auto key = parseString();
+      if (!key) return Result<Json>::error(key.message());
+      skipWs();
+      if (!consume(':')) return Result<Json>::error(errAt("expected :"));
+      skipWs();
+      auto v = parseValue();
+      if (!v) return v;
+      obj[std::move(key).value()] = std::move(v).value();
+      skipWs();
+      if (consume('}')) return Json(std::move(obj));
+      if (!consume(',')) return Result<Json>::error(errAt("expected , or }"));
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+void Json::dumpTo(std::string& out, int indent, int depth) const {
+  const bool pretty = indent > 0;
+  auto newline = [&](int d) {
+    if (pretty) {
+      out.push_back('\n');
+      out.append(static_cast<std::size_t>(indent * d), ' ');
+    }
+  };
+  if (isNull()) {
+    out += "null";
+  } else if (isBool()) {
+    out += asBool() ? "true" : "false";
+  } else if (isNumber()) {
+    appendNumber(out, asDouble());
+  } else if (isString()) {
+    appendEscaped(out, asString());
+  } else if (isArray()) {
+    const auto& arr = asArray();
+    if (arr.empty()) {
+      out += "[]";
+      return;
+    }
+    out.push_back('[');
+    for (std::size_t i = 0; i < arr.size(); ++i) {
+      if (i) out.push_back(',');
+      newline(depth + 1);
+      arr[i].dumpTo(out, indent, depth + 1);
+    }
+    newline(depth);
+    out.push_back(']');
+  } else {
+    const auto& obj = asObject();
+    if (obj.empty()) {
+      out += "{}";
+      return;
+    }
+    out.push_back('{');
+    bool first = true;
+    for (const auto& [k, v] : obj) {
+      if (!first) out.push_back(',');
+      first = false;
+      newline(depth + 1);
+      appendEscaped(out, k);
+      out.push_back(':');
+      if (pretty) out.push_back(' ');
+      v.dumpTo(out, indent, depth + 1);
+    }
+    newline(depth);
+    out.push_back('}');
+  }
+}
+
+std::string Json::dump() const {
+  std::string out;
+  dumpTo(out, 0, 0);
+  return out;
+}
+
+std::string Json::dumpPretty(int indent) const {
+  std::string out;
+  dumpTo(out, indent, 0);
+  return out;
+}
+
+Result<Json> Json::parse(std::string_view text) { return Parser(text).parse(); }
+
+}  // namespace nsc::common

@@ -1,0 +1,49 @@
+// Deterministic RNG for property tests, workload generators, and the
+// error-injection studies.  SplitMix64 core: tiny, fast, and reproducible
+// across platforms (std::mt19937 distributions are not portable).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace nsc::common {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform in [0, bound); bound must be > 0.
+  std::uint64_t below(std::uint64_t bound) { return next() % bound; }
+
+  // Uniform integer in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  // Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  // Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + uniform() * (hi - lo); }
+
+  bool chance(double p) { return uniform() < p; }
+
+  template <typename T>
+  const T& pick(const std::vector<T>& items) {
+    return items[below(items.size())];
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace nsc::common

@@ -1,0 +1,68 @@
+// Lightweight Status / Result<T> for recoverable errors.
+//
+// The editor and checker report user-facing problems through
+// checker::Diagnostic; Status/Result is for API-level failures (bad file,
+// malformed input, unsatisfiable request) where exceptions would be noise.
+#pragma once
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace nsc::common {
+
+class Status {
+ public:
+  static Status ok() { return Status(); }
+  static Status error(std::string message) { return Status(std::move(message)); }
+
+  bool isOk() const { return !message_.has_value(); }
+  explicit operator bool() const { return isOk(); }
+
+  // Message of a failed status; empty string when ok.
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return message_ ? *message_ : kEmpty;
+  }
+
+ private:
+  Status() = default;
+  explicit Status(std::string message) : message_(std::move(message)) {}
+  std::optional<std::string> message_;
+};
+
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Status status) : status_(std::move(status)) {
+    if (status_.isOk()) {
+      throw std::logic_error("Result constructed from ok Status without value");
+    }
+  }
+  static Result<T> error(std::string message) {
+    return Result<T>(Status::error(std::move(message)));
+  }
+
+  bool isOk() const { return value_.has_value(); }
+  explicit operator bool() const { return isOk(); }
+
+  const std::string& message() const { return status_.message(); }
+  const Status& status() const { return status_; }
+
+  // Preconditions: isOk().
+  const T& value() const& { return value_.value(); }
+  T& value() & { return value_.value(); }
+  T&& value() && { return std::move(value_).value(); }
+
+  const T& valueOr(const T& fallback) const {
+    return value_ ? *value_ : fallback;
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_ = Status::ok();
+};
+
+}  // namespace nsc::common

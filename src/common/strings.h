@@ -1,0 +1,31 @@
+// Small string helpers shared across modules.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace nsc::common {
+
+std::vector<std::string> split(std::string_view text, char sep);
+
+// Split on whitespace runs, dropping empty tokens.
+std::vector<std::string> splitWhitespace(std::string_view text);
+
+std::string trim(std::string_view text);
+
+bool startsWith(std::string_view text, std::string_view prefix);
+
+std::string toLower(std::string_view text);
+
+// printf-style formatting into std::string.
+std::string strFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+// Human-readable byte count: "128 MB", "2 GB".
+std::string bytesHuman(std::uint64_t bytes);
+
+std::string joinStrings(const std::vector<std::string>& parts,
+                        std::string_view sep);
+
+}  // namespace nsc::common

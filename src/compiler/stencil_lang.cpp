@@ -1,0 +1,887 @@
+#include "compiler/stencil_lang.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <set>
+
+#include "common/strings.h"
+
+namespace nsc::xc {
+
+using arch::Endpoint;
+using arch::OpCode;
+using common::Result;
+using common::strFormat;
+
+// ---------------------------------------------------------------------------
+// DAG representation
+// ---------------------------------------------------------------------------
+
+namespace {
+
+enum class NodeKind { kConst, kInput, kOp, kAccum };
+
+struct Node {
+  NodeKind kind = NodeKind::kConst;
+  double value = 0.0;        // kConst
+  std::string array;         // kInput
+  int offset = 0;            // kInput
+  OpCode op = OpCode::kNop;  // kOp / kAccum
+  int a = -1;                // operand node ids
+  int b = -1;
+};
+
+struct Statement {
+  std::string name;
+  bool is_reduction = false;
+  int root = -1;  // node id
+};
+
+}  // namespace
+
+struct StencilProgram::Impl {
+  std::vector<Node> nodes;
+  std::vector<Statement> statements;
+  std::map<std::string, int> named_roots;  // statement name -> node id
+
+  // Hash-consing: structural key -> node id.
+  std::map<std::string, int> cse;
+
+  int intern(Node node) {
+    std::string key;
+    switch (node.kind) {
+      case NodeKind::kConst:
+        key = strFormat("c:%.17g", node.value);
+        break;
+      case NodeKind::kInput:
+        key = strFormat("i:%s:%d", node.array.c_str(), node.offset);
+        break;
+      case NodeKind::kOp:
+        key = strFormat("o:%d:%d:%d", static_cast<int>(node.op), node.a, node.b);
+        break;
+      case NodeKind::kAccum:
+        key = strFormat("r:%d:%d", static_cast<int>(node.op), node.a);
+        break;
+    }
+    if (const auto it = cse.find(key); it != cse.end()) return it->second;
+    nodes.push_back(std::move(node));
+    const int id = static_cast<int>(nodes.size()) - 1;
+    cse[key] = id;
+    return id;
+  }
+
+  int constant(double v) {
+    Node n;
+    n.kind = NodeKind::kConst;
+    n.value = v;
+    return intern(std::move(n));
+  }
+
+  int input(const std::string& array, int offset) {
+    Node n;
+    n.kind = NodeKind::kInput;
+    n.array = array;
+    n.offset = offset;
+    return intern(std::move(n));
+  }
+
+  int op(OpCode code, int a, int b = -1) {
+    // Constant folding keeps pure-constant subtrees off the machine.
+    const bool a_const = a >= 0 && nodes[static_cast<std::size_t>(a)].kind == NodeKind::kConst;
+    const bool b_const = b < 0 || nodes[static_cast<std::size_t>(b)].kind == NodeKind::kConst;
+    if (a_const && b_const) {
+      const double av = nodes[static_cast<std::size_t>(a)].value;
+      const double bv = b >= 0 ? nodes[static_cast<std::size_t>(b)].value : 0.0;
+      return constant(arch::evalOp(code, av, bv));
+    }
+    Node n;
+    n.kind = NodeKind::kOp;
+    n.op = code;
+    n.a = a;
+    n.b = b;
+    return intern(std::move(n));
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Lexer / parser
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct Token {
+  enum Kind { kEnd, kNumber, kIdent, kPunct } kind = kEnd;
+  std::string text;
+  double number = 0.0;
+  int line = 1;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& source) : src_(source) { advance(); }
+  const Token& peek() const { return token_; }
+  Token take() {
+    Token t = token_;
+    advance();
+    return t;
+  }
+
+ private:
+  void advance() {
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+      } else if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '#') {
+        while (pos_ < src_.size() && src_[pos_] != '\n') ++pos_;
+      } else {
+        break;
+      }
+    }
+    token_ = Token{};
+    token_.line = line_;
+    if (pos_ >= src_.size()) return;
+    const char c = src_[pos_];
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && pos_ + 1 < src_.size() &&
+         std::isdigit(static_cast<unsigned char>(src_[pos_ + 1])))) {
+      std::size_t end = pos_;
+      while (end < src_.size() &&
+             (std::isdigit(static_cast<unsigned char>(src_[end])) ||
+              src_[end] == '.' || src_[end] == 'e' || src_[end] == 'E' ||
+              ((src_[end] == '+' || src_[end] == '-') && end > pos_ &&
+               (src_[end - 1] == 'e' || src_[end - 1] == 'E')))) {
+        ++end;
+      }
+      token_.kind = Token::kNumber;
+      token_.text = src_.substr(pos_, end - pos_);
+      token_.number = std::atof(token_.text.c_str());
+      pos_ = end;
+      return;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t end = pos_;
+      while (end < src_.size() &&
+             (std::isalnum(static_cast<unsigned char>(src_[end])) ||
+              src_[end] == '_')) {
+        ++end;
+      }
+      token_.kind = Token::kIdent;
+      token_.text = src_.substr(pos_, end - pos_);
+      pos_ = end;
+      return;
+    }
+    token_.kind = Token::kPunct;
+    token_.text = std::string(1, c);
+    ++pos_;
+  }
+
+  const std::string& src_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  Token token_;
+};
+
+class Parser {
+ public:
+  Parser(Lexer& lex, StencilProgram::Impl& impl) : lex_(lex), impl_(impl) {}
+
+  common::Status run() {
+    while (lex_.peek().kind != Token::kEnd) {
+      if (auto s = statement(); !s.isOk()) return s;
+    }
+    if (impl_.statements.empty()) {
+      return common::Status::error("program has no statements");
+    }
+    return common::Status::ok();
+  }
+
+ private:
+  common::Status fail(const std::string& what) {
+    return failAt(lex_.peek().line, what);
+  }
+  static common::Status failAt(int line, const std::string& what) {
+    return common::Status::error(strFormat("line %d: %s", line, what.c_str()));
+  }
+
+  bool eat(const std::string& punct) {
+    if (lex_.peek().kind == Token::kPunct && lex_.peek().text == punct) {
+      lex_.take();
+      return true;
+    }
+    return false;
+  }
+
+  common::Status statement() {
+    Token head = lex_.take();
+    if (head.kind != Token::kIdent) return fail("expected a statement");
+    if (head.text == "param") {
+      const Token name = lex_.take();
+      if (name.kind != Token::kIdent) return fail("param needs a name");
+      if (!eat("=")) return fail("param: expected '='");
+      int value = -1;
+      if (auto s = expr(value); !s.isOk()) return s;
+      if (impl_.nodes[static_cast<std::size_t>(value)].kind != NodeKind::kConst) {
+        return fail("param value must be constant");
+      }
+      params_[name.text] = impl_.nodes[static_cast<std::size_t>(value)].value;
+      if (!eat(";")) return fail("expected ';'");
+      return common::Status::ok();
+    }
+    if (head.text == "reduce") {
+      const Token name = lex_.take();
+      if (name.kind != Token::kIdent) return fail("reduce needs a name");
+      if (!eat("=")) return fail("reduce: expected '='");
+      const Token fn = lex_.take();
+      OpCode op;
+      if (fn.text == "max") op = OpCode::kMax;
+      else if (fn.text == "min") op = OpCode::kMin;
+      else if (fn.text == "sum") op = OpCode::kAdd;
+      else return fail("reduce supports max/min/sum");
+      if (!eat("(")) return fail("reduce: expected '('");
+      int child = -1;
+      if (auto s = expr(child); !s.isOk()) return s;
+      if (!eat(")")) return fail("reduce: expected ')'");
+      if (!eat(";")) return fail("expected ';'");
+      Node accum;
+      accum.kind = NodeKind::kAccum;
+      accum.op = op;
+      accum.a = child;
+      const int id = impl_.intern(std::move(accum));
+      impl_.statements.push_back({name.text, true, id});
+      impl_.named_roots[name.text] = id;
+      return common::Status::ok();
+    }
+    // Output statement: NAME = expr ;
+    if (!eat("=")) return fail("expected '=' after " + head.text);
+    int root = -1;
+    if (auto s = expr(root); !s.isOk()) return s;
+    if (!eat(";")) return fail("expected ';'");
+    // Non-op roots (pure input or constant) go through a pass unit so they
+    // occupy an FU output that can be routed to memory.
+    const NodeKind kind = impl_.nodes[static_cast<std::size_t>(root)].kind;
+    if (kind != NodeKind::kOp) {
+      root = impl_.op(OpCode::kPass, root);
+      // A folded constant would re-fold; force an op node.
+      if (impl_.nodes[static_cast<std::size_t>(root)].kind != NodeKind::kOp) {
+        Node n;
+        n.kind = NodeKind::kOp;
+        n.op = OpCode::kPass;
+        n.a = impl_.constant(impl_.nodes[static_cast<std::size_t>(root)].value);
+        impl_.nodes.push_back(std::move(n));
+        root = static_cast<int>(impl_.nodes.size()) - 1;
+      }
+    }
+    impl_.statements.push_back({head.text, false, root});
+    impl_.named_roots[head.text] = root;
+    return common::Status::ok();
+  }
+
+  // expr := term (('+'|'-') term)*
+  common::Status expr(int& out) {
+    if (auto s = term(out); !s.isOk()) return s;
+    while (lex_.peek().kind == Token::kPunct &&
+           (lex_.peek().text == "+" || lex_.peek().text == "-")) {
+      const bool add = lex_.take().text == "+";
+      int rhs = -1;
+      if (auto s = term(rhs); !s.isOk()) return s;
+      out = impl_.op(add ? OpCode::kAdd : OpCode::kSub, out, rhs);
+    }
+    return common::Status::ok();
+  }
+
+  common::Status term(int& out) {
+    if (auto s = unary(out); !s.isOk()) return s;
+    while (lex_.peek().kind == Token::kPunct &&
+           (lex_.peek().text == "*" || lex_.peek().text == "/")) {
+      const bool mul = lex_.take().text == "*";
+      int rhs = -1;
+      if (auto s = unary(rhs); !s.isOk()) return s;
+      out = impl_.op(mul ? OpCode::kMul : OpCode::kDiv, out, rhs);
+    }
+    return common::Status::ok();
+  }
+
+  common::Status unary(int& out) {
+    if (eat("-")) {
+      if (auto s = unary(out); !s.isOk()) return s;
+      out = impl_.op(OpCode::kNeg, out);
+      return common::Status::ok();
+    }
+    return primary(out);
+  }
+
+  common::Status primary(int& out) {
+    const Token t = lex_.take();
+    if (t.kind == Token::kNumber) {
+      out = impl_.constant(t.number);
+      return common::Status::ok();
+    }
+    if (t.kind == Token::kPunct && t.text == "(") {
+      if (auto s = expr(out); !s.isOk()) return s;
+      if (!eat(")")) return fail("expected ')'");
+      return common::Status::ok();
+    }
+    if (t.kind != Token::kIdent) return failAt(t.line, "expected an operand");
+
+    // Function call?
+    static const std::map<std::string, std::pair<OpCode, int>> kFuncs = {
+        {"abs", {OpCode::kAbs, 1}},   {"sqrt", {OpCode::kSqrt, 1}},
+        {"recip", {OpCode::kRecip, 1}}, {"neg", {OpCode::kNeg, 1}},
+        {"min", {OpCode::kMin, 2}},   {"max", {OpCode::kMax, 2}},
+    };
+    if (lex_.peek().kind == Token::kPunct && lex_.peek().text == "(") {
+      const auto fn = kFuncs.find(t.text);
+      if (fn == kFuncs.end()) {
+        return failAt(t.line, "unknown function " + t.text);
+      }
+      lex_.take();  // '('
+      int a = -1;
+      if (auto s = expr(a); !s.isOk()) return s;
+      int b = -1;
+      if (fn->second.second == 2) {
+        if (!eat(",")) return fail(t.text + " takes two arguments");
+        if (auto s = expr(b); !s.isOk()) return s;
+      }
+      if (!eat(")")) return fail("expected ')'");
+      out = impl_.op(fn->second.first, a, b);
+      return common::Status::ok();
+    }
+
+    // Parameter?
+    if (const auto p = params_.find(t.text); p != params_.end()) {
+      out = impl_.constant(p->second);
+      return common::Status::ok();
+    }
+    // Earlier statement result?
+    if (const auto r = impl_.named_roots.find(t.text);
+        r != impl_.named_roots.end()) {
+      out = r->second;
+      return common::Status::ok();
+    }
+    // Array tap: NAME[OFFSET] or bare NAME == NAME[0].
+    int offset = 0;
+    if (eat("[")) {
+      int sign = 1;
+      if (eat("-")) sign = -1;
+      else (void)eat("+");
+      const Token num = lex_.take();
+      if (num.kind != Token::kNumber) return fail("array offset must be a number");
+      offset = sign * static_cast<int>(num.number);
+      if (!eat("]")) return fail("expected ']'");
+    }
+    out = impl_.input(t.text, offset);
+    return common::Status::ok();
+  }
+
+  Lexer& lex_;
+  StencilProgram::Impl& impl_;
+  std::map<std::string, double> params_;
+};
+
+}  // namespace
+
+Result<StencilProgram> StencilProgram::parse(const std::string& source) {
+  auto impl = std::make_shared<Impl>();
+  Lexer lexer(source);
+  Parser parser(lexer, *impl);
+  if (const auto status = parser.run(); !status.isOk()) {
+    return Result<StencilProgram>::error(status.message());
+  }
+  StencilProgram program;
+  program.impl_ = std::move(impl);
+  return program;
+}
+
+std::vector<std::string> StencilProgram::inputArrays() const {
+  std::set<std::string> names;
+  for (const Node& n : impl_->nodes) {
+    if (n.kind == NodeKind::kInput) names.insert(n.array);
+  }
+  return {names.begin(), names.end()};
+}
+
+int StencilProgram::statementCount() const {
+  return static_cast<int>(impl_->statements.size());
+}
+
+// ---------------------------------------------------------------------------
+// Host evaluation (association order identical to the pipeline mapping)
+// ---------------------------------------------------------------------------
+
+Result<HostEval> StencilProgram::evaluate(
+    const std::map<std::string, std::vector<double>>& inputs,
+    const CompileOptions& options) const {
+  const Impl& impl = *impl_;
+  HostEval eval;
+  const auto n = static_cast<std::int64_t>(options.vector_length);
+  std::vector<double> values(impl.nodes.size(), 0.0);
+  std::vector<double> accum(impl.nodes.size(), 0.0);
+  for (std::size_t i = 0; i < impl.nodes.size(); ++i) {
+    if (impl.nodes[i].kind == NodeKind::kAccum) {
+      accum[i] = impl.nodes[i].op == OpCode::kMax  ? -1e300
+                 : impl.nodes[i].op == OpCode::kMin ? 1e300
+                                                    : 0.0;
+    }
+  }
+  for (const Statement& s : impl.statements) {
+    if (!s.is_reduction) {
+      eval.outputs[s.name].assign(static_cast<std::size_t>(n), 0.0);
+    }
+  }
+
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::size_t id = 0; id < impl.nodes.size(); ++id) {
+      const Node& node = impl.nodes[id];
+      switch (node.kind) {
+        case NodeKind::kConst:
+          values[id] = node.value;
+          break;
+        case NodeKind::kInput: {
+          const auto it = inputs.find(node.array);
+          if (it == inputs.end()) {
+            return Result<HostEval>::error("missing input array " + node.array);
+          }
+          const auto idx = static_cast<std::int64_t>(options.center_base) + i +
+                           node.offset;
+          if (idx < 0 || idx >= static_cast<std::int64_t>(it->second.size())) {
+            return Result<HostEval>::error(
+                strFormat("input %s too short for offset %d", node.array.c_str(),
+                          node.offset));
+          }
+          values[id] = it->second[static_cast<std::size_t>(idx)];
+          break;
+        }
+        case NodeKind::kOp:
+          values[id] = arch::evalOp(
+              node.op, values[static_cast<std::size_t>(node.a)],
+              node.b >= 0 ? values[static_cast<std::size_t>(node.b)] : 0.0);
+          break;
+        case NodeKind::kAccum:
+          accum[id] = arch::evalOp(node.op,
+                                   values[static_cast<std::size_t>(node.a)],
+                                   accum[id]);
+          break;
+      }
+    }
+    for (const Statement& s : impl.statements) {
+      if (!s.is_reduction) {
+        eval.outputs[s.name][static_cast<std::size_t>(i)] =
+            values[static_cast<std::size_t>(s.root)];
+      }
+    }
+  }
+  for (const Statement& s : impl.statements) {
+    if (s.is_reduction) {
+      eval.reductions[s.name] = accum[static_cast<std::size_t>(s.root)];
+    }
+  }
+  return eval;
+}
+
+// ---------------------------------------------------------------------------
+// Mapping onto the machine
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Tracks FU allocation with chain preference.
+class FuAllocator {
+ public:
+  explicit FuAllocator(const arch::Machine& machine) : machine_(machine) {
+    used_.assign(static_cast<std::size_t>(machine.config().numFus()), false);
+  }
+
+  // Allocate an FU able to execute `op`, preferring the slot directly
+  // after `chain_after` (the hardwired internal ALS path).
+  std::optional<arch::FuId> allocate(OpCode op, arch::FuId chain_after) {
+    const arch::CapMask need = arch::opInfo(op).required_cap;
+    if (chain_after >= 0) {
+      const arch::FuInfo& prev = machine_.fu(chain_after);
+      const arch::AlsInfo& als = machine_.als(prev.als);
+      if (prev.slot + 1 < static_cast<int>(als.fus.size())) {
+        const arch::FuId next = als.fus[static_cast<std::size_t>(prev.slot + 1)];
+        if (!used_[static_cast<std::size_t>(next)] &&
+            machine_.fuHasCap(next, need)) {
+          used_[static_cast<std::size_t>(next)] = true;
+          return next;
+        }
+      }
+    }
+    // Otherwise: first free capable unit, preferring slot-0 positions so
+    // later chains stay possible.
+    for (int pass = 0; pass < 2; ++pass) {
+      for (const arch::FuInfo& fu : machine_.fus()) {
+        if (used_[static_cast<std::size_t>(fu.id)]) continue;
+        if (!machine_.fuHasCap(fu.id, need)) continue;
+        if (pass == 0 && fu.slot != 0) continue;
+        used_[static_cast<std::size_t>(fu.id)] = true;
+        return fu.id;
+      }
+    }
+    return std::nullopt;
+  }
+
+  bool used(arch::FuId fu) const { return used_[static_cast<std::size_t>(fu)]; }
+
+ private:
+  const arch::Machine& machine_;
+  std::vector<bool> used_;
+};
+
+}  // namespace
+
+Result<CompileResult> StencilProgram::compile(
+    const arch::Machine& machine, const CompileOptions& options) const {
+  const Impl& impl = *impl_;
+  const arch::MachineConfig& cfg = machine.config();
+  CompileResult result;
+  prog::PipelineDiagram& d = result.diagram;
+  d.name = "stencil";
+  d.comment = "compiled by the stencil front end";
+
+  // --- 1. Group input taps into shift/delay streams. ---
+  std::map<std::string, std::vector<int>> taps;  // array -> sorted offsets
+  for (const Node& n : impl.nodes) {
+    if (n.kind == NodeKind::kInput) taps[n.array].push_back(n.offset);
+  }
+  for (auto& [name, offsets] : taps) {
+    std::sort(offsets.begin(), offsets.end());
+    offsets.erase(std::unique(offsets.begin(), offsets.end()), offsets.end());
+  }
+
+  struct StreamPlan {
+    std::string array;
+    std::vector<int> offsets;  // served taps
+    bool uses_sd = false;
+    arch::SdId sd = 0;
+    arch::PlaneId plane = 0;
+  };
+  std::vector<StreamPlan> streams;
+  int sd_next = 0;
+  for (const auto& [name, offsets] : taps) {
+    std::size_t i = 0;
+    while (i < offsets.size()) {
+      StreamPlan plan;
+      plan.array = name;
+      if (offsets.size() - i >= 2 && sd_next < cfg.num_shift_delay) {
+        // Pack up to sd_taps offsets whose span fits the delay line.
+        std::vector<int> group{offsets[i]};
+        std::size_t j = i + 1;
+        while (j < offsets.size() &&
+               static_cast<int>(group.size()) < cfg.sd_taps &&
+               offsets[j] - offsets[i] <= cfg.sd_max_delay) {
+          group.push_back(offsets[j]);
+          ++j;
+        }
+        if (group.size() >= 2) {
+          plan.uses_sd = true;
+          plan.sd = sd_next++;
+          plan.offsets = group;
+          i = j;
+          streams.push_back(plan);
+          continue;
+        }
+      }
+      plan.offsets = {offsets[i]};
+      ++i;
+      streams.push_back(plan);
+    }
+  }
+
+  // Pre-roll: deepest tap delay used by any shift/delay stream.
+  int pre_roll = 0;
+  for (const StreamPlan& s : streams) {
+    if (s.uses_sd) {
+      pre_roll = std::max(pre_roll, s.offsets.back() - s.offsets.front());
+    }
+  }
+  result.pre_roll = pre_roll;
+  result.read_count = options.vector_length + static_cast<std::uint64_t>(pre_roll);
+  result.write_count = options.vector_length;
+
+  // --- 2. Allocate planes: one per input stream, output, and reduction. ---
+  int next_plane = 0;
+  auto takePlane = [&]() -> std::optional<arch::PlaneId> {
+    if (next_plane >= cfg.num_memory_planes) return std::nullopt;
+    return next_plane++;
+  };
+
+  // Map (array, offset) -> source endpoint available to FU inputs, and
+  // the element shift (tap delay) each endpoint carries.
+  std::map<std::pair<std::string, int>, Endpoint> tap_source;
+  std::map<std::pair<std::string, int>, int> tap_delay;
+  for (StreamPlan& s : streams) {
+    const auto plane = takePlane();
+    if (!plane.has_value()) {
+      return Result<CompileResult>::error(
+          "out of memory planes for input streams");
+    }
+    s.plane = *plane;
+    const int max_off = s.offsets.back();
+    // Element at cycle t from a tap with delay D reads base + t - D; with
+    // base = center + max_off - pre_roll and D = max_off - off, the tap
+    // sees center + off + (t - pre_roll): offset `off` of window element
+    // t - pre_roll.
+    const std::uint64_t base =
+        options.center_base + static_cast<std::uint64_t>(
+                                  static_cast<std::int64_t>(max_off) - pre_roll);
+    prog::DmaSpec& dma = d.dmaAt(Endpoint::planeRead(s.plane));
+    dma.variable = s.array;
+    dma.base = base;
+    dma.stride = 1;
+    dma.count = result.read_count;
+
+    if (s.uses_sd) {
+      d.connect(machine, Endpoint::planeRead(s.plane),
+                Endpoint::sdInput(s.sd));
+      std::vector<int> delays;
+      for (std::size_t t = 0; t < s.offsets.size(); ++t) {
+        delays.push_back(max_off - s.offsets[t]);
+        tap_source[{s.array, s.offsets[t]}] =
+            Endpoint::sdOutput(s.sd, static_cast<int>(t));
+        tap_delay[{s.array, s.offsets[t]}] = max_off - s.offsets[t];
+      }
+      d.useSd(s.sd, std::move(delays));
+    } else {
+      tap_source[{s.array, s.offsets[0]}] = Endpoint::planeRead(s.plane);
+      tap_delay[{s.array, s.offsets[0]}] = 0;
+    }
+    StreamPlacement placement;
+    placement.array = s.array;
+    placement.plane = s.plane;
+    placement.base = base;
+    placement.offsets = s.offsets;
+    result.streams.push_back(std::move(placement));
+  }
+
+  // --- 3. Window synchronization. ---
+  // A statement's valid window is the intersection of its taps' windows:
+  // a tap with delay D is warm for window elements [D - pre_roll, D + N).
+  // For the window to be exactly [0, N) the cone must include a tap with
+  // D == pre_roll (start) and one with D == 0 (end).  Statements missing
+  // either get a numerically exact gate  x + 0*sync  appended, whose only
+  // effect is to intersect validity windows (the NSC way to discard
+  // warmup/drain junk; reductions would otherwise fold it in).
+  std::vector<Node> nodes = impl.nodes;
+  std::vector<Statement> statements = impl.statements;
+
+  // Reductions need an end-of-stream marker to drain their accumulator; a
+  // cone with no input stream never produces one.
+  {
+    std::vector<bool> has_stream(nodes.size(), false);
+    for (std::size_t id = 0; id < nodes.size(); ++id) {
+      const Node& n = nodes[id];
+      if (n.kind == NodeKind::kInput) {
+        has_stream[id] = true;
+      } else if (n.kind == NodeKind::kOp || n.kind == NodeKind::kAccum) {
+        for (const int child : {n.a, n.b}) {
+          if (child >= 0) {
+            has_stream[id] =
+                has_stream[id] || has_stream[static_cast<std::size_t>(child)];
+          }
+        }
+      }
+    }
+    for (const Statement& s : statements) {
+      if (s.is_reduction &&
+          !has_stream[static_cast<std::size_t>(
+              nodes[static_cast<std::size_t>(s.root)].a)]) {
+        return Result<CompileResult>::error(
+            "reduction over a constant stream never terminates: " + s.name);
+      }
+    }
+  }
+
+  if (pre_roll > 0) {
+    int deep_input = -1, zero_input = -1;
+    struct Cone {
+      int max_d = -1;
+      int min_d = 1 << 30;
+      bool stream = false;
+    };
+    std::vector<Cone> cone(nodes.size());
+    for (std::size_t id = 0; id < nodes.size(); ++id) {
+      const Node& n = nodes[id];
+      if (n.kind == NodeKind::kInput) {
+        const int delay = tap_delay.at({n.array, n.offset});
+        cone[id] = {delay, delay, true};
+        if (delay == pre_roll) deep_input = static_cast<int>(id);
+        if (delay == 0) zero_input = static_cast<int>(id);
+      } else if (n.kind == NodeKind::kOp || n.kind == NodeKind::kAccum) {
+        Cone c;
+        for (const int child : {n.a, n.b}) {
+          if (child < 0) continue;
+          const Cone& cc = cone[static_cast<std::size_t>(child)];
+          if (!cc.stream) continue;
+          c.stream = true;
+          c.max_d = std::max(c.max_d, cc.max_d);
+          c.min_d = std::min(c.min_d, cc.min_d);
+        }
+        cone[id] = c;
+      }
+    }
+    auto gate = [&](int target) -> int {
+      const Cone c = cone[static_cast<std::size_t>(target)];
+      if (!c.stream) return target;
+      int g = target;
+      auto addSync = [&](int sync_input) {
+        Node zero;
+        zero.kind = NodeKind::kConst;
+        zero.value = 0.0;
+        nodes.push_back(zero);
+        cone.push_back(Cone{});
+        const int zid = static_cast<int>(nodes.size()) - 1;
+        Node mul;
+        mul.kind = NodeKind::kOp;
+        mul.op = OpCode::kMul;
+        mul.a = sync_input;
+        mul.b = zid;
+        nodes.push_back(mul);
+        cone.push_back(cone[static_cast<std::size_t>(sync_input)]);
+        const int mid = static_cast<int>(nodes.size()) - 1;
+        Node add;
+        add.kind = NodeKind::kOp;
+        add.op = OpCode::kAdd;
+        add.a = g;
+        add.b = mid;
+        nodes.push_back(add);
+        Cone merged = cone[static_cast<std::size_t>(g)];
+        const Cone& sc = cone[static_cast<std::size_t>(mid)];
+        merged.stream = true;
+        merged.max_d = std::max(merged.max_d, sc.max_d);
+        merged.min_d = std::min(merged.min_d, sc.min_d);
+        cone.push_back(merged);
+        g = static_cast<int>(nodes.size()) - 1;
+      };
+      if (c.max_d < pre_roll && deep_input >= 0) addSync(deep_input);
+      if (cone[static_cast<std::size_t>(g)].min_d > 0 && zero_input >= 0) {
+        addSync(zero_input);
+      }
+      return g;
+    };
+    for (Statement& s : statements) {
+      if (s.is_reduction) {
+        nodes[static_cast<std::size_t>(s.root)].a =
+            gate(nodes[static_cast<std::size_t>(s.root)].a);
+      } else {
+        s.root = gate(s.root);
+      }
+    }
+  }
+
+  // --- 4. Map DAG nodes onto functional units (topological = id order). ---
+  FuAllocator alloc(machine);
+  std::vector<arch::FuId> node_fu(nodes.size(), -1);
+  // Reference counts to decide chain preference.
+  std::vector<int> uses(nodes.size(), 0);
+  for (const Node& n : nodes) {
+    if (n.kind == NodeKind::kOp || n.kind == NodeKind::kAccum) {
+      if (n.a >= 0) ++uses[static_cast<std::size_t>(n.a)];
+      if (n.b >= 0) ++uses[static_cast<std::size_t>(n.b)];
+    }
+  }
+
+  auto operandEndpoint = [&](int id) -> std::optional<Endpoint> {
+    const Node& n = nodes[static_cast<std::size_t>(id)];
+    switch (n.kind) {
+      case NodeKind::kInput:
+        return tap_source.at({n.array, n.offset});
+      case NodeKind::kOp:
+      case NodeKind::kAccum:
+        return Endpoint::fuOutput(node_fu[static_cast<std::size_t>(id)]);
+      case NodeKind::kConst:
+        return std::nullopt;
+    }
+    return std::nullopt;
+  };
+
+  for (std::size_t id = 0; id < nodes.size(); ++id) {
+    const Node& node = nodes[id];
+    if (node.kind != NodeKind::kOp && node.kind != NodeKind::kAccum) continue;
+
+    // Chain candidate: single-use producing operand mapped to a unit whose
+    // next ALS slot is free.
+    arch::FuId chain_after = -1;
+    for (const int operand : {node.a, node.b}) {
+      if (operand < 0) continue;
+      const Node& child = nodes[static_cast<std::size_t>(operand)];
+      if ((child.kind == NodeKind::kOp || child.kind == NodeKind::kAccum) &&
+          uses[static_cast<std::size_t>(operand)] == 1) {
+        chain_after = node_fu[static_cast<std::size_t>(operand)];
+        break;
+      }
+    }
+    const auto fu = alloc.allocate(node.op, chain_after);
+    if (!fu.has_value()) {
+      return Result<CompileResult>::error(
+          strFormat("out of functional units for '%s'",
+                    arch::opInfo(node.op).name));
+    }
+    node_fu[id] = *fu;
+    ++result.fus_used;
+    d.setFuOp(machine, *fu, node.op);
+
+    if (node.kind == NodeKind::kAccum) {
+      const auto src = operandEndpoint(node.a);
+      if (!src.has_value()) {
+        return Result<CompileResult>::error("reduction of a constant");
+      }
+      d.connect(machine, *src, Endpoint::fuInput(*fu, 0));
+      const double seed = node.op == OpCode::kMax   ? -1e300
+                          : node.op == OpCode::kMin ? 1e300
+                                                    : 0.0;
+      d.setAccumInput(machine, *fu, 1, seed);
+      continue;
+    }
+
+    const int arity = arch::opInfo(node.op).arity;
+    for (int port = 0; port < arity; ++port) {
+      const int operand = port == 0 ? node.a : node.b;
+      const Node& child = nodes[static_cast<std::size_t>(operand)];
+      if (child.kind == NodeKind::kConst) {
+        d.setConstInput(machine, *fu, port, child.value);
+      } else {
+        d.connect(machine, *operandEndpoint(operand),
+                  Endpoint::fuInput(*fu, port));
+      }
+    }
+  }
+
+  // --- 5. Route statement results to memory. ---
+  for (const Statement& s : statements) {
+    const auto plane = takePlane();
+    if (!plane.has_value()) {
+      return Result<CompileResult>::error("out of memory planes for outputs");
+    }
+    const arch::FuId fu = node_fu[static_cast<std::size_t>(s.root)];
+    d.connect(machine, Endpoint::fuOutput(fu), Endpoint::planeWrite(*plane));
+    prog::DmaSpec& dma = d.dmaAt(Endpoint::planeWrite(*plane));
+    dma.variable = s.name;
+    dma.stride = 1;
+    if (s.is_reduction) {
+      dma.base = 0;
+      dma.count = 1;
+      result.reductions[s.name] = {*plane, 0};
+    } else {
+      dma.base = options.center_base;
+      dma.count = result.write_count;
+      result.output_planes[s.name] = *plane;
+      StreamPlacement placement;
+      placement.array = s.name;
+      placement.plane = *plane;
+      placement.base = options.center_base;
+      placement.is_output = true;
+      result.streams.push_back(std::move(placement));
+    }
+  }
+
+  d.seq.op = arch::SeqOp::kHalt;
+  return result;
+}
+
+}  // namespace nsc::xc

@@ -1,0 +1,95 @@
+// A small stencil-expression language compiled onto NSC pipelines.
+//
+// The paper (Sections 3 and 6) explains why a full FORTRAN compiler was
+// judged a three-year effort — mapping expression graphs onto asymmetric
+// function units, allocating memory planes, and balancing pipeline timing
+// interact badly — and closes hoping for "a higher-level programming
+// environment".  This module is that future-work extension, scoped to the
+// machine's natural workload: elementwise/stencil vector statements with
+// reductions.  The hard sub-problems the paper names are all here:
+// capability-aware FU mapping with ALS chaining, shift/delay inference for
+// neighbor taps, memory-plane allocation with one-stream-per-plane, and
+// (via the shared generator) automatic delay balancing.
+//
+// Grammar (statements end with ';', '#' starts a comment):
+//   param NAME = NUMBER ;
+//   NAME = expr ;                  -- output array, streamed to a plane
+//   reduce NAME = max(expr) ;      -- scalar reduction (max | min | sum)
+// Expressions: + - * /, unary -, parentheses, numbers, parameters,
+// earlier statement names, function calls abs(x) sqrt(x) recip(x)
+// min(x,y) max(x,y), and array taps NAME[OFFSET] (NAME alone = NAME[0]).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "arch/machine.h"
+#include "common/status.h"
+#include "program/pipeline.h"
+
+namespace nsc::xc {
+
+struct CompileOptions {
+  std::uint64_t vector_length = 64;  // results per statement (N)
+  // Word offset of array element "center 0" inside each input plane; the
+  // compiler adds the pre-roll margin itself.
+  std::uint64_t center_base = 256;
+};
+
+struct StreamPlacement {
+  std::string array;
+  arch::PlaneId plane = 0;
+  std::uint64_t base = 0;   // programmed DMA base
+  bool is_output = false;
+  std::vector<int> offsets;  // taps served by this stream (inputs only)
+};
+
+struct CompileResult {
+  prog::PipelineDiagram diagram;
+  std::vector<StreamPlacement> streams;
+  std::map<std::string, arch::PlaneId> output_planes;
+  // reduction name -> (plane, word address) of the scalar result
+  std::map<std::string, std::pair<arch::PlaneId, std::uint64_t>> reductions;
+  std::uint64_t read_count = 0;   // per input stream (includes pre-roll)
+  std::uint64_t write_count = 0;  // per output stream
+  int pre_roll = 0;               // elements of warmup before the window
+  int fus_used = 0;
+};
+
+// Host-side evaluation results for verification.
+struct HostEval {
+  std::map<std::string, std::vector<double>> outputs;
+  std::map<std::string, double> reductions;
+};
+
+class StencilProgram {
+ public:
+  // Parses the source; returns an error with line context on failure.
+  static common::Result<StencilProgram> parse(const std::string& source);
+
+  // Maps the program onto the machine: FU allocation, shift/delay
+  // inference, plane allocation, DMA programming.
+  common::Result<CompileResult> compile(const arch::Machine& machine,
+                                        const CompileOptions& options) const;
+
+  // Evaluates on the host with the same operation order the pipeline uses.
+  // `inputs[name]` must hold center_base + N + max positive offset values;
+  // element i of the window reads inputs[name][center_base + i + offset].
+  common::Result<HostEval> evaluate(
+      const std::map<std::string, std::vector<double>>& inputs,
+      const CompileOptions& options) const;
+
+  // Names of input arrays (appearing with taps but never defined).
+  std::vector<std::string> inputArrays() const;
+  int statementCount() const;
+
+  struct Impl;  // exposed for the parser implementation; treat as opaque
+
+ private:
+  std::shared_ptr<const Impl> impl_;
+};
+
+}  // namespace nsc::xc

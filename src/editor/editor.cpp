@@ -1,0 +1,753 @@
+#include "editor/editor.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "common/strings.h"
+#include "program/pipeline.h"
+
+namespace nsc::ed {
+
+using common::strFormat;
+
+namespace {
+constexpr std::size_t kUndoLimit = 256;
+}
+
+Editor::Editor(const arch::Machine& machine)
+    : machine_(machine), checker_(machine) {
+  docs_.push_back(PipelineDoc{});
+  docs_.back().semantic.name = "pipeline 1";
+}
+
+// ---------------------------------------------------------------------------
+// Undo / messages
+// ---------------------------------------------------------------------------
+
+void Editor::snapshot() {
+  undo_stack_.push_back({docs_, current_});
+  if (undo_stack_.size() > kUndoLimit) {
+    undo_stack_.erase(undo_stack_.begin());
+  }
+  redo_stack_.clear();
+}
+
+bool Editor::undo() {
+  if (undo_stack_.empty()) {
+    note("nothing to undo");
+    return false;
+  }
+  redo_stack_.push_back({docs_, current_});
+  docs_ = std::move(undo_stack_.back().docs);
+  current_ = undo_stack_.back().current;
+  undo_stack_.pop_back();
+  note("undone");
+  return true;
+}
+
+bool Editor::redo() {
+  if (redo_stack_.empty()) {
+    note("nothing to redo");
+    return false;
+  }
+  undo_stack_.push_back({docs_, current_});
+  docs_ = std::move(redo_stack_.back().docs);
+  current_ = redo_stack_.back().current;
+  redo_stack_.pop_back();
+  note("redone");
+  return true;
+}
+
+bool Editor::refuse(const check::Diagnostic& diagnostic) {
+  ++stats_.actions_refused;
+  message_ = std::string(check::ruleProse(diagnostic.rule)) + "  (" +
+             diagnostic.message + ")";
+  return false;
+}
+
+bool Editor::refuse(const std::string& message) {
+  ++stats_.actions_refused;
+  message_ = message;
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline list operations
+// ---------------------------------------------------------------------------
+
+void Editor::insertPipeline(const std::string& name) {
+  snapshot();
+  ++stats_.actions_attempted;
+  PipelineDoc doc;
+  doc.semantic.name = name;
+  docs_.insert(docs_.begin() + current_ + 1, std::move(doc));
+  ++current_;
+  note(strFormat("pipeline %d inserted", current_ + 1));
+}
+
+bool Editor::deletePipeline() {
+  ++stats_.actions_attempted;
+  if (docs_.size() == 1) {
+    return refuse("the program must keep at least one pipeline");
+  }
+  snapshot();
+  docs_.erase(docs_.begin() + current_);
+  current_ = std::min(current_, static_cast<int>(docs_.size()) - 1);
+  note("pipeline deleted");
+  return true;
+}
+
+void Editor::copyPipeline() {
+  snapshot();
+  ++stats_.actions_attempted;
+  PipelineDoc copy = doc();
+  copy.semantic.name += " (copy)";
+  docs_.insert(docs_.begin() + current_ + 1, std::move(copy));
+  ++current_;
+  note("pipeline copied");
+}
+
+bool Editor::scrollForward() {
+  ++stats_.actions_attempted;
+  if (current_ + 1 >= static_cast<int>(docs_.size())) return false;
+  ++current_;
+  return true;
+}
+
+bool Editor::scrollBackward() {
+  ++stats_.actions_attempted;
+  if (current_ == 0) return false;
+  --current_;
+  return true;
+}
+
+bool Editor::jumpTo(int index) {
+  ++stats_.actions_attempted;
+  if (index < 0 || index >= static_cast<int>(docs_.size())) {
+    return refuse(strFormat("no pipeline %d", index));
+  }
+  current_ = index;
+  return true;
+}
+
+void Editor::renamePipeline(const std::string& name) {
+  snapshot();
+  docMut().semantic.name = name;
+}
+
+bool Editor::renumberPipeline(int index) {
+  ++stats_.actions_attempted;
+  if (index < 0 || index >= static_cast<int>(docs_.size())) {
+    return refuse(strFormat("cannot renumber to position %d", index));
+  }
+  if (index == current_) return true;
+  snapshot();
+  // Retarget sequencer branches so control flow follows the move: build
+  // the old-index -> new-index map of the rotation.
+  const int from = current_;
+  std::vector<int> new_index(docs_.size());
+  for (int i = 0; i < static_cast<int>(docs_.size()); ++i) {
+    if (i == from) {
+      new_index[static_cast<std::size_t>(i)] = index;
+    } else if (from < index && i > from && i <= index) {
+      new_index[static_cast<std::size_t>(i)] = i - 1;
+    } else if (index < from && i >= index && i < from) {
+      new_index[static_cast<std::size_t>(i)] = i + 1;
+    } else {
+      new_index[static_cast<std::size_t>(i)] = i;
+    }
+  }
+  PipelineDoc moved = std::move(docs_[static_cast<std::size_t>(from)]);
+  docs_.erase(docs_.begin() + from);
+  docs_.insert(docs_.begin() + index, std::move(moved));
+  for (PipelineDoc& doc : docs_) {
+    prog::SeqControl& seq = doc.semantic.seq;
+    if (seq.op == arch::SeqOp::kJump || seq.op == arch::SeqOp::kBranchIf ||
+        seq.op == arch::SeqOp::kBranchNot || seq.op == arch::SeqOp::kLoop) {
+      if (seq.target >= 0 && seq.target < static_cast<int>(new_index.size())) {
+        seq.target = new_index[static_cast<std::size_t>(seq.target)];
+      }
+    }
+  }
+  current_ = index;
+  note(strFormat("pipeline moved to position %d", index));
+  return true;
+}
+
+std::vector<std::string> Editor::controlFlowSummary() const {
+  std::vector<std::string> lines;
+  for (int i = 0; i < static_cast<int>(docs_.size()); ++i) {
+    const prog::PipelineDiagram& d = docs_[static_cast<std::size_t>(i)].semantic;
+    std::string line = strFormat("%c%2d %s", i == current_ ? '>' : ' ', i,
+                                 d.name.substr(0, 12).c_str());
+    switch (d.seq.op) {
+      case arch::SeqOp::kNext:
+        break;
+      case arch::SeqOp::kJump:
+        line += strFormat("  jump %d", d.seq.target);
+        break;
+      case arch::SeqOp::kBranchIf:
+        line += strFormat("  brif c%d>%d", d.seq.cond_reg, d.seq.target);
+        break;
+      case arch::SeqOp::kBranchNot:
+        line += strFormat("  brnot c%d>%d", d.seq.cond_reg, d.seq.target);
+        break;
+      case arch::SeqOp::kLoop:
+        line += strFormat("  loop %d x%d", d.seq.target, d.seq.count);
+        break;
+      case arch::SeqOp::kHalt:
+        line += "  halt";
+        break;
+    }
+    if (d.cond.has_value()) {
+      line += strFormat(" [c%d<-fu%d]", d.cond->cond_reg, d.cond->src_fu);
+    }
+    lines.push_back(std::move(line));
+  }
+  return lines;
+}
+
+// ---------------------------------------------------------------------------
+// Drawing operations
+// ---------------------------------------------------------------------------
+
+std::optional<arch::AlsId> Editor::firstFreeAls(arch::AlsKind kind) const {
+  for (const arch::AlsInfo& als : machine_.als()) {
+    if (als.kind != kind) continue;
+    if (doc().semantic.findAls(als.id) == nullptr) return als.id;
+  }
+  return std::nullopt;
+}
+
+std::optional<int> Editor::placeIcon(IconKind kind, Point pos) {
+  const auto als = firstFreeAls(alsKindOf(kind));
+  ++stats_.checker_queries;
+  if (!als.has_value()) {
+    refuse(strFormat("all %ss are already placed in this pipeline",
+                     iconKindName(kind)));
+    return std::nullopt;
+  }
+  return placeIcon(kind, *als, pos);
+}
+
+std::optional<int> Editor::placeIcon(IconKind kind, arch::AlsId als, Point pos) {
+  ++stats_.actions_attempted;
+  ++stats_.checker_queries;
+  if (als < 0 || als >= machine_.config().numAls()) {
+    refuse(strFormat("no such ALS: %d", als));
+    return std::nullopt;
+  }
+  if (machine_.als(als).kind != alsKindOf(kind)) {
+    refuse(strFormat("ALS %d is a %s, not a %s", als,
+                     alsKindName(machine_.als(als).kind), iconKindName(kind)));
+    return std::nullopt;
+  }
+  if (doc().semantic.findAls(als) != nullptr) {
+    refuse(std::string(check::ruleProse(check::Rule::kAlsDuplicate)));
+    return std::nullopt;
+  }
+  if (!layout_.drawing.contains(pos)) {
+    refuse("icons must be placed in the drawing area");
+    return std::nullopt;
+  }
+  snapshot();
+  PipelineDoc& d = docMut();
+  prog::AlsUse& use = d.semantic.useAls(machine_, als);
+  use.bypass = kind == IconKind::kDoubletBypass;
+  const int id = d.scene.addIcon(kind, als, pos);
+  note(strFormat("%s placed as ALS %d", iconKindName(kind), als));
+  return id;
+}
+
+bool Editor::moveIcon(int icon_id, Point pos) {
+  ++stats_.actions_attempted;
+  if (!layout_.drawing.contains(pos)) {
+    return refuse("icons must stay in the drawing area");
+  }
+  snapshot();
+  if (!docMut().scene.moveIcon(icon_id, pos)) {
+    undo_stack_.pop_back();
+    return refuse(strFormat("no icon %d", icon_id));
+  }
+  rebuildWireGeometry();
+  return true;
+}
+
+void Editor::rebuildWireGeometry() {
+  PipelineDoc& d = docMut();
+  for (Wire& w : d.scene.wires()) {
+    w.points = makeWire(w.from, w.to).points;
+  }
+}
+
+bool Editor::deleteIcon(int icon_id) {
+  ++stats_.actions_attempted;
+  const Icon* icon = doc().scene.findIcon(icon_id);
+  if (icon == nullptr) return refuse(strFormat("no icon %d", icon_id));
+  snapshot();
+  PipelineDoc& d = docMut();
+  const arch::AlsId als = icon->als;
+  d.scene.removeIcon(icon_id);
+  d.scene.removeWiresTouching(als, machine_);
+  // Remove the semantic ALS use and all connections touching its FUs.
+  auto& uses = d.semantic.als_uses;
+  uses.erase(std::remove_if(uses.begin(), uses.end(),
+                            [als](const prog::AlsUse& u) { return u.als == als; }),
+             uses.end());
+  auto& conns = d.semantic.connections;
+  const auto touches = [&](const arch::Endpoint& e) {
+    return (e.kind == arch::EndpointKind::kFuInput ||
+            e.kind == arch::EndpointKind::kFuOutput) &&
+           machine_.fu(e.unit).als == als;
+  };
+  // Inputs fed by the deleted ALS must be unmarked on the surviving FUs.
+  for (const prog::Connection& c : conns) {
+    if (touches(c.from) && c.to.kind == arch::EndpointKind::kFuInput &&
+        !touches(c.to)) {
+      if (prog::FuUse* use = d.semantic.findFu(machine_, c.to.unit)) {
+        (c.to.port == 0 ? use->in_a : use->in_b) = arch::InputSelect::kNone;
+      }
+    }
+  }
+  conns.erase(std::remove_if(conns.begin(), conns.end(),
+                             [&](const prog::Connection& c) {
+                               return touches(c.from) || touches(c.to);
+                             }),
+              conns.end());
+  note(strFormat("ALS %d removed", als));
+  return true;
+}
+
+Wire Editor::makeWire(const arch::Endpoint& from,
+                      const arch::Endpoint& to) const {
+  Wire wire;
+  wire.from = from;
+  wire.to = to;
+  const auto p0 = doc().scene.padPosition(from, machine_);
+  const auto p1 = doc().scene.padPosition(to, machine_);
+  if (p0.has_value() && p1.has_value()) {
+    wire.points = {*p0, Point{p1->x, p0->y}, *p1};
+  } else if (p0.has_value()) {
+    wire.points = {*p0, Point{p0->x + 30, p0->y}};
+  } else if (p1.has_value()) {
+    wire.points = {Point{p1->x - 30, p1->y}, *p1};
+  }
+  return wire;
+}
+
+bool Editor::connect(const arch::Endpoint& from, const arch::Endpoint& to) {
+  ++stats_.actions_attempted;
+  ++stats_.checker_queries;
+  if (const auto diag = checker_.checkConnection(doc().semantic, from, to)) {
+    return refuse(*diag);
+  }
+  // FU endpoints must belong to placed icons.
+  for (const arch::Endpoint* e : {&from, &to}) {
+    if ((e->kind == arch::EndpointKind::kFuInput ||
+         e->kind == arch::EndpointKind::kFuOutput) &&
+        doc().semantic.findAls(machine_.fu(e->unit).als) == nullptr) {
+      return refuse(strFormat("fu%d's ALS is not placed in this pipeline",
+                              e->unit));
+    }
+  }
+  snapshot();
+  PipelineDoc& d = docMut();
+  d.semantic.connect(machine_, from, to);
+  d.scene.addWire(makeWire(from, to));
+  note(from.toString() + " wired to " + to.toString());
+  return true;
+}
+
+bool Editor::disconnect(const arch::Endpoint& to) {
+  ++stats_.actions_attempted;
+  auto& conns = docMut().semantic.connections;
+  const auto it = std::find_if(conns.begin(), conns.end(),
+                               [&](const prog::Connection& c) { return c.to == to; });
+  if (it == conns.end()) return refuse("nothing wired to " + to.toString());
+  snapshot();
+  PipelineDoc& d = docMut();
+  auto& list = d.semantic.connections;
+  const auto again = std::find_if(list.begin(), list.end(),
+                                  [&](const prog::Connection& c) { return c.to == to; });
+  if (to.kind == arch::EndpointKind::kFuInput) {
+    if (prog::FuUse* use = d.semantic.findFu(machine_, to.unit)) {
+      (to.port == 0 ? use->in_a : use->in_b) = arch::InputSelect::kNone;
+    }
+  }
+  list.erase(again);
+  d.scene.removeWireTo(to);
+  note("disconnected " + to.toString());
+  return true;
+}
+
+std::vector<arch::Endpoint> Editor::connectionMenu(const arch::Endpoint& from) {
+  ++stats_.checker_queries;
+  std::vector<arch::Endpoint> targets =
+      checker_.legalTargets(doc().semantic, from);
+  // The menu only offers FU pads whose ALS is on screen (memory, cache and
+  // shift/delay entries always appear; they have no icons).
+  targets.erase(
+      std::remove_if(targets.begin(), targets.end(),
+                     [&](const arch::Endpoint& e) {
+                       return e.kind == arch::EndpointKind::kFuInput &&
+                              doc().semantic.findAls(machine_.fu(e.unit).als) ==
+                                  nullptr;
+                     }),
+      targets.end());
+  return targets;
+}
+
+std::vector<arch::OpCode> Editor::opMenu(arch::FuId fu) {
+  ++stats_.checker_queries;
+  return checker_.legalOps(fu);
+}
+
+bool Editor::setFuOp(arch::FuId fu, arch::OpCode op) {
+  ++stats_.actions_attempted;
+  ++stats_.checker_queries;
+  if (doc().semantic.findAls(machine_.fu(fu).als) == nullptr) {
+    return refuse(strFormat("fu%d's ALS is not placed in this pipeline", fu));
+  }
+  if (!machine_.fuCanExecute(fu, op)) {
+    return refuse(check::Diagnostic{
+        check::Rule::kCapability, check::Severity::kError,
+        strFormat("fu%d cannot execute '%s'", fu, arch::opInfo(op).name), -1});
+  }
+  const prog::FuUse* use = doc().semantic.findFu(machine_, fu);
+  if (use != nullptr && doc().semantic.findAls(machine_.fu(fu).als)->bypass &&
+      machine_.fu(fu).slot == 1) {
+    return refuse(std::string(check::ruleProse(check::Rule::kBypass)));
+  }
+  snapshot();
+  docMut().semantic.setFuOp(machine_, fu, op);
+  note(strFormat("fu%d programmed: %s", fu, arch::opInfo(op).name));
+  return true;
+}
+
+bool Editor::setConstInput(arch::FuId fu, int port, double value) {
+  ++stats_.actions_attempted;
+  if (doc().semantic.findAls(machine_.fu(fu).als) == nullptr) {
+    return refuse(strFormat("fu%d's ALS is not placed in this pipeline", fu));
+  }
+  snapshot();
+  docMut().semantic.setConstInput(machine_, fu, port, value);
+  note(strFormat("fu%d %c <- constant %g", fu, port == 0 ? 'a' : 'b', value));
+  return true;
+}
+
+bool Editor::setAccumInput(arch::FuId fu, int port, double seed) {
+  ++stats_.actions_attempted;
+  if (doc().semantic.findAls(machine_.fu(fu).als) == nullptr) {
+    return refuse(strFormat("fu%d's ALS is not placed in this pipeline", fu));
+  }
+  snapshot();
+  docMut().semantic.setAccumInput(machine_, fu, port, seed);
+  note(strFormat("fu%d %c <- accumulator (seed %g)", fu,
+                 port == 0 ? 'a' : 'b', seed));
+  return true;
+}
+
+bool Editor::setDma(const arch::Endpoint& endpoint, const prog::DmaSpec& spec) {
+  ++stats_.actions_attempted;
+  ++stats_.checker_queries;
+  if (const auto diag = checker_.checkDma(doc().semantic, endpoint, spec)) {
+    return refuse(*diag);
+  }
+  snapshot();
+  docMut().semantic.dmaAt(endpoint) = spec;
+  note(strFormat("%s: base=%llu stride=%lld count=%llu",
+                 endpoint.toString().c_str(),
+                 static_cast<unsigned long long>(spec.base),
+                 static_cast<long long>(spec.stride),
+                 static_cast<unsigned long long>(spec.count)));
+  return true;
+}
+
+bool Editor::setShiftDelay(arch::SdId sd, std::vector<int> taps) {
+  ++stats_.actions_attempted;
+  ++stats_.checker_queries;
+  const arch::MachineConfig& cfg = machine_.config();
+  if (sd < 0 || sd >= cfg.num_shift_delay) {
+    return refuse(strFormat("no shift/delay unit %d", sd));
+  }
+  if (static_cast<int>(taps.size()) > cfg.sd_taps) {
+    return refuse(std::string(check::ruleProse(check::Rule::kSdConfig)));
+  }
+  for (int t : taps) {
+    if (t < 0 || t > cfg.sd_max_delay) {
+      return refuse(std::string(check::ruleProse(check::Rule::kSdConfig)));
+    }
+  }
+  snapshot();
+  docMut().semantic.useSd(sd, std::move(taps));
+  note(strFormat("sd%d configured", sd));
+  return true;
+}
+
+bool Editor::setCond(arch::FuId fu, int reg) {
+  ++stats_.actions_attempted;
+  const prog::FuUse* use = doc().semantic.findFu(machine_, fu);
+  if (use == nullptr || !use->enabled) {
+    return refuse(std::string(check::ruleProse(check::Rule::kCondSource)));
+  }
+  if (reg < 0 || reg > 3) {
+    return refuse(strFormat("no condition register %d", reg));
+  }
+  snapshot();
+  docMut().semantic.cond = prog::CondLatch{fu, reg};
+  note(strFormat("condition c%d latched from fu%d", reg, fu));
+  return true;
+}
+
+void Editor::setSeq(const prog::SeqControl& seq) {
+  snapshot();
+  ++stats_.actions_attempted;
+  docMut().semantic.seq = seq;
+  note(strFormat("sequencer: %s", seqOpName(seq.op)));
+}
+
+void Editor::overwriteSemantic(const prog::PipelineDiagram& semantic) {
+  snapshot();
+  docMut().semantic = semantic;
+  rebuildWireGeometry();
+}
+
+// ---------------------------------------------------------------------------
+// Check / generate / program extraction
+// ---------------------------------------------------------------------------
+
+check::DiagnosticList Editor::checkCurrent() {
+  ++stats_.checker_queries;
+  return checker_.checkDiagram(doc().semantic, current_);
+}
+
+check::DiagnosticList Editor::checkAll() {
+  ++stats_.checker_queries;
+  return checker_.checkProgram(program());
+}
+
+prog::Program Editor::program() const {
+  prog::Program p;
+  p.name = "edited program";
+  for (const PipelineDoc& d : docs_) p.pipelines.push_back(d.semantic);
+  return p;
+}
+
+mc::GenerateResult Editor::generate() const {
+  mc::Generator generator(machine_);
+  return generator.generate(program());
+}
+
+// ---------------------------------------------------------------------------
+// File I/O
+// ---------------------------------------------------------------------------
+
+common::Status Editor::saveToFile(const std::string& path) const {
+  common::JsonObject root;
+  root["format"] = "nsc-diagram-file";
+  root["version"] = 1;
+  root["current"] = current_;
+  root["program"] = program().toJson();
+  common::JsonArray scenes;
+  for (const PipelineDoc& d : docs_) {
+    common::JsonArray icons;
+    for (const Icon& icon : d.scene.icons()) {
+      common::JsonObject io;
+      io["id"] = icon.id;
+      io["kind"] = std::string(iconKindName(icon.kind));
+      io["als"] = icon.als;
+      io["x"] = icon.pos.x;
+      io["y"] = icon.pos.y;
+      icons.push_back(common::Json(std::move(io)));
+    }
+    common::JsonObject so;
+    so["icons"] = common::Json(std::move(icons));
+    scenes.push_back(common::Json(std::move(so)));
+  }
+  root["scenes"] = common::Json(std::move(scenes));
+
+  std::ofstream out(path);
+  if (!out) return common::Status::error("cannot open for writing: " + path);
+  out << common::Json(std::move(root)).dumpPretty() << "\n";
+  return out ? common::Status::ok()
+             : common::Status::error("write failed: " + path);
+}
+
+common::Status Editor::loadFromFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return common::Status::error("cannot open: " + path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const auto parsed = common::Json::parse(buffer.str());
+  if (!parsed.isOk()) return common::Status::error(parsed.message());
+  const common::Json& root = parsed.value();
+  if (root.getString("format") != "nsc-diagram-file") {
+    return common::Status::error("not an nsc-diagram-file");
+  }
+  const auto program = prog::Program::fromJson(root.at("program"));
+  if (!program.isOk()) return common::Status::error(program.message());
+
+  std::vector<PipelineDoc> docs;
+  const auto& scenes = root.at("scenes").asArray();
+  for (std::size_t i = 0; i < program.value().size(); ++i) {
+    PipelineDoc d;
+    d.semantic = program.value()[i];
+    if (i < scenes.size() && scenes[i].has("icons")) {
+      for (const common::Json& io : scenes[i].at("icons").asArray()) {
+        IconKind kind = IconKind::kSinglet;
+        const std::string kname = io.getString("kind");
+        if (kname == "doublet") kind = IconKind::kDoublet;
+        else if (kname == "doublet-bypass") kind = IconKind::kDoubletBypass;
+        else if (kname == "triplet") kind = IconKind::kTriplet;
+        d.scene.addIcon(kind, static_cast<arch::AlsId>(io.getInt("als")),
+                        Point{static_cast<int>(io.getInt("x")),
+                              static_cast<int>(io.getInt("y"))});
+      }
+    }
+    docs.push_back(std::move(d));
+  }
+  if (docs.empty()) docs.push_back(PipelineDoc{});
+
+  snapshot();
+  docs_ = std::move(docs);
+  current_ = std::clamp(static_cast<int>(root.getInt("current")), 0,
+                        static_cast<int>(docs_.size()) - 1);
+  // Re-derive wire polylines from the semantic connections.
+  for (PipelineDoc& d : docs_) {
+    const int saved = current_;
+    (void)saved;
+    for (const prog::Connection& c : d.semantic.connections) {
+      Wire wire;
+      wire.from = c.from;
+      wire.to = c.to;
+      d.scene.addWire(std::move(wire));
+    }
+  }
+  note("loaded " + path);
+  return common::Status::ok();
+}
+
+// ---------------------------------------------------------------------------
+// Mouse-level interface
+// ---------------------------------------------------------------------------
+
+void Editor::beginPaletteDrag(IconKind kind) {
+  mode_ = Mode::kDraggingNew;
+  drag_kind_ = kind;
+  note(strFormat("dragging a %s from the palette", iconKindName(kind)));
+}
+
+void Editor::mouseDown(Point p) {
+  if (mode_ != Mode::kIdle) return;
+  if (const auto pad = doc().scene.padAt(p, machine_)) {
+    if (pad->endpoint.kind == arch::EndpointKind::kFuOutput) {
+      mode_ = Mode::kRubberBand;
+      band_from_ = pad->endpoint;
+      hover_legal_.reset();
+      note("rubber-band from " + pad->endpoint.toString());
+      return;
+    }
+  }
+  if (const Icon* icon = doc().scene.iconAt(p)) {
+    mode_ = Mode::kDraggingIcon;
+    drag_icon_ = icon->id;
+    drag_grab_ = {p.x - icon->pos.x, p.y - icon->pos.y};
+  }
+}
+
+void Editor::mouseMove(Point p) {
+  switch (mode_) {
+    case Mode::kRubberBand: {
+      // Live legality feedback while the wire is stretched (the editor
+      // "uses the checker's knowledge ... to reduce the possibilities for
+      // making errors").
+      const auto pad = doc().scene.padAt(p, machine_);
+      if (pad.has_value()) {
+        ++stats_.checker_queries;
+        hover_legal_ = checker_.canConnect(doc().semantic, band_from_,
+                                           pad->endpoint);
+      } else {
+        hover_legal_.reset();
+      }
+      break;
+    }
+    case Mode::kDraggingIcon: {
+      if (Icon* icon = docMut().scene.findIcon(drag_icon_)) {
+        icon->pos = {p.x - drag_grab_.x, p.y - drag_grab_.y};
+      }
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void Editor::mouseUp(Point p) {
+  switch (mode_) {
+    case Mode::kDraggingNew:
+      mode_ = Mode::kIdle;
+      placeIcon(drag_kind_, p);
+      break;
+    case Mode::kDraggingIcon:
+      mode_ = Mode::kIdle;
+      if (!layout_.drawing.contains(p)) {
+        note("icon dropped outside the drawing area; keeping last position");
+      }
+      rebuildWireGeometry();
+      break;
+    case Mode::kRubberBand: {
+      mode_ = Mode::kIdle;
+      const auto pad = doc().scene.padAt(p, machine_);
+      if (!pad.has_value()) {
+        note("rubber-band released over empty space");
+        break;
+      }
+      connect(band_from_, pad->endpoint);
+      break;
+    }
+    case Mode::kIdle:
+      break;
+  }
+  hover_legal_.reset();
+}
+
+// ---------------------------------------------------------------------------
+// Endpoint parsing
+// ---------------------------------------------------------------------------
+
+common::Result<arch::Endpoint> parseEndpoint(const std::string& text) {
+  using common::Result;
+  const auto dot = text.find('.');
+  if (dot == std::string::npos) {
+    return Result<arch::Endpoint>::error("endpoint needs unit.port: " + text);
+  }
+  const std::string head = text.substr(0, dot);
+  const std::string tail = text.substr(dot + 1);
+  auto number = [](const std::string& s, std::size_t prefix) {
+    return std::atoi(s.c_str() + prefix);
+  };
+  if (common::startsWith(head, "fu")) {
+    const int fu = number(head, 2);
+    if (tail == "a") return arch::Endpoint::fuInput(fu, 0);
+    if (tail == "b") return arch::Endpoint::fuInput(fu, 1);
+    if (tail == "out") return arch::Endpoint::fuOutput(fu);
+  } else if (common::startsWith(head, "plane")) {
+    const int p = number(head, 5);
+    if (tail == "read") return arch::Endpoint::planeRead(p);
+    if (tail == "write") return arch::Endpoint::planeWrite(p);
+  } else if (common::startsWith(head, "cache")) {
+    const int c = number(head, 5);
+    if (tail == "read") return arch::Endpoint::cacheRead(c);
+    if (tail == "write") return arch::Endpoint::cacheWrite(c);
+  } else if (common::startsWith(head, "sd")) {
+    const int s = number(head, 2);
+    if (tail == "in") return arch::Endpoint::sdInput(s);
+    if (common::startsWith(tail, "tap")) {
+      return arch::Endpoint::sdOutput(s, number(tail, 3));
+    }
+  }
+  return Result<arch::Endpoint>::error("cannot parse endpoint: " + text);
+}
+
+}  // namespace nsc::ed

@@ -1,0 +1,171 @@
+// The graphical editor (headless core).
+//
+// "The graphical editor provides the usual operations found in an editor
+// ... the objects being operated on are graphical rather than textual.
+// The graphical editor also is responsible for extracting information from
+// the pictures and storing it in internal data structures." (paper,
+// Section 4.)
+//
+// Every mutating operation validates through the checker first; a refused
+// action leaves the document untouched and places the rule's prose in the
+// message strip ("Any errors are flagged as soon as they are detected").
+// Popup menus are exposed as *models* (connectionMenu / opMenu / the DMA
+// subwindow commit in setDma) — the substance of Figures 8-10 without the
+// dead SunView toolkit.  Mouse-level interaction (drag-from-palette,
+// rubber-band wiring) is modelled by the event interface at the bottom.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "arch/machine.h"
+#include "checker/checker.h"
+#include "editor/geometry.h"
+#include "editor/scene.h"
+#include "microcode/generator.h"
+#include "program/program.h"
+
+namespace nsc::ed {
+
+// One pipeline document: the semantic diagram plus its drawing.
+struct PipelineDoc {
+  prog::PipelineDiagram semantic;
+  Scene scene;
+};
+
+// Action counters for the usability study (bench claims_usability).
+struct EditorStats {
+  std::uint64_t actions_attempted = 0;
+  std::uint64_t actions_refused = 0;   // caught at edit time by the checker
+  std::uint64_t checker_queries = 0;   // menu population + validation calls
+};
+
+// Interaction state for the mouse-level interface.
+enum class Mode { kIdle, kDraggingNew, kDraggingIcon, kRubberBand };
+
+class Editor {
+ public:
+  explicit Editor(const arch::Machine& machine);
+
+  const arch::Machine& machine() const { return machine_; }
+  const WindowLayout& layout() const { return layout_; }
+  const EditorStats& stats() const { return stats_; }
+  const std::string& message() const { return message_; }
+
+  // ---- Pipeline list (control-panel operations, paper Section 5) ----
+  int pipelineCount() const { return static_cast<int>(docs_.size()); }
+  int currentIndex() const { return current_; }
+  const PipelineDoc& doc(int index) const {
+    return docs_.at(static_cast<std::size_t>(index));
+  }
+  const PipelineDoc& doc() const { return docs_.at(static_cast<std::size_t>(current_)); }
+
+  void insertPipeline(const std::string& name);  // after current, selects it
+  bool deletePipeline();
+  void copyPipeline();  // duplicate of current inserted after it
+  bool scrollForward();
+  bool scrollBackward();
+  bool jumpTo(int index);
+  void renamePipeline(const std::string& name);
+  // The control panel's "renumber" button: moves the current pipeline to
+  // position `index`, retargeting sequencer branches to follow the move.
+  bool renumberPipeline(int index);
+
+  // Sequencer flow summary for the control-flow region (Figure 5's left
+  // panel, "reserved for control flow specifications"): one line per
+  // pipeline, e.g. "» 3 sweep B->A  brif c0 -> 0".
+  std::vector<std::string> controlFlowSummary() const;
+
+  // ---- Drawing operations (all checker-validated) ----
+  // Places an icon; picks the first free ALS of the right kind when `als`
+  // is not given.  Returns the icon id.
+  std::optional<int> placeIcon(IconKind kind, Point pos);
+  std::optional<int> placeIcon(IconKind kind, arch::AlsId als, Point pos);
+  bool moveIcon(int icon_id, Point pos);
+  bool deleteIcon(int icon_id);
+
+  bool connect(const arch::Endpoint& from, const arch::Endpoint& to);
+  bool disconnect(const arch::Endpoint& to);
+
+  // Popup-menu models.
+  std::vector<arch::Endpoint> connectionMenu(const arch::Endpoint& from);
+  std::vector<arch::OpCode> opMenu(arch::FuId fu);
+
+  bool setFuOp(arch::FuId fu, arch::OpCode op);
+  bool setConstInput(arch::FuId fu, int port, double value);
+  bool setAccumInput(arch::FuId fu, int port, double seed);
+  // Figure-9 subwindow commit.
+  bool setDma(const arch::Endpoint& endpoint, const prog::DmaSpec& spec);
+  bool setShiftDelay(arch::SdId sd, std::vector<int> taps);
+  bool setCond(arch::FuId fu, int reg);
+  void setSeq(const prog::SeqControl& seq);
+
+  // Replaces the current pipeline's semantic record wholesale, keeping the
+  // scene (used when importing externally built programs for display).
+  void overwriteSemantic(const prog::PipelineDiagram& semantic);
+
+  // ---- Undo / redo ----
+  bool undo();
+  bool redo();
+
+  // ---- Check / generate / extract ----
+  check::DiagnosticList checkCurrent();
+  check::DiagnosticList checkAll();
+  mc::GenerateResult generate() const;
+  prog::Program program() const;  // semantic content only
+
+  // ---- File I/O: both graphical and semantic data (paper, Section 4) ----
+  common::Status saveToFile(const std::string& path) const;
+  common::Status loadFromFile(const std::string& path);
+
+  // ---- Mouse-level interface (Figures 6 and 8) ----
+  Mode mode() const { return mode_; }
+  // Begin dragging a new icon out of the control-panel palette.
+  void beginPaletteDrag(IconKind kind);
+  void mouseDown(Point p);
+  void mouseMove(Point p);
+  void mouseUp(Point p);
+  // Rubber-band feedback: is the current hover target a legal destination?
+  std::optional<bool> hoverLegal() const { return hover_legal_; }
+
+ private:
+  PipelineDoc& docMut() { return docs_.at(static_cast<std::size_t>(current_)); }
+  void rebuildWireGeometry();
+  void snapshot();
+  bool refuse(const check::Diagnostic& diagnostic);
+  bool refuse(const std::string& message);
+  void note(const std::string& message) { message_ = message; }
+  Wire makeWire(const arch::Endpoint& from, const arch::Endpoint& to) const;
+  std::optional<arch::AlsId> firstFreeAls(arch::AlsKind kind) const;
+
+  const arch::Machine& machine_;
+  check::Checker checker_;
+  WindowLayout layout_;
+  std::vector<PipelineDoc> docs_;
+  int current_ = 0;
+  std::string message_;
+  EditorStats stats_;
+
+  struct Snapshot {
+    std::vector<PipelineDoc> docs;
+    int current;
+  };
+  std::vector<Snapshot> undo_stack_;
+  std::vector<Snapshot> redo_stack_;
+
+  // Mouse interaction state.
+  Mode mode_ = Mode::kIdle;
+  IconKind drag_kind_ = IconKind::kSinglet;
+  int drag_icon_ = 0;
+  Point drag_grab_;
+  arch::Endpoint band_from_;
+  std::optional<bool> hover_legal_;
+};
+
+// Endpoint parsing for session scripts and tests: "fu7.a", "fu7.out",
+// "plane3.read", "cache0.write", "sd1.tap2", "sd0.in".
+common::Result<arch::Endpoint> parseEndpoint(const std::string& text);
+
+}  // namespace nsc::ed

@@ -1,0 +1,41 @@
+// Integer pixel geometry for the editor's drawing surface.  Coordinates
+// live in the prototype's native space: a Sun-3 bit-mapped display of
+// 1152 x 900 pixels (paper, Section 5).
+#pragma once
+
+namespace nsc::ed {
+
+struct Point {
+  int x = 0;
+  int y = 0;
+  bool operator==(const Point&) const = default;
+};
+
+struct Rect {
+  int x = 0;
+  int y = 0;
+  int w = 0;
+  int h = 0;
+
+  bool contains(Point p) const {
+    return p.x >= x && p.x < x + w && p.y >= y && p.y < y + h;
+  }
+  Point center() const { return {x + w / 2, y + h / 2}; }
+  bool intersects(const Rect& o) const {
+    return x < o.x + o.w && o.x < x + w && y < o.y + o.h && o.y < y + h;
+  }
+  bool operator==(const Rect&) const = default;
+};
+
+// Sun-3 display and Figure-5 window layout.
+struct WindowLayout {
+  static constexpr int kScreenW = 1152;
+  static constexpr int kScreenH = 900;
+
+  Rect message_strip{0, 0, kScreenW, 28};             // errors/info, top
+  Rect control_flow{0, 28, 140, kScreenH - 28};       // left region
+  Rect drawing{140, 28, 812, kScreenH - 28};          // pipeline diagrams
+  Rect control_panel{952, 28, 200, kScreenH - 28};    // icons + buttons
+};
+
+}  // namespace nsc::ed

@@ -1,0 +1,203 @@
+#include "editor/scene.h"
+
+#include <algorithm>
+
+namespace nsc::ed {
+
+const char* iconKindName(IconKind kind) {
+  switch (kind) {
+    case IconKind::kSinglet: return "singlet";
+    case IconKind::kDoublet: return "doublet";
+    case IconKind::kDoubletBypass: return "doublet-bypass";
+    case IconKind::kTriplet: return "triplet";
+  }
+  return "?";
+}
+
+arch::AlsKind alsKindOf(IconKind kind) {
+  switch (kind) {
+    case IconKind::kSinglet: return arch::AlsKind::kSinglet;
+    case IconKind::kDoublet:
+    case IconKind::kDoubletBypass:
+      return arch::AlsKind::kDoublet;
+    case IconKind::kTriplet: return arch::AlsKind::kTriplet;
+  }
+  return arch::AlsKind::kSinglet;
+}
+
+int IconMetrics::iconHeight(IconKind kind) {
+  const int n = alsFuCount(alsKindOf(kind));
+  return n * kFuBox + (n - 1) * kFuGap + 8;
+}
+
+Rect Icon::fuRect(int slot) const {
+  return {pos.x + IconMetrics::kPadStub + 4,
+          pos.y + 4 + slot * (IconMetrics::kFuBox + IconMetrics::kFuGap),
+          IconMetrics::kFuBox, IconMetrics::kFuBox};
+}
+
+Point Icon::inputPad(int slot, int port) const {
+  const Rect r = fuRect(slot);
+  const int y = r.y + (port == 0 ? r.h / 3 : 2 * r.h / 3);
+  return {r.x - IconMetrics::kPadStub, y};
+}
+
+Point Icon::outputPad(int slot) const {
+  const Rect r = fuRect(slot);
+  return {r.x + r.w + IconMetrics::kPadStub, r.y + r.h / 2};
+}
+
+int Scene::addIcon(IconKind kind, arch::AlsId als, Point pos) {
+  Icon icon;
+  icon.id = next_id_++;
+  icon.kind = kind;
+  icon.als = als;
+  icon.pos = pos;
+  icons_.push_back(icon);
+  return icon.id;
+}
+
+bool Scene::removeIcon(int id) {
+  const auto it = std::find_if(icons_.begin(), icons_.end(),
+                               [id](const Icon& i) { return i.id == id; });
+  if (it == icons_.end()) return false;
+  icons_.erase(it);
+  return true;
+}
+
+Icon* Scene::findIcon(int id) {
+  for (Icon& i : icons_) {
+    if (i.id == id) return &i;
+  }
+  return nullptr;
+}
+
+const Icon* Scene::findIcon(int id) const {
+  for (const Icon& i : icons_) {
+    if (i.id == id) return &i;
+  }
+  return nullptr;
+}
+
+const Icon* Scene::iconForAls(arch::AlsId als) const {
+  for (const Icon& i : icons_) {
+    if (i.als == als) return &i;
+  }
+  return nullptr;
+}
+
+bool Scene::moveIcon(int id, Point pos) {
+  Icon* icon = findIcon(id);
+  if (icon == nullptr) return false;
+  icon->pos = pos;
+  return true;
+}
+
+void Scene::removeWiresTouching(arch::AlsId als, const arch::Machine& machine) {
+  const auto touches = [&](const arch::Endpoint& e) {
+    return (e.kind == arch::EndpointKind::kFuInput ||
+            e.kind == arch::EndpointKind::kFuOutput) &&
+           machine.fu(e.unit).als == als;
+  };
+  wires_.erase(std::remove_if(wires_.begin(), wires_.end(),
+                              [&](const Wire& w) {
+                                return touches(w.from) || touches(w.to);
+                              }),
+               wires_.end());
+}
+
+bool Scene::removeWireTo(const arch::Endpoint& to) {
+  const auto it = std::find_if(wires_.begin(), wires_.end(),
+                               [&](const Wire& w) { return w.to == to; });
+  if (it == wires_.end()) return false;
+  wires_.erase(it);
+  return true;
+}
+
+namespace {
+int dist2(Point a, Point b) {
+  const int dx = a.x - b.x;
+  const int dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+}  // namespace
+
+std::optional<PadHit> Scene::padAt(Point p, const arch::Machine& machine) const {
+  constexpr int r2 = IconMetrics::kPadRadius * IconMetrics::kPadRadius;
+  for (const Icon& icon : icons_) {
+    const arch::AlsInfo& als = machine.als(icon.als);
+    for (int slot = 0; slot < icon.fuCount(); ++slot) {
+      const arch::FuId fu = als.fus[static_cast<std::size_t>(slot)];
+      for (int port = 0; port < 2; ++port) {
+        const Point pad = icon.inputPad(slot, port);
+        if (dist2(p, pad) <= r2) {
+          return PadHit{arch::Endpoint::fuInput(fu, port), pad};
+        }
+      }
+      const Point out = icon.outputPad(slot);
+      if (dist2(p, out) <= r2) {
+        return PadHit{arch::Endpoint::fuOutput(fu), out};
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<FuHit> Scene::fuAt(Point p, const arch::Machine& machine) const {
+  for (const Icon& icon : icons_) {
+    for (int slot = 0; slot < icon.fuCount(); ++slot) {
+      if (icon.fuRect(slot).contains(p)) {
+        const arch::FuId fu =
+            machine.als(icon.als).fus[static_cast<std::size_t>(slot)];
+        return FuHit{fu, icon.id};
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+const Icon* Scene::iconAt(Point p) const {
+  for (const Icon& icon : icons_) {
+    if (icon.bounds().contains(p)) return &icon;
+  }
+  return nullptr;
+}
+
+std::optional<Point> Scene::padPosition(const arch::Endpoint& e,
+                                        const arch::Machine& machine) const {
+  if (e.kind != arch::EndpointKind::kFuInput &&
+      e.kind != arch::EndpointKind::kFuOutput) {
+    return std::nullopt;
+  }
+  const arch::FuInfo& fu = machine.fu(e.unit);
+  const Icon* icon = iconForAls(fu.als);
+  if (icon == nullptr) return std::nullopt;
+  if (e.kind == arch::EndpointKind::kFuInput) {
+    return icon->inputPad(fu.slot, e.port);
+  }
+  return icon->outputPad(fu.slot);
+}
+
+bool operator==(const Wire& a, const Wire& b) {
+  return a.from == b.from && a.to == b.to && a.points == b.points;
+}
+
+bool Scene::operator==(const Scene& other) const {
+  if (icons_.size() != other.icons_.size() ||
+      wires_.size() != other.wires_.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < icons_.size(); ++i) {
+    const Icon& a = icons_[i];
+    const Icon& b = other.icons_[i];
+    if (a.id != b.id || a.kind != b.kind || a.als != b.als || !(a.pos == b.pos)) {
+      return false;
+    }
+  }
+  for (std::size_t i = 0; i < wires_.size(); ++i) {
+    if (!(wires_[i] == other.wires_[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace nsc::ed

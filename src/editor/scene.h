@@ -1,0 +1,112 @@
+// Scene: the graphical half of a pipeline document.
+//
+// "Two types of internal data are distinguished.  One type consists of
+// information which is needed solely to manage the graphical display, such
+// as the position of images on the screen." (paper, Section 4.)  The scene
+// holds exactly that: icon placements, derived pad geometry, and wire
+// polylines.  Everything semantic lives in prog::PipelineDiagram.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "arch/machine.h"
+#include "editor/geometry.h"
+
+namespace nsc::ed {
+
+// The four palette icons of Figure 4.  A doublet may be drawn in bypass
+// form (operating as a singlet with one unit greyed out).
+enum class IconKind { kSinglet, kDoublet, kDoubletBypass, kTriplet };
+
+const char* iconKindName(IconKind kind);
+arch::AlsKind alsKindOf(IconKind kind);
+
+// Pixel geometry of the ALS icons.
+struct IconMetrics {
+  static constexpr int kFuBox = 44;     // functional-unit square side
+  static constexpr int kFuGap = 10;
+  static constexpr int kPadStub = 10;   // wire stub outside the body
+  static constexpr int kPadRadius = 6;  // hit radius of an I/O pad
+
+  static int iconWidth() { return kFuBox + 2 * kPadStub + 8; }
+  static int iconHeight(IconKind kind);
+};
+
+struct Icon {
+  int id = 0;
+  IconKind kind = IconKind::kSinglet;
+  arch::AlsId als = 0;
+  Point pos;  // top-left corner
+
+  Rect bounds() const {
+    return {pos.x, pos.y, IconMetrics::iconWidth(),
+            IconMetrics::iconHeight(kind)};
+  }
+  int fuCount() const { return alsFuCount(alsKindOf(kind)); }
+  // Rect of the FU square for a slot (for op-menu hit testing and render).
+  Rect fuRect(int slot) const;
+  // Pad centers: input port 0/1 on the left edge, output on the right.
+  Point inputPad(int slot, int port) const;
+  Point outputPad(int slot) const;
+};
+
+struct Wire {
+  arch::Endpoint from;
+  arch::Endpoint to;
+  // Polyline in pixels; empty for off-icon endpoints rendered as labeled
+  // stubs (memory/cache/shift-delay connections, which have no icon in the
+  // prototype — paper, Section 5).
+  std::vector<Point> points;
+};
+
+// What a mouse position hits, most specific first.
+struct PadHit {
+  arch::Endpoint endpoint;
+  Point center;
+};
+struct FuHit {
+  arch::FuId fu = 0;
+  int icon_id = 0;
+};
+
+class Scene {
+ public:
+  const std::vector<Icon>& icons() const { return icons_; }
+  const std::vector<Wire>& wires() const { return wires_; }
+  std::vector<Wire>& wires() { return wires_; }
+
+  // Returns the new icon's id.
+  int addIcon(IconKind kind, arch::AlsId als, Point pos);
+  bool removeIcon(int id);
+  Icon* findIcon(int id);
+  const Icon* findIcon(int id) const;
+  const Icon* iconForAls(arch::AlsId als) const;
+  bool moveIcon(int id, Point pos);
+
+  void addWire(Wire wire) { wires_.push_back(std::move(wire)); }
+  void removeWiresTouching(arch::AlsId als, const arch::Machine& machine);
+  bool removeWireTo(const arch::Endpoint& to);
+  void clearWires() { wires_.clear(); }
+
+  // Hit testing (drawing-area coordinates).
+  std::optional<PadHit> padAt(Point p, const arch::Machine& machine) const;
+  std::optional<FuHit> fuAt(Point p, const arch::Machine& machine) const;
+  const Icon* iconAt(Point p) const;
+
+  // Pad center for an endpoint, if its ALS icon is present.
+  std::optional<Point> padPosition(const arch::Endpoint& e,
+                                   const arch::Machine& machine) const;
+
+  bool operator==(const Scene&) const;
+
+ private:
+  std::vector<Icon> icons_;
+  std::vector<Wire> wires_;
+  int next_id_ = 1;
+};
+
+bool operator==(const Wire& a, const Wire& b);
+
+}  // namespace nsc::ed

@@ -1,0 +1,44 @@
+// SessionScript: a textual record of editor interactions, replayable
+// against an Editor.  Tests, benches, and the editor_session example use
+// scripts to reproduce the paper's Figures 5-11 workflow deterministically
+// (the headless stand-in for a human at the Sun-3).
+//
+// Script grammar (one command per line, '#' comments):
+//   pipeline NAME                     select-or-create pipeline by name
+//   place KIND [als N] at X,Y         KIND: singlet|doublet|doublet-bypass|triplet
+//   drag KIND to X,Y                  palette drag via mouse events
+//   connect FROM TO                   endpoints like plane0.read, fu20.a
+//   band FROM TO                      rubber-band connect via mouse events
+//   setop FUID OPNAME
+//   const FUID PORT VALUE             PORT: a|b
+//   accum FUID PORT SEED
+//   dma ENDPOINT base=N stride=N count=N [count2=N stride2=N buf=N swap] [var=NAME]
+//   sd N taps=D0,D1,...
+//   cond FUID REG
+//   seq OP [target=N] [reg=N] [count=N]    OP: next|jump|brif|brnot|loop|halt
+//   undo | redo | check | select N
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "editor/editor.h"
+
+namespace nsc::ed {
+
+struct SessionResult {
+  int commands = 0;
+  int failures = 0;                  // commands the editor refused
+  std::vector<std::string> log;      // message strip after each command
+  common::Status status = common::Status::ok();  // parse-level problems
+
+  bool clean() const { return status.isOk() && failures == 0; }
+};
+
+// Parses and replays `script` against `editor`, stopping at parse errors
+// (refused editor actions are recorded but do not stop the replay — the
+// paper's editor refuses and lets the user continue).
+SessionResult runSession(Editor& editor, const std::string& script);
+
+}  // namespace nsc::ed

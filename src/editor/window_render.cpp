@@ -1,0 +1,250 @@
+#include "editor/window_render.h"
+
+#include "common/strings.h"
+#include "render/canvas.h"
+#include "render/svg.h"
+
+namespace nsc::ed {
+
+using common::strFormat;
+using render::AsciiCanvas;
+using render::SvgBuilder;
+
+namespace {
+
+// Pixel -> character cell scaling (1152x900 -> 144x60 canvas).
+constexpr int kSx = 8;
+constexpr int kSy = 15;
+int cx(int px) { return px / kSx; }
+int cy(int py) { return py / kSy; }
+
+struct DiagramPainter {
+  const Editor& editor;
+  AsciiCanvas& canvas;
+  int ox = 0;  // pixel offset subtracted before scaling
+  int oy = 0;
+
+  int X(int px) const { return cx(px - ox); }
+  int Y(int py) const { return cy(py - oy); }
+
+  void icon(const Icon& icon) {
+    const arch::Machine& m = editor.machine();
+    const arch::AlsInfo& als = m.als(icon.als);
+    const prog::AlsUse* use = editor.doc().semantic.findAls(icon.als);
+    const Rect b = icon.bounds();
+    canvas.box(X(b.x), Y(b.y), std::max(8, cx(b.w)), std::max(3, cy(b.h) + 1));
+    for (int slot = 0; slot < icon.fuCount(); ++slot) {
+      const Rect fr = icon.fuRect(slot);
+      const arch::FuId fu = als.fus[static_cast<std::size_t>(slot)];
+      const bool double_box = (m.fu(fu).caps & arch::kCapIntLogic) != 0;
+      const int bx = X(fr.x), by = Y(fr.y);
+      const int bw = std::max(8, cx(fr.w)), bh = std::max(3, cy(fr.h));
+      canvas.box(bx, by, bw, bh);
+      if (double_box) {  // "double box" units have integer/logical circuitry
+        canvas.box(bx + 1, by, bw - 2, bh);
+      }
+      std::string label = strFormat("%d", fu);
+      if (use != nullptr && use->fu[static_cast<std::size_t>(slot)].enabled) {
+        label = arch::opInfo(use->fu[static_cast<std::size_t>(slot)].op).name;
+      } else if (use != nullptr && use->bypass && slot == 1) {
+        label = "byp";
+      }
+      canvas.text(bx + 1, by + 1, label.substr(0, static_cast<std::size_t>(bw - 2)));
+      // I/O pads.
+      const Point ia = icon.inputPad(slot, 0);
+      const Point ib = icon.inputPad(slot, 1);
+      const Point out = icon.outputPad(slot);
+      canvas.set(X(ia.x), Y(ia.y), 'o');
+      canvas.set(X(ib.x), Y(ib.y), 'o');
+      canvas.set(X(out.x), Y(out.y), 'o');
+    }
+    canvas.text(X(b.x), Y(b.y), strFormat("ALS%d", icon.als));
+  }
+
+  void wire(const Wire& w) {
+    const arch::Machine& m = editor.machine();
+    const auto p0 = editor.doc().scene.padPosition(w.from, m);
+    const auto p1 = editor.doc().scene.padPosition(w.to, m);
+    if (p0.has_value() && p1.has_value()) {
+      canvas.route(X(p0->x), Y(p0->y), X(p1->x), Y(p1->y));
+    } else if (p1.has_value()) {
+      // Off-icon source (memory/cache/shift-delay): labeled stub.
+      const std::string label = w.from.toString() + ">";
+      canvas.text(X(p1->x) - static_cast<int>(label.size()) - 1, Y(p1->y),
+                  label);
+      canvas.set(X(p1->x), Y(p1->y), '*');
+    } else if (p0.has_value()) {
+      const std::string label = ">" + w.to.toString();
+      canvas.text(X(p0->x) + 1, Y(p0->y), label);
+    }
+  }
+
+  void all() {
+    for (const Icon& i : editor.doc().scene.icons()) icon(i);
+    for (const Wire& w : editor.doc().scene.wires()) wire(w);
+  }
+};
+
+}  // namespace
+
+std::string renderDiagramAscii(const Editor& editor) {
+  const WindowLayout& layout = editor.layout();
+  AsciiCanvas canvas(cx(layout.drawing.w) + 2, cy(layout.drawing.h) + 2);
+  DiagramPainter painter{editor, canvas, layout.drawing.x, layout.drawing.y};
+  painter.all();
+  return canvas.toString();
+}
+
+std::string renderWindowAscii(const Editor& editor) {
+  const WindowLayout& layout = editor.layout();
+  AsciiCanvas canvas(WindowLayout::kScreenW / kSx + 1,
+                     WindowLayout::kScreenH / kSy + 1);
+
+  // Frames for the four regions of Figure 5.
+  auto frame = [&](const Rect& r, const std::string& title) {
+    canvas.box(cx(r.x), cy(r.y), cx(r.w), cy(r.h), title);
+  };
+  frame(layout.message_strip, "");
+  frame(layout.control_flow, "control flow");
+  frame(layout.drawing, "");
+  frame(layout.control_panel, "control panel");
+
+  // Message strip content.
+  canvas.text(cx(layout.message_strip.x) + 1, cy(layout.message_strip.y) + 1,
+              editor.message().substr(0, 130));
+
+  // Control-flow region: the sequencer flow of every pipeline (name line,
+  // then an indented flow line when control does not just fall through).
+  {
+    int fy = cy(layout.control_flow.y) + 2;
+    const int fx = cx(layout.control_flow.x) + 1;
+    const int fy_max = cy(layout.control_flow.y + layout.control_flow.h) - 1;
+    for (const std::string& line : editor.controlFlowSummary()) {
+      if (fy >= fy_max) break;
+      const auto split = line.find("  ", 4);
+      canvas.text(fx, fy++, line.substr(0, std::min(split, std::size_t{16})));
+      if (split != std::string::npos && fy < fy_max) {
+        canvas.text(fx + 1, fy++, line.substr(split + 2, 15));
+      }
+    }
+  }
+
+  // Control panel: palette and buttons.
+  const int px = cx(layout.control_panel.x) + 2;
+  int py = cy(layout.control_panel.y) + 2;
+  canvas.text(px, py++, "[singlet]");
+  canvas.text(px, py++, "[doublet]");
+  canvas.text(px, py++, "[doublet/1]");
+  canvas.text(px, py++, "[triplet]");
+  ++py;
+  for (const char* button :
+       {"insert", "delete", "copy", "renumber", "<< back", "fwd >>", "jump",
+        "save", "check", "generate"}) {
+    canvas.text(px, py++, strFormat("(%s)", button));
+  }
+  canvas.text(px, py + 1,
+              strFormat("pipe %d/%d", editor.currentIndex() + 1,
+                        editor.pipelineCount()));
+
+  // Pipeline name in the drawing area corner.
+  canvas.text(cx(layout.drawing.x) + 2, cy(layout.drawing.y) + 1,
+              editor.doc().semantic.name);
+
+  // The diagram itself.
+  DiagramPainter painter{editor, canvas, 0, 0};
+  painter.all();
+  return canvas.toString();
+}
+
+std::string renderIconAscii(IconKind kind) {
+  arch::Machine machine;  // default machine for capability flags
+  Editor editor(machine);
+  // Place a lone icon near the drawing-area origin and render just it.
+  const Point origin{editor.layout().drawing.x + 16,
+                     editor.layout().drawing.y + 16};
+  editor.placeIcon(kind, origin);
+  return renderDiagramAscii(editor);
+}
+
+namespace {
+
+void svgDiagram(const Editor& editor, SvgBuilder& svg) {
+  const arch::Machine& m = editor.machine();
+  const prog::PipelineDiagram& semantic = editor.doc().semantic;
+  for (const Icon& icon : editor.doc().scene.icons()) {
+    const Rect b = icon.bounds();
+    svg.rect(b.x, b.y, b.w, b.h);
+    svg.text(b.x, b.y - 3, strFormat("ALS%d", icon.als), 10);
+    const arch::AlsInfo& als = m.als(icon.als);
+    const prog::AlsUse* use = semantic.findAls(icon.als);
+    for (int slot = 0; slot < icon.fuCount(); ++slot) {
+      const Rect fr = icon.fuRect(slot);
+      svg.rect(fr.x, fr.y, fr.w, fr.h);
+      const arch::FuId fu = als.fus[static_cast<std::size_t>(slot)];
+      if (m.fu(fu).caps & arch::kCapIntLogic) {
+        svg.rect(fr.x + 3, fr.y + 3, fr.w - 6, fr.h - 6);
+      }
+      std::string label = strFormat("fu%d", fu);
+      if (use != nullptr && use->fu[static_cast<std::size_t>(slot)].enabled) {
+        label = arch::opInfo(use->fu[static_cast<std::size_t>(slot)].op).name;
+      }
+      svg.text(fr.center().x, fr.center().y + 4, label, 10, "middle");
+      for (int port = 0; port < 2; ++port) {
+        const Point p = icon.inputPad(slot, port);
+        svg.circle(p.x, p.y, 3);
+        svg.line(p.x, p.y, fr.x, p.y);
+      }
+      const Point out = icon.outputPad(slot);
+      svg.circle(out.x, out.y, 3);
+      svg.line(fr.x + fr.w, out.y, out.x, out.y);
+    }
+  }
+  for (const Wire& w : editor.doc().scene.wires()) {
+    const auto p0 = editor.doc().scene.padPosition(w.from, m);
+    const auto p1 = editor.doc().scene.padPosition(w.to, m);
+    if (p0.has_value() && p1.has_value()) {
+      svg.route(p0->x, p0->y, p1->x, p1->y);
+    } else if (p1.has_value()) {
+      svg.text(p1->x - 6, p1->y + 3, w.from.toString(), 9, "end");
+    } else if (p0.has_value()) {
+      svg.text(p0->x + 6, p0->y + 3, w.to.toString(), 9);
+    }
+  }
+}
+
+}  // namespace
+
+std::string renderDiagramSvg(const Editor& editor) {
+  SvgBuilder svg(WindowLayout::kScreenW, WindowLayout::kScreenH);
+  svgDiagram(editor, svg);
+  return svg.finish();
+}
+
+std::string renderWindowSvg(const Editor& editor) {
+  const WindowLayout& layout = editor.layout();
+  SvgBuilder svg(WindowLayout::kScreenW, WindowLayout::kScreenH);
+  auto frame = [&](const Rect& r) { svg.rect(r.x, r.y, r.w, r.h); };
+  frame(layout.message_strip);
+  frame(layout.control_flow);
+  frame(layout.drawing);
+  frame(layout.control_panel);
+  svg.text(layout.message_strip.x + 6, layout.message_strip.y + 19,
+           editor.message(), 12);
+  svg.text(layout.control_flow.x + 6, layout.control_flow.y + 20,
+           "control flow", 11);
+  int y = layout.control_panel.y + 24;
+  for (const char* entry :
+       {"singlet", "doublet", "doublet/1", "triplet", "", "insert", "delete",
+        "copy", "renumber", "back", "fwd", "jump", "save", "check",
+        "generate"}) {
+    if (entry[0] != '\0') {
+      svg.rect(layout.control_panel.x + 10, y - 14, 180, 20);
+      svg.text(layout.control_panel.x + 100, y, entry, 11, "middle");
+    }
+    y += 26;
+  }
+  svgDiagram(editor, svg);
+  return svg.finish();
+}
+
+}  // namespace nsc::ed

@@ -1,0 +1,183 @@
+#include "microcode/disasm.h"
+
+#include "common/strings.h"
+
+namespace nsc::mc {
+
+using arch::Endpoint;
+using arch::MicrowordSpec;
+using common::strFormat;
+
+namespace {
+
+const char* inputSelName(std::uint64_t raw) {
+  return inputSelectName(static_cast<arch::InputSelect>(raw));
+}
+
+}  // namespace
+
+std::string disassemble(const arch::Machine& machine,
+                        const arch::MicrowordSpec& spec,
+                        const common::BitVector& word) {
+  std::string out;
+
+  for (const arch::FuInfo& fu : machine.fus()) {
+    if (spec.get(word, MicrowordSpec::fuField(fu.id, "enable")) == 0) continue;
+    const auto op = static_cast<arch::OpCode>(
+        spec.get(word, MicrowordSpec::fuField(fu.id, "opcode")));
+    const std::uint64_t a =
+        spec.get(word, MicrowordSpec::fuField(fu.id, "in_a_sel"));
+    const std::uint64_t b =
+        spec.get(word, MicrowordSpec::fuField(fu.id, "in_b_sel"));
+    const auto mode = static_cast<arch::RfMode>(
+        spec.get(word, MicrowordSpec::fuField(fu.id, "rf_mode")));
+    out += strFormat("  fu%02d (als%02d.%d): %-6s a=%-8s b=%-8s", fu.id,
+                     fu.als, fu.slot, arch::opInfo(op).name, inputSelName(a),
+                     inputSelName(b));
+    if (mode == arch::RfMode::kDelay) {
+      out += strFormat(" rf=delay %llu on %c",
+                       static_cast<unsigned long long>(spec.get(
+                           word, MicrowordSpec::fuField(fu.id, "rf_delay"))),
+                       spec.get(word, MicrowordSpec::fuField(fu.id, "rf_addr")) ? 'b' : 'a');
+    } else if (mode == arch::RfMode::kAccum) {
+      out += strFormat(" rf=accum seed@r%llu",
+                       static_cast<unsigned long long>(spec.get(
+                           word, MicrowordSpec::fuField(fu.id, "rf_addr"))));
+    } else if (a == static_cast<std::uint64_t>(arch::InputSelect::kRegisterFile) ||
+               b == static_cast<std::uint64_t>(arch::InputSelect::kRegisterFile)) {
+      out += strFormat(" rf=const@r%llu",
+                       static_cast<unsigned long long>(spec.get(
+                           word, MicrowordSpec::fuField(fu.id, "rf_addr"))));
+    }
+    out += '\n';
+  }
+
+  for (std::size_t d = 0; d < machine.destinations().size(); ++d) {
+    const std::uint64_t sel =
+        spec.get(word, MicrowordSpec::switchField(static_cast<int>(d)));
+    if (sel == 0) continue;
+    const Endpoint& src = machine.sources()[sel - 1];
+    out += strFormat("  route %-14s -> %s\n", src.toString().c_str(),
+                     machine.destinations()[d].toString().c_str());
+  }
+
+  for (arch::PlaneId p = 0; p < machine.config().num_memory_planes; ++p) {
+    const std::uint64_t mode =
+        spec.get(word, MicrowordSpec::planeField(p, "mode"));
+    if (mode == 0) continue;
+    out += strFormat(
+        "  plane%02d %s base=%llu stride=%lld count=%llu", p,
+        mode == 1 ? "read " : "write",
+        static_cast<unsigned long long>(
+            spec.get(word, MicrowordSpec::planeField(p, "base"))),
+        static_cast<long long>(
+            spec.getSigned(word, MicrowordSpec::planeField(p, "stride"))),
+        static_cast<unsigned long long>(
+            spec.get(word, MicrowordSpec::planeField(p, "count"))));
+    const std::uint64_t count2 =
+        spec.get(word, MicrowordSpec::planeField(p, "count2"));
+    if (count2 > 1) {
+      out += strFormat(" x%llu rows stride2=%lld",
+                       static_cast<unsigned long long>(count2),
+                       static_cast<long long>(spec.getSigned(
+                           word, MicrowordSpec::planeField(p, "stride2"))));
+    }
+    out += '\n';
+  }
+
+  for (arch::CacheId c = 0; c < machine.config().num_caches; ++c) {
+    const std::uint64_t mode =
+        spec.get(word, MicrowordSpec::cacheField(c, "mode"));
+    if (mode == 0) continue;
+    out += strFormat(
+        "  cache%02d %s%s buf=%llu base=%llu stride=%lld count=%llu%s\n", c,
+        (mode & 1) ? "read" : "", (mode & 2) ? ((mode & 1) ? "+fill" : "fill") : "",
+        static_cast<unsigned long long>(
+            spec.get(word, MicrowordSpec::cacheField(c, "read_buffer"))),
+        static_cast<unsigned long long>(
+            spec.get(word, MicrowordSpec::cacheField(c, "base"))),
+        static_cast<long long>(
+            spec.getSigned(word, MicrowordSpec::cacheField(c, "stride"))),
+        static_cast<unsigned long long>(
+            spec.get(word, MicrowordSpec::cacheField(c, "count"))),
+        spec.get(word, MicrowordSpec::cacheField(c, "swap")) ? " swap" : "");
+  }
+
+  for (arch::SdId s = 0; s < machine.config().num_shift_delay; ++s) {
+    if (spec.get(word, MicrowordSpec::sdField(s, "enable")) == 0) continue;
+    out += strFormat("  sd%d taps:", s);
+    for (int t = 0; t < machine.config().sd_taps; ++t) {
+      out += strFormat(" %llu",
+                       static_cast<unsigned long long>(spec.get(
+                           word, MicrowordSpec::sdField(s, strFormat("tap%d", t)))));
+    }
+    out += '\n';
+  }
+
+  if (spec.get(word, "cond.enable") != 0) {
+    out += strFormat("  cond: latch c%llu from fu%02llu\n",
+                     static_cast<unsigned long long>(spec.get(word, "cond.reg")),
+                     static_cast<unsigned long long>(spec.get(word, "cond.src_fu")));
+  }
+
+  const auto seq_op = static_cast<arch::SeqOp>(spec.get(word, "seq.op"));
+  out += strFormat("  seq: %s", seqOpName(seq_op));
+  if (seq_op == arch::SeqOp::kJump || seq_op == arch::SeqOp::kBranchIf ||
+      seq_op == arch::SeqOp::kBranchNot || seq_op == arch::SeqOp::kLoop) {
+    out += strFormat(" -> %llu",
+                     static_cast<unsigned long long>(spec.get(word, "seq.target")));
+  }
+  if (seq_op == arch::SeqOp::kBranchIf || seq_op == arch::SeqOp::kBranchNot) {
+    out += strFormat(" on c%llu",
+                     static_cast<unsigned long long>(spec.get(word, "seq.cond_reg")));
+  }
+  if (seq_op == arch::SeqOp::kLoop) {
+    out += strFormat(" x%llu",
+                     static_cast<unsigned long long>(spec.get(word, "seq.count")));
+  }
+  out += '\n';
+  return out;
+}
+
+std::string listing(const arch::Machine& machine,
+                    const arch::MicrowordSpec& spec, const Executable& exe) {
+  std::string out;
+  for (std::size_t i = 0; i < exe.words.size(); ++i) {
+    out += strFormat("%03zu: %s\n", i,
+                     i < exe.names.size() ? exe.names[i].c_str() : "");
+    out += disassemble(machine, spec, exe.words[i]);
+  }
+  if (!exe.rf_images.empty()) {
+    out += "register-file images:\n";
+    for (const auto& [fu, image] : exe.rf_images) {
+      out += strFormat("  fu%02d:", fu);
+      for (double v : image) out += strFormat(" %g", v);
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+std::string fieldDump(const arch::MicrowordSpec& spec,
+                      const common::BitVector& word) {
+  std::string out;
+  for (const arch::MicroField& f : spec.fields()) {
+    const std::uint64_t v = word.field(f.offset, f.width);
+    if (v != 0) {
+      out += strFormat("%s=%llu\n", f.name.c_str(),
+                       static_cast<unsigned long long>(v));
+    }
+  }
+  return out;
+}
+
+std::size_t nonZeroFieldCount(const arch::MicrowordSpec& spec,
+                              const common::BitVector& word) {
+  std::size_t n = 0;
+  for (const arch::MicroField& f : spec.fields()) {
+    n += word.field(f.offset, f.width) != 0;
+  }
+  return n;
+}
+
+}  // namespace nsc::mc

@@ -1,0 +1,36 @@
+// Microcode disassembler: turns microwords back into readable listings —
+// the "reams of textual microassembler code" (paper, Section 6) that the
+// visual environment replaces.  Used by tests (field-level golden checks),
+// by the usability bench (counting what a textual programmer must write),
+// and by the quickstart example.
+#pragma once
+
+#include <string>
+
+#include "arch/machine.h"
+#include "arch/microword_spec.h"
+#include "common/bitvector.h"
+#include "microcode/generator.h"
+
+namespace nsc::mc {
+
+// Structured one-instruction listing: active FUs, switch routes, DMA
+// programs, shift/delay taps, condition latch, sequencer action.
+std::string disassemble(const arch::Machine& machine,
+                        const arch::MicrowordSpec& spec,
+                        const common::BitVector& word);
+
+// Full program listing.
+std::string listing(const arch::Machine& machine,
+                    const arch::MicrowordSpec& spec, const Executable& exe);
+
+// Raw dump of every non-zero field as "name=value" lines (golden tests).
+std::string fieldDump(const arch::MicrowordSpec& spec,
+                      const common::BitVector& word);
+
+// Number of non-zero fields in the word — how many microassembler fields a
+// textual programmer would have had to write by hand.
+std::size_t nonZeroFieldCount(const arch::MicrowordSpec& spec,
+                              const common::BitVector& word);
+
+}  // namespace nsc::mc

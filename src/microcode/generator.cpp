@@ -1,0 +1,204 @@
+#include "microcode/generator.h"
+
+#include <cmath>
+
+#include "common/strings.h"
+#include "program/timing.h"
+
+namespace nsc::mc {
+
+using arch::Endpoint;
+using arch::EndpointKind;
+using arch::MicrowordSpec;
+using common::strFormat;
+
+int Generator::allocRfSlot(std::vector<double>& image, double value) const {
+  for (std::size_t i = 0; i < image.size(); ++i) {
+    if (image[i] == value || (std::isnan(image[i]) && std::isnan(value))) {
+      return static_cast<int>(i);
+    }
+  }
+  if (static_cast<int>(image.size()) >=
+      machine_.config().register_file_words) {
+    return -1;
+  }
+  image.push_back(value);
+  return static_cast<int>(image.size()) - 1;
+}
+
+void Generator::encodeDiagram(
+    const prog::PipelineDiagram& diagram, common::BitVector& word,
+    std::map<arch::FuId, std::vector<double>>& rf_images,
+    check::DiagnosticList& diagnostics) const {
+  // --- Functional units and ALS configuration ---
+  for (const prog::AlsUse& use : diagram.als_uses) {
+    const arch::AlsInfo& info = machine_.als(use.als);
+    spec_.set(word, strFormat("als%02d.bypass", use.als), use.bypass ? 1 : 0);
+    for (std::size_t slot = 0; slot < use.fu.size() && slot < info.fus.size();
+         ++slot) {
+      const prog::FuUse& fu = use.fu[slot];
+      if (!fu.enabled) continue;
+      const arch::FuId id = info.fus[slot];
+      spec_.set(word, MicrowordSpec::fuField(id, "enable"), 1);
+      spec_.set(word, MicrowordSpec::fuField(id, "opcode"),
+                static_cast<std::uint64_t>(fu.op));
+      spec_.set(word, MicrowordSpec::fuField(id, "in_a_sel"),
+                static_cast<std::uint64_t>(fu.in_a));
+      spec_.set(word, MicrowordSpec::fuField(id, "in_b_sel"),
+                static_cast<std::uint64_t>(fu.in_b));
+      spec_.set(word, MicrowordSpec::fuField(id, "rf_mode"),
+                static_cast<std::uint64_t>(fu.rf_mode));
+      // The delay field carries (port << shift)?  No: the queue serves one
+      // input; encode the port in the low bit of rf_mode's companion by
+      // convention: delay value in rf_delay, served port in bit 0 of
+      // rf_addr when in delay mode.  Constants and accumulator seeds use
+      // rf_addr as a register-file address instead.
+      spec_.set(word, MicrowordSpec::fuField(id, "rf_delay"),
+                static_cast<std::uint64_t>(fu.rf_delay));
+      const bool needs_const =
+          fu.in_a == arch::InputSelect::kRegisterFile ||
+          fu.in_b == arch::InputSelect::kRegisterFile ||
+          fu.rf_mode == arch::RfMode::kAccum;
+      if (needs_const) {
+        auto& image = rf_images[id];
+        const int addr = allocRfSlot(image, fu.rf_constant);
+        if (addr < 0) {
+          diagnostics.error(check::Rule::kRfDelayRange,
+                            strFormat("fu%d register file is full", id));
+          continue;
+        }
+        spec_.set(word, MicrowordSpec::fuField(id, "rf_addr"),
+                  static_cast<std::uint64_t>(addr));
+      } else if (fu.rf_mode == arch::RfMode::kDelay) {
+        spec_.set(word, MicrowordSpec::fuField(id, "rf_addr"),
+                  static_cast<std::uint64_t>(fu.rf_delay_port & 1));
+      }
+    }
+  }
+
+  // --- Switch settings, derived from the connection tables ---
+  for (const prog::Connection& c : diagram.connections) {
+    const bool chain = c.from.kind == EndpointKind::kFuOutput &&
+                       c.to.kind == EndpointKind::kFuInput &&
+                       machine_.isChainPath(c.from.unit, c.to.unit);
+    if (chain) continue;  // hardwired internal ALS path, no switch port
+    const int src = machine_.sourceIndex(c.from);
+    const int dst = machine_.destinationIndex(c.to);
+    if (src < 0 || dst < 0) {
+      diagnostics.error(check::Rule::kEndpointRange,
+                        "unroutable connection " + c.toString());
+      continue;
+    }
+    spec_.set(word, MicrowordSpec::switchField(dst),
+              static_cast<std::uint64_t>(src) + 1);
+  }
+
+  // --- DMA engines ---
+  std::uint64_t irq_mask = 0;
+  for (const auto& [endpoint, dma] : diagram.dma) {
+    switch (endpoint.kind) {
+      case EndpointKind::kPlaneRead:
+      case EndpointKind::kPlaneWrite: {
+        const arch::PlaneId p = endpoint.unit;
+        spec_.set(word, MicrowordSpec::planeField(p, "mode"),
+                  endpoint.kind == EndpointKind::kPlaneRead ? 1 : 2);
+        spec_.set(word, MicrowordSpec::planeField(p, "base"), dma.base);
+        spec_.setSigned(word, MicrowordSpec::planeField(p, "stride"),
+                        dma.stride);
+        spec_.set(word, MicrowordSpec::planeField(p, "count"), dma.count);
+        spec_.set(word, MicrowordSpec::planeField(p, "count2"), dma.count2);
+        spec_.setSigned(word, MicrowordSpec::planeField(p, "stride2"),
+                        dma.stride2);
+        irq_mask |= std::uint64_t{1} << (p % 16);
+        break;
+      }
+      case EndpointKind::kCacheRead:
+      case EndpointKind::kCacheWrite: {
+        const arch::CacheId c = endpoint.unit;
+        // Read and write sides share mode bits: 1 read, 2 write, 3 both.
+        const std::uint64_t prev =
+            spec_.get(word, MicrowordSpec::cacheField(c, "mode"));
+        const std::uint64_t bit =
+            endpoint.kind == EndpointKind::kCacheRead ? 1 : 2;
+        spec_.set(word, MicrowordSpec::cacheField(c, "mode"), prev | bit);
+        spec_.set(word, MicrowordSpec::cacheField(c, "read_buffer"),
+                  static_cast<std::uint64_t>(dma.read_buffer));
+        spec_.set(word, MicrowordSpec::cacheField(c, "base"), dma.base);
+        spec_.setSigned(word, MicrowordSpec::cacheField(c, "stride"),
+                        dma.stride);
+        spec_.set(word, MicrowordSpec::cacheField(c, "count"), dma.count);
+        if (dma.swap_buffers) {
+          spec_.set(word, MicrowordSpec::cacheField(c, "swap"), 1);
+        }
+        break;
+      }
+      default:
+        diagnostics.error(check::Rule::kDmaMissing,
+                          "DMA spec attached to " + endpoint.toString());
+    }
+  }
+  spec_.set(word, "irq.mask", irq_mask);
+
+  // --- Shift/delay units ---
+  for (const prog::ShiftDelayUse& use : diagram.sd_uses) {
+    spec_.set(word, MicrowordSpec::sdField(use.sd, "enable"), 1);
+    for (std::size_t t = 0; t < use.tap_delays.size(); ++t) {
+      spec_.set(word,
+                MicrowordSpec::sdField(use.sd, strFormat("tap%zu", t)),
+                static_cast<std::uint64_t>(use.tap_delays[t]));
+    }
+  }
+
+  // --- Condition latch and sequencer ---
+  if (diagram.cond.has_value()) {
+    spec_.set(word, "cond.enable", 1);
+    spec_.set(word, "cond.src_fu",
+              static_cast<std::uint64_t>(diagram.cond->src_fu));
+    spec_.set(word, "cond.reg",
+              static_cast<std::uint64_t>(diagram.cond->cond_reg));
+  }
+  spec_.set(word, "seq.op", static_cast<std::uint64_t>(diagram.seq.op));
+  spec_.set(word, "seq.target", static_cast<std::uint64_t>(diagram.seq.target));
+  spec_.set(word, "seq.cond_reg",
+            static_cast<std::uint64_t>(diagram.seq.cond_reg));
+  spec_.set(word, "seq.count", static_cast<std::uint64_t>(diagram.seq.count));
+}
+
+GenerateResult Generator::generate(const prog::Program& program,
+                                   const GenerateOptions& options) const {
+  GenerateResult result;
+  result.balanced = program;
+
+  if (options.auto_balance) {
+    for (std::size_t i = 0; i < result.balanced.size(); ++i) {
+      const int inserted =
+          prog::balanceDelays(machine_, result.balanced[i]);
+      if (inserted < 0) {
+        result.diagnostics.error(
+            check::Rule::kTimingAlignment,
+            "pipeline cannot be balanced with register-file delays",
+            static_cast<int>(i));
+      }
+    }
+  }
+
+  if (options.run_checker) {
+    result.diagnostics.append(checker_.checkProgram(result.balanced));
+  }
+  if (result.diagnostics.hasErrors()) {
+    result.ok = false;
+    return result;
+  }
+
+  for (std::size_t i = 0; i < result.balanced.size(); ++i) {
+    common::BitVector word = spec_.makeWord();
+    encodeDiagram(result.balanced[i], word, result.exe.rf_images,
+                  result.diagnostics);
+    result.exe.words.push_back(std::move(word));
+    result.exe.names.push_back(result.balanced[i].name);
+  }
+  result.ok = !result.diagnostics.hasErrors();
+  return result;
+}
+
+}  // namespace nsc::mc

@@ -1,0 +1,77 @@
+// Microcode generation: semantic pipeline diagrams -> machine instructions.
+//
+// "Once a complete program (or consistent program fragment) has been
+// defined, the microcode generator uses the semantic data structures
+// created by the graphical editor to generate machine code for the NSC.
+// The checker is invoked again at this point to perform a thorough check
+// of global constraints."  (paper, Section 4.)
+//
+// The generator also "derive[s] switch settings by interrogating the
+// connection tables built by the graphical editor" (Section 5) and inserts
+// the register-file timing delays the diagrams need (delay balancing).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "arch/machine.h"
+#include "arch/microword_spec.h"
+#include "checker/checker.h"
+#include "common/bitvector.h"
+#include "program/program.h"
+
+namespace nsc::mc {
+
+// A loaded NSC program: the microwords plus the register-file images the
+// loader deposits before the sequencer starts (constants such as 1/6, h^2,
+// and accumulator seeds live in register files, addressed by the rf_addr
+// microword fields).
+struct Executable {
+  std::vector<common::BitVector> words;
+  std::vector<std::string> names;  // one per word, for listings/debugging
+  // Register-file image per functional unit, sized register_file_words.
+  std::map<arch::FuId, std::vector<double>> rf_images;
+
+  std::size_t size() const { return words.size(); }
+};
+
+struct GenerateOptions {
+  bool auto_balance = true;  // insert register-file delays automatically
+  bool run_checker = true;   // thorough global check before encoding
+};
+
+struct GenerateResult {
+  bool ok = false;
+  Executable exe;
+  check::DiagnosticList diagnostics;
+  // The balanced program actually encoded (diagrams with delays inserted);
+  // useful for displaying the final diagram back to the user.
+  prog::Program balanced;
+};
+
+class Generator {
+ public:
+  explicit Generator(const arch::Machine& machine)
+      : machine_(machine), spec_(machine), checker_(machine) {}
+
+  const arch::MicrowordSpec& spec() const { return spec_; }
+
+  GenerateResult generate(const prog::Program& program,
+                          const GenerateOptions& options = {}) const;
+
+ private:
+  void encodeDiagram(const prog::PipelineDiagram& diagram,
+                     common::BitVector& word,
+                     std::map<arch::FuId, std::vector<double>>& rf_images,
+                     check::DiagnosticList& diagnostics) const;
+  // Returns the register-file address holding `value` in `image`,
+  // allocating a slot if needed; -1 when the file is full.
+  int allocRfSlot(std::vector<double>& image, double value) const;
+
+  const arch::Machine& machine_;
+  arch::MicrowordSpec spec_;
+  check::Checker checker_;
+};
+
+}  // namespace nsc::mc

@@ -1,0 +1,81 @@
+#include "nsc/debugger.h"
+
+#include "common/strings.h"
+#include "editor/window_render.h"
+#include "nsc/workbench.h"
+
+namespace nsc {
+
+using common::strFormat;
+
+VisualDebugger::VisualDebugger(const arch::Machine& machine,
+                               prog::Program program, DebuggerOptions options)
+    : machine_(machine), program_(std::move(program)), options_(options) {}
+
+void VisualDebugger::attach(sim::NodeSim& node) {
+  frames_.clear();
+  node.setTraceSink([this](const sim::TraceFrame& frame) {
+    if (options_.sample_every > 1 &&
+        frame.cycle % options_.sample_every != 0) {
+      return;
+    }
+    if (frames_.size() >= options_.max_frames) {
+      frames_.erase(frames_.begin());
+    }
+    frames_.push_back(frame);
+  });
+}
+
+std::string VisualDebugger::describeFrame(const sim::TraceFrame& frame) const {
+  std::string out = strFormat(
+      "instruction %d (%s), cycle %llu:\n", frame.instruction,
+      frame.instruction < static_cast<int>(program_.size())
+          ? program_[static_cast<std::size_t>(frame.instruction)].name.c_str()
+          : "?",
+      static_cast<unsigned long long>(frame.cycle));
+  for (std::size_t i = 0;
+       i < frame.source_tokens.size() && i < machine_.sources().size(); ++i) {
+    const sim::Token& tok = frame.source_tokens[i];
+    if (!tok.valid) continue;
+    out += strFormat("  %-14s = %-12g", machine_.sources()[i].toString().c_str(),
+                     tok.value);
+    if (tok.index >= 0) out += strFormat(" [el %d]", tok.index);
+    if (tok.last) out += " (last)";
+    out += '\n';
+  }
+  return out;
+}
+
+std::string VisualDebugger::annotatedDiagram(
+    const sim::TraceFrame& frame) const {
+  if (frame.instruction < 0 ||
+      frame.instruction >= static_cast<int>(program_.size())) {
+    return "(no such instruction)\n";
+  }
+  prog::Program single;
+  single.pipelines.push_back(
+      program_[static_cast<std::size_t>(frame.instruction)]);
+  ed::Editor editor = editorForProgram(machine_, single);
+  std::string out = renderDiagramAscii(editor);
+  out += strFormat("-- cycle %llu values --\n",
+                   static_cast<unsigned long long>(frame.cycle));
+  out += describeFrame(frame);
+  return out;
+}
+
+std::string VisualDebugger::endpointHistory(const arch::Endpoint& source) const {
+  const int index = machine_.sourceIndex(source);
+  if (index < 0) return "(not a source endpoint)\n";
+  std::string out = source.toString() + ":\n";
+  for (const sim::TraceFrame& frame : frames_) {
+    const sim::Token& tok = frame.source_tokens[static_cast<std::size_t>(index)];
+    out += strFormat("  i%02d c%-6llu %s", frame.instruction,
+                     static_cast<unsigned long long>(frame.cycle),
+                     tok.valid ? strFormat("%g", tok.value).c_str() : "-");
+    if (tok.valid && tok.index >= 0) out += strFormat(" [el %d]", tok.index);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace nsc

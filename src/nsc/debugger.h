@@ -1,0 +1,55 @@
+// Visual debugger — the paper's Section 6 extension:
+//
+// "During execution, each new instruction would display the corresponding
+// pipeline diagram, annotated to show data values flowing through the
+// pipeline.  This could help to pinpoint timing errors, as well as other
+// bugs in the program."
+//
+// The debugger attaches to a NodeSim trace sink, records sampled frames,
+// and renders each as (a) a one-line-per-endpoint value listing and (b)
+// the pipeline diagram with live values drawn beside the output pads.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "arch/machine.h"
+#include "program/program.h"
+#include "sim/node.h"
+
+namespace nsc {
+
+struct DebuggerOptions {
+  std::uint64_t sample_every = 1;  // keep every k-th cycle
+  std::size_t max_frames = 4096;   // ring buffer bound
+};
+
+class VisualDebugger {
+ public:
+  VisualDebugger(const arch::Machine& machine, prog::Program program,
+                 DebuggerOptions options = {});
+
+  // Installs this debugger as the node's trace sink.
+  void attach(sim::NodeSim& node);
+
+  const std::vector<sim::TraceFrame>& frames() const { return frames_; }
+
+  // "fu20.out = 1.25 [el 3]" listing of valid tokens in one frame.
+  std::string describeFrame(const sim::TraceFrame& frame) const;
+
+  // The instruction's diagram annotated with the frame's values.
+  std::string annotatedDiagram(const sim::TraceFrame& frame) const;
+
+  // Per-endpoint history of a whole run: "cycle: value" lines for one
+  // source endpoint (pinpointing when a stream went invalid).
+  std::string endpointHistory(const arch::Endpoint& source) const;
+
+ private:
+  const arch::Machine& machine_;
+  prog::Program program_;
+  DebuggerOptions options_;
+  std::vector<sim::TraceFrame> frames_;
+};
+
+}  // namespace nsc

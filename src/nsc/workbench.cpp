@@ -1,0 +1,63 @@
+#include "nsc/workbench.h"
+
+namespace nsc {
+
+Workbench::Workbench(arch::MachineConfig config)
+    : machine_(config), editor_(machine_), node_(machine_) {}
+
+RunOutcome Workbench::generateAndRun() { return runProgram(editor_.program()); }
+
+RunOutcome Workbench::runProgram(const prog::Program& program) {
+  RunOutcome outcome;
+  mc::Generator generator(machine_);
+  outcome.generation = generator.generate(program);
+  if (!outcome.generation.ok) return outcome;
+  node_.load(outcome.generation.exe);
+  outcome.run = node_.run();
+  return outcome;
+}
+
+ed::Editor editorForProgram(const arch::Machine& machine,
+                            const prog::Program& program) {
+  ed::Editor editor(machine);
+  bool first = true;
+  for (const prog::PipelineDiagram& diagram : program.pipelines) {
+    if (first) {
+      editor.renamePipeline(diagram.name);
+      first = false;
+    } else {
+      editor.insertPipeline(diagram.name);
+    }
+    // Grid placement: two columns inside the drawing area.
+    const ed::WindowLayout& layout = editor.layout();
+    int col = 0, row = 0;
+    for (const prog::AlsUse& use : diagram.als_uses) {
+      const arch::AlsKind kind = machine.als(use.als).kind;
+      ed::IconKind icon = ed::IconKind::kSinglet;
+      if (kind == arch::AlsKind::kDoublet) {
+        icon = use.bypass ? ed::IconKind::kDoubletBypass : ed::IconKind::kDoublet;
+      } else if (kind == arch::AlsKind::kTriplet) {
+        icon = ed::IconKind::kTriplet;
+      }
+      const ed::Point pos{layout.drawing.x + 30 + col * 190,
+                          layout.drawing.y + 30 + row * 210};
+      editor.placeIcon(icon, use.als, pos);
+      if (++col == 4) {
+        col = 0;
+        ++row;
+      }
+    }
+    // Copy the full semantic state (ops, DMA, connections) and rebuild the
+    // wires: re-apply connections through the editor for wire geometry,
+    // then overwrite the semantic record wholesale so register-file
+    // details match exactly.
+    for (const prog::Connection& c : diagram.connections) {
+      editor.connect(c.from, c.to);
+    }
+    editor.overwriteSemantic(diagram);
+  }
+  editor.jumpTo(0);
+  return editor;
+}
+
+}  // namespace nsc

@@ -1,0 +1,55 @@
+// Workbench: the assembled visual programming environment of Figure 3 —
+// graphical editor + checker + microcode generator — joined to the
+// simulated NSC backend, so a program can go from diagrams to executed
+// vectors in one object.  This is the library's top-level entry point.
+#pragma once
+
+#include <memory>
+
+#include "arch/machine.h"
+#include "editor/editor.h"
+#include "editor/session.h"
+#include "microcode/generator.h"
+#include "sim/node.h"
+
+namespace nsc {
+
+struct RunOutcome {
+  mc::GenerateResult generation;
+  sim::RunStats run;
+  bool ok() const { return generation.ok && !run.error; }
+};
+
+class Workbench {
+ public:
+  explicit Workbench(arch::MachineConfig config = {});
+
+  const arch::Machine& machine() const { return machine_; }
+  ed::Editor& editor() { return editor_; }
+  const ed::Editor& editor() const { return editor_; }
+  sim::NodeSim& node() { return node_; }
+
+  // Replays a session script into the editor (see editor/session.h).
+  ed::SessionResult runSession(const std::string& script) {
+    return ed::runSession(editor_, script);
+  }
+
+  // Generates microcode from the edited program, loads it, runs to halt.
+  RunOutcome generateAndRun();
+
+  // Runs an externally built semantic program instead of the editor's.
+  RunOutcome runProgram(const prog::Program& program);
+
+ private:
+  arch::Machine machine_;
+  ed::Editor editor_;
+  sim::NodeSim node_;
+};
+
+// Builds an editor document from an existing semantic program, placing
+// icons automatically on a grid (used to display generated or hand-built
+// programs — e.g. the Figure 11 diagram — and by the visual debugger).
+ed::Editor editorForProgram(const arch::Machine& machine,
+                            const prog::Program& program);
+
+}  // namespace nsc

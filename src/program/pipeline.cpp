@@ -1,0 +1,380 @@
+#include "program/pipeline.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace nsc::prog {
+
+using common::Json;
+using common::JsonArray;
+using common::JsonObject;
+using common::Result;
+
+AlsUse& PipelineDiagram::useAls(const arch::Machine& machine, arch::AlsId als) {
+  if (AlsUse* existing = findAls(als)) return *existing;
+  AlsUse use;
+  use.als = als;
+  use.fu.resize(static_cast<std::size_t>(alsFuCount(machine.als(als).kind)));
+  als_uses.push_back(std::move(use));
+  return als_uses.back();
+}
+
+AlsUse* PipelineDiagram::findAls(arch::AlsId als) {
+  for (AlsUse& use : als_uses) {
+    if (use.als == als) return &use;
+  }
+  return nullptr;
+}
+
+const AlsUse* PipelineDiagram::findAls(arch::AlsId als) const {
+  for (const AlsUse& use : als_uses) {
+    if (use.als == als) return &use;
+  }
+  return nullptr;
+}
+
+FuUse* PipelineDiagram::findFu(const arch::Machine& machine, arch::FuId fu) {
+  const arch::FuInfo& info = machine.fu(fu);
+  AlsUse* use = findAls(info.als);
+  if (use == nullptr) return nullptr;
+  return &use->fu[static_cast<std::size_t>(info.slot)];
+}
+
+const FuUse* PipelineDiagram::findFu(const arch::Machine& machine,
+                                     arch::FuId fu) const {
+  const arch::FuInfo& info = machine.fu(fu);
+  const AlsUse* use = findAls(info.als);
+  if (use == nullptr) return nullptr;
+  return &use->fu[static_cast<std::size_t>(info.slot)];
+}
+
+FuUse& PipelineDiagram::fuUse(const arch::Machine& machine, arch::FuId fu) {
+  FuUse* use = findFu(machine, fu);
+  if (use == nullptr) {
+    throw std::logic_error("fuUse: ALS not placed in diagram");
+  }
+  return *use;
+}
+
+void PipelineDiagram::setFuOp(const arch::Machine& machine, arch::FuId fu,
+                              arch::OpCode op) {
+  useAls(machine, machine.fu(fu).als);
+  FuUse& use = fuUse(machine, fu);
+  use.op = op;
+  use.enabled = op != arch::OpCode::kNop;
+}
+
+void PipelineDiagram::connect(const arch::Machine& machine,
+                              const arch::Endpoint& from,
+                              const arch::Endpoint& to) {
+  connections.push_back({from, to});
+  if (to.kind == arch::EndpointKind::kFuInput) {
+    FuUse& use = fuUse(machine, to.unit);
+    const bool chain = from.kind == arch::EndpointKind::kFuOutput &&
+                       machine.isChainPath(from.unit, to.unit);
+    const arch::InputSelect sel =
+        chain ? arch::InputSelect::kChain : arch::InputSelect::kSwitch;
+    (to.port == 0 ? use.in_a : use.in_b) = sel;
+  }
+}
+
+void PipelineDiagram::setConstInput(const arch::Machine& machine,
+                                    arch::FuId fu, int port, double value) {
+  FuUse& use = fuUse(machine, fu);
+  (port == 0 ? use.in_a : use.in_b) = arch::InputSelect::kRegisterFile;
+  use.rf_constant = value;
+}
+
+void PipelineDiagram::setAccumInput(const arch::Machine& machine,
+                                    arch::FuId fu, int port, double seed) {
+  FuUse& use = fuUse(machine, fu);
+  (port == 0 ? use.in_a : use.in_b) = arch::InputSelect::kFeedback;
+  use.rf_mode = arch::RfMode::kAccum;
+  use.rf_constant = seed;
+}
+
+ShiftDelayUse& PipelineDiagram::useSd(arch::SdId sd,
+                                      std::vector<int> tap_delays) {
+  for (ShiftDelayUse& use : sd_uses) {
+    if (use.sd == sd) {
+      use.tap_delays = std::move(tap_delays);
+      return use;
+    }
+  }
+  sd_uses.push_back({sd, std::move(tap_delays)});
+  return sd_uses.back();
+}
+
+std::vector<Connection> PipelineDiagram::connectionsFrom(
+    const arch::Endpoint& from) const {
+  std::vector<Connection> out;
+  for (const Connection& c : connections) {
+    if (c.from == from) out.push_back(c);
+  }
+  return out;
+}
+
+std::optional<Connection> PipelineDiagram::connectionTo(
+    const arch::Endpoint& to) const {
+  for (const Connection& c : connections) {
+    if (c.to == to) return c;
+  }
+  return std::nullopt;
+}
+
+// ---------------------------------------------------------------------------
+// Serialization
+// ---------------------------------------------------------------------------
+
+Json endpointToJson(const arch::Endpoint& e) {
+  JsonObject o;
+  o["kind"] = std::string(endpointKindName(e.kind));
+  o["unit"] = e.unit;
+  if (e.port != 0) o["port"] = e.port;
+  return Json(std::move(o));
+}
+
+Result<arch::Endpoint> endpointFromJson(const Json& json) {
+  if (!json.isObject()) return Result<arch::Endpoint>::error("endpoint: not an object");
+  const std::string kind = json.getString("kind");
+  arch::Endpoint e;
+  e.unit = static_cast<int>(json.getInt("unit"));
+  e.port = static_cast<int>(json.getInt("port"));
+  static const std::pair<const char*, arch::EndpointKind> kKinds[] = {
+      {"none", arch::EndpointKind::kNone},
+      {"fu_out", arch::EndpointKind::kFuOutput},
+      {"fu_in", arch::EndpointKind::kFuInput},
+      {"plane_read", arch::EndpointKind::kPlaneRead},
+      {"plane_write", arch::EndpointKind::kPlaneWrite},
+      {"cache_read", arch::EndpointKind::kCacheRead},
+      {"cache_write", arch::EndpointKind::kCacheWrite},
+      {"sd_out", arch::EndpointKind::kSdOutput},
+      {"sd_in", arch::EndpointKind::kSdInput},
+  };
+  for (const auto& [name, k] : kKinds) {
+    if (kind == name) {
+      e.kind = k;
+      return e;
+    }
+  }
+  return Result<arch::Endpoint>::error("endpoint: unknown kind " + kind);
+}
+
+namespace {
+
+Json fuUseToJson(const FuUse& fu) {
+  JsonObject o;
+  o["enabled"] = fu.enabled;
+  o["op"] = std::string(arch::opInfo(fu.op).name);
+  o["in_a"] = std::string(inputSelectName(fu.in_a));
+  o["in_b"] = std::string(inputSelectName(fu.in_b));
+  o["rf_mode"] = std::string(rfModeName(fu.rf_mode));
+  o["rf_delay"] = fu.rf_delay;
+  o["rf_delay_port"] = fu.rf_delay_port;
+  o["rf_constant"] = fu.rf_constant;
+  return Json(std::move(o));
+}
+
+Result<FuUse> fuUseFromJson(const Json& json) {
+  FuUse fu;
+  fu.enabled = json.getBool("enabled");
+  const auto op = arch::opByName(json.getString("op", "nop"));
+  if (!op) return Result<FuUse>::error("fu: unknown op " + json.getString("op"));
+  fu.op = *op;
+  auto parseSel = [](const std::string& name) -> std::optional<arch::InputSelect> {
+    using arch::InputSelect;
+    if (name == "none") return InputSelect::kNone;
+    if (name == "switch") return InputSelect::kSwitch;
+    if (name == "rf") return InputSelect::kRegisterFile;
+    if (name == "feedback") return InputSelect::kFeedback;
+    if (name == "chain") return InputSelect::kChain;
+    return std::nullopt;
+  };
+  const auto a = parseSel(json.getString("in_a", "none"));
+  const auto b = parseSel(json.getString("in_b", "none"));
+  if (!a || !b) return Result<FuUse>::error("fu: bad input select");
+  fu.in_a = *a;
+  fu.in_b = *b;
+  const std::string mode = json.getString("rf_mode", "off");
+  if (mode == "off") fu.rf_mode = arch::RfMode::kOff;
+  else if (mode == "const") fu.rf_mode = arch::RfMode::kConstant;
+  else if (mode == "delay") fu.rf_mode = arch::RfMode::kDelay;
+  else if (mode == "accum") fu.rf_mode = arch::RfMode::kAccum;
+  else return Result<FuUse>::error("fu: bad rf_mode " + mode);
+  fu.rf_delay = static_cast<int>(json.getInt("rf_delay"));
+  fu.rf_delay_port = static_cast<int>(json.getInt("rf_delay_port"));
+  fu.rf_constant = json.getDouble("rf_constant");
+  return fu;
+}
+
+Json dmaToJson(const DmaSpec& dma) {
+  JsonObject o;
+  if (!dma.variable.empty()) o["variable"] = dma.variable;
+  o["base"] = static_cast<std::int64_t>(dma.base);
+  o["stride"] = dma.stride;
+  o["count"] = static_cast<std::int64_t>(dma.count);
+  if (dma.count2 != 1) o["count2"] = static_cast<std::int64_t>(dma.count2);
+  if (dma.stride2 != 0) o["stride2"] = dma.stride2;
+  if (dma.read_buffer != 0) o["read_buffer"] = dma.read_buffer;
+  if (dma.swap_buffers) o["swap_buffers"] = true;
+  return Json(std::move(o));
+}
+
+DmaSpec dmaFromJson(const Json& json) {
+  DmaSpec dma;
+  dma.variable = json.getString("variable");
+  dma.base = static_cast<std::uint64_t>(json.getInt("base"));
+  dma.stride = json.getInt("stride", 1);
+  dma.count = static_cast<std::uint64_t>(json.getInt("count"));
+  dma.count2 = static_cast<std::uint64_t>(json.getInt("count2", 1));
+  dma.stride2 = json.getInt("stride2", 0);
+  dma.read_buffer = static_cast<int>(json.getInt("read_buffer"));
+  dma.swap_buffers = json.getBool("swap_buffers");
+  return dma;
+}
+
+}  // namespace
+
+Json PipelineDiagram::toJson() const {
+  JsonObject o;
+  o["name"] = name;
+  if (!comment.empty()) o["comment"] = comment;
+
+  JsonArray als_arr;
+  for (const AlsUse& use : als_uses) {
+    JsonObject a;
+    a["als"] = use.als;
+    if (use.bypass) a["bypass"] = true;
+    JsonArray fus;
+    for (const FuUse& fu : use.fu) fus.push_back(fuUseToJson(fu));
+    a["fu"] = Json(std::move(fus));
+    als_arr.push_back(Json(std::move(a)));
+  }
+  o["als_uses"] = Json(std::move(als_arr));
+
+  JsonArray conns;
+  for (const Connection& c : connections) {
+    JsonObject ce;
+    ce["from"] = endpointToJson(c.from);
+    ce["to"] = endpointToJson(c.to);
+    conns.push_back(Json(std::move(ce)));
+  }
+  o["connections"] = Json(std::move(conns));
+
+  JsonArray dmas;
+  for (const auto& [endpoint, spec] : dma) {
+    JsonObject de;
+    de["endpoint"] = endpointToJson(endpoint);
+    de["spec"] = dmaToJson(spec);
+    dmas.push_back(Json(std::move(de)));
+  }
+  o["dma"] = Json(std::move(dmas));
+
+  JsonArray sds;
+  for (const ShiftDelayUse& use : sd_uses) {
+    JsonObject se;
+    se["sd"] = use.sd;
+    JsonArray taps;
+    for (int t : use.tap_delays) taps.push_back(t);
+    se["taps"] = Json(std::move(taps));
+    sds.push_back(Json(std::move(se)));
+  }
+  o["sd_uses"] = Json(std::move(sds));
+
+  if (cond.has_value()) {
+    JsonObject ce;
+    ce["src_fu"] = cond->src_fu;
+    ce["cond_reg"] = cond->cond_reg;
+    o["cond"] = Json(std::move(ce));
+  }
+
+  JsonObject seq_obj;
+  seq_obj["op"] = std::string(seqOpName(seq.op));
+  seq_obj["target"] = seq.target;
+  seq_obj["cond_reg"] = seq.cond_reg;
+  seq_obj["count"] = seq.count;
+  o["seq"] = Json(std::move(seq_obj));
+  return Json(std::move(o));
+}
+
+Result<PipelineDiagram> PipelineDiagram::fromJson(const Json& json) {
+  if (!json.isObject()) {
+    return Result<PipelineDiagram>::error("pipeline: not an object");
+  }
+  PipelineDiagram d;
+  d.name = json.getString("name");
+  d.comment = json.getString("comment");
+
+  if (json.has("als_uses")) {
+    for (const Json& a : json.at("als_uses").asArray()) {
+      AlsUse use;
+      use.als = static_cast<arch::AlsId>(a.getInt("als"));
+      use.bypass = a.getBool("bypass");
+      if (a.has("fu")) {
+        for (const Json& f : a.at("fu").asArray()) {
+          auto fu = fuUseFromJson(f);
+          if (!fu) return Result<PipelineDiagram>::error(fu.message());
+          use.fu.push_back(std::move(fu).value());
+        }
+      }
+      d.als_uses.push_back(std::move(use));
+    }
+  }
+
+  if (json.has("connections")) {
+    for (const Json& c : json.at("connections").asArray()) {
+      auto from = endpointFromJson(c.at("from"));
+      auto to = endpointFromJson(c.at("to"));
+      if (!from) return Result<PipelineDiagram>::error(from.message());
+      if (!to) return Result<PipelineDiagram>::error(to.message());
+      d.connections.push_back({from.value(), to.value()});
+    }
+  }
+
+  if (json.has("dma")) {
+    for (const Json& e : json.at("dma").asArray()) {
+      auto endpoint = endpointFromJson(e.at("endpoint"));
+      if (!endpoint) return Result<PipelineDiagram>::error(endpoint.message());
+      d.dma[endpoint.value()] = dmaFromJson(e.at("spec"));
+    }
+  }
+
+  if (json.has("sd_uses")) {
+    for (const Json& s : json.at("sd_uses").asArray()) {
+      ShiftDelayUse use;
+      use.sd = static_cast<arch::SdId>(s.getInt("sd"));
+      if (s.has("taps")) {
+        for (const Json& t : s.at("taps").asArray()) {
+          use.tap_delays.push_back(static_cast<int>(t.asInt()));
+        }
+      }
+      d.sd_uses.push_back(std::move(use));
+    }
+  }
+
+  if (json.has("cond")) {
+    CondLatch latch;
+    latch.src_fu = static_cast<arch::FuId>(json.at("cond").getInt("src_fu"));
+    latch.cond_reg = static_cast<int>(json.at("cond").getInt("cond_reg"));
+    d.cond = latch;
+  }
+
+  if (json.has("seq")) {
+    const Json& s = json.at("seq");
+    const std::string op = s.getString("op", "next");
+    using arch::SeqOp;
+    if (op == "next") d.seq.op = SeqOp::kNext;
+    else if (op == "jump") d.seq.op = SeqOp::kJump;
+    else if (op == "brif") d.seq.op = SeqOp::kBranchIf;
+    else if (op == "brnot") d.seq.op = SeqOp::kBranchNot;
+    else if (op == "loop") d.seq.op = SeqOp::kLoop;
+    else if (op == "halt") d.seq.op = SeqOp::kHalt;
+    else return Result<PipelineDiagram>::error("pipeline: bad seq op " + op);
+    d.seq.target = static_cast<int>(s.getInt("target"));
+    d.seq.cond_reg = static_cast<int>(s.getInt("cond_reg"));
+    d.seq.count = static_cast<int>(s.getInt("count"));
+  }
+  return d;
+}
+
+}  // namespace nsc::prog

@@ -1,0 +1,65 @@
+#include "program/program.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace nsc::prog {
+
+using common::Json;
+using common::JsonArray;
+using common::JsonObject;
+using common::Result;
+using common::Status;
+
+PipelineDiagram& Program::append(std::string pipeline_name) {
+  PipelineDiagram d;
+  d.name = std::move(pipeline_name);
+  pipelines.push_back(std::move(d));
+  return pipelines.back();
+}
+
+Json Program::toJson() const {
+  JsonObject o;
+  o["format"] = "nsc-program";
+  o["version"] = 1;
+  o["name"] = name;
+  JsonArray arr;
+  for (const PipelineDiagram& d : pipelines) arr.push_back(d.toJson());
+  o["pipelines"] = Json(std::move(arr));
+  return Json(std::move(o));
+}
+
+Result<Program> Program::fromJson(const Json& json) {
+  if (!json.isObject() || json.getString("format") != "nsc-program") {
+    return Result<Program>::error("program: missing nsc-program header");
+  }
+  Program p;
+  p.name = json.getString("name");
+  if (json.has("pipelines")) {
+    for (const Json& d : json.at("pipelines").asArray()) {
+      auto diagram = PipelineDiagram::fromJson(d);
+      if (!diagram) return Result<Program>::error(diagram.message());
+      p.pipelines.push_back(std::move(diagram).value());
+    }
+  }
+  return p;
+}
+
+Status Program::saveToFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return Status::error("cannot open for writing: " + path);
+  out << toJson().dumpPretty() << "\n";
+  return out ? Status::ok() : Status::error("write failed: " + path);
+}
+
+Result<Program> Program::loadFromFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Result<Program>::error("cannot open: " + path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  auto json = Json::parse(buffer.str());
+  if (!json) return Result<Program>::error(json.message());
+  return fromJson(json.value());
+}
+
+}  // namespace nsc::prog

@@ -1,0 +1,38 @@
+// Program: an ordered list of pipeline diagrams (instructions).
+//
+// "To construct a program, a user defines a series of pipeline diagrams.
+// Each pipeline corresponds to a single instruction, or one line of code,
+// in a more conventional language."  (paper, Section 5.)
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/status.h"
+#include "program/pipeline.h"
+
+namespace nsc::prog {
+
+class Program {
+ public:
+  std::string name;
+  std::vector<PipelineDiagram> pipelines;
+
+  std::size_t size() const { return pipelines.size(); }
+  bool empty() const { return pipelines.empty(); }
+  PipelineDiagram& operator[](std::size_t i) { return pipelines[i]; }
+  const PipelineDiagram& operator[](std::size_t i) const { return pipelines[i]; }
+
+  PipelineDiagram& append(std::string pipeline_name);
+
+  bool operator==(const Program&) const = default;
+
+  common::Json toJson() const;
+  static common::Result<Program> fromJson(const common::Json& json);
+
+  common::Status saveToFile(const std::string& path) const;
+  static common::Result<Program> loadFromFile(const std::string& path);
+};
+
+}  // namespace nsc::prog

@@ -1,0 +1,235 @@
+#include "program/timing.h"
+
+#include <algorithm>
+#include <optional>
+
+#include "common/strings.h"
+
+namespace nsc::prog {
+
+namespace {
+
+constexpr int kSwitchHopCycles = 1;
+
+// Memoized production-time solver over the diagram's dataflow graph.
+class Solver {
+ public:
+  Solver(const arch::Machine& machine, const PipelineDiagram& diagram,
+         TimingResult& result)
+      : machine_(machine), diagram_(diagram), result_(result) {}
+
+  // Production time of element 0 at a source endpoint, or nullopt on error.
+  std::optional<int> sourceTime(const arch::Endpoint& src) {
+    if (auto it = memo_.find(src); it != memo_.end()) {
+      if (it->second == kInProgress) {
+        fail("combinational cycle through " + src.toString());
+        return std::nullopt;
+      }
+      return it->second;
+    }
+    memo_[src] = kInProgress;
+    std::optional<int> t;
+    switch (src.kind) {
+      case arch::EndpointKind::kPlaneRead:
+      case arch::EndpointKind::kCacheRead:
+        t = 0;
+        break;
+      case arch::EndpointKind::kSdOutput:
+        t = sdTapTime(src);
+        break;
+      case arch::EndpointKind::kFuOutput:
+        t = fuOutputTime(src.unit);
+        break;
+      default:
+        fail("endpoint cannot source a stream: " + src.toString());
+        break;
+    }
+    if (t.has_value()) {
+      memo_[src] = *t;
+      result_.time[src] = *t;
+    }
+    return t;
+  }
+
+  // Arrival time of element 0 at a destination endpoint.
+  std::optional<int> arrivalTime(const arch::Endpoint& dst) {
+    const auto conn = diagram_.connectionTo(dst);
+    if (!conn.has_value()) {
+      fail("no driver for " + dst.toString());
+      return std::nullopt;
+    }
+    const auto t = sourceTime(conn->from);
+    if (!t.has_value()) return std::nullopt;
+    const bool chain = conn->from.kind == arch::EndpointKind::kFuOutput &&
+                       dst.kind == arch::EndpointKind::kFuInput &&
+                       machine_.isChainPath(conn->from.unit, dst.unit);
+    const int arrival = *t + (chain ? 0 : kSwitchHopCycles);
+    result_.time[dst] = arrival;
+    return arrival;
+  }
+
+ private:
+  static constexpr int kInProgress = -1000000;
+
+  void fail(std::string message) {
+    result_.errors.push_back(std::move(message));
+  }
+
+  std::optional<int> sdTapTime(const arch::Endpoint& src) {
+    const ShiftDelayUse* use = nullptr;
+    for (const ShiftDelayUse& u : diagram_.sd_uses) {
+      if (u.sd == src.unit) use = &u;
+    }
+    if (use == nullptr ||
+        src.port >= static_cast<int>(use->tap_delays.size())) {
+      fail("shift/delay tap not configured: " + src.toString());
+      return std::nullopt;
+    }
+    const auto in = arrivalTime(arch::Endpoint::sdInput(src.unit));
+    if (!in.has_value()) return std::nullopt;
+    // Tap delays are *semantic element shifts* (a tap with delay d pairs a
+    // d-elements-older value with its siblings — how stencils form their
+    // neighbor streams).  They are deliberately excluded from structural
+    // arrival times so the balancer does not "correct" the intended shift;
+    // the leading/trailing pipeline bubbles they cause are handled by the
+    // simulator's valid-gating.
+    return *in;
+  }
+
+  std::optional<int> fuOutputTime(arch::FuId fu) {
+    const FuUse* use = diagram_.findFu(machine_, fu);
+    if (use == nullptr || !use->enabled) {
+      fail(common::strFormat("fu%d sources a stream but is not enabled", fu));
+      return std::nullopt;
+    }
+    const arch::OpInfo& info = arch::opInfo(use->op);
+    // Arrival per input; register-file constants and accumulator feedback
+    // are available every cycle and do not constrain timing.
+    auto inputArrival = [&](int port,
+                            arch::InputSelect sel) -> std::optional<int> {
+      switch (sel) {
+        case arch::InputSelect::kSwitch:
+        case arch::InputSelect::kChain: {
+          auto t = arrivalTime(arch::Endpoint::fuInput(fu, port));
+          if (!t.has_value()) return std::nullopt;
+          if (use->rf_mode == arch::RfMode::kDelay &&
+              use->rf_delay_port == port) {
+            *t += use->rf_delay;
+          }
+          return t;
+        }
+        case arch::InputSelect::kRegisterFile:
+        case arch::InputSelect::kFeedback:
+        case arch::InputSelect::kNone:
+          return std::nullopt;  // unconstrained
+      }
+      return std::nullopt;
+    };
+
+    std::optional<int> ta, tb;
+    if (use->in_a != arch::InputSelect::kNone &&
+        use->in_a != arch::InputSelect::kRegisterFile &&
+        use->in_a != arch::InputSelect::kFeedback) {
+      ta = inputArrival(0, use->in_a);
+      if (!ta.has_value()) return std::nullopt;
+    }
+    if (info.arity >= 2 && use->in_b != arch::InputSelect::kNone &&
+        use->in_b != arch::InputSelect::kRegisterFile &&
+        use->in_b != arch::InputSelect::kFeedback) {
+      tb = inputArrival(1, use->in_b);
+      if (!tb.has_value()) return std::nullopt;
+    }
+
+    int launch = 0;
+    if (ta.has_value() && tb.has_value()) {
+      if (*ta != *tb) {
+        result_.misaligned.push_back({fu, *ta, *tb});
+      }
+      launch = std::max(*ta, *tb);
+    } else if (ta.has_value()) {
+      launch = *ta;
+    } else if (tb.has_value()) {
+      launch = *tb;
+    } else {
+      launch = 0;  // purely constant/feedback-fed unit
+    }
+    return launch + info.latency;
+  }
+
+  const arch::Machine& machine_;
+  const PipelineDiagram& diagram_;
+  TimingResult& result_;
+  std::map<arch::Endpoint, int> memo_;
+};
+
+}  // namespace
+
+TimingResult analyzeTiming(const arch::Machine& machine,
+                           const PipelineDiagram& diagram) {
+  TimingResult result;
+  Solver solver(machine, diagram, result);
+
+  // Drive the analysis from every stream sink: plane/cache writes and
+  // shift/delay inputs; FU outputs are reached transitively.  Also force
+  // evaluation of every enabled FU so dangling subgraphs are analyzed.
+  for (const Connection& c : diagram.connections) {
+    if (c.to.kind == arch::EndpointKind::kPlaneWrite ||
+        c.to.kind == arch::EndpointKind::kCacheWrite) {
+      if (auto t = solver.arrivalTime(c.to); t.has_value()) {
+        result.depth = std::max(result.depth, *t);
+      }
+    }
+  }
+  for (const AlsUse& use : diagram.als_uses) {
+    const arch::AlsInfo& info = machine.als(use.als);
+    for (std::size_t slot = 0; slot < use.fu.size(); ++slot) {
+      if (use.fu[slot].enabled && slot < info.fus.size()) {
+        solver.sourceTime(arch::Endpoint::fuOutput(info.fus[slot]));
+      }
+    }
+  }
+  result.ok = result.errors.empty();
+  return result;
+}
+
+int balanceDelays(const arch::Machine& machine, PipelineDiagram& diagram) {
+  int inserted = 0;
+  // Balancing an upstream FU changes downstream arrivals, so iterate until
+  // a fixed point; each pass fixes at least one FU or stops.
+  for (int pass = 0; pass < 256; ++pass) {
+    TimingResult timing = analyzeTiming(machine, diagram);
+    if (!timing.ok) return -1;
+    if (timing.misaligned.empty()) return inserted;
+
+    // Fix the first misaligned FU whose inputs are themselves aligned
+    // upstream — with memoized analysis, simply the first reported.
+    const FuSkew& skew = timing.misaligned.front();
+    FuUse& use = diagram.fuUse(machine, skew.fu);
+    if (use.rf_mode == arch::RfMode::kAccum) return -1;  // queue unavailable
+    // Arrivals are post-delay; the early input needs `gap` more cycles.
+    const int gap = std::abs(skew.arrival_a - skew.arrival_b);
+    const int early_port = skew.arrival_a < skew.arrival_b ? 0 : 1;
+    int new_port = early_port;
+    int new_delay = gap;
+    if (use.rf_mode == arch::RfMode::kDelay) {
+      if (use.rf_delay_port == early_port) {
+        new_delay = use.rf_delay + gap;
+      } else if (use.rf_delay >= gap) {
+        // Shrink the existing queue on the late input instead.
+        new_port = use.rf_delay_port;
+        new_delay = use.rf_delay - gap;
+      } else {
+        // Zero the late input's queue and move it to the early input.
+        new_delay = gap - use.rf_delay;
+      }
+    }
+    if (new_delay > machine.config().rf_max_delay) return -1;
+    use.rf_mode = arch::RfMode::kDelay;
+    use.rf_delay_port = new_port;
+    use.rf_delay = new_delay;
+    ++inserted;
+  }
+  return -1;
+}
+
+}  // namespace nsc::prog

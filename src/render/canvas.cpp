@@ -1,0 +1,82 @@
+#include "render/canvas.h"
+
+#include <algorithm>
+
+namespace nsc::render {
+
+AsciiCanvas::AsciiCanvas(int width, int height, char fill)
+    : width_(width), height_(height),
+      cells_(static_cast<std::size_t>(width * height), fill) {}
+
+void AsciiCanvas::set(int x, int y, char c) {
+  if (x >= 0 && x < width_ && y >= 0 && y < height_) {
+    cells_[static_cast<std::size_t>(y * width_ + x)] = c;
+  }
+}
+
+char AsciiCanvas::at(int x, int y) const {
+  if (x >= 0 && x < width_ && y >= 0 && y < height_) {
+    return cells_[static_cast<std::size_t>(y * width_ + x)];
+  }
+  return '\0';
+}
+
+void AsciiCanvas::text(int x, int y, const std::string& s) {
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    set(x + static_cast<int>(i), y, s[i]);
+  }
+}
+
+void AsciiCanvas::hline(int x0, int x1, int y, char c) {
+  if (x0 > x1) std::swap(x0, x1);
+  for (int x = x0; x <= x1; ++x) set(x, y, c);
+}
+
+void AsciiCanvas::vline(int x, int y0, int y1, char c) {
+  if (y0 > y1) std::swap(y0, y1);
+  for (int y = y0; y <= y1; ++y) set(x, y, c);
+}
+
+void AsciiCanvas::box(int x, int y, int w, int h, const std::string& title) {
+  if (w < 2 || h < 2) return;
+  hline(x, x + w - 1, y);
+  hline(x, x + w - 1, y + h - 1);
+  vline(x, y, y + h - 1);
+  vline(x + w - 1, y, y + h - 1);
+  set(x, y, '+');
+  set(x + w - 1, y, '+');
+  set(x, y + h - 1, '+');
+  set(x + w - 1, y + h - 1, '+');
+  if (!title.empty() && static_cast<int>(title.size()) <= w - 2) {
+    text(x + 1, y, title);
+  }
+}
+
+void AsciiCanvas::route(int x0, int y0, int x1, int y1) {
+  // Horizontal, then vertical.
+  hline(x0, x1, y0);
+  vline(x1, y0, y1);
+  if (x0 != x1 && y0 != y1) set(x1, y0, '+');
+  set(x1, y1, '*');  // destination pad marker
+  set(x0, y0, 'o');  // source pad marker
+}
+
+std::string AsciiCanvas::toString() const {
+  std::string out;
+  out.reserve(static_cast<std::size_t>((width_ + 1) * height_));
+  for (int y = 0; y < height_; ++y) {
+    // Trim trailing spaces per row to keep goldens tidy.
+    int last = width_ - 1;
+    while (last >= 0 &&
+           cells_[static_cast<std::size_t>(y * width_ + last)] == ' ') {
+      --last;
+    }
+    for (int x = 0; x <= last; ++x) {
+      out.push_back(cells_[static_cast<std::size_t>(y * width_ + x)]);
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace nsc::render

@@ -1,0 +1,40 @@
+// AsciiCanvas: a character-cell drawing surface.
+//
+// The prototype ran on a Sun-3 bit-mapped display; in this headless
+// reproduction every figure is rendered twice — to a character canvas (for
+// terminals, tests, and golden files) and to SVG (render/svg.h).  One
+// canvas cell stands for an 8x16 pixel cell of the 1152x900 Sun-3 screen.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace nsc::render {
+
+class AsciiCanvas {
+ public:
+  AsciiCanvas(int width, int height, char fill = ' ');
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+
+  void set(int x, int y, char c);
+  char at(int x, int y) const;
+
+  void text(int x, int y, const std::string& s);
+  void hline(int x0, int x1, int y, char c = '-');
+  void vline(int x, int y0, int y1, char c = '|');
+  // Box with '+' corners; optional title drawn into the top edge.
+  void box(int x, int y, int w, int h, const std::string& title = "");
+  // Axis-aligned L-shaped connector between two points (wire rendering).
+  void route(int x0, int y0, int x1, int y1);
+
+  std::string toString() const;
+
+ private:
+  int width_;
+  int height_;
+  std::vector<char> cells_;
+};
+
+}  // namespace nsc::render

@@ -1,0 +1,106 @@
+#include "render/datapath.h"
+
+#include "common/strings.h"
+#include "render/canvas.h"
+#include "render/svg.h"
+
+namespace nsc::render {
+
+using common::strFormat;
+
+namespace {
+
+struct Labels {
+  std::string router = "Hyperspace Router";
+  std::string caches;
+  std::string planes;
+  std::string als;
+  std::string sd;
+  std::string sw = "Switch Network (FLONET)";
+
+  explicit Labels(const arch::Machine& m) {
+    const arch::MachineConfig& cfg = m.config();
+    caches = strFormat("Double-Buffered Data Caches  %s x %d x %d",
+                       common::bytesHuman(cfg.cache_bytes).c_str(),
+                       cfg.num_caches, cfg.cache_buffers);
+    planes = strFormat("Memory Planes  %s x %d",
+                       common::bytesHuman(cfg.plane_bytes).c_str(),
+                       cfg.num_memory_planes);
+    als = strFormat("%d Functional Units: %d singlets / %d doublets / %d "
+                    "triplets",
+                    cfg.numFus(), cfg.num_singlets, cfg.num_doublets,
+                    cfg.num_triplets);
+    sd = strFormat("Shift/Delay Units x %d", cfg.num_shift_delay);
+  }
+};
+
+}  // namespace
+
+std::string datapathAscii(const arch::Machine& machine) {
+  const Labels labels(machine);
+  AsciiCanvas c(78, 25);
+
+  c.box(24, 0, 30, 3, "");
+  c.text(27, 1, labels.router);
+  c.vline(39, 3, 4);
+
+  c.box(8, 4, 62, 3);
+  c.text(10, 5, labels.caches);
+  c.vline(39, 7, 8);
+
+  c.box(2, 8, 74, 5, "");
+  c.text(28, 10, labels.sw);
+  c.vline(20, 13, 14);
+  c.vline(39, 13, 14);
+  c.vline(58, 13, 14);
+
+  c.box(4, 14, 34, 3);
+  c.text(6, 15, labels.planes);
+  c.box(42, 14, 34, 3);
+  c.text(44, 15, labels.sd);
+
+  c.box(8, 18, 62, 3);
+  c.text(10, 19, labels.als);
+  c.vline(39, 17, 18);
+
+  c.text(2, 22, strFormat("clock %.1f MHz   peak %.0f MFLOPS/node   memory %s",
+                          machine.config().clock_mhz,
+                          machine.config().peakMflopsPerNode(),
+                          common::bytesHuman(machine.config().totalMemoryBytes())
+                              .c_str()));
+  return c.toString();
+}
+
+std::string datapathSvg(const arch::Machine& machine) {
+  const Labels labels(machine);
+  SvgBuilder svg(640, 420);
+  auto block = [&](double x, double y, double w, double h,
+                   const std::string& label) {
+    svg.rect(x, y, w, h);
+    svg.text(x + w / 2, y + h / 2 + 4, label, 12, "middle");
+  };
+  block(220, 10, 200, 40, labels.router);
+  svg.line(320, 50, 320, 70);
+  block(80, 70, 480, 40, labels.caches);
+  svg.line(320, 110, 320, 130);
+  block(20, 130, 600, 60, labels.sw);
+  svg.line(160, 190, 160, 210);
+  svg.line(480, 190, 480, 210);
+  block(40, 210, 260, 40, labels.planes);
+  block(340, 210, 260, 40, labels.sd);
+  svg.line(320, 190, 320, 270);
+  block(80, 270, 480, 40, labels.als);
+  svg.text(20, 340,
+           strFormat("clock %.1f MHz, peak %.0f MFLOPS/node",
+                     machine.config().clock_mhz,
+                     machine.config().peakMflopsPerNode()),
+           12);
+  svg.text(20, 360,
+           strFormat("total memory %s",
+                     common::bytesHuman(machine.config().totalMemoryBytes())
+                         .c_str()),
+           12);
+  return svg.finish();
+}
+
+}  // namespace nsc::render

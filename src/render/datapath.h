@@ -1,0 +1,15 @@
+// Figure 1 renderer: "Simplified diagram of the datapath architecture of
+// the Navier-Stokes Computer", regenerated from the live machine
+// description so the drawing always matches the configuration.
+#pragma once
+
+#include <string>
+
+#include "arch/machine.h"
+
+namespace nsc::render {
+
+std::string datapathAscii(const arch::Machine& machine);
+std::string datapathSvg(const arch::Machine& machine);
+
+}  // namespace nsc::render

@@ -1,0 +1,74 @@
+#include "render/svg.h"
+
+#include "common/strings.h"
+
+namespace nsc::render {
+
+using common::strFormat;
+
+namespace {
+std::string escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '&': out += "&amp;"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+}  // namespace
+
+SvgBuilder::SvgBuilder(int width, int height) : width_(width), height_(height) {}
+
+void SvgBuilder::rect(double x, double y, double w, double h,
+                      const std::string& stroke, const std::string& fill,
+                      double stroke_width) {
+  body_ += strFormat(
+      "  <rect x=\"%.1f\" y=\"%.1f\" width=\"%.1f\" height=\"%.1f\" "
+      "stroke=\"%s\" fill=\"%s\" stroke-width=\"%.1f\"/>\n",
+      x, y, w, h, stroke.c_str(), fill.c_str(), stroke_width);
+}
+
+void SvgBuilder::line(double x0, double y0, double x1, double y1,
+                      const std::string& stroke, double stroke_width) {
+  body_ += strFormat(
+      "  <line x1=\"%.1f\" y1=\"%.1f\" x2=\"%.1f\" y2=\"%.1f\" "
+      "stroke=\"%s\" stroke-width=\"%.1f\"/>\n",
+      x0, y0, x1, y1, stroke.c_str(), stroke_width);
+}
+
+void SvgBuilder::circle(double cx, double cy, double r,
+                        const std::string& fill) {
+  body_ += strFormat(
+      "  <circle cx=\"%.1f\" cy=\"%.1f\" r=\"%.1f\" fill=\"%s\"/>\n", cx, cy,
+      r, fill.c_str());
+}
+
+void SvgBuilder::text(double x, double y, const std::string& content,
+                      int font_size, const std::string& anchor) {
+  body_ += strFormat(
+      "  <text x=\"%.1f\" y=\"%.1f\" font-size=\"%d\" "
+      "font-family=\"monospace\" text-anchor=\"%s\">%s</text>\n",
+      x, y, font_size, anchor.c_str(), escape(content).c_str());
+}
+
+void SvgBuilder::route(double x0, double y0, double x1, double y1) {
+  line(x0, y0, x1, y0);
+  line(x1, y0, x1, y1);
+  circle(x0, y0, 2.5);
+  circle(x1, y1, 2.5);
+}
+
+std::string SvgBuilder::finish() const {
+  return strFormat(
+             "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%d\" "
+             "height=\"%d\" viewBox=\"0 0 %d %d\">\n"
+             "  <rect width=\"%d\" height=\"%d\" fill=\"white\"/>\n",
+             width_, height_, width_, height_, width_, height_) +
+         body_ + "</svg>\n";
+}
+
+}  // namespace nsc::render

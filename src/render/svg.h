@@ -1,0 +1,33 @@
+// Minimal SVG writer for figure regeneration.
+#pragma once
+
+#include <string>
+
+namespace nsc::render {
+
+class SvgBuilder {
+ public:
+  SvgBuilder(int width, int height);
+
+  void rect(double x, double y, double w, double h,
+            const std::string& stroke = "black",
+            const std::string& fill = "none", double stroke_width = 1.0);
+  void line(double x0, double y0, double x1, double y1,
+            const std::string& stroke = "black", double stroke_width = 1.0);
+  void circle(double cx, double cy, double r,
+              const std::string& fill = "black");
+  void text(double x, double y, const std::string& content,
+            int font_size = 12, const std::string& anchor = "start");
+  // Axis-aligned connector (horizontal then vertical), matching the ASCII
+  // canvas's wire routing.
+  void route(double x0, double y0, double x1, double y1);
+
+  std::string finish() const;
+
+ private:
+  int width_;
+  int height_;
+  std::string body_;
+};
+
+}  // namespace nsc::render

@@ -1,0 +1,129 @@
+#include "sim/hypercube.h"
+
+#include <algorithm>
+#include <bit>
+#include <thread>
+
+namespace nsc::sim {
+
+HypercubeSystem::HypercubeSystem(const arch::Machine& machine, int dimension,
+                                 RouterOptions router,
+                                 NodeSim::Options node_options)
+    : machine_(machine), dimension_(dimension), router_(router) {
+  const int n = 1 << dimension_;
+  nodes_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    nodes_.push_back(std::make_unique<NodeSim>(machine_, node_options));
+  }
+  exchange_cost_.assign(static_cast<std::size_t>(n), 0);
+}
+
+int HypercubeSystem::hopCount(int a, int b) {
+  return std::popcount(static_cast<unsigned>(a ^ b));
+}
+
+std::vector<int> HypercubeSystem::ecubePath(int a, int b) {
+  std::vector<int> path{a};
+  int current = a;
+  unsigned diff = static_cast<unsigned>(a ^ b);
+  // Correct dimensions lowest-first: classic deadlock-free e-cube order.
+  for (int bit = 0; diff != 0; ++bit) {
+    const unsigned mask = 1u << bit;
+    if (diff & mask) {
+      current ^= static_cast<int>(mask);
+      path.push_back(current);
+      diff &= ~mask;
+    }
+  }
+  return path;
+}
+
+std::uint64_t HypercubeSystem::transferCycles(int src, int dst,
+                                              std::uint64_t words) const {
+  if (src == dst) return 0;
+  const int hops = hopCount(src, dst);
+  const auto stream_cycles = static_cast<std::uint64_t>(
+      static_cast<double>(words) / router_.words_per_cycle);
+  // Wormhole: header traverses hops serially; the body streams behind it.
+  return router_.message_startup_cycles +
+         static_cast<std::uint64_t>(hops) * router_.hop_latency_cycles +
+         stream_cycles;
+}
+
+std::uint64_t HypercubeSystem::sendVector(int src_node,
+                                          arch::PlaneId src_plane,
+                                          std::uint64_t src_base,
+                                          std::uint64_t count, int dst_node,
+                                          arch::PlaneId dst_plane,
+                                          std::uint64_t dst_base) {
+  const std::vector<double> data =
+      node(src_node).readPlane(src_plane, src_base, count);
+  node(dst_node).writePlane(dst_plane, dst_base, data);
+  const std::uint64_t cycles = transferCycles(src_node, dst_node, count);
+  if (exchange_open_) {
+    exchange_cost_.at(static_cast<std::size_t>(dst_node)) += cycles;
+  }
+  return cycles;
+}
+
+void HypercubeSystem::loadAll(const mc::Executable& exe) {
+  for (auto& node : nodes_) node->load(exe);
+}
+
+void HypercubeSystem::runPhase(SystemStats& stats) {
+  const int n = numNodes();
+  std::vector<RunStats> results(static_cast<std::size_t>(n));
+  // Nodes are fully independent between exchanges; simulate on host
+  // threads (distributed-memory model, one rank per node).
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  std::vector<std::thread> pool;
+  std::size_t next = 0;
+  const auto worker = [&results, this](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      results[i] = nodes_[i]->run();
+    }
+  };
+  const std::size_t chunk =
+      (static_cast<std::size_t>(n) + hw - 1) / hw;
+  while (next < static_cast<std::size_t>(n)) {
+    const std::size_t end =
+        std::min(next + chunk, static_cast<std::size_t>(n));
+    pool.emplace_back(worker, next, end);
+    next = end;
+  }
+  for (auto& t : pool) t.join();
+
+  std::uint64_t max_cycles = 0;
+  if (stats.node_stats.size() != static_cast<std::size_t>(n)) {
+    stats.node_stats.assign(static_cast<std::size_t>(n), RunStats{});
+  }
+  for (int i = 0; i < n; ++i) {
+    const RunStats& r = results[static_cast<std::size_t>(i)];
+    max_cycles = std::max(max_cycles, r.total_cycles);
+    stats.total_flops += r.total_flops;
+    RunStats& agg = stats.node_stats[static_cast<std::size_t>(i)];
+    agg.total_cycles += r.total_cycles;
+    agg.total_flops += r.total_flops;
+    agg.total_hazards += r.total_hazards;
+    agg.instructions_executed += r.instructions_executed;
+    if (r.error && !stats.error) {
+      stats.error = true;
+      stats.error_message = r.error_message;
+    }
+  }
+  stats.compute_makespan_cycles += max_cycles;
+}
+
+void HypercubeSystem::beginExchange() {
+  std::fill(exchange_cost_.begin(), exchange_cost_.end(), 0);
+  exchange_open_ = true;
+}
+
+void HypercubeSystem::endExchange(SystemStats& stats) {
+  exchange_open_ = false;
+  std::uint64_t max_cost = 0;
+  for (const std::uint64_t c : exchange_cost_) max_cost = std::max(max_cost, c);
+  stats.comm_cycles += max_cost;
+}
+
+}  // namespace nsc::sim

@@ -1,0 +1,101 @@
+// Multi-node NSC: nodes "arranged in a hypercube configuration" whose
+// "communication between nodes is handled by means of a hyperspace router"
+// (paper, Sections 1-2).  The router's internals were never published; we
+// model dimension-ordered (e-cube) wormhole routing with a startup cost,
+// a per-hop cost, and a per-word streaming cost — the standard model for
+// 1980s hypercubes — and document the parameters in DESIGN.md.
+//
+// Nodes execute their own microcode programs independently (each node has
+// its own sequencer); the system tracks a phase-synchronous makespan:
+// run-phase cost is the maximum node cycle count, exchange-phase cost is
+// the maximum routed-message cost, matching barrier-style SPMD CFD codes.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "arch/machine.h"
+#include "microcode/generator.h"
+#include "sim/node.h"
+#include "sim/stats.h"
+
+namespace nsc::sim {
+
+struct RouterOptions {
+  std::uint64_t message_startup_cycles = 32;
+  std::uint64_t hop_latency_cycles = 8;
+  double words_per_cycle = 1.0;  // link bandwidth
+};
+
+struct SystemStats {
+  std::vector<RunStats> node_stats;
+  std::uint64_t compute_makespan_cycles = 0;  // sum over phases of max node
+  std::uint64_t comm_cycles = 0;              // sum over exchange phases
+  std::uint64_t total_flops = 0;
+  bool error = false;
+  std::string error_message;
+
+  std::uint64_t makespanCycles() const {
+    return compute_makespan_cycles + comm_cycles;
+  }
+  double aggregateMflops(double clock_mhz) const {
+    const std::uint64_t cycles = makespanCycles();
+    return cycles == 0 ? 0.0
+                       : static_cast<double>(total_flops) * clock_mhz /
+                             static_cast<double>(cycles);
+  }
+};
+
+class HypercubeSystem {
+ public:
+  // dimension d gives 2^d nodes (the paper quotes a 64-node NSC, d = 6).
+  HypercubeSystem(const arch::Machine& machine, int dimension,
+                  RouterOptions router = {},
+                  NodeSim::Options node_options = {});
+
+  int dimension() const { return dimension_; }
+  int numNodes() const { return 1 << dimension_; }
+  NodeSim& node(int id) { return *nodes_.at(static_cast<std::size_t>(id)); }
+  const NodeSim& node(int id) const {
+    return *nodes_.at(static_cast<std::size_t>(id));
+  }
+
+  // e-cube (dimension-ordered) routing: number of hops and the node path.
+  static int hopCount(int a, int b);
+  static std::vector<int> ecubePath(int a, int b);
+
+  // Modelled cost (cycles) of routing `words` data between two nodes.
+  std::uint64_t transferCycles(int src, int dst, std::uint64_t words) const;
+
+  // Moves a vector between node memory planes through the router, charging
+  // the modelled cost to the current exchange phase.  Returns the cost.
+  std::uint64_t sendVector(int src_node, arch::PlaneId src_plane,
+                           std::uint64_t src_base, std::uint64_t count,
+                           int dst_node, arch::PlaneId dst_plane,
+                           std::uint64_t dst_base);
+
+  // Loads the same executable on every node (SPMD).
+  void loadAll(const mc::Executable& exe);
+
+  // Runs every node's program to halt (in parallel on host threads); adds
+  // max(node cycles) to the compute makespan and folds stats into `stats`.
+  void runPhase(SystemStats& stats);
+
+  // Marks the start of an exchange phase: subsequent sendVector costs are
+  // accumulated as max-over-destination-node, then folded at the next
+  // endExchange().
+  void beginExchange();
+  void endExchange(SystemStats& stats);
+
+ private:
+  const arch::Machine& machine_;
+  int dimension_;
+  RouterOptions router_;
+  std::vector<std::unique_ptr<NodeSim>> nodes_;
+  // Per-destination-node accumulated exchange cost in the open phase.
+  std::vector<std::uint64_t> exchange_cost_;
+  bool exchange_open_ = false;
+};
+
+}  // namespace nsc::sim

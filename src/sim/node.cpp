@@ -1,0 +1,713 @@
+#include "sim/node.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/strings.h"
+
+namespace nsc::sim {
+
+using arch::Endpoint;
+using arch::MicrowordSpec;
+using common::strFormat;
+
+NodeSim::NodeSim(const arch::Machine& machine, Options options)
+    : machine_(machine), spec_(machine), options_(options) {
+  const arch::MachineConfig& cfg = machine_.config();
+  planes_.resize(static_cast<std::size_t>(cfg.num_memory_planes));
+  caches_.resize(static_cast<std::size_t>(cfg.num_caches));
+  for (auto& cache : caches_) {
+    cache.assign(static_cast<std::size_t>(cfg.cache_buffers),
+                 std::vector<double>(cfg.cacheWords(), 0.0));
+  }
+  cond_regs_.assign(4, false);
+  fu_launches_.assign(static_cast<std::size_t>(cfg.numFus()), 0);
+  rf_images_.resize(static_cast<std::size_t>(cfg.numFus()));
+}
+
+void NodeSim::load(const mc::Executable& exe) {
+  plans_.clear();
+  names_ = exe.names;
+  for (auto& image : rf_images_) image.clear();
+  for (const auto& [fu, image] : exe.rf_images) {
+    rf_images_.at(static_cast<std::size_t>(fu)) = image;
+  }
+  for (const common::BitVector& word : exe.words) {
+    plans_.push_back(decode(word));
+  }
+  loop_counters_.assign(plans_.size(), std::nullopt);
+  restart();
+}
+
+void NodeSim::restart() {
+  pc_ = 0;
+  halted_ = false;
+  std::fill(cond_regs_.begin(), cond_regs_.end(), false);
+  std::fill(loop_counters_.begin(), loop_counters_.end(), std::nullopt);
+}
+
+// ---------------------------------------------------------------------------
+// Memory access
+// ---------------------------------------------------------------------------
+
+namespace {
+void ensureSize(std::vector<double>& plane, std::uint64_t needed,
+                std::uint64_t cap) {
+  if (plane.size() < needed && needed <= cap) {
+    plane.resize(needed, 0.0);
+  }
+}
+}  // namespace
+
+void NodeSim::writePlane(arch::PlaneId plane, std::uint64_t base,
+                         std::span<const double> values) {
+  auto& mem = planes_.at(static_cast<std::size_t>(plane));
+  ensureSize(mem, base + values.size(), machine_.config().sim_plane_words);
+  std::copy(values.begin(), values.end(),
+            mem.begin() + static_cast<std::ptrdiff_t>(base));
+}
+
+std::vector<double> NodeSim::readPlane(arch::PlaneId plane, std::uint64_t base,
+                                       std::uint64_t count) const {
+  const auto& mem = planes_.at(static_cast<std::size_t>(plane));
+  std::vector<double> out(count, 0.0);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint64_t addr = base + i;
+    if (addr < mem.size()) out[i] = mem[addr];
+  }
+  return out;
+}
+
+double NodeSim::readPlaneWord(arch::PlaneId plane, std::uint64_t addr) const {
+  const auto& mem = planes_.at(static_cast<std::size_t>(plane));
+  return addr < mem.size() ? mem[addr] : 0.0;
+}
+
+void NodeSim::fillPlane(arch::PlaneId plane, double value) {
+  auto& mem = planes_.at(static_cast<std::size_t>(plane));
+  std::fill(mem.begin(), mem.end(), value);
+}
+
+void NodeSim::writeCache(arch::CacheId cache, int buffer, std::uint64_t base,
+                         std::span<const double> values) {
+  auto& mem = caches_.at(static_cast<std::size_t>(cache))
+                  .at(static_cast<std::size_t>(buffer));
+  for (std::size_t i = 0; i < values.size() && base + i < mem.size(); ++i) {
+    mem[base + i] = values[i];
+  }
+}
+
+std::vector<double> NodeSim::readCache(arch::CacheId cache, int buffer,
+                                       std::uint64_t base,
+                                       std::uint64_t count) const {
+  const auto& mem = caches_.at(static_cast<std::size_t>(cache))
+                        .at(static_cast<std::size_t>(buffer));
+  std::vector<double> out(count, 0.0);
+  for (std::uint64_t i = 0; i < count && base + i < mem.size(); ++i) {
+    out[i] = mem[base + i];
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Decode
+// ---------------------------------------------------------------------------
+
+NodeSim::InstrPlan NodeSim::decode(const common::BitVector& word) const {
+  const arch::MachineConfig& cfg = machine_.config();
+  InstrPlan plan;
+
+  plan.fu.resize(static_cast<std::size_t>(cfg.numFus()));
+  for (const arch::FuInfo& info : machine_.fus()) {
+    FuPlan& fu = plan.fu[static_cast<std::size_t>(info.id)];
+    fu.enabled = spec_.get(word, MicrowordSpec::fuField(info.id, "enable")) != 0;
+    if (!fu.enabled) continue;
+    fu.op = static_cast<arch::OpCode>(
+        spec_.get(word, MicrowordSpec::fuField(info.id, "opcode")));
+    fu.in_a = static_cast<arch::InputSelect>(
+        spec_.get(word, MicrowordSpec::fuField(info.id, "in_a_sel")));
+    fu.in_b = static_cast<arch::InputSelect>(
+        spec_.get(word, MicrowordSpec::fuField(info.id, "in_b_sel")));
+    fu.rf_mode = static_cast<arch::RfMode>(
+        spec_.get(word, MicrowordSpec::fuField(info.id, "rf_mode")));
+    fu.rf_delay = static_cast<int>(
+        spec_.get(word, MicrowordSpec::fuField(info.id, "rf_delay")));
+    const auto rf_addr = static_cast<std::size_t>(
+        spec_.get(word, MicrowordSpec::fuField(info.id, "rf_addr")));
+    if (fu.rf_mode == arch::RfMode::kDelay) {
+      fu.rf_delay_port = static_cast<int>(rf_addr & 1);
+    }
+    const bool needs_const = fu.in_a == arch::InputSelect::kRegisterFile ||
+                             fu.in_b == arch::InputSelect::kRegisterFile ||
+                             fu.rf_mode == arch::RfMode::kAccum;
+    if (needs_const) {
+      const auto& image = rf_images_[static_cast<std::size_t>(info.id)];
+      fu.rf_value = rf_addr < image.size() ? image[rf_addr] : 0.0;
+    }
+    const arch::OpInfo& op = arch::opInfo(fu.op);
+    fu.latency = std::max(1, op.latency);
+    fu.counts_flop = op.counts_as_flop;
+    fu.arity = op.arity;
+  }
+
+  plan.route.resize(machine_.destinations().size(), 0);
+  for (std::size_t d = 0; d < plan.route.size(); ++d) {
+    plan.route[d] = static_cast<int>(
+        spec_.get(word, MicrowordSpec::switchField(static_cast<int>(d))));
+  }
+
+  plan.plane.resize(static_cast<std::size_t>(cfg.num_memory_planes));
+  for (arch::PlaneId p = 0; p < cfg.num_memory_planes; ++p) {
+    DmaPlan& dma = plan.plane[static_cast<std::size_t>(p)];
+    dma.mode = static_cast<int>(
+        spec_.get(word, MicrowordSpec::planeField(p, "mode")));
+    if (dma.mode == 0) continue;
+    dma.base = spec_.get(word, MicrowordSpec::planeField(p, "base"));
+    dma.stride = spec_.getSigned(word, MicrowordSpec::planeField(p, "stride"));
+    dma.count = spec_.get(word, MicrowordSpec::planeField(p, "count"));
+    dma.count2 = std::max<std::uint64_t>(
+        1, spec_.get(word, MicrowordSpec::planeField(p, "count2")));
+    dma.stride2 =
+        spec_.getSigned(word, MicrowordSpec::planeField(p, "stride2"));
+    (dma.mode == 1 ? plan.has_reads : plan.has_writes) = true;
+  }
+
+  plan.cache.resize(static_cast<std::size_t>(cfg.num_caches));
+  for (arch::CacheId c = 0; c < cfg.num_caches; ++c) {
+    DmaPlan& dma = plan.cache[static_cast<std::size_t>(c)];
+    dma.mode = static_cast<int>(
+        spec_.get(word, MicrowordSpec::cacheField(c, "mode")));
+    if (dma.mode == 0) continue;
+    dma.base = spec_.get(word, MicrowordSpec::cacheField(c, "base"));
+    dma.stride = spec_.getSigned(word, MicrowordSpec::cacheField(c, "stride"));
+    dma.count = spec_.get(word, MicrowordSpec::cacheField(c, "count"));
+    dma.read_buffer = static_cast<int>(
+        spec_.get(word, MicrowordSpec::cacheField(c, "read_buffer")));
+    dma.swap = spec_.get(word, MicrowordSpec::cacheField(c, "swap")) != 0;
+    if (dma.mode & 1) plan.has_reads = true;
+    if (dma.mode & 2) plan.has_writes = true;
+  }
+
+  plan.sd.resize(static_cast<std::size_t>(cfg.num_shift_delay));
+  for (arch::SdId s = 0; s < cfg.num_shift_delay; ++s) {
+    SdPlan& sd = plan.sd[static_cast<std::size_t>(s)];
+    sd.enabled = spec_.get(word, MicrowordSpec::sdField(s, "enable")) != 0;
+    if (!sd.enabled) continue;
+    for (int t = 0; t < cfg.sd_taps; ++t) {
+      sd.taps.push_back(static_cast<int>(
+          spec_.get(word, MicrowordSpec::sdField(s, strFormat("tap%d", t)))));
+    }
+  }
+
+  plan.cond_enable = spec_.get(word, "cond.enable") != 0;
+  plan.cond_src_fu = static_cast<int>(spec_.get(word, "cond.src_fu"));
+  plan.cond_reg = static_cast<int>(spec_.get(word, "cond.reg"));
+  plan.seq_op = static_cast<arch::SeqOp>(spec_.get(word, "seq.op"));
+  plan.seq_target = static_cast<int>(spec_.get(word, "seq.target"));
+  plan.seq_cond_reg = static_cast<int>(spec_.get(word, "seq.cond_reg"));
+  plan.seq_count = static_cast<int>(spec_.get(word, "seq.count"));
+  return plan;
+}
+
+// ---------------------------------------------------------------------------
+// Execute
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Streaming address generator over a two-level DMA pattern.
+struct DmaCursor {
+  std::uint64_t base = 0;
+  std::int64_t stride = 1;
+  std::uint64_t count = 1;
+  std::uint64_t count2 = 1;
+  std::int64_t stride2 = 0;
+  std::uint64_t element = 0;  // elements issued so far
+  std::uint64_t row = 0;
+  std::uint64_t in_row = 0;
+
+  std::uint64_t total() const { return count * count2; }
+  bool done() const { return element >= total(); }
+  std::uint64_t nextAddr() {
+    const std::int64_t addr = static_cast<std::int64_t>(base) +
+                              static_cast<std::int64_t>(row) * stride2 +
+                              static_cast<std::int64_t>(in_row) * stride;
+    ++element;
+    if (++in_row == count) {
+      in_row = 0;
+      ++row;
+    }
+    return static_cast<std::uint64_t>(addr);
+  }
+};
+
+struct Ring {
+  std::vector<Token> slots;
+  std::size_t pos = 0;
+  void init(std::size_t depth) {
+    slots.assign(std::max<std::size_t>(depth, 1), Token::invalid());
+    pos = 0;
+  }
+  // Pushes `in`, returns the token pushed slots.size() cycles ago.
+  Token shift(const Token& in) {
+    Token out = slots[pos];
+    slots[pos] = in;
+    pos = (pos + 1) % slots.size();
+    return out;
+  }
+};
+
+}  // namespace
+
+InstrStats NodeSim::execute(const InstrPlan& plan, int instr_index,
+                            const std::string& name) {
+  const arch::MachineConfig& cfg = machine_.config();
+  InstrStats stats;
+  stats.instruction = instr_index;
+  stats.name = name;
+
+  // --- Per-instruction dataflow state ---
+  const std::size_t n_src = machine_.sources().size();
+  const std::size_t n_dst = machine_.destinations().size();
+  std::vector<Token> src_out(n_src);
+  std::vector<Token> dst_in(n_dst);
+
+  struct FuState {
+    Ring pipe;
+    Ring rf_queue;
+    bool has_queue = false;
+    double acc = 0.0;
+  };
+  std::vector<FuState> fu_state(plan.fu.size());
+  for (std::size_t f = 0; f < plan.fu.size(); ++f) {
+    const FuPlan& fu = plan.fu[f];
+    if (!fu.enabled) continue;
+    fu_state[f].pipe.init(static_cast<std::size_t>(fu.latency));
+    if (fu.rf_mode == arch::RfMode::kDelay && fu.rf_delay > 0) {
+      fu_state[f].rf_queue.init(static_cast<std::size_t>(fu.rf_delay));
+      fu_state[f].has_queue = true;
+    }
+    if (fu.rf_mode == arch::RfMode::kAccum) fu_state[f].acc = fu.rf_value;
+  }
+
+  // --- Active DMA engines ---
+  struct ReadEngine {
+    DmaCursor cursor;
+    std::size_t src_index;
+    bool is_cache = false;
+    int unit = 0;
+    int buffer = 0;
+  };
+  struct WriteEngine {
+    DmaCursor cursor;
+    std::size_t dst_index;
+    bool is_cache = false;
+    int unit = 0;
+    int buffer = 0;
+    bool done() const { return cursor.done(); }
+  };
+  std::vector<ReadEngine> reads;
+  std::vector<WriteEngine> writes;
+
+  for (int p = 0; p < cfg.num_memory_planes; ++p) {
+    const DmaPlan& dma = plan.plane[static_cast<std::size_t>(p)];
+    if (dma.mode == 0) continue;
+    DmaCursor cursor{dma.base, dma.stride, dma.count, dma.count2,
+                     dma.stride2};
+    // Grow the simulated backing store to cover the touched range.
+    auto& mem = planes_[static_cast<std::size_t>(p)];
+    const std::int64_t row_span = dma.stride * static_cast<std::int64_t>(dma.count - 1);
+    const std::int64_t col_span = dma.stride2 * static_cast<std::int64_t>(dma.count2 - 1);
+    std::int64_t hi = static_cast<std::int64_t>(dma.base);
+    for (const std::int64_t corner :
+         {hi + row_span, hi + col_span, hi + row_span + col_span}) {
+      hi = std::max(hi, corner);
+    }
+    if (static_cast<std::uint64_t>(hi) >= cfg.sim_plane_words) {
+      stats.error = true;
+      stats.error_message = strFormat(
+          "plane %d DMA touches word %lld beyond the simulated capacity %llu "
+          "(raise MachineConfig::sim_plane_words)",
+          p, static_cast<long long>(hi),
+          static_cast<unsigned long long>(cfg.sim_plane_words));
+      return stats;
+    }
+    ensureSize(mem, static_cast<std::uint64_t>(hi) + 1, cfg.sim_plane_words);
+    if (dma.mode == 1) {
+      reads.push_back({cursor,
+                       static_cast<std::size_t>(
+                           machine_.sourceIndex(Endpoint::planeRead(p))),
+                       false, p, 0});
+    } else {
+      writes.push_back({cursor,
+                        static_cast<std::size_t>(machine_.destinationIndex(
+                            Endpoint::planeWrite(p))),
+                        false, p, 0});
+    }
+  }
+  for (int c = 0; c < cfg.num_caches; ++c) {
+    const DmaPlan& dma = plan.cache[static_cast<std::size_t>(c)];
+    if (dma.mode == 0) continue;
+    DmaCursor cursor{dma.base, dma.stride, dma.count, 1, 0};
+    if (dma.mode & 1) {
+      reads.push_back({cursor,
+                       static_cast<std::size_t>(
+                           machine_.sourceIndex(Endpoint::cacheRead(c))),
+                       true, c, dma.read_buffer});
+    }
+    if (dma.mode & 2) {
+      const int fill_buffer = (dma.read_buffer + 1) % cfg.cache_buffers;
+      writes.push_back({cursor,
+                        static_cast<std::size_t>(machine_.destinationIndex(
+                            Endpoint::cacheWrite(c))),
+                        true, c, fill_buffer});
+    }
+  }
+
+  // --- Shift/delay units ---
+  struct SdState {
+    Ring hist;
+    std::vector<std::pair<std::size_t, int>> taps;  // (source index, delay)
+    std::size_t in_index = 0;
+  };
+  std::vector<SdState> sd_state;
+  for (int s = 0; s < cfg.num_shift_delay; ++s) {
+    const SdPlan& sd = plan.sd[static_cast<std::size_t>(s)];
+    if (!sd.enabled) continue;
+    SdState state;
+    state.hist.init(static_cast<std::size_t>(cfg.sd_max_delay) + 2);
+    state.in_index = static_cast<std::size_t>(
+        machine_.destinationIndex(Endpoint::sdInput(s)));
+    for (std::size_t t = 0; t < sd.taps.size(); ++t) {
+      state.taps.push_back(
+          {static_cast<std::size_t>(machine_.sourceIndex(
+               Endpoint::sdOutput(s, static_cast<int>(t)))),
+           sd.taps[t]});
+    }
+    sd_state.push_back(std::move(state));
+  }
+
+  // --- Switch routing table (skip self-managed chain paths) ---
+  std::vector<std::pair<std::size_t, std::size_t>> routes;  // (dst, src)
+  for (std::size_t d = 0; d < plan.route.size(); ++d) {
+    if (plan.route[d] > 0) {
+      routes.push_back({d, static_cast<std::size_t>(plan.route[d] - 1)});
+    }
+  }
+
+  // List of enabled FUs in id order (ALS slot order, so chain inputs are
+  // computed before their consumers within one cycle).
+  std::vector<int> active_fus;
+  for (std::size_t f = 0; f < plan.fu.size(); ++f) {
+    if (plan.fu[f].enabled) active_fus.push_back(static_cast<int>(f));
+  }
+
+  const int cond_src_index =
+      plan.cond_enable
+          ? machine_.sourceIndex(Endpoint::fuOutput(plan.cond_src_fu))
+          : -1;
+  bool cond_fired = false;
+
+  // Drain budget for read-only pipelines: enough for every latency in the
+  // machine plus queue depths.
+  const std::uint64_t drain_budget =
+      64 + static_cast<std::uint64_t>(cfg.rf_max_delay) +
+      static_cast<std::uint64_t>(cfg.sd_max_delay);
+  std::uint64_t drain = 0;
+
+  std::uint64_t cycle = 0;
+  for (;; ++cycle) {
+    if (cycle >= options_.max_cycles_per_instruction) {
+      stats.error = true;
+      stats.error_message = strFormat(
+          "instruction %d did not complete within %llu cycles", instr_index,
+          static_cast<unsigned long long>(options_.max_cycles_per_instruction));
+      stats.cycles = cycle;
+      return stats;
+    }
+
+    // Phase 1a: DMA read engines produce this cycle's tokens.
+    for (ReadEngine& rd : reads) {
+      Token tok = Token::invalid();
+      if (!rd.cursor.done()) {
+        const std::uint64_t element = rd.cursor.element;
+        const std::uint64_t addr = rd.cursor.nextAddr();
+        double value = 0.0;
+        if (rd.is_cache) {
+          const auto& mem = caches_[static_cast<std::size_t>(rd.unit)]
+                                   [static_cast<std::size_t>(rd.buffer)];
+          if (addr < mem.size()) value = mem[addr];
+        } else {
+          const auto& mem = planes_[static_cast<std::size_t>(rd.unit)];
+          if (addr < mem.size()) value = mem[addr];
+        }
+        tok = Token{value, true, rd.cursor.done(),
+                    static_cast<std::int32_t>(element)};
+      }
+      src_out[rd.src_index] = tok;
+    }
+
+    // Phase 1b: shift/delay taps produce delayed copies.
+    for (SdState& sd : sd_state) {
+      for (const auto& [src_index, delay] : sd.taps) {
+        const std::size_t n = sd.hist.slots.size();
+        const std::size_t at =
+            (sd.hist.pos + n - 1 - static_cast<std::size_t>(delay) % n) % n;
+        src_out[src_index] = sd.hist.slots[at];
+      }
+    }
+
+    // Phase 1c: functional units consume and launch.
+    for (const int f : active_fus) {
+      const FuPlan& fu = plan.fu[static_cast<std::size_t>(f)];
+      FuState& state = fu_state[static_cast<std::size_t>(f)];
+
+      auto operand = [&](int port, arch::InputSelect sel) -> Token {
+        switch (sel) {
+          case arch::InputSelect::kSwitch:
+          case arch::InputSelect::kChain: {
+            Token tok;
+            if (sel == arch::InputSelect::kChain) {
+              // Hardwired path from the previous slot's output, same cycle.
+              const int prev = f - 1;
+              const int src = machine_.sourceIndex(Endpoint::fuOutput(prev));
+              tok = src >= 0 ? src_out[static_cast<std::size_t>(src)]
+                             : Token::invalid();
+            } else {
+              const int dst =
+                  machine_.destinationIndex(Endpoint::fuInput(f, port));
+              tok = dst >= 0 ? dst_in[static_cast<std::size_t>(dst)]
+                             : Token::invalid();
+            }
+            if (state.has_queue && fu.rf_delay_port == port) {
+              tok = state.rf_queue.shift(tok);
+            }
+            return tok;
+          }
+          case arch::InputSelect::kRegisterFile:
+            return Token::constant(fu.rf_value);
+          case arch::InputSelect::kFeedback:
+            return Token{state.acc, true, false, -1};
+          case arch::InputSelect::kNone:
+            return Token::invalid();
+        }
+        return Token::invalid();
+      };
+
+      const Token a = operand(0, fu.in_a);
+      const Token b = operand(1, fu.in_b);
+
+      Token result = Token::invalid();
+      if (fu.rf_mode == arch::RfMode::kAccum) {
+        // One stream input plus the feedback accumulator; the unit emits
+        // the running value tagged valid only on the final element.
+        const bool a_is_stream = fu.in_a != arch::InputSelect::kFeedback;
+        const Token& stream = a_is_stream ? a : b;
+        if (stream.valid) {
+          state.acc = arch::evalOp(fu.op, a.value, b.value);
+          if (fu.counts_flop) ++stats.flops;
+          ++fu_launches_[static_cast<std::size_t>(f)];
+        }
+        result = Token{state.acc, stream.valid && stream.last,
+                       stream.valid && stream.last, stream.index};
+      } else {
+        const bool a_wired = fu.in_a != arch::InputSelect::kNone;
+        const bool b_wired = fu.arity >= 2 && fu.in_b != arch::InputSelect::kNone;
+        bool valid = a_wired ? a.valid : false;
+        if (b_wired) valid = valid && b.valid;
+        // Hazards: two *stream* operands whose validity disagrees (pipeline
+        // fill/drain bubbles or genuine misprogramming).  Register-file
+        // constants and feedback are valid every cycle by construction and
+        // do not count.
+        const bool a_stream = fu.in_a == arch::InputSelect::kSwitch ||
+                              fu.in_a == arch::InputSelect::kChain;
+        const bool b_stream = fu.in_b == arch::InputSelect::kSwitch ||
+                              fu.in_b == arch::InputSelect::kChain;
+        if (a_stream && b_stream && a.valid != b.valid) ++stats.hazards;
+        if (valid) {
+          result.value = arch::evalOp(fu.op, a.value, b.value);
+          result.valid = true;
+          result.last = (a_wired && a.last) || (b_wired && b.last);
+          result.index = a.index >= 0 ? a.index : b.index;
+          if (fu.counts_flop) ++stats.flops;
+          ++fu_launches_[static_cast<std::size_t>(f)];
+        }
+      }
+
+      const int src = machine_.sourceIndex(Endpoint::fuOutput(f));
+      src_out[static_cast<std::size_t>(src)] = state.pipe.shift(result);
+    }
+
+    // Phase 2a: write engines capture arriving tokens.
+    bool writes_done = true;
+    for (WriteEngine& wr : writes) {
+      if (!wr.done()) {
+        const Token tok = dst_in[wr.dst_index];
+        if (tok.valid) {
+          const std::uint64_t addr = wr.cursor.nextAddr();
+          if (wr.is_cache) {
+            auto& mem = caches_[static_cast<std::size_t>(wr.unit)]
+                               [static_cast<std::size_t>(wr.buffer)];
+            if (addr < mem.size()) mem[addr] = tok.value;
+          } else {
+            auto& mem = planes_[static_cast<std::size_t>(wr.unit)];
+            if (addr < mem.size()) mem[addr] = tok.value;
+          }
+        }
+      }
+      writes_done = writes_done && wr.done();
+    }
+
+    // Phase 2b: condition latch watches the source FU's emerging stream.
+    if (plan.cond_enable && cond_src_index >= 0) {
+      const Token tok = src_out[static_cast<std::size_t>(cond_src_index)];
+      if (tok.valid && tok.last) {
+        cond_regs_[static_cast<std::size_t>(plan.cond_reg)] = tok.value > 0.5;
+        cond_fired = true;
+      }
+    }
+
+    if (trace_) {
+      TraceFrame frame;
+      frame.instruction = instr_index;
+      frame.cycle = cycle;
+      frame.source_tokens = src_out;
+      trace_(frame);
+    }
+
+    // Phase 3: switch network transfers (registered: consumers see these
+    // tokens next cycle).
+    for (const auto& [dst, src] : routes) {
+      dst_in[dst] = src_out[src];
+    }
+
+    // Phase 4: shift/delay history advances on the freshly routed input.
+    for (SdState& sd : sd_state) {
+      sd.hist.shift(dst_in[sd.in_index]);
+    }
+
+    // Completion: "an elaborate interrupt scheme is used to signal pipeline
+    // completions".
+    bool reads_done = true;
+    for (const ReadEngine& rd : reads) {
+      reads_done = reads_done && rd.cursor.done();
+    }
+    const bool cond_ok = !plan.cond_enable || cond_fired;
+    if (!writes.empty()) {
+      if (writes_done && cond_ok) {
+        ++cycle;
+        break;
+      }
+    } else if (!reads.empty()) {
+      if (reads_done && cond_ok) {
+        if (++drain > drain_budget) {
+          ++cycle;
+          break;
+        }
+      }
+    } else {
+      ++cycle;
+      break;  // control-only instruction
+    }
+  }
+
+  // Double-buffered caches swap at instruction end when requested.
+  for (int c = 0; c < cfg.num_caches; ++c) {
+    const DmaPlan& dma = plan.cache[static_cast<std::size_t>(c)];
+    if (dma.mode != 0 && dma.swap && cfg.cache_buffers == 2) {
+      std::swap(caches_[static_cast<std::size_t>(c)][0],
+                caches_[static_cast<std::size_t>(c)][1]);
+    }
+  }
+
+  stats.cycles = cycle;
+  return stats;
+}
+
+void NodeSim::applySequencer(const InstrPlan& plan) {
+  switch (plan.seq_op) {
+    case arch::SeqOp::kNext:
+      ++pc_;
+      break;
+    case arch::SeqOp::kJump:
+      pc_ = plan.seq_target;
+      break;
+    case arch::SeqOp::kBranchIf:
+      pc_ = cond_regs_.at(static_cast<std::size_t>(plan.seq_cond_reg))
+                ? plan.seq_target
+                : pc_ + 1;
+      break;
+    case arch::SeqOp::kBranchNot:
+      pc_ = cond_regs_.at(static_cast<std::size_t>(plan.seq_cond_reg))
+                ? pc_ + 1
+                : plan.seq_target;
+      break;
+    case arch::SeqOp::kLoop: {
+      auto& counter = loop_counters_.at(static_cast<std::size_t>(pc_));
+      if (!counter.has_value()) counter = plan.seq_count;
+      if (--*counter > 0) {
+        pc_ = plan.seq_target;
+      } else {
+        counter.reset();
+        ++pc_;
+      }
+      break;
+    }
+    case arch::SeqOp::kHalt:
+      halted_ = true;
+      break;
+  }
+  if (!halted_ && (pc_ < 0 || pc_ >= static_cast<int>(plans_.size()))) {
+    halted_ = true;
+  }
+}
+
+InstrStats NodeSim::stepInstruction() {
+  if (halted_ || plans_.empty()) {
+    InstrStats stats;
+    stats.error = halted_ && plans_.empty();
+    return stats;
+  }
+  const int index = pc_;
+  InstrStats stats =
+      execute(plans_[static_cast<std::size_t>(index)], index,
+              static_cast<std::size_t>(index) < names_.size()
+                  ? names_[static_cast<std::size_t>(index)]
+                  : "");
+  if (!stats.error) {
+    applySequencer(plans_[static_cast<std::size_t>(index)]);
+  } else {
+    halted_ = true;
+  }
+  return stats;
+}
+
+RunStats NodeSim::run() {
+  RunStats stats;
+  stats.fu_launches.assign(fu_launches_.size(), 0);
+  std::fill(fu_launches_.begin(), fu_launches_.end(), 0);
+  while (!halted_) {
+    if (stats.instructions_executed >= options_.max_instructions) {
+      stats.error = true;
+      stats.error_message = "instruction budget exhausted";
+      break;
+    }
+    InstrStats instr = stepInstruction();
+    stats.total_cycles += instr.cycles;
+    stats.total_flops += instr.flops;
+    stats.total_hazards += instr.hazards;
+    ++stats.instructions_executed;
+    if (instr.error) {
+      stats.error = true;
+      stats.error_message = instr.error_message;
+      stats.trace.push_back(std::move(instr));
+      break;
+    }
+    stats.trace.push_back(std::move(instr));
+  }
+  stats.halted = halted_;
+  stats.fu_launches = fu_launches_;
+  return stats;
+}
+
+}  // namespace nsc::sim

@@ -1,0 +1,167 @@
+// NodeSim: cycle-level simulator of one Navier-Stokes Computer node.
+//
+// The NSC was never completed; this simulator is the substitute backend
+// (see DESIGN.md, Section 2).  It executes the microcode produced by
+// mc::Generator — decoding the same bit fields — and models, per cycle:
+//
+//   * 32 functional units with per-op pipeline latencies, register-file
+//     constant supply, circular-queue delays, and accumulator feedback;
+//   * the crossbar switch network (one-cycle hop, registered);
+//   * 16 memory-plane DMA engines with two-level strided addressing;
+//   * 16 double-buffered caches;
+//   * 2 shift/delay units re-forming one stream into delayed copies;
+//   * the condition latch, completion detection ("an elaborate interrupt
+//     scheme is used to signal pipeline completions"), and the central
+//     sequencer (next/jump/branch/loop/halt).
+//
+// Determinism: the simulator is single-threaded and fully deterministic;
+// all state is reset per instruction except memory planes, caches,
+// condition registers, loop counters, and register-file images.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "arch/machine.h"
+#include "arch/microword_spec.h"
+#include "microcode/generator.h"
+#include "sim/stats.h"
+#include "sim/token.h"
+
+namespace nsc::sim {
+
+// One cycle of observable dataflow, for the visual debugger (paper,
+// Section 6: "each new instruction would display the corresponding pipeline
+// diagram, annotated to show data values flowing through the pipeline").
+struct TraceFrame {
+  int instruction = 0;
+  std::uint64_t cycle = 0;
+  // Token per switch source endpoint, indexed like Machine::sources().
+  std::vector<Token> source_tokens;
+};
+using TraceSink = std::function<void(const TraceFrame&)>;
+
+struct NodeOptions {
+  std::uint64_t max_cycles_per_instruction = 64ull * 1024 * 1024;
+  std::uint64_t max_instructions = 1ull << 20;
+};
+
+class NodeSim {
+ public:
+  using Options = NodeOptions;
+
+  explicit NodeSim(const arch::Machine& machine, Options options = {});
+
+  const arch::Machine& machine() const { return machine_; }
+
+  // Loads microcode + register-file images and resets the sequencer.
+  void load(const mc::Executable& exe);
+
+  // ---- Memory access (host/loader side) ----
+  void writePlane(arch::PlaneId plane, std::uint64_t base,
+                  std::span<const double> values);
+  std::vector<double> readPlane(arch::PlaneId plane, std::uint64_t base,
+                                std::uint64_t count) const;
+  double readPlaneWord(arch::PlaneId plane, std::uint64_t addr) const;
+  void fillPlane(arch::PlaneId plane, double value);
+
+  void writeCache(arch::CacheId cache, int buffer, std::uint64_t base,
+                  std::span<const double> values);
+  std::vector<double> readCache(arch::CacheId cache, int buffer,
+                                std::uint64_t base, std::uint64_t count) const;
+
+  bool cond(int reg) const { return cond_regs_.at(static_cast<std::size_t>(reg)); }
+  int pc() const { return pc_; }
+  bool halted() const { return halted_; }
+
+  // Executes the instruction at pc and advances control flow.  Returns the
+  // stats for that instruction (error flag set on timeout/bad microcode).
+  InstrStats stepInstruction();
+
+  // Runs from the current pc until halt, error, or the instruction budget.
+  RunStats run();
+
+  // Re-arms the sequencer at instruction 0 without touching memory.
+  void restart();
+
+  void setTraceSink(TraceSink sink) { trace_ = std::move(sink); }
+
+ private:
+  struct FuPlan {
+    bool enabled = false;
+    arch::OpCode op = arch::OpCode::kNop;
+    arch::InputSelect in_a = arch::InputSelect::kNone;
+    arch::InputSelect in_b = arch::InputSelect::kNone;
+    arch::RfMode rf_mode = arch::RfMode::kOff;
+    int rf_delay = 0;
+    int rf_delay_port = 0;
+    double rf_value = 0.0;  // constant or accumulator seed
+    int latency = 1;
+    bool counts_flop = false;
+    int arity = 0;
+  };
+  struct DmaPlan {
+    int mode = 0;  // 0 idle, 1 read, 2 write (caches: bit0 read, bit1 fill)
+    std::uint64_t base = 0;
+    std::int64_t stride = 1;
+    std::uint64_t count = 0;
+    std::uint64_t count2 = 1;
+    std::int64_t stride2 = 0;
+    int read_buffer = 0;
+    bool swap = false;
+  };
+  struct SdPlan {
+    bool enabled = false;
+    std::vector<int> taps;
+  };
+  struct InstrPlan {
+    std::vector<FuPlan> fu;
+    // Switch: dense source index + 1 per destination (0 = unrouted).
+    std::vector<int> route;
+    std::vector<DmaPlan> plane;
+    std::vector<DmaPlan> cache;
+    std::vector<SdPlan> sd;
+    bool cond_enable = false;
+    int cond_src_fu = 0;
+    int cond_reg = 0;
+    arch::SeqOp seq_op = arch::SeqOp::kNext;
+    int seq_target = 0;
+    int seq_cond_reg = 0;
+    int seq_count = 0;
+    bool has_writes = false;
+    bool has_reads = false;
+  };
+
+  InstrPlan decode(const common::BitVector& word) const;
+  InstrStats execute(const InstrPlan& plan, int instr_index,
+                     const std::string& name);
+  void applySequencer(const InstrPlan& plan);
+
+  const arch::Machine& machine_;
+  arch::MicrowordSpec spec_;
+  Options options_;
+
+  // Loaded program.
+  std::vector<InstrPlan> plans_;
+  std::vector<std::string> names_;
+  std::vector<std::vector<double>> rf_images_;  // per FU
+
+  // Persistent machine state.
+  std::vector<std::vector<double>> planes_;
+  std::vector<std::vector<std::vector<double>>> caches_;  // [cache][buffer]
+  std::vector<bool> cond_regs_;
+  std::vector<std::optional<int>> loop_counters_;  // per instruction slot
+  int pc_ = 0;
+  bool halted_ = false;
+
+  // Run accounting.
+  std::vector<std::uint64_t> fu_launches_;
+
+  TraceSink trace_;
+};
+
+}  // namespace nsc::sim

@@ -1,0 +1,50 @@
+// Execution statistics reported by the node simulator.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nsc::sim {
+
+struct InstrStats {
+  int instruction = 0;  // program counter value executed
+  std::string name;
+  std::uint64_t cycles = 0;
+  std::uint64_t flops = 0;
+  std::uint64_t hazards = 0;  // valid/invalid operand pairings observed
+  bool error = false;
+  std::string error_message;
+};
+
+struct RunStats {
+  std::uint64_t total_cycles = 0;
+  std::uint64_t total_flops = 0;
+  std::uint64_t total_hazards = 0;
+  std::uint64_t instructions_executed = 0;
+  // Valid result launches per functional unit over the whole run
+  // (utilization = launches / (cycles * numFus)).
+  std::vector<std::uint64_t> fu_launches;
+  std::vector<InstrStats> trace;  // one entry per executed instruction
+  bool halted = false;
+  bool error = false;
+  std::string error_message;
+
+  // Achieved MFLOPS at the given hardware clock.
+  double mflops(double clock_mhz) const {
+    return total_cycles == 0
+               ? 0.0
+               : static_cast<double>(total_flops) * clock_mhz /
+                     static_cast<double>(total_cycles);
+  }
+  double fuUtilization() const {
+    if (total_cycles == 0 || fu_launches.empty()) return 0.0;
+    std::uint64_t launches = 0;
+    for (std::uint64_t l : fu_launches) launches += l;
+    return static_cast<double>(launches) /
+           (static_cast<double>(total_cycles) *
+            static_cast<double>(fu_launches.size()));
+  }
+};
+
+}  // namespace nsc::sim

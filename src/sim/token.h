@@ -1,0 +1,25 @@
+// Token: one element of a vector stream in flight through the node.
+//
+// The simulator is cycle-stepped: every stream endpoint carries one token
+// per cycle.  `valid` gates computation and writes (a pipeline bubble is an
+// invalid token); `last` marks the final element of a DMA stream and drives
+// completion interrupts and accumulator drains; `index` is a debug tag (the
+// element number at the producing DMA engine) used only by the visual
+// debugger's annotated diagrams — hardware would not carry it.
+#pragma once
+
+#include <cstdint>
+
+namespace nsc::sim {
+
+struct Token {
+  double value = 0.0;
+  bool valid = false;
+  bool last = false;
+  std::int32_t index = -1;
+
+  static Token invalid() { return {}; }
+  static Token constant(double v) { return {v, true, false, -1}; }
+};
+
+}  // namespace nsc::sim

@@ -1,0 +1,249 @@
+// Machine model tests: the paper's published parameters must hold for the
+// default configuration, and the microword spec must stay inside the
+// "few thousand bits ... dozens of separate fields" envelope.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "arch/machine.h"
+#include "arch/microword_spec.h"
+#include "arch/ops.h"
+
+namespace nsc::arch {
+namespace {
+
+TEST(MachineConfigTest, PaperParameters) {
+  const MachineConfig cfg;
+  EXPECT_EQ(cfg.numFus(), 32);                       // 32 functional units
+  EXPECT_EQ(cfg.num_memory_planes, 16);              // 16 planes
+  EXPECT_EQ(cfg.plane_bytes, 128ull * 1024 * 1024);  // 128 MB each
+  EXPECT_EQ(cfg.totalMemoryBytes(), 2ull * 1024 * 1024 * 1024);  // 2 GB/node
+  EXPECT_EQ(cfg.num_caches, 16);
+  EXPECT_EQ(cfg.cache_bytes, 8ull * 1024);  // 8 KB x 16 x 2 (Figure 1)
+  EXPECT_EQ(cfg.cache_buffers, 2);
+  EXPECT_EQ(cfg.num_shift_delay, 2);
+  EXPECT_DOUBLE_EQ(cfg.peakMflopsPerNode(), 640.0);  // 640 MFLOPS peak
+}
+
+TEST(MachineConfigTest, SixtyFourNodeSystemClaims) {
+  const MachineConfig cfg;
+  // "A 64-node NSC would have a total memory of 128 Gbytes and maximum
+  // performance of 40 GFLOPS."
+  EXPECT_EQ(64 * cfg.totalMemoryBytes(), 128ull * 1024 * 1024 * 1024);
+  EXPECT_NEAR(64 * cfg.peakMflopsPerNode() / 1000.0, 40.0, 1.0);
+}
+
+TEST(MachineTest, AlsCompositionCoversAllFus) {
+  const Machine m;
+  EXPECT_EQ(static_cast<int>(m.fus().size()), 32);
+  EXPECT_EQ(static_cast<int>(m.als().size()), 16);
+  int from_als = 0;
+  for (const AlsInfo& als : m.als()) {
+    from_als += static_cast<int>(als.fus.size());
+    EXPECT_EQ(static_cast<int>(als.fus.size()), alsFuCount(als.kind));
+  }
+  EXPECT_EQ(from_als, 32);
+}
+
+TEST(MachineTest, EveryFuDoesFloatingPoint) {
+  const Machine m;
+  for (const FuInfo& fu : m.fus()) {
+    EXPECT_TRUE(fu.caps & kCapFp) << "fu" << fu.id;
+  }
+}
+
+TEST(MachineTest, PerAlsAsymmetries) {
+  // "Only a single unit can perform integer operations, and another unit
+  // has circuitry for min/max computations."
+  const Machine m;
+  for (const AlsInfo& als : m.als()) {
+    int int_units = 0, minmax_units = 0;
+    for (const FuId fu : als.fus) {
+      if (m.fu(fu).caps & kCapIntLogic) ++int_units;
+      if (m.fu(fu).caps & kCapMinMax) ++minmax_units;
+    }
+    EXPECT_EQ(int_units, 1) << "als" << als.id;
+    EXPECT_EQ(minmax_units, 1) << "als" << als.id;
+    if (als.kind != AlsKind::kSinglet) {
+      // Integer on the first unit, min/max on the last (distinct units).
+      EXPECT_TRUE(m.fu(als.fus.front()).caps & kCapIntLogic);
+      EXPECT_TRUE(m.fu(als.fus.back()).caps & kCapMinMax);
+    }
+  }
+}
+
+TEST(MachineTest, SourceAndDestinationIndicesAreDense) {
+  const Machine m;
+  std::set<Endpoint> seen;
+  for (std::size_t i = 0; i < m.sources().size(); ++i) {
+    const Endpoint& e = m.sources()[i];
+    EXPECT_TRUE(endpointIsSource(e.kind));
+    EXPECT_EQ(m.sourceIndex(e), static_cast<int>(i));
+    EXPECT_TRUE(seen.insert(e).second) << "duplicate source " << e.toString();
+  }
+  seen.clear();
+  for (std::size_t i = 0; i < m.destinations().size(); ++i) {
+    const Endpoint& e = m.destinations()[i];
+    EXPECT_TRUE(endpointIsDestination(e.kind));
+    EXPECT_EQ(m.destinationIndex(e), static_cast<int>(i));
+    EXPECT_TRUE(seen.insert(e).second);
+  }
+  EXPECT_EQ(m.sourceIndex(Endpoint::fuInput(0, 0)), -1);
+  EXPECT_EQ(m.destinationIndex(Endpoint::fuOutput(0)), -1);
+}
+
+TEST(MachineTest, ChainPathOnlyBetweenConsecutiveSlots) {
+  const Machine m;
+  for (const AlsInfo& als : m.als()) {
+    for (std::size_t s = 0; s + 1 < als.fus.size(); ++s) {
+      EXPECT_TRUE(m.isChainPath(als.fus[s], als.fus[s + 1]));
+      EXPECT_FALSE(m.isChainPath(als.fus[s + 1], als.fus[s]));
+    }
+  }
+  // Across ALS boundaries: never.
+  EXPECT_FALSE(m.isChainPath(m.als(0).fus.back(), m.als(1).fus.front()));
+}
+
+TEST(MachineTest, RestrictedSubsetModel) {
+  const Machine m(MachineConfig::restrictedSubset());
+  EXPECT_EQ(static_cast<int>(m.fus().size()), 32);
+  EXPECT_EQ(m.config().num_caches, 0);
+  EXPECT_EQ(m.config().num_shift_delay, 0);
+  for (const AlsInfo& als : m.als()) {
+    EXPECT_EQ(als.kind, AlsKind::kSinglet);
+  }
+  // Still universal: every capability reachable somewhere.
+  bool any_int = false, any_minmax = false;
+  for (const FuInfo& fu : m.fus()) {
+    any_int = any_int || (fu.caps & kCapIntLogic);
+    any_minmax = any_minmax || (fu.caps & kCapMinMax);
+  }
+  EXPECT_TRUE(any_int);
+  EXPECT_TRUE(any_minmax);
+}
+
+TEST(MachineTest, DescribeMentionsKeyNumbers) {
+  const Machine m;
+  const std::string text = m.describe();
+  EXPECT_NE(text.find("32 functional units"), std::string::npos);
+  EXPECT_NE(text.find("2 GB"), std::string::npos);
+  EXPECT_NE(text.find("640 MFLOPS"), std::string::npos);
+}
+
+TEST(OpsTest, TableIsConsistent) {
+  for (int i = 0; i < static_cast<int>(OpCode::kNumOps); ++i) {
+    const OpInfo& info = opInfo(static_cast<OpCode>(i));
+    EXPECT_EQ(static_cast<int>(info.op), i);
+    EXPECT_GE(info.latency, 1);
+    if (info.op != OpCode::kNop) {
+      EXPECT_GE(info.arity, 1);
+      EXPECT_LE(info.arity, 2);
+      EXPECT_EQ(opByName(info.name), info.op) << info.name;
+    }
+  }
+  EXPECT_FALSE(opByName("frobnicate").has_value());
+}
+
+TEST(OpsTest, CapabilityFiltering) {
+  const auto fp_only = opsForCaps(kCapFp);
+  for (const OpCode op : fp_only) {
+    EXPECT_EQ(opInfo(op).required_cap, kCapFp);
+  }
+  const auto with_minmax = opsForCaps(kCapFp | kCapMinMax);
+  EXPECT_NE(std::find(with_minmax.begin(), with_minmax.end(), OpCode::kMax),
+            with_minmax.end());
+  EXPECT_EQ(std::find(fp_only.begin(), fp_only.end(), OpCode::kMax),
+            fp_only.end());
+  EXPECT_EQ(std::find(fp_only.begin(), fp_only.end(), OpCode::kIAdd),
+            fp_only.end());
+}
+
+TEST(OpsTest, EvalSemantics) {
+  EXPECT_EQ(evalOp(OpCode::kAdd, 2, 3), 5.0);
+  EXPECT_EQ(evalOp(OpCode::kSub, 2, 3), -1.0);
+  EXPECT_EQ(evalOp(OpCode::kMul, 2, 3), 6.0);
+  EXPECT_EQ(evalOp(OpCode::kDiv, 3, 2), 1.5);
+  EXPECT_EQ(evalOp(OpCode::kAbs, -4, 0), 4.0);
+  EXPECT_EQ(evalOp(OpCode::kNeg, 4, 0), -4.0);
+  EXPECT_EQ(evalOp(OpCode::kMin, 2, 3), 2.0);
+  EXPECT_EQ(evalOp(OpCode::kMax, 2, 3), 3.0);
+  EXPECT_EQ(evalOp(OpCode::kCmpLt, 2, 3), 1.0);
+  EXPECT_EQ(evalOp(OpCode::kCmpLt, 3, 2), 0.0);
+  EXPECT_EQ(evalOp(OpCode::kAnd, 6, 3), 2.0);
+  EXPECT_EQ(evalOp(OpCode::kShl, 1, 4), 16.0);
+  EXPECT_EQ(evalOp(OpCode::kPass, 7, 99), 7.0);
+}
+
+TEST(MicrowordSpecTest, FieldsArePackedWithoutOverlapOrGap) {
+  const Machine m;
+  const MicrowordSpec spec(m);
+  std::size_t offset = 0;
+  for (const MicroField& f : spec.fields()) {
+    EXPECT_EQ(f.offset, offset) << f.name;
+    EXPECT_GE(f.width, 1u);
+    offset += f.width;
+  }
+  EXPECT_EQ(offset, spec.widthBits());
+}
+
+TEST(MicrowordSpecTest, PaperEnvelopeFewThousandBitsDozensOfFields) {
+  const Machine m;
+  const MicrowordSpec spec(m);
+  // "a few thousand bits of information per instruction"
+  EXPECT_GE(spec.widthBits(), 2000u);
+  EXPECT_LE(spec.widthBits(), 8000u);
+  // "encoded in dozens of separate fields" — per-component control groups.
+  EXPECT_GE(spec.fields().size(), 100u);
+  const auto sections = spec.sectionBitCounts();
+  EXPECT_GE(sections.size(), 8u);
+}
+
+TEST(MicrowordSpecTest, EncodeDecodeRoundTrip) {
+  const Machine m;
+  const MicrowordSpec spec(m);
+  common::BitVector word = spec.makeWord();
+  spec.set(word, "fu07.opcode", 13);
+  spec.set(word, "seq.target", 1234);
+  spec.setSigned(word, "plane03.stride", -64);
+  spec.setSigned(word, "plane03.stride2", -4096);
+  EXPECT_EQ(spec.get(word, "fu07.opcode"), 13u);
+  EXPECT_EQ(spec.get(word, "seq.target"), 1234u);
+  EXPECT_EQ(spec.getSigned(word, "plane03.stride"), -64);
+  EXPECT_EQ(spec.getSigned(word, "plane03.stride2"), -4096);
+  // Unset fields remain zero.
+  EXPECT_EQ(spec.get(word, "fu08.opcode"), 0u);
+}
+
+TEST(MicrowordSpecTest, UnknownFieldThrows) {
+  const Machine m;
+  const MicrowordSpec spec(m);
+  EXPECT_THROW(spec.field("fu99.opcode"), std::out_of_range);
+}
+
+TEST(MicrowordSpecTest, EveryComponentHasControlBits) {
+  const Machine m;
+  const MicrowordSpec spec(m);
+  for (const FuInfo& fu : m.fus()) {
+    EXPECT_TRUE(spec.hasField(MicrowordSpec::fuField(fu.id, "opcode")));
+  }
+  for (int p = 0; p < m.config().num_memory_planes; ++p) {
+    EXPECT_TRUE(spec.hasField(MicrowordSpec::planeField(p, "base")));
+  }
+  for (int c = 0; c < m.config().num_caches; ++c) {
+    EXPECT_TRUE(spec.hasField(MicrowordSpec::cacheField(c, "mode")));
+  }
+  for (std::size_t d = 0; d < m.destinations().size(); ++d) {
+    EXPECT_TRUE(spec.hasField(MicrowordSpec::switchField(static_cast<int>(d))));
+  }
+}
+
+TEST(EndpointTest, ToStringForms) {
+  EXPECT_EQ(Endpoint::fuInput(3, 1).toString(), "fu3.b");
+  EXPECT_EQ(Endpoint::fuOutput(12).toString(), "fu12.out");
+  EXPECT_EQ(Endpoint::planeRead(5).toString(), "plane5.read");
+  EXPECT_EQ(Endpoint::cacheWrite(15).toString(), "cache15.write");
+  EXPECT_EQ(Endpoint::sdOutput(1, 2).toString(), "sd1.tap2");
+}
+
+}  // namespace
+}  // namespace nsc::arch

@@ -1,0 +1,435 @@
+// Checker rule tests: every architectural restriction the paper's editor
+// enforces, exercised legal-and-illegal.
+#include <gtest/gtest.h>
+
+#include "checker/checker.h"
+#include "program/timing.h"
+
+namespace nsc::check {
+namespace {
+
+using arch::Endpoint;
+using arch::Machine;
+using arch::OpCode;
+
+class CheckerTest : public ::testing::Test {
+ protected:
+  CheckerTest() : checker_(machine_) {}
+
+  arch::AlsId doublet() const { return machine_.config().num_singlets; }
+  arch::FuId fu(arch::AlsId als, int slot) const {
+    return machine_.als(als).fus[static_cast<std::size_t>(slot)];
+  }
+
+  Machine machine_;
+  Checker checker_;
+  prog::PipelineDiagram d_;
+};
+
+bool hasRule(const DiagnosticList& list, Rule rule) {
+  for (const Diagnostic& d : list.all()) {
+    if (d.rule == rule) return true;
+  }
+  return false;
+}
+
+TEST_F(CheckerTest, LegalConnectionAccepted) {
+  EXPECT_TRUE(checker_.canConnect(d_, Endpoint::planeRead(0),
+                                  Endpoint::fuInput(fu(doublet(), 0), 0)));
+}
+
+TEST_F(CheckerTest, EndpointRoleEnforced) {
+  // Input pad cannot source; output pad cannot receive.
+  auto diag = checker_.checkConnection(d_, Endpoint::fuInput(0, 0),
+                                       Endpoint::planeWrite(1));
+  ASSERT_TRUE(diag.has_value());
+  EXPECT_EQ(diag->rule, Rule::kEndpointRole);
+  diag = checker_.checkConnection(d_, Endpoint::planeRead(0),
+                                  Endpoint::fuOutput(0));
+  ASSERT_TRUE(diag.has_value());
+  EXPECT_EQ(diag->rule, Rule::kEndpointRole);
+}
+
+TEST_F(CheckerTest, EndpointRangeEnforced) {
+  auto diag = checker_.checkConnection(d_, Endpoint::planeRead(99),
+                                       Endpoint::fuInput(0, 0));
+  ASSERT_TRUE(diag.has_value());
+  EXPECT_EQ(diag->rule, Rule::kEndpointRange);
+  diag = checker_.checkConnection(d_, Endpoint::planeRead(0),
+                                  Endpoint::fuInput(77, 0));
+  ASSERT_TRUE(diag.has_value());
+  EXPECT_EQ(diag->rule, Rule::kEndpointRange);
+  diag = checker_.checkConnection(d_, Endpoint::sdOutput(0, 9),
+                                  Endpoint::fuInput(0, 0));
+  ASSERT_TRUE(diag.has_value());
+  EXPECT_EQ(diag->rule, Rule::kEndpointRange);
+}
+
+TEST_F(CheckerTest, InputAlreadyDrivenRefused) {
+  const Endpoint in = Endpoint::fuInput(fu(doublet(), 0), 0);
+  d_.useAls(machine_, doublet());
+  d_.connect(machine_, Endpoint::planeRead(0), in);
+  const auto diag = checker_.checkConnection(d_, Endpoint::planeRead(1), in);
+  ASSERT_TRUE(diag.has_value());
+  EXPECT_EQ(diag->rule, Rule::kInputAlreadyDriven);
+}
+
+TEST_F(CheckerTest, SelfLoopThroughSwitchRefused) {
+  const arch::FuId f = fu(doublet(), 0);
+  const auto diag = checker_.checkConnection(d_, Endpoint::fuOutput(f),
+                                             Endpoint::fuInput(f, 1));
+  ASSERT_TRUE(diag.has_value());
+  EXPECT_EQ(diag->rule, Rule::kSelfLoop);
+}
+
+TEST_F(CheckerTest, PlaneContentionRefused) {
+  // The paper's canonical example: one unit's output routed to a plane,
+  // then a second unit's output to the same plane must be refused.
+  const arch::FuId f0 = fu(doublet(), 0);
+  const arch::FuId f1 = fu(doublet() + 1, 0);
+  d_.useAls(machine_, doublet());
+  d_.useAls(machine_, doublet() + 1);
+  d_.connect(machine_, Endpoint::fuOutput(f0), Endpoint::planeWrite(5));
+  // Same plane, write side occupied: a read stream on plane 5 is also a
+  // second stream.
+  auto diag = checker_.checkConnection(d_, Endpoint::planeRead(5),
+                                       Endpoint::fuInput(f1, 0));
+  ASSERT_TRUE(diag.has_value());
+  EXPECT_EQ(diag->rule, Rule::kPlaneContention);
+  // A different plane is fine.
+  EXPECT_TRUE(checker_.canConnect(d_, Endpoint::planeRead(6),
+                                  Endpoint::fuInput(f1, 0)));
+}
+
+TEST_F(CheckerTest, PlaneReadFanoutIsOneStream) {
+  // Multiple consumers of one plane-read stream do not violate contention.
+  const arch::FuId f0 = fu(doublet(), 0);
+  const arch::FuId f1 = fu(doublet() + 1, 0);
+  d_.useAls(machine_, doublet());
+  d_.useAls(machine_, doublet() + 1);
+  d_.connect(machine_, Endpoint::planeRead(2), Endpoint::fuInput(f0, 0));
+  EXPECT_TRUE(checker_.canConnect(d_, Endpoint::planeRead(2),
+                                  Endpoint::fuInput(f1, 0)));
+}
+
+TEST_F(CheckerTest, FanoutLimitEnforced) {
+  d_.useAls(machine_, doublet());
+  const Endpoint src = Endpoint::planeRead(0);
+  const int limit = machine_.config().max_switch_fanout;
+  int added = 0;
+  // Fan out to FU inputs across many ALSs until the limit.
+  for (arch::AlsId als = 0; als < machine_.config().numAls() && added < limit;
+       ++als) {
+    for (int slot = 0; slot < alsFuCount(machine_.als(als).kind) && added < limit;
+         ++slot) {
+      d_.useAls(machine_, als);
+      d_.connect(machine_, src, Endpoint::fuInput(fu(als, slot), 0));
+      ++added;
+    }
+  }
+  const auto diag = checker_.checkConnection(
+      d_, src, Endpoint::fuInput(fu(machine_.config().numAls() - 1, 0), 1));
+  ASSERT_TRUE(diag.has_value());
+  EXPECT_EQ(diag->rule, Rule::kFanoutLimit);
+}
+
+TEST_F(CheckerTest, CombinationalCycleRefused) {
+  const arch::FuId f0 = fu(doublet(), 0);
+  const arch::FuId f1 = fu(doublet() + 1, 0);
+  d_.useAls(machine_, doublet());
+  d_.useAls(machine_, doublet() + 1);
+  d_.connect(machine_, Endpoint::fuOutput(f0), Endpoint::fuInput(f1, 0));
+  const auto diag = checker_.checkConnection(d_, Endpoint::fuOutput(f1),
+                                             Endpoint::fuInput(f0, 0));
+  ASSERT_TRUE(diag.has_value());
+  EXPECT_EQ(diag->rule, Rule::kCycle);
+}
+
+TEST_F(CheckerTest, CycleThroughShiftDelayRefused) {
+  const arch::FuId f0 = fu(doublet(), 0);
+  d_.useAls(machine_, doublet());
+  d_.useSd(0, {0});
+  d_.connect(machine_, Endpoint::sdOutput(0, 0), Endpoint::fuInput(f0, 0));
+  const auto diag = checker_.checkConnection(d_, Endpoint::fuOutput(f0),
+                                             Endpoint::sdInput(0));
+  ASSERT_TRUE(diag.has_value());
+  EXPECT_EQ(diag->rule, Rule::kCycle);
+}
+
+TEST_F(CheckerTest, LegalTargetsMatchCanConnect) {
+  d_.useAls(machine_, doublet());
+  const Endpoint src = Endpoint::planeRead(3);
+  const auto targets = checker_.legalTargets(d_, src);
+  EXPECT_FALSE(targets.empty());
+  for (const Endpoint& t : targets) {
+    EXPECT_TRUE(checker_.canConnect(d_, src, t)) << t.toString();
+  }
+  // And everything not listed is refused.
+  std::size_t refused = 0;
+  for (const Endpoint& t : machine_.destinations()) {
+    if (std::find(targets.begin(), targets.end(), t) == targets.end()) {
+      EXPECT_FALSE(checker_.canConnect(d_, src, t));
+      ++refused;
+    }
+  }
+  EXPECT_EQ(targets.size() + refused, machine_.destinations().size());
+}
+
+TEST_F(CheckerTest, LegalOpsRespectCapabilities) {
+  // Slot 0 of a doublet: fp + integer, no min/max.
+  const auto ops0 = checker_.legalOps(fu(doublet(), 0));
+  EXPECT_NE(std::find(ops0.begin(), ops0.end(), OpCode::kIAdd), ops0.end());
+  EXPECT_EQ(std::find(ops0.begin(), ops0.end(), OpCode::kMax), ops0.end());
+  // Slot 1: fp + min/max, no integer.
+  const auto ops1 = checker_.legalOps(fu(doublet(), 1));
+  EXPECT_NE(std::find(ops1.begin(), ops1.end(), OpCode::kMax), ops1.end());
+  EXPECT_EQ(std::find(ops1.begin(), ops1.end(), OpCode::kIAdd), ops1.end());
+}
+
+TEST_F(CheckerTest, CapabilityViolationCaught) {
+  const arch::FuId f = fu(doublet(), 0);  // no min/max circuitry
+  d_.setFuOp(machine_, f, OpCode::kMax);
+  d_.connect(machine_, Endpoint::planeRead(0), Endpoint::fuInput(f, 0));
+  d_.connect(machine_, Endpoint::planeRead(1), Endpoint::fuInput(f, 1));
+  const DiagnosticList diags = checker_.checkDiagram(d_);
+  EXPECT_TRUE(hasRule(diags, Rule::kCapability));
+}
+
+TEST_F(CheckerTest, ArityMismatchCaught) {
+  const arch::FuId f = fu(doublet(), 0);
+  d_.setFuOp(machine_, f, OpCode::kAdd);  // binary, but only one input wired
+  d_.connect(machine_, Endpoint::planeRead(0), Endpoint::fuInput(f, 0));
+  const DiagnosticList diags = checker_.checkDiagram(d_);
+  EXPECT_TRUE(hasRule(diags, Rule::kArity));
+}
+
+TEST_F(CheckerTest, MissingDriverCaught) {
+  const arch::FuId f = fu(doublet(), 0);
+  d_.setFuOp(machine_, f, OpCode::kAdd);
+  prog::FuUse& use = d_.fuUse(machine_, f);
+  use.in_a = arch::InputSelect::kSwitch;  // claimed wired, no connection
+  use.in_b = arch::InputSelect::kSwitch;
+  const DiagnosticList diags = checker_.checkDiagram(d_);
+  EXPECT_TRUE(hasRule(diags, Rule::kMissingDriver));
+}
+
+TEST_F(CheckerTest, BypassViolationCaught) {
+  const arch::AlsId als = doublet();
+  prog::AlsUse& use = d_.useAls(machine_, als);
+  use.bypass = true;
+  d_.setFuOp(machine_, fu(als, 1), OpCode::kAbs);  // bypassed slot programmed
+  d_.connect(machine_, Endpoint::planeRead(0),
+             Endpoint::fuInput(fu(als, 1), 0));
+  const DiagnosticList diags = checker_.checkDiagram(d_);
+  EXPECT_TRUE(hasRule(diags, Rule::kBypass));
+}
+
+TEST_F(CheckerTest, BypassOnNonDoubletRefused) {
+  prog::AlsUse& use = d_.useAls(machine_, 0);  // singlet
+  use.bypass = true;
+  const DiagnosticList diags = checker_.checkDiagram(d_);
+  EXPECT_TRUE(hasRule(diags, Rule::kBypass));
+}
+
+TEST_F(CheckerTest, DmaMissingCaught) {
+  const arch::FuId f = fu(doublet(), 0);
+  d_.setFuOp(machine_, f, OpCode::kAbs);
+  d_.connect(machine_, Endpoint::planeRead(0), Endpoint::fuInput(f, 0));
+  d_.connect(machine_, Endpoint::fuOutput(f), Endpoint::planeWrite(1));
+  // No DMA specs at all.
+  const DiagnosticList diags = checker_.checkDiagram(d_);
+  EXPECT_TRUE(hasRule(diags, Rule::kDmaMissing));
+}
+
+TEST_F(CheckerTest, DmaRangeChecks) {
+  const prog::DmaSpec in_range{"", 0, 1, 64, 1, 0, 0, false};
+  EXPECT_FALSE(
+      checker_.checkDma(d_, Endpoint::planeRead(0), in_range).has_value());
+
+  // Runs past the end of the plane.
+  prog::DmaSpec overrun = in_range;
+  overrun.base = machine_.config().planeWords() - 10;
+  auto diag = checker_.checkDma(d_, Endpoint::planeRead(0), overrun);
+  ASSERT_TRUE(diag.has_value());
+  EXPECT_EQ(diag->rule, Rule::kDmaRange);
+
+  // Negative stride running below zero.
+  prog::DmaSpec negative{"", 5, -1, 64, 1, 0, 0, false};
+  diag = checker_.checkDma(d_, Endpoint::planeRead(0), negative);
+  ASSERT_TRUE(diag.has_value());
+  EXPECT_EQ(diag->rule, Rule::kDmaRange);
+
+  // Two-level transfer overrunning via stride2.
+  prog::DmaSpec rect{"", 0, 1, 8, 1u << 22, 1 << 21, 0, false};
+  diag = checker_.checkDma(d_, Endpoint::planeRead(0), rect);
+  ASSERT_TRUE(diag.has_value());
+  EXPECT_EQ(diag->rule, Rule::kDmaRange);
+
+  // Zero-length vector.
+  prog::DmaSpec empty{"", 0, 1, 0, 1, 0, 0, false};
+  diag = checker_.checkDma(d_, Endpoint::planeRead(0), empty);
+  ASSERT_TRUE(diag.has_value());
+  EXPECT_EQ(diag->rule, Rule::kDmaMissing);
+
+  // Cache: two-level transfers are a plane feature.
+  prog::DmaSpec cache_rect{"", 0, 1, 8, 2, 16, 0, false};
+  diag = checker_.checkDma(d_, Endpoint::cacheRead(0), cache_rect);
+  ASSERT_TRUE(diag.has_value());
+  EXPECT_EQ(diag->rule, Rule::kDmaRange);
+}
+
+TEST_F(CheckerTest, CacheBufferRules) {
+  prog::DmaSpec bad_buffer{"", 0, 1, 8, 1, 0, 5, false};
+  auto diag = checker_.checkDma(d_, Endpoint::cacheRead(0), bad_buffer);
+  ASSERT_TRUE(diag.has_value());
+  EXPECT_EQ(diag->rule, Rule::kCacheBuffer);
+
+  // Read and fill sides must agree on the active buffer.
+  d_.dmaAt(Endpoint::cacheRead(3)) = {"", 0, 1, 8, 1, 0, 0, false};
+  prog::DmaSpec fill{"", 0, 1, 8, 1, 0, 1, false};
+  diag = checker_.checkDma(d_, Endpoint::cacheWrite(3), fill);
+  ASSERT_TRUE(diag.has_value());
+  EXPECT_EQ(diag->rule, Rule::kCacheBuffer);
+}
+
+TEST_F(CheckerTest, StreamLengthRules) {
+  const arch::FuId f = fu(doublet(), 0);
+  d_.setFuOp(machine_, f, OpCode::kAdd);
+  d_.connect(machine_, Endpoint::planeRead(0), Endpoint::fuInput(f, 0));
+  d_.connect(machine_, Endpoint::planeRead(1), Endpoint::fuInput(f, 1));
+  d_.connect(machine_, Endpoint::fuOutput(f), Endpoint::planeWrite(2));
+  d_.dmaAt(Endpoint::planeRead(0)) = {"", 0, 1, 64, 1, 0, 0, false};
+  d_.dmaAt(Endpoint::planeRead(1)) = {"", 0, 1, 32, 1, 0, 0, false};  // != 64
+  d_.dmaAt(Endpoint::planeWrite(2)) = {"", 0, 1, 100, 1, 0, 0, false}; // > 64
+  const DiagnosticList diags = checker_.checkDiagram(d_);
+  EXPECT_TRUE(hasRule(diags, Rule::kStreamLength));
+}
+
+TEST_F(CheckerTest, ShiftDelayRules) {
+  // Taps wired but unit not configured.
+  const arch::FuId f = fu(doublet(), 0);
+  d_.setFuOp(machine_, f, OpCode::kAbs);
+  d_.connect(machine_, Endpoint::sdOutput(0, 0), Endpoint::fuInput(f, 0));
+  DiagnosticList diags = checker_.checkDiagram(d_);
+  EXPECT_TRUE(hasRule(diags, Rule::kSdConfig));
+
+  // Configured but no input stream.
+  prog::PipelineDiagram d2;
+  d2.useSd(0, {0, 1});
+  diags = checker_.checkDiagram(d2);
+  EXPECT_TRUE(hasRule(diags, Rule::kMissingDriver));
+
+  // Too many taps / delay out of range.
+  prog::PipelineDiagram d3;
+  d3.useSd(0, {0, 1, 2, 3, 4});
+  diags = checker_.checkDiagram(d3);
+  EXPECT_TRUE(hasRule(diags, Rule::kSdConfig));
+  prog::PipelineDiagram d4;
+  d4.useSd(0, {9999});
+  diags = checker_.checkDiagram(d4);
+  EXPECT_TRUE(hasRule(diags, Rule::kSdConfig));
+}
+
+TEST_F(CheckerTest, FeedbackWithoutAccumCaught) {
+  const arch::FuId f = fu(doublet(), 1);
+  d_.setFuOp(machine_, f, OpCode::kMax);
+  d_.connect(machine_, Endpoint::planeRead(0), Endpoint::fuInput(f, 0));
+  prog::FuUse& use = d_.fuUse(machine_, f);
+  use.in_b = arch::InputSelect::kFeedback;  // but rf_mode stays kOff
+  const DiagnosticList diags = checker_.checkDiagram(d_);
+  EXPECT_TRUE(hasRule(diags, Rule::kFeedbackMode));
+}
+
+TEST_F(CheckerTest, RfDelayRangeChecked) {
+  EXPECT_FALSE(checker_.checkRfDelay(0).has_value());
+  EXPECT_FALSE(
+      checker_.checkRfDelay(machine_.config().rf_max_delay).has_value());
+  EXPECT_TRUE(checker_.checkRfDelay(-1).has_value());
+  EXPECT_TRUE(
+      checker_.checkRfDelay(machine_.config().rf_max_delay + 1).has_value());
+}
+
+TEST_F(CheckerTest, TimingMisalignmentReportedWhenUnbalanced) {
+  // mul feeding one add input while the other comes straight from memory:
+  // without delay balancing the checker must flag the skew.
+  const arch::AlsId als = doublet();
+  const arch::FuId mul = fu(als, 0);
+  const arch::FuId add = fu(als, 1);
+  d_.setFuOp(machine_, mul, OpCode::kMul);
+  d_.connect(machine_, Endpoint::planeRead(0), Endpoint::fuInput(mul, 0));
+  d_.setConstInput(machine_, mul, 1, 2.0);
+  d_.setFuOp(machine_, add, OpCode::kAdd);
+  d_.connect(machine_, Endpoint::fuOutput(mul), Endpoint::fuInput(add, 0));
+  d_.connect(machine_, Endpoint::planeRead(1), Endpoint::fuInput(add, 1));
+  d_.connect(machine_, Endpoint::fuOutput(add), Endpoint::planeWrite(2));
+  d_.dmaAt(Endpoint::planeRead(0)) = {"", 0, 1, 8, 1, 0, 0, false};
+  d_.dmaAt(Endpoint::planeRead(1)) = {"", 0, 1, 8, 1, 0, 0, false};
+  d_.dmaAt(Endpoint::planeWrite(2)) = {"", 0, 1, 8, 1, 0, 0, false};
+
+  DiagnosticList diags = checker_.checkDiagram(d_);
+  EXPECT_TRUE(hasRule(diags, Rule::kTimingAlignment));
+
+  // After balancing, the diagram is clean.
+  EXPECT_GE(prog::balanceDelays(machine_, d_), 1);
+  diags = checker_.checkDiagram(d_);
+  EXPECT_FALSE(diags.hasErrors()) << diags.format();
+}
+
+TEST_F(CheckerTest, CondSourceMustBeActive) {
+  d_.cond = prog::CondLatch{fu(doublet(), 0), 0};  // FU not enabled
+  const DiagnosticList diags = checker_.checkDiagram(d_);
+  EXPECT_TRUE(hasRule(diags, Rule::kCondSource));
+}
+
+TEST_F(CheckerTest, SeqTargetBoundsChecked) {
+  prog::Program p;
+  prog::PipelineDiagram& a = p.append("a");
+  a.seq = {arch::SeqOp::kJump, 7, 0, 0};  // out of range
+  const DiagnosticList diags = checker_.checkProgram(p);
+  EXPECT_TRUE(hasRule(diags, Rule::kSeqTarget));
+}
+
+TEST_F(CheckerTest, FallOffEndWarns) {
+  prog::Program p;
+  p.append("only");  // seq = kNext by default
+  const DiagnosticList diags = checker_.checkProgram(p);
+  EXPECT_FALSE(diags.hasErrors());
+  EXPECT_TRUE(hasRule(diags, Rule::kSeqTarget));
+  EXPECT_EQ(diags.warningCount(), diags.all().size());
+}
+
+TEST_F(CheckerTest, WarningsForUnusedResources) {
+  d_.useAls(machine_, 0);  // placed, never programmed
+  const arch::FuId f = fu(doublet(), 0);
+  d_.setFuOp(machine_, f, OpCode::kAbs);
+  d_.connect(machine_, Endpoint::planeRead(0), Endpoint::fuInput(f, 0));
+  d_.dmaAt(Endpoint::planeRead(0)) = {"", 0, 1, 8, 1, 0, 0, false};
+  const DiagnosticList diags = checker_.checkDiagram(d_);
+  EXPECT_TRUE(hasRule(diags, Rule::kUnusedAls));
+  EXPECT_TRUE(hasRule(diags, Rule::kDanglingOutput));
+}
+
+TEST_F(CheckerTest, AlsDuplicatePlacementCaught) {
+  prog::AlsUse use;
+  use.als = doublet();
+  use.fu.resize(2);
+  d_.als_uses.push_back(use);
+  d_.als_uses.push_back(use);
+  const DiagnosticList diags = checker_.checkDiagram(d_);
+  EXPECT_TRUE(hasRule(diags, Rule::kAlsDuplicate));
+}
+
+TEST_F(CheckerTest, RulePhasesPartitionTheCatalogue) {
+  int edit = 0, generate = 0;
+  for (int r = 0; r <= static_cast<int>(Rule::kMissingDriver); ++r) {
+    const Rule rule = static_cast<Rule>(r);
+    EXPECT_NE(std::string(ruleName(rule)), "?");
+    EXPECT_GT(std::string(ruleProse(rule)).size(), 10u);
+    (rulePhase(rule) == CheckPhase::kEditTime ? edit : generate) += 1;
+  }
+  EXPECT_GT(edit, 5);
+  EXPECT_GT(generate, 5);
+}
+
+}  // namespace
+}  // namespace nsc::check

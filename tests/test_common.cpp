@@ -1,0 +1,200 @@
+#include <gtest/gtest.h>
+
+#include "common/bitvector.h"
+#include "common/json.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/strings.h"
+
+namespace nsc::common {
+namespace {
+
+TEST(BitVectorTest, SetAndGetWithinOneWord) {
+  BitVector bv(64);
+  bv.setField(3, 8, 0xAB);
+  EXPECT_EQ(bv.field(3, 8), 0xABu);
+  EXPECT_EQ(bv.field(0, 3), 0u);
+  EXPECT_EQ(bv.field(11, 8), 0u);
+}
+
+TEST(BitVectorTest, FieldStraddlingWordBoundary) {
+  BitVector bv(128);
+  bv.setField(60, 16, 0xBEEF);
+  EXPECT_EQ(bv.field(60, 16), 0xBEEFu);
+  // Neighbours untouched.
+  EXPECT_EQ(bv.field(44, 16), 0u);
+  EXPECT_EQ(bv.field(76, 16), 0u);
+}
+
+TEST(BitVectorTest, OverwriteClearsPreviousValue) {
+  BitVector bv(96);
+  bv.setField(40, 12, 0xFFF);
+  bv.setField(40, 12, 0x005);
+  EXPECT_EQ(bv.field(40, 12), 0x5u);
+}
+
+TEST(BitVectorTest, ValueMaskedToFieldWidth) {
+  BitVector bv(32);
+  bv.setField(0, 4, 0xFF);
+  EXPECT_EQ(bv.field(0, 4), 0xFu);
+  EXPECT_EQ(bv.field(4, 4), 0u);
+}
+
+TEST(BitVectorTest, SixtyFourBitField) {
+  BitVector bv(200);
+  const std::uint64_t v = 0x0123456789ABCDEFull;
+  bv.setField(70, 64, v);
+  EXPECT_EQ(bv.field(70, 64), v);
+}
+
+TEST(BitVectorTest, BitAccessorsAndPopcount) {
+  BitVector bv(80);
+  bv.setBit(0, true);
+  bv.setBit(79, true);
+  bv.setBit(40, true);
+  EXPECT_TRUE(bv.bit(0));
+  EXPECT_TRUE(bv.bit(79));
+  EXPECT_FALSE(bv.bit(1));
+  EXPECT_EQ(bv.popcount(), 3u);
+  bv.setBit(40, false);
+  EXPECT_EQ(bv.popcount(), 2u);
+}
+
+TEST(BitVectorTest, HexRoundTrip) {
+  BitVector bv(77);
+  bv.setField(0, 64, 0xDEADBEEFCAFEF00Dull);
+  bv.setField(64, 13, 0x1A2B);
+  const std::string hex = bv.toHex();
+  const BitVector back = BitVector::fromHex(hex, 77);
+  EXPECT_EQ(back, bv);
+}
+
+TEST(BitVectorTest, OutOfRangeThrows) {
+  BitVector bv(16);
+  EXPECT_THROW(bv.setField(10, 8, 1), std::out_of_range);
+  EXPECT_THROW((void)bv.field(16, 1), std::out_of_range);
+}
+
+TEST(BitVectorTest, AllZeroAndClear) {
+  BitVector bv(40);
+  EXPECT_TRUE(bv.allZero());
+  bv.setField(33, 3, 5);
+  EXPECT_FALSE(bv.allZero());
+  bv.clear();
+  EXPECT_TRUE(bv.allZero());
+}
+
+TEST(JsonTest, ParsePrimitives) {
+  EXPECT_TRUE(Json::parse("null").value().isNull());
+  EXPECT_EQ(Json::parse("true").value().asBool(), true);
+  EXPECT_EQ(Json::parse("-42").value().asInt(), -42);
+  EXPECT_DOUBLE_EQ(Json::parse("2.5e3").value().asDouble(), 2500.0);
+  EXPECT_EQ(Json::parse("\"hi\\n\"").value().asString(), "hi\n");
+}
+
+TEST(JsonTest, ParseNested) {
+  const auto parsed = Json::parse(R"({"a": [1, 2, {"b": "c"}], "d": {}})");
+  ASSERT_TRUE(parsed.isOk()) << parsed.message();
+  const Json& j = parsed.value();
+  EXPECT_EQ(j.at("a").asArray().size(), 3u);
+  EXPECT_EQ(j.at("a").asArray()[2].at("b").asString(), "c");
+  EXPECT_TRUE(j.at("d").asObject().empty());
+}
+
+TEST(JsonTest, DumpParseRoundTrip) {
+  JsonObject obj;
+  obj["name"] = "pipeline 3";
+  obj["count"] = std::int64_t{512};
+  obj["ratio"] = 0.125;
+  obj["flags"] = JsonArray{Json(true), Json(false), Json(nullptr)};
+  const Json original{std::move(obj)};
+  const auto reparsed = Json::parse(original.dump());
+  ASSERT_TRUE(reparsed.isOk()) << reparsed.message();
+  EXPECT_EQ(reparsed.value(), original);
+  const auto reparsed_pretty = Json::parse(original.dumpPretty());
+  ASSERT_TRUE(reparsed_pretty.isOk());
+  EXPECT_EQ(reparsed_pretty.value(), original);
+}
+
+TEST(JsonTest, RejectsMalformedInput) {
+  EXPECT_FALSE(Json::parse("{").isOk());
+  EXPECT_FALSE(Json::parse("[1,]").isOk());
+  EXPECT_FALSE(Json::parse("\"unterminated").isOk());
+  EXPECT_FALSE(Json::parse("12 34").isOk());
+  EXPECT_FALSE(Json::parse("{\"a\" 1}").isOk());
+}
+
+TEST(JsonTest, TypedGettersWithDefaults) {
+  const Json j = Json::parse(R"({"n": 7, "s": "x", "b": true})").value();
+  EXPECT_EQ(j.getInt("n"), 7);
+  EXPECT_EQ(j.getInt("missing", -1), -1);
+  EXPECT_EQ(j.getString("s"), "x");
+  EXPECT_EQ(j.getString("missing", "d"), "d");
+  EXPECT_TRUE(j.getBool("b"));
+  EXPECT_EQ(j.getInt("s", 9), 9);  // wrong type falls back
+}
+
+TEST(JsonTest, EscapedStringsSurviveRoundTrip) {
+  const Json j{std::string("a\"b\\c\nd\te")};
+  EXPECT_EQ(Json::parse(j.dump()).value().asString(), "a\"b\\c\nd\te");
+}
+
+TEST(StatusTest, OkAndError) {
+  EXPECT_TRUE(Status::ok().isOk());
+  const Status e = Status::error("boom");
+  EXPECT_FALSE(e.isOk());
+  EXPECT_EQ(e.message(), "boom");
+}
+
+TEST(ResultTest, ValueAndError) {
+  Result<int> ok(42);
+  EXPECT_TRUE(ok.isOk());
+  EXPECT_EQ(ok.value(), 42);
+  const auto err = Result<int>::error("nope");
+  EXPECT_FALSE(err.isOk());
+  EXPECT_EQ(err.message(), "nope");
+  EXPECT_EQ(err.valueOr(7), 7);
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, RangesRespectBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.range(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(StringsTest, SplitAndTrim) {
+  EXPECT_EQ(split("a,b,,c", ','),
+            (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(splitWhitespace("  a \t b\nc "),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(trim("  x y  "), "x y");
+  EXPECT_TRUE(startsWith("pipeline-3", "pipe"));
+  EXPECT_FALSE(startsWith("pi", "pipe"));
+}
+
+TEST(StringsTest, FormatAndBytes) {
+  EXPECT_EQ(strFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(bytesHuman(128ull * 1024 * 1024), "128 MB");
+  EXPECT_EQ(bytesHuman(2ull * 1024 * 1024 * 1024), "2 GB");
+  EXPECT_EQ(bytesHuman(8192), "8 KB");
+  EXPECT_EQ(bytesHuman(100), "100 B");
+}
+
+TEST(StringsTest, JoinStrings) {
+  EXPECT_EQ(joinStrings({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(joinStrings({}, ","), "");
+}
+
+}  // namespace
+}  // namespace nsc::common

@@ -1,0 +1,207 @@
+// Stencil-language compiler tests: parsing, CSE/folding, capability-aware
+// mapping, shift/delay inference, plane allocation, and end-to-end
+// numerical agreement between the compiled pipeline and host evaluation.
+#include <gtest/gtest.h>
+
+#include "common/strings.h"
+
+#include "checker/checker.h"
+#include "common/rng.h"
+#include "compiler/stencil_lang.h"
+#include "microcode/generator.h"
+#include "sim/node.h"
+
+namespace nsc::xc {
+namespace {
+
+using arch::Machine;
+
+TEST(StencilParseTest, RejectsBadSyntax) {
+  EXPECT_FALSE(StencilProgram::parse("").isOk());
+  EXPECT_FALSE(StencilProgram::parse("out = ;").isOk());
+  EXPECT_FALSE(StencilProgram::parse("out = a +;").isOk());
+  EXPECT_FALSE(StencilProgram::parse("out = frob(a);").isOk());
+  EXPECT_FALSE(StencilProgram::parse("param p = a[1];").isOk());
+  EXPECT_FALSE(StencilProgram::parse("reduce r = avg(a);").isOk());
+  EXPECT_FALSE(StencilProgram::parse("out = a[x];").isOk());
+  EXPECT_FALSE(StencilProgram::parse("out = a").isOk());  // missing ';'
+}
+
+TEST(StencilParseTest, ReportsLineNumbers) {
+  const auto r = StencilProgram::parse("out = a;\nbad = ;\n");
+  ASSERT_FALSE(r.isOk());
+  EXPECT_NE(r.message().find("line 2"), std::string::npos);
+}
+
+TEST(StencilParseTest, InputArrayDiscovery) {
+  const auto p = StencilProgram::parse("out = u[-1] + v * u[2];");
+  ASSERT_TRUE(p.isOk()) << p.message();
+  const auto inputs = p.value().inputArrays();
+  EXPECT_EQ(inputs, (std::vector<std::string>{"u", "v"}));
+  EXPECT_EQ(p.value().statementCount(), 1);
+}
+
+TEST(StencilCompileTest, ConstantFoldingSkipsHardware) {
+  Machine machine;
+  const auto p = StencilProgram::parse("out = u * (2 + 3 * 4);");
+  ASSERT_TRUE(p.isOk());
+  const auto result = p.value().compile(machine, {16, 64});
+  ASSERT_TRUE(result.isOk()) << result.message();
+  // One multiply; the constant subtree folded to 14.
+  EXPECT_EQ(result.value().fus_used, 1);
+}
+
+TEST(StencilCompileTest, CommonSubexpressionsShareUnits) {
+  Machine machine;
+  // (u+v) appears twice but must be computed once.
+  const auto p = StencilProgram::parse("out = (u + v) * (u + v);");
+  ASSERT_TRUE(p.isOk());
+  const auto result = p.value().compile(machine, {16, 64});
+  ASSERT_TRUE(result.isOk()) << result.message();
+  EXPECT_EQ(result.value().fus_used, 2);  // one add, one mul
+}
+
+TEST(StencilCompileTest, ShiftDelayInferredForNeighborTaps) {
+  Machine machine;
+  const auto p = StencilProgram::parse("out = u[-1] + u[0] + u[1];");
+  ASSERT_TRUE(p.isOk());
+  const auto result = p.value().compile(machine, {32, 64});
+  ASSERT_TRUE(result.isOk()) << result.message();
+  const CompileResult& r = result.value();
+  // One input stream feeding a shift/delay unit with three taps.
+  ASSERT_EQ(r.diagram.sd_uses.size(), 1u);
+  EXPECT_EQ(r.diagram.sd_uses[0].tap_delays.size(), 3u);
+  EXPECT_EQ(r.pre_roll, 2);
+  // Only one plane read for u.
+  int reads = 0;
+  for (const auto& [e, dma] : r.diagram.dma) {
+    reads += e.kind == arch::EndpointKind::kPlaneRead;
+  }
+  EXPECT_EQ(reads, 1);
+}
+
+TEST(StencilCompileTest, MinMaxMapsToCapableUnit) {
+  Machine machine;
+  const auto p = StencilProgram::parse("out = max(u, v);");
+  ASSERT_TRUE(p.isOk());
+  const auto result = p.value().compile(machine, {8, 64});
+  ASSERT_TRUE(result.isOk()) << result.message();
+  for (const prog::AlsUse& use : result.value().diagram.als_uses) {
+    const arch::AlsInfo& als = machine.als(use.als);
+    for (std::size_t slot = 0; slot < use.fu.size(); ++slot) {
+      if (use.fu[slot].enabled) {
+        EXPECT_TRUE(machine.fuCanExecute(als.fus[slot], use.fu[slot].op));
+      }
+    }
+  }
+}
+
+TEST(StencilCompileTest, CompiledDiagramPassesChecker) {
+  Machine machine;
+  const auto p = StencilProgram::parse(R"(
+    param h2 = 0.02;
+    out = (u[-1] + u[1] - 2 * u[0]) * h2 + f;
+    reduce biggest = max(abs(out));
+  )");
+  ASSERT_TRUE(p.isOk()) << p.message();
+  const auto result = p.value().compile(machine, {64, 128});
+  ASSERT_TRUE(result.isOk()) << result.message();
+  prog::Program program;
+  program.pipelines.push_back(result.value().diagram);
+  mc::Generator generator(machine);
+  const auto gen = generator.generate(program);
+  EXPECT_TRUE(gen.ok) << gen.diagnostics.format();
+}
+
+TEST(StencilCompileTest, RunsOnSimulatorAndMatchesHost) {
+  Machine machine;
+  const std::string source = R"(
+    param a = 0.25;
+    smooth = a * u[-1] + (1 - 2 * a) * u[0] + a * u[1];
+    diff = smooth - u[0];
+    reduce peak = max(abs(diff));
+    reduce total = sum(diff);
+  )";
+  const auto parsed = StencilProgram::parse(source);
+  ASSERT_TRUE(parsed.isOk()) << parsed.message();
+  const StencilProgram& program = parsed.value();
+
+  CompileOptions options;
+  options.vector_length = 48;
+  options.center_base = 64;
+  const auto compiled = program.compile(machine, options);
+  ASSERT_TRUE(compiled.isOk()) << compiled.message();
+  const CompileResult& r = compiled.value();
+
+  // Host data: u over the full window.
+  common::Rng rng(11);
+  std::vector<double> u(options.center_base + options.vector_length + 8);
+  for (auto& v : u) v = rng.uniform(-2.0, 2.0);
+  std::map<std::string, std::vector<double>> inputs{{"u", u}};
+  const auto host = program.evaluate(inputs, options);
+  ASSERT_TRUE(host.isOk()) << host.message();
+
+  // Machine run: load input streams at their programmed bases.
+  prog::Program machine_program;
+  machine_program.pipelines.push_back(r.diagram);
+  mc::Generator generator(machine);
+  const auto gen = generator.generate(machine_program);
+  ASSERT_TRUE(gen.ok) << gen.diagnostics.format();
+  sim::NodeSim node(machine);
+  node.load(gen.exe);
+  for (const StreamPlacement& s : r.streams) {
+    if (!s.is_output) node.writePlane(s.plane, 0, inputs.at(s.array));
+  }
+  const sim::RunStats stats = node.run();
+  ASSERT_FALSE(stats.error) << stats.error_message;
+
+  // Outputs must agree exactly (same operation order on both sides).
+  for (const auto& [name, plane] : r.output_planes) {
+    const std::vector<double> got =
+        node.readPlane(plane, options.center_base, options.vector_length);
+    const std::vector<double>& want = host.value().outputs.at(name);
+    for (std::size_t i = 0; i < want.size(); ++i) {
+      EXPECT_EQ(got[i], want[i]) << name << "[" << i << "]";
+    }
+  }
+  for (const auto& [name, where] : r.reductions) {
+    EXPECT_EQ(node.readPlaneWord(where.first, where.second),
+              host.value().reductions.at(name))
+        << name;
+  }
+}
+
+TEST(StencilCompileTest, PlaneExhaustionReported) {
+  Machine machine;
+  // 17 distinct arrays cannot fit 16 planes.
+  std::string source = "out = a0";
+  for (int i = 1; i < 17; ++i) {
+    source += common::strFormat(" + a%d", i);
+  }
+  source += ";";
+  const auto p = StencilProgram::parse(source);
+  ASSERT_TRUE(p.isOk());
+  const auto result = p.value().compile(machine, {8, 64});
+  ASSERT_FALSE(result.isOk());
+  EXPECT_NE(result.message().find("planes"), std::string::npos);
+}
+
+TEST(StencilCompileTest, FuExhaustionReported) {
+  Machine machine;
+  // A chain of 40 dependent adds cannot fit 32 units.
+  std::string source = "out = u";
+  for (int i = 0; i < 40; ++i) source += common::strFormat(" + v[%d]", i % 3);
+  source += " + w + x + y + z";
+  // Make every term distinct so CSE cannot collapse them.
+  source = "out = u";
+  for (int i = 0; i < 40; ++i) source += common::strFormat(" + %d.5 * u[%d]", i, i % 5);
+  source += ";";
+  const auto p = StencilProgram::parse(source);
+  ASSERT_TRUE(p.isOk()) << p.message();
+  const auto result = p.value().compile(machine, {8, 64});
+  ASSERT_FALSE(result.isOk());
+  EXPECT_NE(result.message().find("functional units"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nsc::xc

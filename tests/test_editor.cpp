@@ -1,0 +1,381 @@
+// Editor tests: placement, wiring, menus, refusal behavior, undo/redo,
+// pipeline-list operations, mouse-level interaction, and file round trips.
+#include <gtest/gtest.h>
+
+#include "common/strings.h"
+
+#include <cstdio>
+
+#include "editor/editor.h"
+#include "editor/session.h"
+#include "editor/window_render.h"
+
+namespace nsc::ed {
+namespace {
+
+using arch::Endpoint;
+using arch::OpCode;
+
+class EditorTest : public ::testing::Test {
+ protected:
+  EditorTest() : editor_(machine_) {}
+
+  Point inDrawing(int dx, int dy) const {
+    const Rect& r = editor_.layout().drawing;
+    return {r.x + dx, r.y + dy};
+  }
+  arch::AlsId doublet() const { return machine_.config().num_singlets; }
+
+  arch::Machine machine_;
+  Editor editor_;
+};
+
+TEST_F(EditorTest, PlaceIconBindsFreeAls) {
+  const auto id = editor_.placeIcon(IconKind::kTriplet, inDrawing(50, 50));
+  ASSERT_TRUE(id.has_value());
+  const Icon* icon = editor_.doc().scene.findIcon(*id);
+  ASSERT_NE(icon, nullptr);
+  EXPECT_EQ(machine_.als(icon->als).kind, arch::AlsKind::kTriplet);
+  EXPECT_NE(editor_.doc().semantic.findAls(icon->als), nullptr);
+}
+
+TEST_F(EditorTest, PlacementExhaustsAlsPool) {
+  for (int i = 0; i < machine_.config().num_triplets; ++i) {
+    EXPECT_TRUE(
+        editor_.placeIcon(IconKind::kTriplet, inDrawing(40 + i * 160, 40))
+            .has_value());
+  }
+  EXPECT_FALSE(
+      editor_.placeIcon(IconKind::kTriplet, inDrawing(40, 300)).has_value());
+  EXPECT_NE(editor_.message().find("already placed"), std::string::npos);
+}
+
+TEST_F(EditorTest, PlacementOutsideDrawingAreaRefused) {
+  EXPECT_FALSE(editor_.placeIcon(IconKind::kSinglet, Point{5, 5}).has_value());
+  EXPECT_EQ(editor_.stats().actions_refused, 1u);
+}
+
+TEST_F(EditorTest, DoubletBypassSetsSemanticFlag) {
+  const auto id = editor_.placeIcon(IconKind::kDoubletBypass, inDrawing(60, 60));
+  ASSERT_TRUE(id.has_value());
+  const Icon* icon = editor_.doc().scene.findIcon(*id);
+  const prog::AlsUse* use = editor_.doc().semantic.findAls(icon->als);
+  ASSERT_NE(use, nullptr);
+  EXPECT_TRUE(use->bypass);
+  // Programming the bypassed slot must be refused.
+  const arch::FuId bypassed = machine_.als(icon->als).fus[1];
+  EXPECT_FALSE(editor_.setFuOp(bypassed, OpCode::kAbs));
+}
+
+TEST_F(EditorTest, ConnectValidatesAndDrawsWire) {
+  const auto id = editor_.placeIcon(IconKind::kDoublet, inDrawing(80, 80));
+  ASSERT_TRUE(id.has_value());
+  const arch::FuId fu = machine_.als(doublet()).fus[0];
+  EXPECT_TRUE(editor_.connect(Endpoint::planeRead(0), Endpoint::fuInput(fu, 0)));
+  EXPECT_EQ(editor_.doc().scene.wires().size(), 1u);
+  EXPECT_EQ(editor_.doc().semantic.connections.size(), 1u);
+  // A second driver on the same pad is refused at edit time and leaves no
+  // trace.
+  EXPECT_FALSE(editor_.connect(Endpoint::planeRead(1), Endpoint::fuInput(fu, 0)));
+  EXPECT_EQ(editor_.doc().scene.wires().size(), 1u);
+  EXPECT_EQ(editor_.doc().semantic.connections.size(), 1u);
+  EXPECT_GT(editor_.stats().actions_refused, 0u);
+}
+
+TEST_F(EditorTest, ConnectRequiresPlacedIcon) {
+  const arch::FuId fu = machine_.als(doublet()).fus[0];
+  EXPECT_FALSE(editor_.connect(Endpoint::planeRead(0), Endpoint::fuInput(fu, 0)));
+  EXPECT_NE(editor_.message().find("not placed"), std::string::npos);
+}
+
+TEST_F(EditorTest, ConnectionMenuHidesUnplacedFus) {
+  editor_.placeIcon(IconKind::kDoublet, inDrawing(80, 80));
+  const auto menu = editor_.connectionMenu(Endpoint::planeRead(0));
+  for (const Endpoint& e : menu) {
+    if (e.kind == arch::EndpointKind::kFuInput) {
+      EXPECT_EQ(machine_.fu(e.unit).als, doublet());
+    }
+  }
+  // Plane/cache/sd destinations remain available (they have no icons).
+  const bool has_plane_write =
+      std::any_of(menu.begin(), menu.end(), [](const Endpoint& e) {
+        return e.kind == arch::EndpointKind::kPlaneWrite;
+      });
+  EXPECT_TRUE(has_plane_write);
+}
+
+TEST_F(EditorTest, OpMenuFollowsCapabilities) {
+  editor_.placeIcon(IconKind::kDoublet, inDrawing(80, 80));
+  const arch::FuId slot0 = machine_.als(doublet()).fus[0];
+  const arch::FuId slot1 = machine_.als(doublet()).fus[1];
+  const auto menu0 = editor_.opMenu(slot0);
+  const auto menu1 = editor_.opMenu(slot1);
+  EXPECT_NE(std::find(menu0.begin(), menu0.end(), OpCode::kIAdd), menu0.end());
+  EXPECT_EQ(std::find(menu0.begin(), menu0.end(), OpCode::kMax), menu0.end());
+  EXPECT_NE(std::find(menu1.begin(), menu1.end(), OpCode::kMax), menu1.end());
+  // Selecting an illegal op is refused with the capability prose.
+  EXPECT_FALSE(editor_.setFuOp(slot0, OpCode::kMax));
+  EXPECT_NE(editor_.message().find("circuitry"), std::string::npos);
+}
+
+TEST_F(EditorTest, DmaSubwindowValidation) {
+  EXPECT_TRUE(editor_.setDma(Endpoint::planeRead(3),
+                             {"u", 0, 1, 128, 1, 0, 0, false}));
+  // Out-of-range transfer refused (Figure 9 fields validated on commit).
+  EXPECT_FALSE(editor_.setDma(
+      Endpoint::planeRead(3),
+      {"u", machine_.config().planeWords() - 1, 1, 128, 1, 0, 0, false}));
+  EXPECT_NE(editor_.message().find("outside"), std::string::npos);
+}
+
+TEST_F(EditorTest, DeleteIconRemovesWiresAndSemantics) {
+  const auto id = editor_.placeIcon(IconKind::kDoublet, inDrawing(80, 80));
+  const arch::FuId fu = machine_.als(doublet()).fus[0];
+  editor_.connect(Endpoint::planeRead(0), Endpoint::fuInput(fu, 0));
+  editor_.setFuOp(fu, OpCode::kAbs);
+  ASSERT_TRUE(editor_.deleteIcon(*id));
+  EXPECT_TRUE(editor_.doc().scene.icons().empty());
+  EXPECT_TRUE(editor_.doc().scene.wires().empty());
+  EXPECT_TRUE(editor_.doc().semantic.als_uses.empty());
+  EXPECT_TRUE(editor_.doc().semantic.connections.empty());
+}
+
+TEST_F(EditorTest, DeleteIconUnmarksDownstreamInputs) {
+  editor_.placeIcon(IconKind::kDoublet, inDrawing(80, 80));
+  editor_.placeIcon(IconKind::kDoublet, inDrawing(300, 80));
+  const auto& icons = editor_.doc().scene.icons();
+  const arch::FuId producer = machine_.als(icons[0].als).fus[0];
+  const arch::FuId consumer = machine_.als(icons[1].als).fus[0];
+  editor_.setFuOp(producer, OpCode::kAbs);
+  editor_.setFuOp(consumer, OpCode::kAbs);
+  editor_.connect(Endpoint::planeRead(0), Endpoint::fuInput(producer, 0));
+  editor_.connect(Endpoint::fuOutput(producer), Endpoint::fuInput(consumer, 0));
+  ASSERT_TRUE(editor_.deleteIcon(icons[0].id));
+  const prog::FuUse* use = editor_.doc().semantic.findFu(machine_, consumer);
+  ASSERT_NE(use, nullptr);
+  EXPECT_EQ(use->in_a, arch::InputSelect::kNone);
+}
+
+TEST_F(EditorTest, UndoRedoRestoreExactState) {
+  editor_.placeIcon(IconKind::kTriplet, inDrawing(60, 60));
+  const prog::PipelineDiagram after_place = editor_.doc().semantic;
+  const arch::AlsId als = editor_.doc().scene.icons()[0].als;
+  const arch::FuId fu = machine_.als(als).fus[0];
+  editor_.setFuOp(fu, OpCode::kAdd);
+  EXPECT_TRUE(editor_.undo());
+  EXPECT_EQ(editor_.doc().semantic, after_place);
+  EXPECT_TRUE(editor_.redo());
+  EXPECT_TRUE(editor_.doc().semantic.findFu(machine_, fu)->enabled);
+  // Refused actions change nothing, so undo still returns to after_place.
+  EXPECT_FALSE(editor_.setFuOp(fu, OpCode::kMax));  // wrong capability? slot0 of triplet has int
+  editor_.undo();
+  EXPECT_EQ(editor_.doc().semantic, after_place);
+}
+
+TEST_F(EditorTest, UndoAllReturnsToEmptyDocument) {
+  const prog::PipelineDiagram initial = editor_.doc().semantic;
+  editor_.placeIcon(IconKind::kSinglet, inDrawing(40, 40));
+  editor_.placeIcon(IconKind::kDoublet, inDrawing(200, 40));
+  editor_.insertPipeline("two");
+  editor_.placeIcon(IconKind::kTriplet, inDrawing(40, 40));
+  while (editor_.undo()) {
+  }
+  EXPECT_EQ(editor_.pipelineCount(), 1);
+  EXPECT_EQ(editor_.doc().semantic, initial);
+  EXPECT_TRUE(editor_.doc().scene.icons().empty());
+}
+
+TEST_F(EditorTest, PipelineListOperations) {
+  editor_.insertPipeline("second");
+  editor_.insertPipeline("third");
+  EXPECT_EQ(editor_.pipelineCount(), 3);
+  EXPECT_EQ(editor_.currentIndex(), 2);
+  EXPECT_TRUE(editor_.scrollBackward());
+  EXPECT_EQ(editor_.doc().semantic.name, "second");
+  editor_.copyPipeline();
+  EXPECT_EQ(editor_.pipelineCount(), 4);
+  EXPECT_EQ(editor_.doc().semantic.name, "second (copy)");
+  EXPECT_TRUE(editor_.deletePipeline());
+  EXPECT_EQ(editor_.pipelineCount(), 3);
+  EXPECT_TRUE(editor_.jumpTo(0));
+  EXPECT_FALSE(editor_.scrollBackward());
+  EXPECT_FALSE(editor_.jumpTo(99));
+}
+
+TEST_F(EditorTest, CannotDeleteLastPipeline) {
+  EXPECT_FALSE(editor_.deletePipeline());
+}
+
+TEST_F(EditorTest, MouseDragFromPalettePlacesIcon) {
+  editor_.beginPaletteDrag(IconKind::kDoublet);
+  EXPECT_EQ(editor_.mode(), Mode::kDraggingNew);
+  editor_.mouseMove(inDrawing(100, 100));
+  editor_.mouseUp(inDrawing(120, 140));
+  EXPECT_EQ(editor_.mode(), Mode::kIdle);
+  ASSERT_EQ(editor_.doc().scene.icons().size(), 1u);
+  EXPECT_EQ(editor_.doc().scene.icons()[0].pos, (Point{inDrawing(120, 140)}));
+}
+
+TEST_F(EditorTest, RubberBandConnectBetweenPads) {
+  editor_.placeIcon(IconKind::kDoublet, inDrawing(60, 60));
+  editor_.placeIcon(IconKind::kDoublet, inDrawing(400, 60));
+  const auto& icons = editor_.doc().scene.icons();
+  const Icon a = icons[0];
+  const Icon b = icons[1];
+  const Point from = a.outputPad(0);
+  const Point to = b.inputPad(0, 0);
+  editor_.mouseDown(from);
+  EXPECT_EQ(editor_.mode(), Mode::kRubberBand);
+  editor_.mouseMove(Point{(from.x + to.x) / 2, from.y});
+  EXPECT_FALSE(editor_.hoverLegal().has_value());  // over empty space
+  editor_.mouseMove(to);
+  ASSERT_TRUE(editor_.hoverLegal().has_value());
+  EXPECT_TRUE(*editor_.hoverLegal());
+  editor_.mouseUp(to);
+  EXPECT_EQ(editor_.doc().scene.wires().size(), 1u);
+}
+
+TEST_F(EditorTest, RubberBandToIllegalPadShowsRefusal) {
+  editor_.placeIcon(IconKind::kDoublet, inDrawing(60, 60));
+  const Icon icon = editor_.doc().scene.icons()[0];
+  // Output to its own input: self-loop, must be flagged during hover and
+  // refused at release.
+  const Point from = icon.outputPad(0);
+  const Point to = icon.inputPad(0, 1);
+  editor_.mouseDown(from);
+  editor_.mouseMove(to);
+  ASSERT_TRUE(editor_.hoverLegal().has_value());
+  EXPECT_FALSE(*editor_.hoverLegal());
+  editor_.mouseUp(to);
+  EXPECT_TRUE(editor_.doc().scene.wires().empty());
+  EXPECT_GT(editor_.stats().actions_refused, 0u);
+}
+
+TEST_F(EditorTest, MouseMoveDragsExistingIcon) {
+  editor_.placeIcon(IconKind::kSinglet, inDrawing(60, 60));
+  const Icon icon = editor_.doc().scene.icons()[0];
+  const Point grab{icon.pos.x + 20, icon.pos.y + 30};
+  editor_.mouseDown(grab);
+  EXPECT_EQ(editor_.mode(), Mode::kDraggingIcon);
+  editor_.mouseMove(Point{grab.x + 100, grab.y + 50});
+  editor_.mouseUp(Point{grab.x + 100, grab.y + 50});
+  EXPECT_EQ(editor_.doc().scene.icons()[0].pos.x, icon.pos.x + 100);
+  EXPECT_EQ(editor_.doc().scene.icons()[0].pos.y, icon.pos.y + 50);
+}
+
+TEST_F(EditorTest, FileRoundTripPreservesEverything) {
+  editor_.renamePipeline("first");
+  editor_.placeIcon(IconKind::kDoublet, inDrawing(80, 80));
+  const arch::FuId fu = machine_.als(doublet()).fus[0];
+  editor_.setFuOp(fu, OpCode::kMul);
+  editor_.connect(Endpoint::planeRead(0), Endpoint::fuInput(fu, 0));
+  editor_.setConstInput(fu, 1, 4.5);
+  editor_.connect(Endpoint::fuOutput(fu), Endpoint::planeWrite(1));
+  editor_.setDma(Endpoint::planeRead(0), {"x", 0, 1, 32, 1, 0, 0, false});
+  editor_.setDma(Endpoint::planeWrite(1), {"y", 0, 1, 32, 1, 0, 0, false});
+  editor_.insertPipeline("second");
+  editor_.setSeq({arch::SeqOp::kHalt, 0, 0, 0});
+
+  const std::string path = ::testing::TempDir() + "/editor_doc.json";
+  ASSERT_TRUE(editor_.saveToFile(path).isOk());
+
+  Editor loaded(machine_);
+  ASSERT_TRUE(loaded.loadFromFile(path).isOk());
+  EXPECT_EQ(loaded.pipelineCount(), 2);
+  EXPECT_EQ(loaded.program(), editor_.program());
+  EXPECT_EQ(loaded.doc(0).scene.icons().size(), 1u);
+  EXPECT_EQ(loaded.doc(0).scene.icons()[0].als, doublet());
+  std::remove(path.c_str());
+}
+
+TEST_F(EditorTest, GenerateFromEditedDiagram) {
+  editor_.placeIcon(IconKind::kDoublet, inDrawing(80, 80));
+  const arch::FuId fu = machine_.als(doublet()).fus[0];
+  editor_.setFuOp(fu, OpCode::kMul);
+  editor_.connect(Endpoint::planeRead(0), Endpoint::fuInput(fu, 0));
+  editor_.setConstInput(fu, 1, 2.0);
+  editor_.connect(Endpoint::fuOutput(fu), Endpoint::planeWrite(1));
+  editor_.setDma(Endpoint::planeRead(0), {"x", 0, 1, 16, 1, 0, 0, false});
+  editor_.setDma(Endpoint::planeWrite(1), {"y", 0, 1, 16, 1, 0, 0, false});
+  editor_.setSeq({arch::SeqOp::kHalt, 0, 0, 0});
+  const auto result = editor_.generate();
+  EXPECT_TRUE(result.ok) << result.diagnostics.format();
+  EXPECT_EQ(result.exe.words.size(), 1u);
+}
+
+TEST(ParseEndpointTest, AllForms) {
+  EXPECT_EQ(parseEndpoint("fu7.a").value(), Endpoint::fuInput(7, 0));
+  EXPECT_EQ(parseEndpoint("fu7.b").value(), Endpoint::fuInput(7, 1));
+  EXPECT_EQ(parseEndpoint("fu31.out").value(), Endpoint::fuOutput(31));
+  EXPECT_EQ(parseEndpoint("plane15.write").value(), Endpoint::planeWrite(15));
+  EXPECT_EQ(parseEndpoint("cache3.read").value(), Endpoint::cacheRead(3));
+  EXPECT_EQ(parseEndpoint("sd1.tap2").value(), Endpoint::sdOutput(1, 2));
+  EXPECT_EQ(parseEndpoint("sd0.in").value(), Endpoint::sdInput(0));
+  EXPECT_FALSE(parseEndpoint("nonsense").isOk());
+  EXPECT_FALSE(parseEndpoint("fu7.c").isOk());
+}
+
+TEST(SessionTest, ScriptBuildsARunnableProgram) {
+  arch::Machine machine;
+  Editor editor(machine);
+  const std::string script = R"(
+# a tiny scale-by-2 pipeline, then halt
+pipeline "scale"
+place doublet at 300,200
+setop fu4 mul
+connect plane0.read fu4.a
+const fu4 b 2.0
+connect fu4.out plane1.write
+dma plane0.read base=0 stride=1 count=16 var=x
+dma plane1.write base=0 stride=1 count=16 var=y
+seq halt
+check
+)";
+  const SessionResult result = runSession(editor, script);
+  EXPECT_TRUE(result.status.isOk()) << result.status.message();
+  EXPECT_EQ(result.failures, 0) << common::joinStrings(result.log, "\n");
+  EXPECT_TRUE(editor.generate().ok);
+}
+
+TEST(SessionTest, RefusalsAreRecordedNotFatal) {
+  arch::Machine machine;
+  Editor editor(machine);
+  const std::string script = R"(
+pipeline "bad"
+place doublet at 300,200
+setop fu4 max          # fu4 lacks min/max circuitry: refused
+connect plane0.read fu4.a
+connect plane1.read fu4.a   # already driven: refused
+)";
+  const SessionResult result = runSession(editor, script);
+  EXPECT_TRUE(result.status.isOk()) << result.status.message();
+  EXPECT_EQ(result.failures, 2);
+}
+
+TEST(SessionTest, ParseErrorsStopReplay) {
+  arch::Machine machine;
+  Editor editor(machine);
+  const SessionResult result = runSession(editor, "frobnicate the widget\n");
+  EXPECT_FALSE(result.status.isOk());
+  EXPECT_NE(result.status.message().find("line 1"), std::string::npos);
+}
+
+TEST(SessionTest, MouseLevelCommandsWork) {
+  arch::Machine machine;
+  Editor editor(machine);
+  const std::string script = R"(
+pipeline "mouse"
+drag doublet to 400,300
+drag doublet to 700,300
+setop fu4 abs
+setop fu6 abs
+band fu4.out fu6.a
+)";
+  const SessionResult result = runSession(editor, script);
+  EXPECT_TRUE(result.status.isOk()) << result.status.message();
+  EXPECT_EQ(result.failures, 0) << common::joinStrings(result.log, "\n");
+  EXPECT_EQ(editor.doc().scene.wires().size(), 1u);
+}
+
+}  // namespace
+}  // namespace nsc::ed

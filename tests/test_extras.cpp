@@ -1,0 +1,336 @@
+// Additional coverage: simulator edge cases, disassembler content checks,
+// editor renumbering and control-flow rendering, debugger behavior, and
+// e-cube routing properties.
+#include <gtest/gtest.h>
+
+#include <bit>
+
+#include "common/rng.h"
+#include "common/strings.h"
+#include "editor/session.h"
+#include "editor/window_render.h"
+#include "microcode/disasm.h"
+#include "nsc/nsc.h"
+#include "test_helpers.h"
+
+namespace nsc {
+namespace {
+
+using arch::Endpoint;
+using arch::Machine;
+using arch::OpCode;
+
+// ---------------------------------------------------------------------------
+// Simulator edge cases
+// ---------------------------------------------------------------------------
+
+class SimEdgeTest : public ::testing::Test {
+ protected:
+  Machine machine_;
+};
+
+TEST_F(SimEdgeTest, NegativeStrideReversesAVector) {
+  prog::Program p;
+  prog::PipelineDiagram& d = p.append("reverse");
+  d.connect(machine_, Endpoint::planeRead(0), Endpoint::planeWrite(1));
+  d.dmaAt(Endpoint::planeRead(0)) = {"", 15, -1, 16, 1, 0, 0, false};
+  d.dmaAt(Endpoint::planeWrite(1)) = {"", 0, 1, 16, 1, 0, 0, false};
+  d.seq.op = arch::SeqOp::kHalt;
+  sim::NodeSim node(machine_);
+  std::string err;
+  ASSERT_TRUE(test::generateAndLoad(machine_, p, node, &err)) << err;
+  node.writePlane(0, 0, test::iota(16, 0.0));
+  ASSERT_FALSE(node.run().error);
+  const auto out = node.readPlane(1, 0, 16);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(out[static_cast<std::size_t>(i)], 15.0 - i);
+  }
+}
+
+TEST_F(SimEdgeTest, MinAndSumAccumulators) {
+  const arch::AlsId als = machine_.config().num_singlets;
+  for (const auto& [op, seed, expect] :
+       std::vector<std::tuple<OpCode, double, double>>{
+           {OpCode::kMin, 1e300, -4.0}, {OpCode::kAdd, 0.0, 10.0}}) {
+    prog::Program p;
+    prog::PipelineDiagram& d = p.append("acc");
+    const arch::FuId fu = machine_.als(als).fus[op == OpCode::kMin ? 1 : 0];
+    d.setFuOp(machine_, fu, op);
+    d.connect(machine_, Endpoint::planeRead(0), Endpoint::fuInput(fu, 0));
+    d.setAccumInput(machine_, fu, 1, seed);
+    d.connect(machine_, Endpoint::fuOutput(fu), Endpoint::planeWrite(1));
+    d.dmaAt(Endpoint::planeRead(0)) = {"", 0, 1, 5, 1, 0, 0, false};
+    d.dmaAt(Endpoint::planeWrite(1)) = {"", 0, 1, 1, 1, 0, 0, false};
+    d.seq.op = arch::SeqOp::kHalt;
+    sim::NodeSim node(machine_);
+    std::string err;
+    ASSERT_TRUE(test::generateAndLoad(machine_, p, node, &err)) << err;
+    node.writePlane(0, 0, std::vector<double>{3, -4, 2, 8, 1});
+    ASSERT_FALSE(node.run().error);
+    EXPECT_EQ(node.readPlaneWord(1, 0), expect);
+  }
+}
+
+TEST_F(SimEdgeTest, ConditionRegistersPersistAcrossInstructions) {
+  // Instruction 0 latches c2 from a comparison; instruction 1 is a pure
+  // copy; instruction 2 branches on the still-latched c2.
+  prog::Program p;
+  const arch::AlsId als = machine_.config().num_singlets;
+  const arch::FuId cmp = machine_.als(als).fus[0];
+
+  prog::PipelineDiagram& latch = p.append("latch");
+  latch.setFuOp(machine_, cmp, OpCode::kCmpLt);
+  latch.connect(machine_, Endpoint::planeRead(0), Endpoint::fuInput(cmp, 0));
+  latch.setConstInput(machine_, cmp, 1, 100.0);
+  latch.connect(machine_, Endpoint::fuOutput(cmp), Endpoint::planeWrite(1));
+  latch.dmaAt(Endpoint::planeRead(0)) = {"", 0, 1, 1, 1, 0, 0, false};
+  latch.dmaAt(Endpoint::planeWrite(1)) = {"", 0, 1, 1, 1, 0, 0, false};
+  latch.cond = prog::CondLatch{cmp, 2};
+
+  prog::PipelineDiagram& copy = p.append("copy");
+  copy.connect(machine_, Endpoint::planeRead(2), Endpoint::planeWrite(3));
+  copy.dmaAt(Endpoint::planeRead(2)) = {"", 0, 1, 4, 1, 0, 0, false};
+  copy.dmaAt(Endpoint::planeWrite(3)) = {"", 0, 1, 4, 1, 0, 0, false};
+
+  prog::PipelineDiagram& branch = p.append("branch");
+  branch.seq = {arch::SeqOp::kBranchIf, 4, 2, 0};
+  prog::PipelineDiagram& miss = p.append("not-taken");
+  miss.connect(machine_, Endpoint::planeRead(4), Endpoint::planeWrite(5));
+  miss.dmaAt(Endpoint::planeRead(4)) = {"", 0, 1, 1, 1, 0, 0, false};
+  miss.dmaAt(Endpoint::planeWrite(5)) = {"", 0, 1, 1, 1, 0, 0, false};
+  prog::PipelineDiagram& halt = p.append("halt");
+  halt.seq.op = arch::SeqOp::kHalt;
+
+  sim::NodeSim node(machine_);
+  std::string err;
+  ASSERT_TRUE(test::generateAndLoad(machine_, p, node, &err)) << err;
+  const double small[] = {5.0};
+  node.writePlane(0, 0, small);  // 5 < 100 -> c2 set -> branch taken
+  const sim::RunStats stats = node.run();
+  ASSERT_FALSE(stats.error) << stats.error_message;
+  EXPECT_TRUE(node.cond(2));
+  // "not-taken" never executed.
+  for (const sim::InstrStats& instr : stats.trace) {
+    EXPECT_NE(instr.name, "not-taken");
+  }
+}
+
+TEST_F(SimEdgeTest, RegisterFileDelayAtHardwareMaximum) {
+  const int max_delay = machine_.config().rf_max_delay;
+  prog::Program p;
+  prog::PipelineDiagram& d = p.append("deep-delay");
+  const arch::AlsId als = machine_.config().num_singlets;
+  const arch::FuId add = machine_.als(als).fus[0];
+  d.setFuOp(machine_, add, OpCode::kAdd);
+  d.connect(machine_, Endpoint::planeRead(0), Endpoint::fuInput(add, 0));
+  d.connect(machine_, Endpoint::planeRead(1), Endpoint::fuInput(add, 1));
+  prog::FuUse& use = d.fuUse(machine_, add);
+  use.rf_mode = arch::RfMode::kDelay;
+  use.rf_delay = max_delay;
+  use.rf_delay_port = 1;
+  d.connect(machine_, Endpoint::fuOutput(add), Endpoint::planeWrite(2));
+  d.dmaAt(Endpoint::planeRead(0)) = {"", 0, 1, 4, 1, 0, 0, false};
+  d.dmaAt(Endpoint::planeRead(1)) = {"", 0, 1, 4, 1, 0, 0, false};
+  d.dmaAt(Endpoint::planeWrite(2)) = {"", 0, 1, 4, 1, 0, 0, false};
+  d.seq.op = arch::SeqOp::kHalt;
+
+  // Bypass balancing (the skew here is intentional) but keep the checker
+  // off too since it would flag alignment.
+  mc::Generator generator(machine_);
+  mc::GenerateOptions options;
+  options.auto_balance = false;
+  options.run_checker = false;
+  const auto gen = generator.generate(p, options);
+  ASSERT_TRUE(gen.ok);
+  // A 63-cycle queue against 4-element streams means the operand windows
+  // never overlap: no valid result ever reaches the write, and the
+  // simulator reports the stall instead of hanging forever — exactly the
+  // failure mode the checker's alignment rule exists to prevent.
+  sim::NodeSim node(machine_, {.max_cycles_per_instruction = 4096});
+  node.load(gen.exe);
+  node.writePlane(0, 0, test::iota(4, 10.0));
+  node.writePlane(1, 0, test::iota(4, 1.0));
+  const sim::RunStats stats = node.run();
+  EXPECT_TRUE(stats.error);
+  EXPECT_NE(stats.error_message.find("did not complete"), std::string::npos);
+  EXPECT_GT(stats.total_hazards, 0u);
+  (void)max_delay;
+}
+
+TEST_F(SimEdgeTest, CacheWithoutSwapKeepsReadBufferStable) {
+  prog::Program p;
+  prog::PipelineDiagram& fill = p.append("fill-no-swap");
+  fill.connect(machine_, Endpoint::planeRead(0), Endpoint::cacheWrite(2));
+  fill.dmaAt(Endpoint::planeRead(0)) = {"", 0, 1, 8, 1, 0, 0, false};
+  fill.dmaAt(Endpoint::cacheWrite(2)) = {"", 0, 1, 8, 1, 0, 0, false};  // no swap
+  fill.seq.op = arch::SeqOp::kHalt;
+  sim::NodeSim node(machine_);
+  std::string err;
+  ASSERT_TRUE(test::generateAndLoad(machine_, p, node, &err)) << err;
+  node.writePlane(0, 0, test::iota(8, 7.0));
+  ASSERT_FALSE(node.run().error);
+  // Data landed in buffer 1 (the non-read half) and stayed there.
+  EXPECT_EQ(node.readCache(2, 1, 0, 8), test::iota(8, 7.0));
+  EXPECT_EQ(node.readCache(2, 0, 0, 8), std::vector<double>(8, 0.0));
+}
+
+TEST_F(SimEdgeTest, RestartReplaysDeterministically) {
+  prog::Program p;
+  prog::PipelineDiagram& d = p.append("scale");
+  const arch::AlsId als = machine_.config().num_singlets;
+  const arch::FuId mul = machine_.als(als).fus[0];
+  d.setFuOp(machine_, mul, OpCode::kMul);
+  d.connect(machine_, Endpoint::planeRead(0), Endpoint::fuInput(mul, 0));
+  d.setConstInput(machine_, mul, 1, 2.0);
+  d.connect(machine_, Endpoint::fuOutput(mul), Endpoint::planeWrite(1));
+  d.dmaAt(Endpoint::planeRead(0)) = {"", 0, 1, 8, 1, 0, 0, false};
+  d.dmaAt(Endpoint::planeWrite(1)) = {"", 0, 1, 8, 1, 0, 0, false};
+  d.seq.op = arch::SeqOp::kHalt;
+  sim::NodeSim node(machine_);
+  std::string err;
+  ASSERT_TRUE(test::generateAndLoad(machine_, p, node, &err)) << err;
+  node.writePlane(0, 0, test::iota(8, 1.0));
+  const sim::RunStats first = node.run();
+  node.restart();
+  const sim::RunStats second = node.run();
+  EXPECT_EQ(first.total_cycles, second.total_cycles);
+  EXPECT_EQ(first.total_flops, second.total_flops);
+  EXPECT_EQ(node.readPlane(1, 0, 8), test::iota(8, 2.0, 2.0));
+}
+
+// ---------------------------------------------------------------------------
+// Disassembler content
+// ---------------------------------------------------------------------------
+
+TEST(DisasmContentTest, JacobiSweepListsItsMachinery) {
+  Machine machine;
+  cfd::JacobiBuildOptions options;
+  options.grid = {8, 8, 8};
+  options.h = 1.0 / 7.0;
+  const cfd::JacobiProgram jacobi(machine, options);
+  mc::Generator generator(machine);
+  const auto gen = generator.generate(jacobi.program());
+  ASSERT_TRUE(gen.ok);
+  const std::string text =
+      mc::disassemble(machine, generator.spec(), gen.exe.words[0]);
+  for (const char* needle :
+       {"sd0 taps: 0 1 2", "sd1 taps: 0 16", "rf=accum", "rf=delay",
+        "cond: latch c0", "plane09 write base=0 stride=1 count=1", "abs",
+        "cmplt"}) {
+    EXPECT_NE(text.find(needle), std::string::npos) << needle << "\n" << text;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Editor renumbering + control-flow region
+// ---------------------------------------------------------------------------
+
+TEST(RenumberTest, MovesPipelineAndRetargetsBranches) {
+  Machine machine;
+  ed::Editor editor(machine);
+  editor.renamePipeline("a");                 // 0
+  editor.insertPipeline("b");                 // 1
+  editor.insertPipeline("c");                 // 2
+  editor.setSeq({arch::SeqOp::kJump, 0, 0, 0});  // c jumps to a
+  // Move "c" to the front; its jump must still point at "a".
+  ASSERT_TRUE(editor.renumberPipeline(0));
+  EXPECT_EQ(editor.doc(0).semantic.name, "c");
+  EXPECT_EQ(editor.doc(1).semantic.name, "a");
+  EXPECT_EQ(editor.doc(0).semantic.seq.target, 1);
+  // Undo restores the original order.
+  ASSERT_TRUE(editor.undo());
+  EXPECT_EQ(editor.doc(0).semantic.name, "a");
+  EXPECT_EQ(editor.doc(2).semantic.seq.target, 0);
+}
+
+TEST(RenumberTest, OutOfRangeRefused) {
+  Machine machine;
+  ed::Editor editor(machine);
+  EXPECT_FALSE(editor.renumberPipeline(5));
+  EXPECT_FALSE(editor.renumberPipeline(-1));
+}
+
+TEST(ControlFlowRegionTest, SummarizesSequencerFlow) {
+  Machine machine;
+  cfd::JacobiBuildOptions options;
+  options.grid = {8, 8, 8};
+  options.h = 1.0 / 7.0;
+  const cfd::JacobiProgram jacobi(machine, options);
+  ed::Editor editor = editorForProgram(machine, jacobi.program());
+  editor.jumpTo(0);
+  const auto lines = editor.controlFlowSummary();
+  ASSERT_EQ(lines.size(), jacobi.program().size());
+  EXPECT_NE(lines[0].find('>'), std::string::npos);  // current marker
+  EXPECT_NE(lines[6].find("brnot"), std::string::npos);
+  EXPECT_NE(lines[13].find("brif"), std::string::npos);
+  EXPECT_NE(lines[14].find("halt"), std::string::npos);
+  // And the window render shows it in the left region.
+  const std::string window = renderWindowAscii(editor);
+  EXPECT_NE(window.find("brnot"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Hypercube routing properties
+// ---------------------------------------------------------------------------
+
+class EcubeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(EcubeTest, PathsAreMinimalAndDeadlockOrdered) {
+  common::Rng rng(static_cast<std::uint64_t>(GetParam()) * 131 + 1);
+  for (int trial = 0; trial < 50; ++trial) {
+    const int a = static_cast<int>(rng.below(64));
+    const int b = static_cast<int>(rng.below(64));
+    const auto path = sim::HypercubeSystem::ecubePath(a, b);
+    ASSERT_EQ(static_cast<int>(path.size()),
+              sim::HypercubeSystem::hopCount(a, b) + 1);
+    EXPECT_EQ(path.front(), a);
+    EXPECT_EQ(path.back(), b);
+    int last_dim = -1;
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      const unsigned diff = static_cast<unsigned>(path[i] ^ path[i + 1]);
+      ASSERT_EQ(std::popcount(diff), 1);  // single-bit hops
+      const int dim = std::countr_zero(diff);
+      EXPECT_GT(dim, last_dim) << "e-cube corrects dimensions in order";
+      last_dim = dim;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EcubeTest, ::testing::Range(0, 5));
+
+// ---------------------------------------------------------------------------
+// Session round-trips through save/load
+// ---------------------------------------------------------------------------
+
+TEST(SessionFileTest, SessionThenSaveThenLoadThenRun) {
+  Machine machine;
+  ed::Editor editor(machine);
+  const ed::SessionResult session = runSession(editor, R"(
+pipeline "halve"
+place doublet at 300,200
+setop fu4 mul
+connect plane0.read fu4.a
+const fu4 b 0.5
+connect fu4.out plane1.write
+dma plane0.read base=0 stride=1 count=10 var=x
+dma plane1.write base=0 stride=1 count=10 var=y
+seq halt
+)");
+  ASSERT_TRUE(session.clean());
+  const std::string path = ::testing::TempDir() + "/session_doc.json";
+  ASSERT_TRUE(editor.saveToFile(path).isOk());
+
+  ed::Editor loaded(machine);
+  ASSERT_TRUE(loaded.loadFromFile(path).isOk());
+  const auto gen = loaded.generate();
+  ASSERT_TRUE(gen.ok) << gen.diagnostics.format();
+  sim::NodeSim node(machine);
+  node.load(gen.exe);
+  node.writePlane(0, 0, test::iota(10, 2.0, 2.0));
+  ASSERT_FALSE(node.run().error);
+  EXPECT_EQ(node.readPlane(1, 0, 10), test::iota(10, 1.0, 1.0));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace nsc

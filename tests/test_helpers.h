@@ -1,0 +1,36 @@
+// Shared helpers for assembling small NSC programs in tests.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "arch/machine.h"
+#include "microcode/generator.h"
+#include "program/program.h"
+#include "sim/node.h"
+
+namespace nsc::test {
+
+// Generates microcode for `program`, asserting success, and loads it into a
+// fresh NodeSim.  Aborts the test (via ADD_FAILURE) on generator errors.
+inline bool generateAndLoad(const arch::Machine& machine,
+                            const prog::Program& program, sim::NodeSim& node,
+                            std::string* error = nullptr) {
+  mc::Generator generator(machine);
+  mc::GenerateResult result = generator.generate(program);
+  if (!result.ok) {
+    if (error != nullptr) *error = result.diagnostics.format();
+    return false;
+  }
+  node.load(result.exe);
+  return true;
+}
+
+inline std::vector<double> iota(std::size_t n, double start = 0.0,
+                                double step = 1.0) {
+  std::vector<double> out(n);
+  for (std::size_t i = 0; i < n; ++i) out[i] = start + step * static_cast<double>(i);
+  return out;
+}
+
+}  // namespace nsc::test

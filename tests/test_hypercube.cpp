@@ -1,0 +1,127 @@
+// Hypercube system and hyperspace router tests.
+#include <gtest/gtest.h>
+
+#include "microcode/generator.h"
+#include "sim/hypercube.h"
+#include "test_helpers.h"
+
+namespace nsc::sim {
+namespace {
+
+using arch::Endpoint;
+using arch::Machine;
+
+TEST(RouterTest, HopCountIsHammingDistance) {
+  EXPECT_EQ(HypercubeSystem::hopCount(0, 0), 0);
+  EXPECT_EQ(HypercubeSystem::hopCount(0, 1), 1);
+  EXPECT_EQ(HypercubeSystem::hopCount(0b101, 0b010), 3);
+  EXPECT_EQ(HypercubeSystem::hopCount(63, 0), 6);
+}
+
+TEST(RouterTest, EcubePathCorrectsDimensionsInOrder) {
+  const auto path = HypercubeSystem::ecubePath(0b000, 0b110);
+  // Lowest differing dimension first: 000 -> 010 -> 110.
+  const std::vector<int> expected{0b000, 0b010, 0b110};
+  EXPECT_EQ(path, expected);
+  // Each consecutive pair differs in exactly one bit (valid hypercube
+  // links) and the path has hopCount+1 entries.
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    EXPECT_EQ(HypercubeSystem::hopCount(path[i], path[i + 1]), 1);
+  }
+}
+
+TEST(RouterTest, SelfPathIsTrivial) {
+  const auto path = HypercubeSystem::ecubePath(5, 5);
+  EXPECT_EQ(path, std::vector<int>{5});
+}
+
+TEST(RouterTest, TransferCostScalesWithHopsAndWords) {
+  Machine m;
+  RouterOptions router;
+  router.message_startup_cycles = 10;
+  router.hop_latency_cycles = 4;
+  router.words_per_cycle = 2.0;
+  HypercubeSystem sys(m, 3, router);
+  EXPECT_EQ(sys.transferCycles(0, 0, 100), 0u);
+  EXPECT_EQ(sys.transferCycles(0, 1, 100), 10u + 4u + 50u);
+  EXPECT_EQ(sys.transferCycles(0, 7, 100), 10u + 12u + 50u);
+}
+
+TEST(HypercubeTest, SendVectorMovesData) {
+  Machine m;
+  HypercubeSystem sys(m, 2);
+  const std::vector<double> data{1, 2, 3, 4, 5};
+  sys.node(0).writePlane(3, 100, data);
+  const std::uint64_t cost = sys.sendVector(0, 3, 100, 5, 3, 7, 40);
+  EXPECT_GT(cost, 0u);
+  EXPECT_EQ(sys.node(3).readPlane(7, 40, 5), data);
+}
+
+TEST(HypercubeTest, SpmdRunAggregatesStats) {
+  // Each node runs the same tiny SAXPY program on its own data.
+  Machine m;
+  prog::Program p;
+  prog::PipelineDiagram& d = p.append("scale");
+  const arch::AlsId als = m.config().num_singlets;
+  const arch::FuId mul = m.als(als).fus[0];
+  d.setFuOp(m, mul, arch::OpCode::kMul);
+  d.connect(m, Endpoint::planeRead(0), Endpoint::fuInput(mul, 0));
+  d.setConstInput(m, mul, 1, 3.0);
+  d.connect(m, Endpoint::fuOutput(mul), Endpoint::planeWrite(1));
+  d.dmaAt(Endpoint::planeRead(0)) = {"", 0, 1, 32, 1, 0, 0, false};
+  d.dmaAt(Endpoint::planeWrite(1)) = {"", 0, 1, 32, 1, 0, 0, false};
+  d.seq.op = arch::SeqOp::kHalt;
+
+  mc::Generator g(m);
+  const mc::GenerateResult gen = g.generate(p);
+  ASSERT_TRUE(gen.ok) << gen.diagnostics.format();
+
+  HypercubeSystem sys(m, 3);
+  sys.loadAll(gen.exe);
+  for (int n = 0; n < sys.numNodes(); ++n) {
+    sys.node(n).writePlane(0, 0, test::iota(32, n));
+  }
+  SystemStats stats;
+  sys.runPhase(stats);
+  ASSERT_FALSE(stats.error) << stats.error_message;
+  EXPECT_EQ(stats.node_stats.size(), 8u);
+  // All nodes ran the same program: makespan equals each node's cycles.
+  EXPECT_GT(stats.compute_makespan_cycles, 0u);
+  EXPECT_EQ(stats.total_flops, 8u * 32u);
+  for (int n = 0; n < sys.numNodes(); ++n) {
+    const auto out = sys.node(n).readPlane(1, 0, 32);
+    for (int i = 0; i < 32; ++i) {
+      EXPECT_EQ(out[static_cast<std::size_t>(i)], 3.0 * (n + i));
+    }
+  }
+}
+
+TEST(HypercubeTest, ExchangePhaseChargesMaxOverNodes) {
+  Machine m;
+  RouterOptions router;
+  router.message_startup_cycles = 100;
+  router.hop_latency_cycles = 1;
+  router.words_per_cycle = 1.0;
+  HypercubeSystem sys(m, 2, router);
+  SystemStats stats;
+  sys.beginExchange();
+  sys.node(0).writePlane(0, 0, test::iota(10));
+  sys.sendVector(0, 0, 0, 10, 1, 0, 0);   // 1 hop:  100+1+10  = 111 into node 1
+  sys.sendVector(0, 0, 0, 10, 2, 0, 0);   // 1 hop:  111 into node 2
+  sys.sendVector(1, 0, 0, 10, 2, 0, 100); // 2 hops: 112 into node 2
+  sys.endExchange(stats);
+  // Node 2 received two messages serially: 223 cycles; node 1 only 111.
+  EXPECT_EQ(stats.comm_cycles, 223u);
+}
+
+TEST(HypercubeTest, SixtyFourNodePeakMatchesPaperClaim) {
+  Machine m;
+  HypercubeSystem sys(m, 6);
+  EXPECT_EQ(sys.numNodes(), 64);
+  const double peak_gflops =
+      sys.numNodes() * m.config().peakMflopsPerNode() / 1000.0;
+  EXPECT_NEAR(peak_gflops, 40.0, 1.0);  // "maximum performance of 40 GFLOPS"
+}
+
+}  // namespace
+}  // namespace nsc::sim

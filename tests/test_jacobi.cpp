@@ -1,0 +1,228 @@
+// End-to-end reproduction of the paper's example: the point Jacobi update
+// for the 3-D Poisson equation with residual convergence check, built as
+// pipeline diagrams, checked, compiled to microcode, and executed on the
+// simulated NSC — compared against the exact host mirror.
+#include <gtest/gtest.h>
+
+#include "cfd/jacobi_program.h"
+#include "cfd/poisson.h"
+#include "checker/checker.h"
+#include "microcode/generator.h"
+#include "program/timing.h"
+#include "sim/node.h"
+#include "test_helpers.h"
+
+namespace nsc {
+namespace {
+
+using cfd::JacobiBuildOptions;
+using cfd::JacobiProgram;
+using cfd::PoissonProblem;
+
+struct HostRun {
+  std::vector<double> u;
+  double residual = 0.0;
+  std::uint64_t sweeps = 0;
+};
+
+// Mirrors the NSC control program: sweeps in pairs, stopping after the
+// sweep whose masked residual is <= tol (checked after each sweep, but the
+// machine only exits after completing the restores of that half).
+HostRun hostConvergenceRun(const PoissonProblem& problem, double tol,
+                           double omega, std::uint64_t max_sweeps) {
+  HostRun run;
+  run.u = problem.u0;
+  std::vector<double> next;
+  while (run.sweeps < max_sweeps) {
+    run.residual = cfd::linearJacobiSweep(problem, run.u, next, omega);
+    run.u.swap(next);
+    ++run.sweeps;
+    const bool odd = run.sweeps % 2 == 1;
+    if (odd && run.residual <= tol) break;        // exit after A->B sweep
+    if (!odd && run.residual <= tol) break;       // exit after B->A sweep
+  }
+  return run;
+}
+
+HostRun hostFixedRun(const PoissonProblem& problem, int sweeps, double omega) {
+  HostRun run;
+  run.u = problem.u0;
+  std::vector<double> next;
+  for (int s = 0; s < sweeps; ++s) {
+    run.residual = cfd::linearJacobiSweep(problem, run.u, next, omega);
+    run.u.swap(next);
+    ++run.sweeps;
+  }
+  return run;
+}
+
+TEST(JacobiProgramTest, PassesTheCheckerCleanly) {
+  arch::Machine machine;
+  JacobiBuildOptions options;
+  options.grid = {8, 8, 8};
+  options.h = 1.0 / 7.0;
+  JacobiProgram jacobi(machine, options);
+  check::Checker checker(machine);
+  // Balance first (the builder leaves delay insertion to the generator).
+  prog::Program balanced = jacobi.program();
+  for (auto& d : balanced.pipelines) {
+    EXPECT_GE(prog::balanceDelays(machine, d), 0) << d.name;
+  }
+  const check::DiagnosticList diags = checker.checkProgram(balanced);
+  EXPECT_FALSE(diags.hasErrors()) << diags.format();
+}
+
+TEST(JacobiProgramTest, ConvergenceModeMatchesHostMirrorExactly) {
+  arch::Machine machine;
+  JacobiBuildOptions options;
+  options.grid = {8, 8, 8};
+  options.h = 1.0 / 7.0;
+  options.convergence_mode = true;
+  options.tol = 2e-3;
+  const PoissonProblem problem =
+      PoissonProblem::manufactured(8, 8, 8);
+  JacobiProgram jacobi(machine, options);
+
+  sim::NodeSim node(machine);
+  std::string err;
+  ASSERT_TRUE(test::generateAndLoad(machine, jacobi.program(), node, &err))
+      << err;
+  jacobi.load(node, problem);
+  const sim::RunStats stats = node.run();
+  ASSERT_FALSE(stats.error) << stats.error_message;
+  ASSERT_TRUE(stats.halted);
+
+  const std::uint64_t sweeps = JacobiProgram::sweepsDone(stats);
+  ASSERT_GT(sweeps, 0u);
+  const HostRun host = hostConvergenceRun(problem, options.tol, 1.0, 10000);
+  EXPECT_EQ(sweeps, host.sweeps);
+  EXPECT_EQ(jacobi.residual(node), host.residual);
+
+  const std::vector<double> u = jacobi.extract(node, sweeps);
+  EXPECT_EQ(cfd::errorLinf(u, host.u), 0.0) << "simulated NSC diverged from "
+                                               "the bit-exact host mirror";
+}
+
+TEST(JacobiProgramTest, FixedSweepsMatchesHostMirrorExactly) {
+  arch::Machine machine;
+  JacobiBuildOptions options;
+  options.grid = {6, 7, 9};  // non-cubic grid
+  options.h = 0.2;
+  options.convergence_mode = false;
+  options.fixed_sweeps = 8;
+  const PoissonProblem problem = PoissonProblem::manufactured(6, 7, 9);
+  JacobiProgram jacobi(machine, options);
+
+  sim::NodeSim node(machine);
+  std::string err;
+  ASSERT_TRUE(test::generateAndLoad(machine, jacobi.program(), node, &err))
+      << err;
+  jacobi.load(node, problem);
+  const sim::RunStats stats = node.run();
+  ASSERT_FALSE(stats.error) << stats.error_message;
+
+  EXPECT_EQ(JacobiProgram::sweepsDone(stats), 8u);
+  const HostRun host = hostFixedRun(problem, 8, 1.0);
+  const std::vector<double> u = jacobi.extract(node, 8);
+  EXPECT_EQ(cfd::errorLinf(u, host.u), 0.0);
+}
+
+TEST(JacobiProgramTest, DampedSweepMatchesHost) {
+  arch::Machine machine;
+  JacobiBuildOptions options;
+  options.grid = {8, 8, 8};
+  options.h = 1.0 / 7.0;
+  options.convergence_mode = false;
+  options.fixed_sweeps = 6;
+  options.omega = 2.0 / 3.0;
+  const PoissonProblem problem = PoissonProblem::manufactured(8, 8, 8);
+  JacobiProgram jacobi(machine, options);
+
+  sim::NodeSim node(machine);
+  std::string err;
+  ASSERT_TRUE(test::generateAndLoad(machine, jacobi.program(), node, &err))
+      << err;
+  jacobi.load(node, problem);
+  const sim::RunStats stats = node.run();
+  ASSERT_FALSE(stats.error) << stats.error_message;
+
+  const HostRun host = hostFixedRun(problem, 6, options.omega);
+  const std::vector<double> u = jacobi.extract(node, 6);
+  EXPECT_EQ(cfd::errorLinf(u, host.u), 0.0);
+}
+
+TEST(JacobiProgramTest, RestrictedSubsetModelMatchesHost) {
+  const arch::Machine machine(arch::MachineConfig::restrictedSubset());
+  JacobiBuildOptions options;
+  options.grid = {8, 8, 8};
+  options.h = 1.0 / 7.0;
+  options.convergence_mode = false;  // forced anyway: no plane budget
+  options.fixed_sweeps = 8;
+  options.restricted = true;
+  const PoissonProblem problem = PoissonProblem::manufactured(8, 8, 8);
+  JacobiProgram jacobi(machine, options);
+
+  sim::NodeSim node(machine);
+  std::string err;
+  ASSERT_TRUE(test::generateAndLoad(machine, jacobi.program(), node, &err))
+      << err;
+  jacobi.load(node, problem);
+  const sim::RunStats stats = node.run();
+  ASSERT_FALSE(stats.error) << stats.error_message;
+
+  const HostRun host = hostFixedRun(problem, 8, 1.0);
+  const std::vector<double> u = jacobi.extract(node, 8);
+  EXPECT_EQ(cfd::errorLinf(u, host.u), 0.0);
+}
+
+TEST(JacobiProgramTest, ConvergedSolutionApproachesManufacturedTruth) {
+  arch::Machine machine;
+  JacobiBuildOptions options;
+  options.grid = {8, 8, 8};
+  options.h = 1.0 / 7.0;
+  options.tol = 1e-9;
+  const PoissonProblem problem = PoissonProblem::manufactured(8, 8, 8);
+  JacobiProgram jacobi(machine, options);
+
+  sim::NodeSim node(machine);
+  std::string err;
+  ASSERT_TRUE(test::generateAndLoad(machine, jacobi.program(), node, &err))
+      << err;
+  jacobi.load(node, problem);
+  const sim::RunStats stats = node.run();
+  ASSERT_FALSE(stats.error) << stats.error_message;
+
+  const std::vector<double> u =
+      jacobi.extract(node, JacobiProgram::sweepsDone(stats));
+  // Discretization error on an 8^3 grid is O(h^2) ~ 2e-2; Jacobi converged
+  // to 1e-9 so the discrete solve dominates.
+  EXPECT_LT(cfd::errorLinf(u, problem.exactSolution()), 5e-2);
+  // The true residual of the converged iterate is small.
+  EXPECT_LT(cfd::residualLinf(problem, u), 1e-6);
+}
+
+TEST(JacobiProgramTest, UtilizationAndFlopsAreReported) {
+  arch::Machine machine;
+  JacobiBuildOptions options;
+  options.grid = {8, 8, 8};
+  options.h = 1.0 / 7.0;
+  options.convergence_mode = false;
+  options.fixed_sweeps = 4;
+  const PoissonProblem problem = PoissonProblem::manufactured(8, 8, 8);
+  JacobiProgram jacobi(machine, options);
+
+  sim::NodeSim node(machine);
+  std::string err;
+  ASSERT_TRUE(test::generateAndLoad(machine, jacobi.program(), node, &err))
+      << err;
+  jacobi.load(node, problem);
+  const sim::RunStats stats = node.run();
+  ASSERT_FALSE(stats.error) << stats.error_message;
+  EXPECT_GT(stats.total_flops, 0u);
+  EXPECT_GT(stats.mflops(machine.config().clock_mhz), 0.0);
+  EXPECT_GT(stats.fuUtilization(), 0.0);
+  EXPECT_LT(stats.fuUtilization(), 1.0);
+}
+
+}  // namespace
+}  // namespace nsc

@@ -1,0 +1,274 @@
+// Property-based tests (seeded sweeps via parameterized suites):
+//   1. random stencil programs: compiled pipeline == host evaluation;
+//   2. random editor sessions: undoing everything restores the start;
+//   3. microword fields: encode/decode identity for random values;
+//   4. incremental/thorough checker consistency: whatever the editor
+//      accepts connection-by-connection, the global pass accepts too.
+#include <gtest/gtest.h>
+
+#include "common/strings.h"
+
+#include "common/rng.h"
+#include "compiler/stencil_lang.h"
+#include "editor/editor.h"
+#include "microcode/generator.h"
+#include "sim/node.h"
+
+namespace nsc {
+namespace {
+
+using arch::Endpoint;
+using arch::Machine;
+
+// ---------------------------------------------------------------------------
+// 1. Random stencil programs
+// ---------------------------------------------------------------------------
+
+class RandomStencilTest : public ::testing::TestWithParam<int> {};
+
+std::string randomExpr(common::Rng& rng, int depth) {
+  if (depth <= 0 || rng.chance(0.3)) {
+    switch (rng.below(3)) {
+      case 0: return common::strFormat("%.3f", rng.uniform(0.5, 2.0));
+      case 1: {
+        static const char* arrays[] = {"u", "v", "w"};
+        const char* name = arrays[rng.below(3)];
+        const int offset = static_cast<int>(rng.range(-3, 3));
+        return common::strFormat("%s[%d]", name, offset);
+      }
+      default: return "u[0]";
+    }
+  }
+  const std::string a = randomExpr(rng, depth - 1);
+  const std::string b = randomExpr(rng, depth - 1);
+  switch (rng.below(6)) {
+    case 0: return "(" + a + " + " + b + ")";
+    case 1: return "(" + a + " - " + b + ")";
+    case 2: return "(" + a + " * " + b + ")";
+    case 3: return "abs(" + a + ")";
+    case 4: return "min(" + a + ", " + b + ")";
+    default: return "max(" + a + ", " + b + ")";
+  }
+}
+
+TEST_P(RandomStencilTest, CompiledPipelineMatchesHostExactly) {
+  common::Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 13);
+  const std::string source =
+      "out = " + randomExpr(rng, 3) + ";\nreduce m = max(abs(out));\n";
+  const auto parsed = xc::StencilProgram::parse(source);
+  ASSERT_TRUE(parsed.isOk()) << source << "\n" << parsed.message();
+
+  Machine machine;
+  xc::CompileOptions options;
+  options.vector_length = 24;
+  options.center_base = 16;
+  const auto compiled = parsed.value().compile(machine, options);
+  if (!compiled.isOk()) {
+    // Resource exhaustion and constant-stream reductions are legitimate
+    // rejections; the property applies only to mappable programs.
+    const bool expected =
+        compiled.message().find("out of") != std::string::npos ||
+        compiled.message().find("constant stream") != std::string::npos;
+    EXPECT_TRUE(expected) << compiled.message();
+    return;
+  }
+
+  std::map<std::string, std::vector<double>> inputs;
+  for (const std::string& name : parsed.value().inputArrays()) {
+    std::vector<double> data(options.center_base + options.vector_length + 8);
+    for (auto& v : data) v = rng.uniform(-3.0, 3.0);
+    inputs[name] = std::move(data);
+  }
+  const auto host = parsed.value().evaluate(inputs, options);
+  ASSERT_TRUE(host.isOk()) << host.message();
+
+  prog::Program program;
+  program.pipelines.push_back(compiled.value().diagram);
+  mc::Generator generator(machine);
+  const auto gen = generator.generate(program);
+  ASSERT_TRUE(gen.ok) << source << "\n" << gen.diagnostics.format();
+  sim::NodeSim node(machine);
+  node.load(gen.exe);
+  for (const xc::StreamPlacement& s : compiled.value().streams) {
+    if (!s.is_output) node.writePlane(s.plane, 0, inputs.at(s.array));
+  }
+  const sim::RunStats stats = node.run();
+  ASSERT_FALSE(stats.error) << stats.error_message;
+
+  for (const auto& [name, plane] : compiled.value().output_planes) {
+    const auto got =
+        node.readPlane(plane, options.center_base, options.vector_length);
+    const auto& want = host.value().outputs.at(name);
+    for (std::size_t i = 0; i < want.size(); ++i) {
+      ASSERT_EQ(got[i], want[i]) << source << "\nelement " << i;
+    }
+  }
+  for (const auto& [name, where] : compiled.value().reductions) {
+    ASSERT_EQ(node.readPlaneWord(where.first, where.second),
+              host.value().reductions.at(name))
+        << source;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomStencilTest, ::testing::Range(0, 25));
+
+// ---------------------------------------------------------------------------
+// 2. Random editor sessions undo to the start
+// ---------------------------------------------------------------------------
+
+class RandomEditorTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomEditorTest, UndoEverythingRestoresInitialState) {
+  common::Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729 + 7);
+  Machine machine;
+  ed::Editor editor(machine);
+  const prog::Program initial = editor.program();
+
+  const ed::Rect draw = editor.layout().drawing;
+  for (int step = 0; step < 40; ++step) {
+    const ed::Point pos{draw.x + 10 + static_cast<int>(rng.below(static_cast<std::uint64_t>(draw.w - 120))),
+                        draw.y + 10 + static_cast<int>(rng.below(static_cast<std::uint64_t>(draw.h - 200)))};
+    switch (rng.below(7)) {
+      case 0: {
+        static const ed::IconKind kinds[] = {
+            ed::IconKind::kSinglet, ed::IconKind::kDoublet,
+            ed::IconKind::kDoubletBypass, ed::IconKind::kTriplet};
+        editor.placeIcon(kinds[rng.below(4)], pos);
+        break;
+      }
+      case 1: {
+        const arch::FuId fu = static_cast<arch::FuId>(
+            rng.below(static_cast<std::uint64_t>(machine.config().numFus())));
+        const auto menu = editor.opMenu(fu);
+        editor.setFuOp(fu, menu[rng.below(menu.size())]);
+        break;
+      }
+      case 2: {
+        const Endpoint from = Endpoint::planeRead(
+            static_cast<int>(rng.below(16)));
+        const auto targets = editor.connectionMenu(from);
+        if (!targets.empty()) {
+          editor.connect(from, targets[rng.below(targets.size())]);
+        }
+        break;
+      }
+      case 3: {
+        prog::DmaSpec spec;
+        spec.base = rng.below(1024);
+        spec.stride = 1;
+        spec.count = 1 + rng.below(128);
+        editor.setDma(Endpoint::planeRead(static_cast<int>(rng.below(16))),
+                      spec);
+        break;
+      }
+      case 4:
+        if (!editor.doc().scene.icons().empty()) {
+          const auto& icons = editor.doc().scene.icons();
+          editor.deleteIcon(icons[rng.below(icons.size())].id);
+        }
+        break;
+      case 5:
+        editor.insertPipeline(common::strFormat("p%d", step));
+        break;
+      default:
+        if (!editor.doc().scene.icons().empty()) {
+          const auto& icons = editor.doc().scene.icons();
+          editor.moveIcon(icons[rng.below(icons.size())].id, pos);
+        }
+        break;
+    }
+  }
+
+  while (editor.undo()) {
+  }
+  EXPECT_EQ(editor.program(), initial);
+  EXPECT_TRUE(editor.doc().scene.icons().empty());
+  EXPECT_TRUE(editor.doc().scene.wires().empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomEditorTest, ::testing::Range(0, 10));
+
+// ---------------------------------------------------------------------------
+// 3. Microword field round trips
+// ---------------------------------------------------------------------------
+
+class MicrowordFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MicrowordFuzzTest, EncodeDecodeIdentityOnRandomFields) {
+  common::Rng rng(static_cast<std::uint64_t>(GetParam()) * 31 + 5);
+  Machine machine;
+  arch::MicrowordSpec spec(machine);
+  common::BitVector word = spec.makeWord();
+  // Write random values to a random subset, remember expectations, check
+  // all fields afterwards (untouched fields must stay zero).
+  std::map<std::string, std::uint64_t> expect;
+  const auto& fields = spec.fields();
+  for (int i = 0; i < 200; ++i) {
+    const arch::MicroField& f = fields[rng.below(fields.size())];
+    const std::uint64_t mask =
+        f.width >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << f.width) - 1);
+    const std::uint64_t value = rng.next() & mask;
+    spec.set(word, f.name, value);
+    expect[f.name] = value;
+  }
+  for (const arch::MicroField& f : fields) {
+    const auto it = expect.find(f.name);
+    EXPECT_EQ(spec.get(word, f.name), it == expect.end() ? 0u : it->second)
+        << f.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MicrowordFuzzTest, ::testing::Range(0, 10));
+
+// ---------------------------------------------------------------------------
+// 4. Incremental acceptance implies no edit-time errors in the global pass
+// ---------------------------------------------------------------------------
+
+class CheckerConsistencyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CheckerConsistencyTest, EditorAcceptedDiagramHasNoWiringErrors) {
+  common::Rng rng(static_cast<std::uint64_t>(GetParam()) * 257 + 3);
+  Machine machine;
+  check::Checker checker(machine);
+  prog::PipelineDiagram d;
+  // Place a handful of ALSs.
+  for (int als = 0; als < machine.config().numAls(); ++als) {
+    if (rng.chance(0.5)) d.useAls(machine, als);
+  }
+  // Randomly attempt many connections, keeping only accepted ones.
+  const auto& sources = machine.sources();
+  for (int i = 0; i < 120; ++i) {
+    const Endpoint from = sources[rng.below(sources.size())];
+    const auto targets = checker.legalTargets(d, from);
+    if (targets.empty()) continue;
+    const Endpoint to = targets[rng.below(targets.size())];
+    // Only wire FU inputs whose ALS is placed (editor behavior).
+    if (to.kind == arch::EndpointKind::kFuInput &&
+        d.findAls(machine.fu(to.unit).als) == nullptr) {
+      continue;
+    }
+    if (from.kind == arch::EndpointKind::kFuOutput &&
+        d.findAls(machine.fu(from.unit).als) == nullptr) {
+      continue;
+    }
+    ASSERT_TRUE(checker.canConnect(d, from, to));
+    d.connect(machine, from, to);
+  }
+  // The thorough pass may flag op-level problems (nothing is programmed),
+  // but never the wiring rules the incremental pass enforced.
+  const check::DiagnosticList diags = checker.checkDiagram(d);
+  for (const check::Diagnostic& diag : diags.all()) {
+    EXPECT_NE(diag.rule, check::Rule::kInputAlreadyDriven) << diag.format();
+    EXPECT_NE(diag.rule, check::Rule::kPlaneContention) << diag.format();
+    EXPECT_NE(diag.rule, check::Rule::kFanoutLimit) << diag.format();
+    EXPECT_NE(diag.rule, check::Rule::kCycle) << diag.format();
+    EXPECT_NE(diag.rule, check::Rule::kSelfLoop) << diag.format();
+    EXPECT_NE(diag.rule, check::Rule::kEndpointRole) << diag.format();
+    EXPECT_NE(diag.rule, check::Rule::kEndpointRange) << diag.format();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CheckerConsistencyTest, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace nsc

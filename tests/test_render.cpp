@@ -1,0 +1,147 @@
+// Rendering tests: canvas primitives, SVG well-formedness, datapath
+// figure, icon figures, and the full window.
+#include <gtest/gtest.h>
+
+#include "editor/window_render.h"
+#include "render/canvas.h"
+#include "render/datapath.h"
+#include "render/svg.h"
+
+namespace nsc {
+namespace {
+
+TEST(AsciiCanvasTest, TextAndLines) {
+  render::AsciiCanvas c(20, 5);
+  c.text(2, 1, "hello");
+  c.hline(0, 9, 3);
+  c.vline(10, 0, 4);
+  const std::string s = c.toString();
+  EXPECT_NE(s.find("hello"), std::string::npos);
+  EXPECT_NE(s.find("----------"), std::string::npos);
+  EXPECT_EQ(c.at(10, 2), '|');
+  // Out-of-bounds writes are clipped, not fatal.
+  c.set(100, 100, 'x');
+  c.text(-5, 2, "clip");
+}
+
+TEST(AsciiCanvasTest, BoxWithTitle) {
+  render::AsciiCanvas c(20, 6);
+  c.box(1, 1, 12, 4, "title");
+  EXPECT_EQ(c.at(1, 1), '+');
+  EXPECT_EQ(c.at(12, 4), '+');
+  EXPECT_NE(c.toString().find("title"), std::string::npos);
+}
+
+TEST(AsciiCanvasTest, RouteMarksSourceAndDestination) {
+  render::AsciiCanvas c(20, 8);
+  c.route(2, 2, 10, 6);
+  EXPECT_EQ(c.at(2, 2), 'o');
+  EXPECT_EQ(c.at(10, 6), '*');
+  EXPECT_EQ(c.at(10, 2), '+');  // corner of the L
+}
+
+TEST(AsciiCanvasTest, TrailingWhitespaceTrimmed) {
+  render::AsciiCanvas c(40, 2);
+  c.text(0, 0, "x");
+  EXPECT_EQ(c.toString(), "x\n\n");
+}
+
+TEST(SvgTest, WellFormedDocument) {
+  render::SvgBuilder svg(100, 50);
+  svg.rect(1, 2, 3, 4);
+  svg.line(0, 0, 10, 10);
+  svg.circle(5, 5, 2);
+  svg.text(10, 10, "a<b&c");
+  const std::string doc = svg.finish();
+  EXPECT_NE(doc.find("<svg"), std::string::npos);
+  EXPECT_NE(doc.find("</svg>"), std::string::npos);
+  EXPECT_NE(doc.find("a&lt;b&amp;c"), std::string::npos);
+  // Tag balance for the primitive elements we emit.
+  EXPECT_EQ(std::count(doc.begin(), doc.end(), '<'),
+            std::count(doc.begin(), doc.end(), '>'));
+}
+
+TEST(DatapathTest, AsciiMentionsEveryComponent) {
+  arch::Machine machine;
+  const std::string fig = render::datapathAscii(machine);
+  EXPECT_NE(fig.find("Hyperspace Router"), std::string::npos);
+  EXPECT_NE(fig.find("Data Caches"), std::string::npos);
+  EXPECT_NE(fig.find("Switch Network"), std::string::npos);
+  EXPECT_NE(fig.find("Memory Planes"), std::string::npos);
+  EXPECT_NE(fig.find("Shift/Delay"), std::string::npos);
+  EXPECT_NE(fig.find("32 Functional Units"), std::string::npos);
+  EXPECT_NE(fig.find("640 MFLOPS"), std::string::npos);
+}
+
+TEST(DatapathTest, TracksConfigChanges) {
+  arch::MachineConfig cfg;
+  cfg.num_singlets = 8;
+  cfg.num_doublets = 12;
+  cfg.num_triplets = 0;
+  const arch::Machine machine(cfg);
+  const std::string fig = render::datapathAscii(machine);
+  EXPECT_NE(fig.find("8 singlets"), std::string::npos);
+  EXPECT_NE(fig.find("12 doublets"), std::string::npos);
+}
+
+TEST(DatapathTest, SvgVariant) {
+  arch::Machine machine;
+  const std::string fig = render::datapathSvg(machine);
+  EXPECT_NE(fig.find("Hyperspace Router"), std::string::npos);
+  EXPECT_NE(fig.find("</svg>"), std::string::npos);
+}
+
+TEST(IconRenderTest, AllFourPaletteIcons) {
+  for (const ed::IconKind kind :
+       {ed::IconKind::kSinglet, ed::IconKind::kDoublet,
+        ed::IconKind::kDoubletBypass, ed::IconKind::kTriplet}) {
+    const std::string fig = ed::renderIconAscii(kind);
+    EXPECT_NE(fig.find("ALS"), std::string::npos) << iconKindName(kind);
+    EXPECT_NE(fig.find('o'), std::string::npos) << "pads missing";
+  }
+}
+
+TEST(WindowRenderTest, FigureFiveRegionsPresent) {
+  arch::Machine machine;
+  ed::Editor editor(machine);
+  const std::string window = ed::renderWindowAscii(editor);
+  EXPECT_NE(window.find("control panel"), std::string::npos);
+  EXPECT_NE(window.find("control flow"), std::string::npos);
+  EXPECT_NE(window.find("[singlet]"), std::string::npos);
+  EXPECT_NE(window.find("[triplet]"), std::string::npos);
+  EXPECT_NE(window.find("(generate)"), std::string::npos);
+  EXPECT_NE(window.find("pipe 1/1"), std::string::npos);
+}
+
+TEST(WindowRenderTest, MessageStripShowsCheckerProse) {
+  arch::Machine machine;
+  ed::Editor editor(machine);
+  editor.placeIcon(ed::IconKind::kDoublet,
+                   {editor.layout().drawing.x + 60, editor.layout().drawing.y + 60});
+  const arch::FuId fu = machine.als(machine.config().num_singlets).fus[0];
+  editor.setFuOp(fu, arch::OpCode::kMax);  // refused: no min/max circuitry
+  const std::string window = ed::renderWindowAscii(editor);
+  EXPECT_NE(window.find("circuitry"), std::string::npos);
+}
+
+TEST(WindowRenderTest, DiagramShowsOpsAndStubs) {
+  arch::Machine machine;
+  ed::Editor editor(machine);
+  editor.placeIcon(ed::IconKind::kDoublet,
+                   {editor.layout().drawing.x + 100, editor.layout().drawing.y + 80});
+  const arch::FuId fu = machine.als(machine.config().num_singlets).fus[0];
+  editor.setFuOp(fu, arch::OpCode::kMul);
+  editor.connect(arch::Endpoint::planeRead(0), arch::Endpoint::fuInput(fu, 0));
+  editor.connect(arch::Endpoint::fuOutput(fu), arch::Endpoint::planeWrite(1));
+  const std::string diagram = ed::renderDiagramAscii(editor);
+  EXPECT_NE(diagram.find("mul"), std::string::npos);
+  EXPECT_NE(diagram.find("plane0.read"), std::string::npos);
+  EXPECT_NE(diagram.find("plane1.write"), std::string::npos);
+
+  const std::string svg = ed::renderDiagramSvg(editor);
+  EXPECT_NE(svg.find("mul"), std::string::npos);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nsc
