@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# Run the claims_* benchmarks and merge their Google Benchmark JSON reports
+# into one trajectory file (default: BENCH_seed.json at the repo root).
+#
+# Usage: run_benches.sh [bench-binary-dir] [output-json] [bench-name...]
+#   bench-binary-dir  directory holding the claims_* binaries
+#                     (default: build/bench)
+#   output-json       merged report path (default: BENCH_seed.json)
+#   bench-name...     benchmarks to run; the cmake run_benches target passes
+#                     NSC_CLAIMS_BENCHES here so the list has one source of
+#                     truth.  Standalone invocations fall back to the default
+#                     claims set below.
+set -euo pipefail
+
+BIN_DIR="${1:-build/bench}"
+OUT="${2:-BENCH_seed.json}"
+if [[ $# -gt 2 ]]; then
+  CLAIMS=("${@:3}")
+else
+  CLAIMS=(claims_microword claims_performance claims_subset_ablation claims_usability)
+fi
+
+if ! command -v jq > /dev/null; then
+  echo "error: jq is required to merge benchmark reports — install it first" >&2
+  exit 1
+fi
+
+if [[ ! -d "${BIN_DIR}" ]]; then
+  echo "error: bench binary dir '${BIN_DIR}' not found — build first:" >&2
+  echo "  cmake -B build -S . && cmake --build build -j" >&2
+  exit 1
+fi
+
+TMP_DIR="$(mktemp -d)"
+trap 'rm -rf "${TMP_DIR}"' EXIT
+
+for bench in "${CLAIMS[@]}"; do
+  bin="${BIN_DIR}/${bench}"
+  if [[ ! -x "${bin}" ]]; then
+    echo "error: missing bench binary '${bin}'" >&2
+    exit 1
+  fi
+  echo ">>> ${bench}"
+  # The binaries print their reproduced paper artifact to stdout; the
+  # machine-readable timings go to the JSON report file.
+  "${bin}" --benchmark_out="${TMP_DIR}/${bench}.json" --benchmark_out_format=json
+done
+
+# Merge: {"schema": 1, "benchmarks": {"<name>": <google-benchmark report>}}
+jq -n '{schema: 1,
+        benchmarks: (reduce inputs as $doc ({};
+          . + {($doc.context.executable | split("/") | last): $doc}))}
+' "${TMP_DIR}"/*.json > "${OUT}"
+
+echo "wrote ${OUT} ($(jq '.benchmarks | keys | length' "${OUT}") benchmark reports)"
