@@ -7,6 +7,12 @@
 // hyperspace router exchanges ghost layers between hypercube neighbors.
 #include "bench_common.h"
 
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include "exec/thread_pool.h"
+
 namespace {
 
 using namespace nsc;
@@ -18,17 +24,19 @@ struct ScalingRow {
   double comm_fraction = 0;
 };
 
-ScalingRow runScale(int dimension) {
+// One simulated multi-node run: 2^dimension nodes, each owning an
+// nx * nx * local_nz z-slab of the global grid (8^3 is the seed workload;
+// 16^3 and 32^3 are the production shapes from the ROADMAP).
+ScalingRow runScale(int dimension, int nx = 8, int local_nz = 10) {
   arch::Machine machine;
-  const int local_nz = 10;  // owned layers + 2 ghost layers per node
   cfd::JacobiBuildOptions options;
-  options.grid = {8, 8, local_nz + 2};
-  options.h = 1.0 / 7.0;
+  options.grid = {nx, nx, local_nz + 2};  // owned layers + 2 ghost layers
+  options.h = 1.0 / (nx - 1);
   options.convergence_mode = false;
   options.fixed_sweeps = 2;
   const cfd::JacobiProgram jacobi(machine, options);
   const cfd::PoissonProblem problem =
-      cfd::PoissonProblem::manufactured(8, 8, local_nz + 2);
+      cfd::PoissonProblem::manufactured(nx, nx, local_nz + 2);
 
   mc::Generator generator(machine);
   const mc::GenerateResult gen = generator.generate(jacobi.program());
@@ -99,6 +107,8 @@ void printClaims() {
               "node count until communication bites.\n\n");
 }
 
+// Seed shapes (8^3 slabs) keep their single-arg names so BENCH_*.json rows
+// stay comparable against the committed BENCH_seed.json baseline.
 void BM_SystemPhase(benchmark::State& state) {
   const int dim = static_cast<int>(state.range(0));
   for (auto _ : state) {
@@ -106,6 +116,109 @@ void BM_SystemPhase(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SystemPhase)->Arg(0)->Arg(2)->Arg(4);
+
+// Scaled production shapes from the ROADMAP: 16^3 and 32^3 slabs.
+void BM_SystemPhaseScaled(benchmark::State& state) {
+  const int dim = static_cast<int>(state.range(0));
+  const int nx = static_cast<int>(state.range(1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(runScale(dim, nx).achieved_mflops);
+  }
+}
+BENCHMARK(BM_SystemPhaseScaled)
+    ->Args({2, 16})
+    ->Args({4, 16})
+    ->Args({2, 32})
+    ->Unit(benchmark::kMillisecond);
+
+// Host-side multigrid V-cycles on the shared pool: 17^3 is the seed-scale
+// case (3 levels), 33^3 the deeper production case (5 levels).
+void BM_MultigridVCycle(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const cfd::PoissonProblem problem =
+      cfd::PoissonProblem::manufactured(n, n, n);
+  cfd::MultigridOptions options;
+  options.pool = &exec::ThreadPool::shared();
+  std::vector<double> u = problem.u0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cfd::vcycle(problem, u, options));
+  }
+}
+BENCHMARK(BM_MultigridVCycle)->Arg(17)->Arg(33)->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------------
+// Phase-throughput harness benchmarks (the tentpole measurement).
+//
+// 16 nodes each run a minimal one-instruction program per phase over a
+// 16^3-footprint slab, so the timing isolates the per-phase parallel
+// harness — exactly what nsc_exec amortizes.  The baseline reproduces the
+// seed's runPhase: a fresh std::thread batch spawned and joined for every
+// phase at the same parallel width as the pool.
+// ---------------------------------------------------------------------------
+
+constexpr int kThroughputThreads = 4;
+
+mc::GenerateResult buildPhaseProgram(const arch::Machine& m,
+                                     std::uint64_t words) {
+  prog::Program p;
+  prog::PipelineDiagram& d = p.append("phase");
+  const arch::AlsId als = m.config().num_singlets;
+  const arch::FuId mul = m.als(als).fus[0];
+  d.setFuOp(m, mul, arch::OpCode::kMul);
+  d.connect(m, arch::Endpoint::planeRead(0), arch::Endpoint::fuInput(mul, 0));
+  d.setConstInput(m, mul, 1, 3.0);
+  d.connect(m, arch::Endpoint::fuOutput(mul), arch::Endpoint::planeWrite(1));
+  d.dmaAt(arch::Endpoint::planeRead(0)) = {"", 0, 1, words, 1, 0, 0, false};
+  d.dmaAt(arch::Endpoint::planeWrite(1)) = {"", 0, 1, words, 1, 0, 0, false};
+  d.seq.op = arch::SeqOp::kHalt;
+  mc::Generator g(m);
+  return g.generate(p);
+}
+
+void BM_PhaseThroughput_Pooled(benchmark::State& state) {
+  arch::Machine machine;
+  const mc::GenerateResult gen = buildPhaseProgram(machine, 8);
+  exec::ThreadPool pool(exec::ExecOptions{kThroughputThreads});
+  sim::HypercubeSystem system(machine, 4, {}, {}, &pool);
+  system.loadAll(gen.exe);
+  sim::SystemStats stats;
+  for (auto _ : state) {
+    system.runPhase(stats);
+    for (int n = 0; n < system.numNodes(); ++n) system.node(n).restart();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PhaseThroughput_Pooled);
+
+void BM_PhaseThroughput_SpawnBaseline(benchmark::State& state) {
+  arch::Machine machine;
+  const mc::GenerateResult gen = buildPhaseProgram(machine, 8);
+  sim::HypercubeSystem system(machine, 4);
+  system.loadAll(gen.exe);
+  const int n = system.numNodes();
+  std::vector<sim::RunStats> results(static_cast<std::size_t>(n));
+  for (auto _ : state) {
+    // Seed behavior: one thread batch per phase, created and joined inline.
+    std::vector<std::thread> threads;
+    const std::size_t chunk =
+        (static_cast<std::size_t>(n) + kThroughputThreads - 1) /
+        kThroughputThreads;
+    for (std::size_t begin = 0; begin < static_cast<std::size_t>(n);
+         begin += chunk) {
+      const std::size_t end =
+          std::min(begin + chunk, static_cast<std::size_t>(n));
+      threads.emplace_back([&system, &results, begin, end] {
+        for (std::size_t i = begin; i < end; ++i) {
+          results[i] = system.node(static_cast<int>(i)).run();
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    for (int i = 0; i < n; ++i) system.node(i).restart();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PhaseThroughput_SpawnBaseline);
 
 }  // namespace
 

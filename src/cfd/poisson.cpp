@@ -1,6 +1,8 @@
 #include "cfd/poisson.h"
 
 #include <cmath>
+#include <functional>
+#include <mutex>
 #include <numbers>
 
 namespace nsc::cfd {
@@ -50,85 +52,146 @@ void restoreBoundaryFaces(const Grid3& g, const std::vector<double>& from,
   }
 }
 
+// Runs fn over [lo, hi) in independent subranges on the pool (serially when
+// pool is null) and returns the max over fn's per-subrange partial maxima.
+// Max is order-insensitive, so the reduction is bit-identical for any
+// partitioning.
+double parallelMaxOver(exec::ThreadPool* pool, std::size_t lo, std::size_t hi,
+                       std::size_t grain,
+                       const std::function<double(std::size_t, std::size_t)>& fn) {
+  if (pool == nullptr || hi <= lo) {
+    return hi <= lo ? 0.0 : fn(lo, hi);
+  }
+  std::mutex mu;
+  double res = 0.0;
+  pool->parallelFor(lo, hi, grain,
+                    [&](std::size_t begin, std::size_t end) {
+                      const double partial = fn(begin, end);
+                      std::lock_guard<std::mutex> lock(mu);
+                      res = partial > res ? partial : res;
+                    });
+  return res;
+}
+
+// Chunk size targeting a few chunks per pool thread, never below one
+// z-layer's worth of work.
+std::size_t sweepGrain(exec::ThreadPool* pool, std::size_t span,
+                       std::size_t min_grain) {
+  if (pool == nullptr) return span;
+  const std::size_t chunks =
+      4 * static_cast<std::size_t>(pool->threadCount());
+  const std::size_t grain = (span + chunks - 1) / chunks;
+  return grain < min_grain ? min_grain : grain;
+}
+
 }  // namespace
 
 double linearJacobiSweep(const PoissonProblem& problem,
                          const std::vector<double>& u,
-                         std::vector<double>& u_next, double omega) {
+                         std::vector<double>& u_next, double omega,
+                         exec::ThreadPool* pool) {
   const Grid3& g = problem.grid;
   const int nx = g.nx;
   const int W = g.W();
   const double h2 = problem.h * problem.h;
   const double sixth = 1.0 / 6.0;
   u_next = u;  // out-of-span cells keep previous (boundary) values
-  double res = 0.0;
+  // Degenerate grids have an empty sweep window (linearHi < linearLo);
+  // bail before the size_t casts would wrap the bounds.
+  if (g.linearHi() < g.linearLo()) return 0.0;
   const std::vector<double> mask = g.interiorMask();
-  for (int c = g.linearLo(); c <= g.linearHi(); ++c) {
-    const auto uc = static_cast<std::size_t>(c);
-    // Exact mirror of the pipeline's association order (see header).
-    double sum = (u[uc - 1] + u[uc + 1]);
-    sum = sum + u[uc + static_cast<std::size_t>(nx)];
-    sum = sum + u[uc - static_cast<std::size_t>(nx)];
-    const double t2 =
-        u[uc + static_cast<std::size_t>(W)] + u[uc - static_cast<std::size_t>(W)];
-    const double sum6 = t2 + sum;
-    const double num = sum6 - h2 * problem.f[uc];
-    const double ujac = num * sixth;
-    const double diff = ujac - u[uc];
-    const double masked = std::fabs(diff) * mask[uc];
-    res = masked > res ? masked : res;
-    u_next[uc] = omega == 1.0 ? ujac : (omega * diff) + u[uc];
-  }
+  const auto lo = static_cast<std::size_t>(g.linearLo());
+  const auto hi = static_cast<std::size_t>(g.linearHi()) + 1;
+  const double res = parallelMaxOver(
+      pool, lo, hi, sweepGrain(pool, hi - lo, static_cast<std::size_t>(W)),
+      [&](std::size_t begin, std::size_t end) {
+        double partial = 0.0;
+        for (std::size_t uc = begin; uc < end; ++uc) {
+          // Exact mirror of the pipeline's association order (see header).
+          double sum = (u[uc - 1] + u[uc + 1]);
+          sum = sum + u[uc + static_cast<std::size_t>(nx)];
+          sum = sum + u[uc - static_cast<std::size_t>(nx)];
+          const double t2 = u[uc + static_cast<std::size_t>(W)] +
+                            u[uc - static_cast<std::size_t>(W)];
+          const double sum6 = t2 + sum;
+          const double num = sum6 - h2 * problem.f[uc];
+          const double ujac = num * sixth;
+          const double diff = ujac - u[uc];
+          const double masked = std::fabs(diff) * mask[uc];
+          partial = masked > partial ? masked : partial;
+          u_next[uc] = omega == 1.0 ? ujac : (omega * diff) + u[uc];
+        }
+        return partial;
+      });
   restoreBoundaryFaces(g, u, u_next);
   return res;
 }
 
 double jacobiSweep(const PoissonProblem& problem, const std::vector<double>& u,
-                   std::vector<double>& u_next, double omega) {
+                   std::vector<double>& u_next, double omega,
+                   exec::ThreadPool* pool) {
   const Grid3& g = problem.grid;
   const double h2 = problem.h * problem.h;
   u_next = u;
-  double res = 0.0;
-  for (int k = 1; k < g.nz - 1; ++k) {
-    for (int j = 1; j < g.ny - 1; ++j) {
-      for (int i = 1; i < g.nx - 1; ++i) {
-        const auto c = static_cast<std::size_t>(g.idx(i, j, k));
-        const double sum = u[c - 1] + u[c + 1] +
-                           u[c - static_cast<std::size_t>(g.nx)] +
-                           u[c + static_cast<std::size_t>(g.nx)] +
-                           u[c - static_cast<std::size_t>(g.W())] +
-                           u[c + static_cast<std::size_t>(g.W())];
-        const double ujac = (sum - h2 * problem.f[c]) / 6.0;
-        const double diff = ujac - u[c];
-        res = std::fabs(diff) > res ? std::fabs(diff) : res;
-        u_next[c] = u[c] + omega * diff;
-      }
-    }
-  }
+  if (g.nz <= 0) return 0.0;  // nz-1 below must not wrap as size_t
+  // Parallel over interior z-slabs: each k-layer touches only layers
+  // k-1..k+1 of `u` (read-only) and writes its own layer of `u_next`.
+  const auto res = parallelMaxOver(
+      pool, 1, static_cast<std::size_t>(g.nz - 1),
+      sweepGrain(pool, static_cast<std::size_t>(g.nz - 2), 1),
+      [&](std::size_t k_begin, std::size_t k_end) {
+        double partial = 0.0;
+        for (std::size_t k = k_begin; k < k_end; ++k) {
+          for (int j = 1; j < g.ny - 1; ++j) {
+            for (int i = 1; i < g.nx - 1; ++i) {
+              const auto c = static_cast<std::size_t>(
+                  g.idx(i, j, static_cast<int>(k)));
+              const double sum = u[c - 1] + u[c + 1] +
+                                 u[c - static_cast<std::size_t>(g.nx)] +
+                                 u[c + static_cast<std::size_t>(g.nx)] +
+                                 u[c - static_cast<std::size_t>(g.W())] +
+                                 u[c + static_cast<std::size_t>(g.W())];
+              const double ujac = (sum - h2 * problem.f[c]) / 6.0;
+              const double diff = ujac - u[c];
+              partial = std::fabs(diff) > partial ? std::fabs(diff) : partial;
+              u_next[c] = u[c] + omega * diff;
+            }
+          }
+        }
+        return partial;
+      });
   return res;
 }
 
 double residualLinf(const PoissonProblem& problem,
-                    const std::vector<double>& u) {
+                    const std::vector<double>& u, exec::ThreadPool* pool) {
   const Grid3& g = problem.grid;
+  if (g.nz <= 0) return 0.0;  // nz-1 below must not wrap as size_t
   const double inv_h2 = 1.0 / (problem.h * problem.h);
-  double res = 0.0;
-  for (int k = 1; k < g.nz - 1; ++k) {
-    for (int j = 1; j < g.ny - 1; ++j) {
-      for (int i = 1; i < g.nx - 1; ++i) {
-        const auto c = static_cast<std::size_t>(g.idx(i, j, k));
-        const double lap =
-            (u[c - 1] + u[c + 1] + u[c - static_cast<std::size_t>(g.nx)] +
-             u[c + static_cast<std::size_t>(g.nx)] +
-             u[c - static_cast<std::size_t>(g.W())] +
-             u[c + static_cast<std::size_t>(g.W())] - 6.0 * u[c]) *
-            inv_h2;
-        const double r = problem.f[c] - lap;
-        res = std::fabs(r) > res ? std::fabs(r) : res;
-      }
-    }
-  }
-  return res;
+  return parallelMaxOver(
+      pool, 1, static_cast<std::size_t>(g.nz - 1),
+      sweepGrain(pool, static_cast<std::size_t>(g.nz - 2), 1),
+      [&](std::size_t k_begin, std::size_t k_end) {
+        double partial = 0.0;
+        for (std::size_t k = k_begin; k < k_end; ++k) {
+          for (int j = 1; j < g.ny - 1; ++j) {
+            for (int i = 1; i < g.nx - 1; ++i) {
+              const auto c = static_cast<std::size_t>(
+                  g.idx(i, j, static_cast<int>(k)));
+              const double lap =
+                  (u[c - 1] + u[c + 1] +
+                   u[c - static_cast<std::size_t>(g.nx)] +
+                   u[c + static_cast<std::size_t>(g.nx)] +
+                   u[c - static_cast<std::size_t>(g.W())] +
+                   u[c + static_cast<std::size_t>(g.W())] - 6.0 * u[c]) *
+                  inv_h2;
+              const double r = problem.f[c] - lap;
+              partial = std::fabs(r) > partial ? std::fabs(r) : partial;
+            }
+          }
+        }
+        return partial;
+      });
 }
 
 double errorLinf(const std::vector<double>& u, const std::vector<double>& ref) {
@@ -213,7 +276,7 @@ void vcycleRecurse(const PoissonProblem& problem, std::vector<double>& u,
   std::vector<double> next;
   if (g.nx <= options.min_size || g.ny <= options.min_size ||
       g.nz <= options.min_size || g.nx % 2 == 0) {
-    // Coarsest level: smooth hard.
+    // Coarsest level: smooth hard (serial — the grid is tiny down here).
     for (int s = 0; s < 32; ++s) {
       jacobiSweep(problem, u, next, options.omega);
       u.swap(next);
@@ -221,26 +284,37 @@ void vcycleRecurse(const PoissonProblem& problem, std::vector<double>& u,
     return;
   }
   for (int s = 0; s < options.pre_smooth; ++s) {
-    jacobiSweep(problem, u, next, options.omega);
+    jacobiSweep(problem, u, next, options.omega, options.pool);
     u.swap(next);
   }
 
-  // Residual on the fine grid (zero on boundary).
+  // Residual on the fine grid (zero on boundary); z-slabs are independent.
   std::vector<double> r(u.size(), 0.0);
   const double inv_h2 = 1.0 / (problem.h * problem.h);
-  for (int k = 1; k < g.nz - 1; ++k) {
-    for (int j = 1; j < g.ny - 1; ++j) {
-      for (int i = 1; i < g.nx - 1; ++i) {
-        const auto c = static_cast<std::size_t>(g.idx(i, j, k));
-        const double lap =
-            (u[c - 1] + u[c + 1] + u[c - static_cast<std::size_t>(g.nx)] +
-             u[c + static_cast<std::size_t>(g.nx)] +
-             u[c - static_cast<std::size_t>(g.W())] +
-             u[c + static_cast<std::size_t>(g.W())] - 6.0 * u[c]) *
-            inv_h2;
-        r[c] = problem.f[c] - lap;
+  const auto residual_slab = [&](std::size_t k_begin, std::size_t k_end) {
+    for (std::size_t k = k_begin; k < k_end; ++k) {
+      for (int j = 1; j < g.ny - 1; ++j) {
+        for (int i = 1; i < g.nx - 1; ++i) {
+          const auto c =
+              static_cast<std::size_t>(g.idx(i, j, static_cast<int>(k)));
+          const double lap =
+              (u[c - 1] + u[c + 1] + u[c - static_cast<std::size_t>(g.nx)] +
+               u[c + static_cast<std::size_t>(g.nx)] +
+               u[c - static_cast<std::size_t>(g.W())] +
+               u[c + static_cast<std::size_t>(g.W())] - 6.0 * u[c]) *
+              inv_h2;
+          r[c] = problem.f[c] - lap;
+        }
       }
     }
+  };
+  if (options.pool != nullptr && g.nz > 2) {
+    options.pool->parallelFor(
+        1, static_cast<std::size_t>(g.nz - 1),
+        sweepGrain(options.pool, static_cast<std::size_t>(g.nz - 2), 1),
+        residual_slab);
+  } else if (g.nz > 2) {
+    residual_slab(1, static_cast<std::size_t>(g.nz - 1));
   }
 
   PoissonProblem coarse;
@@ -260,7 +334,7 @@ void vcycleRecurse(const PoissonProblem& problem, std::vector<double>& u,
   }
 
   for (int s = 0; s < options.post_smooth; ++s) {
-    jacobiSweep(problem, u, next, options.omega);
+    jacobiSweep(problem, u, next, options.omega, options.pool);
     u.swap(next);
   }
 }
@@ -270,7 +344,7 @@ void vcycleRecurse(const PoissonProblem& problem, std::vector<double>& u,
 double vcycle(const PoissonProblem& problem, std::vector<double>& u,
               const MultigridOptions& options) {
   vcycleRecurse(problem, u, options);
-  return residualLinf(problem, u);
+  return residualLinf(problem, u, options.pool);
 }
 
 }  // namespace nsc::cfd

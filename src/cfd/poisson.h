@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "cfd/grid.h"
+#include "exec/thread_pool.h"
 
 namespace nsc::cfd {
 
@@ -40,18 +41,27 @@ struct PoissonProblem {
 // applied over the linear span [linearLo, linearHi], followed by restoring
 // the six boundary faces from `u` (the previous iterate).  Returns the
 // masked max-residual exactly as the pipeline's accumulator produces it.
+//
+// All sweeps below accept an optional exec::ThreadPool: when given, the
+// grid is partitioned into independent subgrid slabs processed in
+// parallel.  Cells are written disjointly and the residual is a max
+// reduction (order-insensitive), so pooled and serial sweeps produce
+// bit-identical results for any thread count.  nullptr runs serially.
 double linearJacobiSweep(const PoissonProblem& problem,
                          const std::vector<double>& u,
-                         std::vector<double>& u_next, double omega = 1.0);
+                         std::vector<double>& u_next, double omega = 1.0,
+                         exec::ThreadPool* pool = nullptr);
 
 // Textbook damped point Jacobi over the true interior (for math-level
 // tests; agrees with linearJacobiSweep on interior cells).
 double jacobiSweep(const PoissonProblem& problem, const std::vector<double>& u,
-                   std::vector<double>& u_next, double omega = 1.0);
+                   std::vector<double>& u_next, double omega = 1.0,
+                   exec::ThreadPool* pool = nullptr);
 
 // Max-norm of the true residual  f - laplace_h(u)  over interior cells.
 double residualLinf(const PoissonProblem& problem,
-                    const std::vector<double>& u);
+                    const std::vector<double>& u,
+                    exec::ThreadPool* pool = nullptr);
 
 // Max-norm error against a reference vector over all cells.
 double errorLinf(const std::vector<double>& u, const std::vector<double>& ref);
@@ -65,6 +75,9 @@ struct MultigridOptions {
   int post_smooth = 2;   // ... after prolongation
   double omega = 6.0 / 7.0;  // optimal high-frequency damping for 3-D
   int min_size = 3;      // coarsest grid dimension
+  // Pool for the smoothing/residual sweeps on each level (fine levels
+  // dominate the cost); nullptr runs serially.
+  exec::ThreadPool* pool = nullptr;
 };
 
 // One V-cycle on `u`; returns the interior residual Linf after the cycle.

@@ -25,11 +25,45 @@ Editor::Editor(const arch::Machine& machine)
 // Undo / messages
 // ---------------------------------------------------------------------------
 
+Editor::CheckerSession& Editor::checkerSession() {
+  const std::uint64_t revision = doc().semantic.revision();
+  revision_floor_ = std::max(revision_floor_, revision);
+  if (session_.index != current_ || session_.revision != revision) {
+    session_ = CheckerSession{};
+    session_.index = current_;
+    session_.revision = revision;
+  }
+  return session_;
+}
+
+const std::optional<check::Diagnostic>& Editor::cachedCheckConnection(
+    const arch::Endpoint& from, const arch::Endpoint& to) {
+  CheckerSession& session = checkerSession();
+  const auto key = std::make_pair(from, to);
+  const auto it = session.connection_checks.find(key);
+  if (it != session.connection_checks.end()) return it->second;
+  ++stats_.checker_queries;
+  return session.connection_checks
+      .emplace(key, checker_.checkConnection(doc().semantic, from, to))
+      .first->second;
+}
+
 void Editor::snapshot() {
+  invalidateCheckerSession();
   undo_stack_.push_back({docs_, current_});
   if (undo_stack_.size() > kUndoLimit) {
     undo_stack_.erase(undo_stack_.begin());
   }
+  // The mutation that follows may touch fields directly rather than going
+  // through the diagram's builder calls, and undo may have rewound the
+  // counter onto values an abandoned edit branch already used.  Push the
+  // revision strictly above every value this editor has handed out so
+  // revision-keyed caches outside this editor can't confuse two states.
+  prog::PipelineDiagram& semantic = docMut().semantic;
+  do {
+    semantic.bumpRevision();
+  } while (semantic.revision() <= revision_floor_);
+  revision_floor_ = semantic.revision();
   redo_stack_.clear();
 }
 
@@ -38,6 +72,7 @@ bool Editor::undo() {
     note("nothing to undo");
     return false;
   }
+  invalidateCheckerSession();
   redo_stack_.push_back({docs_, current_});
   docs_ = std::move(undo_stack_.back().docs);
   current_ = undo_stack_.back().current;
@@ -51,6 +86,7 @@ bool Editor::redo() {
     note("nothing to redo");
     return false;
   }
+  invalidateCheckerSession();
   undo_stack_.push_back({docs_, current_});
   docs_ = std::move(redo_stack_.back().docs);
   current_ = redo_stack_.back().current;
@@ -166,7 +202,11 @@ bool Editor::renumberPipeline(int index) {
     if (seq.op == arch::SeqOp::kJump || seq.op == arch::SeqOp::kBranchIf ||
         seq.op == arch::SeqOp::kBranchNot || seq.op == arch::SeqOp::kLoop) {
       if (seq.target >= 0 && seq.target < static_cast<int>(new_index.size())) {
-        seq.target = new_index[static_cast<std::size_t>(seq.target)];
+        const int retargeted = new_index[static_cast<std::size_t>(seq.target)];
+        if (retargeted != seq.target) {
+          seq.target = retargeted;
+          doc.semantic.bumpRevision();  // direct field mutation
+        }
       }
     }
   }
@@ -338,8 +378,7 @@ Wire Editor::makeWire(const arch::Endpoint& from,
 
 bool Editor::connect(const arch::Endpoint& from, const arch::Endpoint& to) {
   ++stats_.actions_attempted;
-  ++stats_.checker_queries;
-  if (const auto diag = checker_.checkConnection(doc().semantic, from, to)) {
+  if (const auto& diag = cachedCheckConnection(from, to)) {
     return refuse(*diag);
   }
   // FU endpoints must belong to placed icons.
@@ -382,6 +421,9 @@ bool Editor::disconnect(const arch::Endpoint& to) {
 }
 
 std::vector<arch::Endpoint> Editor::connectionMenu(const arch::Endpoint& from) {
+  CheckerSession& session = checkerSession();
+  const auto it = session.legal_targets.find(from);
+  if (it != session.legal_targets.end()) return it->second;
   ++stats_.checker_queries;
   std::vector<arch::Endpoint> targets =
       checker_.legalTargets(doc().semantic, from);
@@ -395,12 +437,17 @@ std::vector<arch::Endpoint> Editor::connectionMenu(const arch::Endpoint& from) {
                                   nullptr;
                      }),
       targets.end());
-  return targets;
+  return session.legal_targets.emplace(from, std::move(targets))
+      .first->second;
 }
 
 std::vector<arch::OpCode> Editor::opMenu(arch::FuId fu) {
+  // legalOps depends only on the machine's wiring, never on the diagram:
+  // memoized for the editor's lifetime.
+  const auto it = op_menu_cache_.find(fu);
+  if (it != op_menu_cache_.end()) return it->second;
   ++stats_.checker_queries;
-  return checker_.legalOps(fu);
+  return op_menu_cache_.emplace(fu, checker_.legalOps(fu)).first->second;
 }
 
 bool Editor::setFuOp(arch::FuId fu, arch::OpCode op) {
@@ -509,7 +556,15 @@ void Editor::setSeq(const prog::SeqControl& seq) {
 
 void Editor::overwriteSemantic(const prog::PipelineDiagram& semantic) {
   snapshot();
+  const std::uint64_t prior = docMut().semantic.revision();
   docMut().semantic = semantic;
+  // The copy brought the source's revision along; keep this document's
+  // counter monotonic so the new content can never alias a revision an
+  // earlier state of the document already used.
+  while (docMut().semantic.revision() <= prior) {
+    docMut().semantic.bumpRevision();
+  }
+  revision_floor_ = std::max(revision_floor_, docMut().semantic.revision());
   rebuildWireGeometry();
 }
 
@@ -518,8 +573,11 @@ void Editor::overwriteSemantic(const prog::PipelineDiagram& semantic) {
 // ---------------------------------------------------------------------------
 
 check::DiagnosticList Editor::checkCurrent() {
+  CheckerSession& session = checkerSession();
+  if (session.diagram_check.has_value()) return *session.diagram_check;
   ++stats_.checker_queries;
-  return checker_.checkDiagram(doc().semantic, current_);
+  session.diagram_check = checker_.checkDiagram(doc().semantic, current_);
+  return *session.diagram_check;
 }
 
 check::DiagnosticList Editor::checkAll() {
@@ -611,6 +669,15 @@ common::Status Editor::loadFromFile(const std::string& path) {
 
   snapshot();
   docs_ = std::move(docs);
+  // Loaded diagrams carry low from-JSON revisions; raise them above every
+  // revision this editor has handed out (same invariant overwriteSemantic
+  // enforces) so pre-load cache keys can't alias post-load content.
+  for (PipelineDoc& d : docs_) {
+    while (d.semantic.revision() <= revision_floor_) {
+      d.semantic.bumpRevision();
+    }
+    revision_floor_ = std::max(revision_floor_, d.semantic.revision());
+  }
   current_ = std::clamp(static_cast<int>(root.getInt("current")), 0,
                         static_cast<int>(docs_.size()) - 1);
   // Re-derive wire polylines from the semantic connections.
@@ -664,9 +731,8 @@ void Editor::mouseMove(Point p) {
       // making errors").
       const auto pad = doc().scene.padAt(p, machine_);
       if (pad.has_value()) {
-        ++stats_.checker_queries;
-        hover_legal_ = checker_.canConnect(doc().semantic, band_from_,
-                                           pad->endpoint);
+        hover_legal_ =
+            !cachedCheckConnection(band_from_, pad->endpoint).has_value();
       } else {
         hover_legal_.reset();
       }

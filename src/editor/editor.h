@@ -16,8 +16,10 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "arch/machine.h"
@@ -39,7 +41,10 @@ struct PipelineDoc {
 struct EditorStats {
   std::uint64_t actions_attempted = 0;
   std::uint64_t actions_refused = 0;   // caught at edit time by the checker
-  std::uint64_t checker_queries = 0;   // menu population + validation calls
+  // Checker invocations actually performed.  Menu population, hover
+  // feedback and validation re-queries that hit the memoized checker
+  // session (below) do not count — the counter measures real checker work.
+  std::uint64_t checker_queries = 0;
 };
 
 // Interaction state for the mouse-level interface.
@@ -131,6 +136,29 @@ class Editor {
   std::optional<bool> hoverLegal() const { return hover_legal_; }
 
  private:
+  // Memoized checker session: pure checker queries (legalTargets,
+  // checkConnection, checkDiagram) against the *current* diagram are cached
+  // and reused until the diagram mutates.  The cache is invalidated both by
+  // snapshot() — which precedes every editor mutation — and by a mismatch
+  // of the diagram's revision counter (bumped by the semantic builder
+  // calls), so a stale hit is impossible.  legalOps depends only on the
+  // machine and is cached for the editor's lifetime.
+  struct CheckerSession {
+    int index = -1;                 // pipeline the session is bound to
+    std::uint64_t revision = 0;     // PipelineDiagram::revision() at bind
+    std::map<arch::Endpoint, std::vector<arch::Endpoint>> legal_targets;
+    std::map<std::pair<arch::Endpoint, arch::Endpoint>,
+             std::optional<check::Diagnostic>>
+        connection_checks;
+    std::optional<check::DiagnosticList> diagram_check;
+  };
+  // Rebinds (clearing) the session if the current diagram moved on.
+  CheckerSession& checkerSession();
+  void invalidateCheckerSession() { session_ = CheckerSession{}; }
+  // checkConnection through the session cache.
+  const std::optional<check::Diagnostic>& cachedCheckConnection(
+      const arch::Endpoint& from, const arch::Endpoint& to);
+
   PipelineDoc& docMut() { return docs_.at(static_cast<std::size_t>(current_)); }
   void rebuildWireGeometry();
   void snapshot();
@@ -154,6 +182,12 @@ class Editor {
   };
   std::vector<Snapshot> undo_stack_;
   std::vector<Snapshot> redo_stack_;
+
+  CheckerSession session_;
+  std::map<arch::FuId, std::vector<arch::OpCode>> op_menu_cache_;
+  // Highest diagram revision this editor has handed out; snapshot() pushes
+  // the next mutation strictly above it so undo can't alias revisions.
+  std::uint64_t revision_floor_ = 0;
 
   // Mouse interaction state.
   Mode mode_ = Mode::kIdle;

@@ -37,254 +37,14 @@ bool keyValue(const std::string& token, std::string& key, std::string& value) {
   return true;
 }
 
-class Runner {
- public:
-  Runner(Editor& editor, SessionResult& result)
-      : editor_(editor), result_(result) {}
-
-  Status command(const std::vector<std::string>& words,
-                 const std::string& line) {
-    const std::string& op = words[0];
-    if (op == "pipeline") return pipeline(line);
-    if (op == "place") return place(words);
-    if (op == "drag") return drag(words);
-    if (op == "connect") return connect(words);
-    if (op == "band") return band(words);
-    if (op == "setop") return setop(words);
-    if (op == "const") return constant(words);
-    if (op == "accum") return accum(words);
-    if (op == "dma") return dma(words);
-    if (op == "sd") return sd(words);
-    if (op == "cond") return cond(words);
-    if (op == "seq") return seq(words);
-    if (op == "undo") return record(editor_.undo());
-    if (op == "redo") return record(editor_.redo());
-    if (op == "check") {
-      const auto diags = editor_.checkCurrent();
-      return record(!diags.hasErrors());
-    }
-    if (op == "select") {
-      if (words.size() < 2) return Status::error("select needs an index");
-      return record(editor_.jumpTo(std::atoi(words[1].c_str())));
-    }
-    return Status::error("unknown command: " + op);
-  }
-
- private:
-  Status record(bool ok) {
-    if (!ok) ++result_.failures;
-    result_.log.push_back(editor_.message());
-    return Status::ok();
-  }
-
-  Status pipeline(const std::string& line) {
-    // Name is everything after the keyword.
-    const auto pos = line.find("pipeline");
-    std::string name = common::trim(line.substr(pos + 8));
-    if (!name.empty() && name.front() == '"' && name.back() == '"') {
-      name = name.substr(1, name.size() - 2);
-    }
-    if (name.empty()) return Status::error("pipeline needs a name");
-    // Select an existing pipeline with this name, else create one.
-    for (int i = 0; i < editor_.pipelineCount(); ++i) {
-      if (editor_.doc(i).semantic.name == name) {
-        return record(editor_.jumpTo(i));
-      }
-    }
-    if (editor_.pipelineCount() == 1 &&
-        editor_.doc(0).semantic.name == "pipeline 1" &&
-        editor_.doc(0).semantic.connections.empty() &&
-        editor_.doc(0).semantic.als_uses.empty()) {
-      editor_.renamePipeline(name);  // take over the empty initial document
-    } else {
-      editor_.insertPipeline(name);
-    }
-    return record(true);
-  }
-
-  Status place(const std::vector<std::string>& words) {
-    // place KIND [als N] at X,Y
-    if (words.size() < 4) return Status::error("place: too few words");
-    const auto kind = parseKind(words[1]);
-    if (!kind.has_value()) return Status::error("place: bad kind " + words[1]);
-    std::size_t i = 2;
-    std::optional<arch::AlsId> als;
-    if (words[i] == "als") {
-      als = std::atoi(words[i + 1].c_str());
-      i += 2;
-    }
-    if (i + 1 >= words.size() || words[i] != "at") {
-      return Status::error("place: expected 'at X,Y'");
-    }
-    Point p;
-    if (!parsePoint(words[i + 1], p)) return Status::error("place: bad point");
-    const auto id = als.has_value() ? editor_.placeIcon(*kind, *als, p)
-                                    : editor_.placeIcon(*kind, p);
-    return record(id.has_value());
-  }
-
-  Status drag(const std::vector<std::string>& words) {
-    // drag KIND to X,Y — via the mouse-event interface (Figure 6).
-    if (words.size() < 4 || words[2] != "to") {
-      return Status::error("drag KIND to X,Y");
-    }
-    const auto kind = parseKind(words[1]);
-    if (!kind.has_value()) return Status::error("drag: bad kind");
-    Point p;
-    if (!parsePoint(words[3], p)) return Status::error("drag: bad point");
-    editor_.beginPaletteDrag(*kind);
-    // A plausible drag path from the control panel to the target.
-    const Point start{editor_.layout().control_panel.x + 20,
-                      editor_.layout().control_panel.y + 40};
-    for (int step = 1; step <= 4; ++step) {
-      editor_.mouseMove(Point{start.x + (p.x - start.x) * step / 4,
-                              start.y + (p.y - start.y) * step / 4});
-    }
-    const int before = static_cast<int>(editor_.doc().scene.icons().size());
-    editor_.mouseUp(p);
-    const int after = static_cast<int>(editor_.doc().scene.icons().size());
-    return record(after > before);
-  }
-
-  Status endpointPair(const std::vector<std::string>& words,
-                      arch::Endpoint& from, arch::Endpoint& to) {
-    if (words.size() < 3) return Status::error("need FROM and TO endpoints");
-    const auto f = parseEndpoint(words[1]);
-    if (!f.isOk()) return Status::error(f.message());
-    const auto t = parseEndpoint(words[2]);
-    if (!t.isOk()) return Status::error(t.message());
-    from = f.value();
-    to = t.value();
-    return Status::ok();
-  }
-
-  Status connect(const std::vector<std::string>& words) {
-    arch::Endpoint from, to;
-    if (Status s = endpointPair(words, from, to); !s.isOk()) return s;
-    return record(editor_.connect(from, to));
-  }
-
-  Status band(const std::vector<std::string>& words) {
-    // Rubber-band wiring via mouse events (Figure 8); only works between
-    // on-screen pads.
-    arch::Endpoint from, to;
-    if (Status s = endpointPair(words, from, to); !s.isOk()) return s;
-    const auto p0 = editor_.doc().scene.padPosition(from, editor_.machine());
-    const auto p1 = editor_.doc().scene.padPosition(to, editor_.machine());
-    if (!p0.has_value() || !p1.has_value()) {
-      return Status::error("band: both endpoints need on-screen pads");
-    }
-    editor_.mouseDown(*p0);
-    editor_.mouseMove(Point{(p0->x + p1->x) / 2, (p0->y + p1->y) / 2});
-    editor_.mouseMove(*p1);
-    const std::size_t before = editor_.doc().scene.wires().size();
-    editor_.mouseUp(*p1);
-    return record(editor_.doc().scene.wires().size() > before);
-  }
-
-  Status setop(const std::vector<std::string>& words) {
-    if (words.size() < 3) return Status::error("setop FUID OPNAME");
-    const int fu = std::atoi(words[1].c_str() + 2);  // "fu12"
-    const auto op = arch::opByName(words[2]);
-    if (!op.has_value()) return Status::error("setop: unknown op " + words[2]);
-    return record(editor_.setFuOp(fu, *op));
-  }
-
-  Status constant(const std::vector<std::string>& words) {
-    if (words.size() < 4) return Status::error("const FUID PORT VALUE");
-    const int fu = std::atoi(words[1].c_str() + 2);
-    const int port = words[2] == "b" ? 1 : 0;
-    return record(editor_.setConstInput(fu, port, std::atof(words[3].c_str())));
-  }
-
-  Status accum(const std::vector<std::string>& words) {
-    if (words.size() < 4) return Status::error("accum FUID PORT SEED");
-    const int fu = std::atoi(words[1].c_str() + 2);
-    const int port = words[2] == "b" ? 1 : 0;
-    return record(editor_.setAccumInput(fu, port, std::atof(words[3].c_str())));
-  }
-
-  Status dma(const std::vector<std::string>& words) {
-    if (words.size() < 3) return Status::error("dma ENDPOINT key=value...");
-    const auto endpoint = parseEndpoint(words[1]);
-    if (!endpoint.isOk()) return Status::error(endpoint.message());
-    prog::DmaSpec spec;
-    spec.count = 1;
-    for (std::size_t i = 2; i < words.size(); ++i) {
-      if (words[i] == "swap") {
-        spec.swap_buffers = true;
-        continue;
-      }
-      std::string key, value;
-      if (!keyValue(words[i], key, value)) {
-        return Status::error("dma: expected key=value, got " + words[i]);
-      }
-      if (key == "base") spec.base = static_cast<std::uint64_t>(std::atoll(value.c_str()));
-      else if (key == "stride") spec.stride = std::atoll(value.c_str());
-      else if (key == "count") spec.count = static_cast<std::uint64_t>(std::atoll(value.c_str()));
-      else if (key == "count2") spec.count2 = static_cast<std::uint64_t>(std::atoll(value.c_str()));
-      else if (key == "stride2") spec.stride2 = std::atoll(value.c_str());
-      else if (key == "buf") spec.read_buffer = std::atoi(value.c_str());
-      else if (key == "var") spec.variable = value;
-      else return Status::error("dma: unknown key " + key);
-    }
-    return record(editor_.setDma(endpoint.value(), spec));
-  }
-
-  Status sd(const std::vector<std::string>& words) {
-    if (words.size() < 3) return Status::error("sd N taps=...");
-    const int unit = std::atoi(words[1].c_str());
-    std::string key, value;
-    if (!keyValue(words[2], key, value) || key != "taps") {
-      return Status::error("sd: expected taps=D0,D1,...");
-    }
-    std::vector<int> taps;
-    for (const std::string& t : common::split(value, ',')) {
-      taps.push_back(std::atoi(t.c_str()));
-    }
-    return record(editor_.setShiftDelay(unit, std::move(taps)));
-  }
-
-  Status cond(const std::vector<std::string>& words) {
-    if (words.size() < 3) return Status::error("cond FUID REG");
-    const int fu = std::atoi(words[1].c_str() + 2);
-    return record(editor_.setCond(fu, std::atoi(words[2].c_str())));
-  }
-
-  Status seq(const std::vector<std::string>& words) {
-    if (words.size() < 2) return Status::error("seq OP ...");
-    prog::SeqControl control;
-    const std::string& op = words[1];
-    if (op == "next") control.op = arch::SeqOp::kNext;
-    else if (op == "jump") control.op = arch::SeqOp::kJump;
-    else if (op == "brif") control.op = arch::SeqOp::kBranchIf;
-    else if (op == "brnot") control.op = arch::SeqOp::kBranchNot;
-    else if (op == "loop") control.op = arch::SeqOp::kLoop;
-    else if (op == "halt") control.op = arch::SeqOp::kHalt;
-    else return Status::error("seq: unknown op " + op);
-    for (std::size_t i = 2; i < words.size(); ++i) {
-      std::string key, value;
-      if (!keyValue(words[i], key, value)) {
-        return Status::error("seq: expected key=value");
-      }
-      if (key == "target") control.target = std::atoi(value.c_str());
-      else if (key == "reg") control.cond_reg = std::atoi(value.c_str());
-      else if (key == "count") control.count = std::atoi(value.c_str());
-      else return Status::error("seq: unknown key " + key);
-    }
-    editor_.setSeq(control);
-    return record(true);
-  }
-
-  Editor& editor_;
-  SessionResult& result_;
-};
-
 }  // namespace
 
-SessionResult runSession(Editor& editor, const std::string& script) {
-  SessionResult result;
-  Runner runner(editor, result);
+// ---------------------------------------------------------------------------
+// SessionRunner: scan the script into a command batch, then replay it.
+// ---------------------------------------------------------------------------
+
+std::vector<SessionCommand> SessionRunner::scan(const std::string& script) {
+  std::vector<SessionCommand> batch;
   int line_no = 0;
   for (const std::string& raw : common::split(script, '\n')) {
     ++line_no;
@@ -292,16 +52,280 @@ SessionResult runSession(Editor& editor, const std::string& script) {
     const auto hash = line.find('#');
     if (hash != std::string::npos) line = common::trim(line.substr(0, hash));
     if (line.empty()) continue;
-    const std::vector<std::string> words = splitWhitespace(line);
+    SessionCommand command;
+    command.line = line_no;
+    command.words = splitWhitespace(line);
+    command.text = std::move(line);
+    batch.push_back(std::move(command));
+  }
+  return batch;
+}
+
+SessionResult SessionRunner::run(const std::vector<SessionCommand>& batch) {
+  SessionResult result;
+  for (const SessionCommand& command : batch) {
     ++result.commands;
-    const Status status = runner.command(words, line);
+    const Status status = dispatch(command, result);
     if (!status.isOk()) {
       result.status = Status::error(
-          strFormat("line %d: %s", line_no, status.message().c_str()));
+          strFormat("line %d: %s", command.line, status.message().c_str()));
       return result;
     }
   }
   return result;
+}
+
+Status SessionRunner::dispatch(const SessionCommand& command,
+                               SessionResult& result) {
+  const std::vector<std::string>& words = command.words;
+  // scan() never emits empty commands, but run() accepts externally built
+  // batches too.
+  if (words.empty()) return Status::error("empty command");
+  const std::string& op = words[0];
+  if (op == "pipeline") return pipeline(command.text, result);
+  if (op == "place") return place(words, result);
+  if (op == "drag") return drag(words, result);
+  if (op == "connect") return connectCmd(words, result);
+  if (op == "band") return band(words, result);
+  if (op == "setop") return setop(words, result);
+  if (op == "const") return constant(words, result);
+  if (op == "accum") return accum(words, result);
+  if (op == "dma") return dma(words, result);
+  if (op == "sd") return sd(words, result);
+  if (op == "cond") return cond(words, result);
+  if (op == "seq") return seq(words, result);
+  if (op == "undo") return record(editor_.undo(), result);
+  if (op == "redo") return record(editor_.redo(), result);
+  if (op == "check") {
+    const auto diags = editor_.checkCurrent();
+    return record(!diags.hasErrors(), result);
+  }
+  if (op == "select") {
+    if (words.size() < 2) return Status::error("select needs an index");
+    return record(editor_.jumpTo(std::atoi(words[1].c_str())), result);
+  }
+  return Status::error("unknown command: " + op);
+}
+
+Status SessionRunner::record(bool ok, SessionResult& result) {
+  if (!ok) ++result.failures;
+  result.log.push_back(editor_.message());
+  return Status::ok();
+}
+
+Status SessionRunner::pipeline(const std::string& line,
+                               SessionResult& result) {
+  // Name is everything after the keyword.
+  const auto pos = line.find("pipeline");
+  std::string name = common::trim(line.substr(pos + 8));
+  if (!name.empty() && name.front() == '"' && name.back() == '"') {
+    name = name.substr(1, name.size() - 2);
+  }
+  if (name.empty()) return Status::error("pipeline needs a name");
+  // Select an existing pipeline with this name, else create one.
+  for (int i = 0; i < editor_.pipelineCount(); ++i) {
+    if (editor_.doc(i).semantic.name == name) {
+      return record(editor_.jumpTo(i), result);
+    }
+  }
+  if (editor_.pipelineCount() == 1 &&
+      editor_.doc(0).semantic.name == "pipeline 1" &&
+      editor_.doc(0).semantic.connections.empty() &&
+      editor_.doc(0).semantic.als_uses.empty()) {
+    editor_.renamePipeline(name);  // take over the empty initial document
+  } else {
+    editor_.insertPipeline(name);
+  }
+  return record(true, result);
+}
+
+Status SessionRunner::place(const std::vector<std::string>& words,
+                            SessionResult& result) {
+  // place KIND [als N] at X,Y
+  if (words.size() < 4) return Status::error("place: too few words");
+  const auto kind = parseKind(words[1]);
+  if (!kind.has_value()) return Status::error("place: bad kind " + words[1]);
+  std::size_t i = 2;
+  std::optional<arch::AlsId> als;
+  if (words[i] == "als") {
+    als = std::atoi(words[i + 1].c_str());
+    i += 2;
+  }
+  if (i + 1 >= words.size() || words[i] != "at") {
+    return Status::error("place: expected 'at X,Y'");
+  }
+  Point p;
+  if (!parsePoint(words[i + 1], p)) return Status::error("place: bad point");
+  const auto id = als.has_value() ? editor_.placeIcon(*kind, *als, p)
+                                  : editor_.placeIcon(*kind, p);
+  return record(id.has_value(), result);
+}
+
+Status SessionRunner::drag(const std::vector<std::string>& words,
+                           SessionResult& result) {
+  // drag KIND to X,Y — via the mouse-event interface (Figure 6).
+  if (words.size() < 4 || words[2] != "to") {
+    return Status::error("drag KIND to X,Y");
+  }
+  const auto kind = parseKind(words[1]);
+  if (!kind.has_value()) return Status::error("drag: bad kind");
+  Point p;
+  if (!parsePoint(words[3], p)) return Status::error("drag: bad point");
+  editor_.beginPaletteDrag(*kind);
+  // A plausible drag path from the control panel to the target.
+  const Point start{editor_.layout().control_panel.x + 20,
+                    editor_.layout().control_panel.y + 40};
+  for (int step = 1; step <= 4; ++step) {
+    editor_.mouseMove(Point{start.x + (p.x - start.x) * step / 4,
+                            start.y + (p.y - start.y) * step / 4});
+  }
+  const int before = static_cast<int>(editor_.doc().scene.icons().size());
+  editor_.mouseUp(p);
+  const int after = static_cast<int>(editor_.doc().scene.icons().size());
+  return record(after > before, result);
+}
+
+Status SessionRunner::endpointPair(const std::vector<std::string>& words,
+                                   arch::Endpoint& from, arch::Endpoint& to) {
+  if (words.size() < 3) return Status::error("need FROM and TO endpoints");
+  const auto f = parseEndpoint(words[1]);
+  if (!f.isOk()) return Status::error(f.message());
+  const auto t = parseEndpoint(words[2]);
+  if (!t.isOk()) return Status::error(t.message());
+  from = f.value();
+  to = t.value();
+  return Status::ok();
+}
+
+Status SessionRunner::connectCmd(const std::vector<std::string>& words,
+                                 SessionResult& result) {
+  arch::Endpoint from, to;
+  if (Status s = endpointPair(words, from, to); !s.isOk()) return s;
+  return record(editor_.connect(from, to), result);
+}
+
+Status SessionRunner::band(const std::vector<std::string>& words,
+                           SessionResult& result) {
+  // Rubber-band wiring via mouse events (Figure 8); only works between
+  // on-screen pads.
+  arch::Endpoint from, to;
+  if (Status s = endpointPair(words, from, to); !s.isOk()) return s;
+  const auto p0 = editor_.doc().scene.padPosition(from, editor_.machine());
+  const auto p1 = editor_.doc().scene.padPosition(to, editor_.machine());
+  if (!p0.has_value() || !p1.has_value()) {
+    return Status::error("band: both endpoints need on-screen pads");
+  }
+  editor_.mouseDown(*p0);
+  editor_.mouseMove(Point{(p0->x + p1->x) / 2, (p0->y + p1->y) / 2});
+  editor_.mouseMove(*p1);
+  const std::size_t before = editor_.doc().scene.wires().size();
+  editor_.mouseUp(*p1);
+  return record(editor_.doc().scene.wires().size() > before, result);
+}
+
+Status SessionRunner::setop(const std::vector<std::string>& words,
+                            SessionResult& result) {
+  if (words.size() < 3) return Status::error("setop FUID OPNAME");
+  const int fu = std::atoi(words[1].c_str() + 2);  // "fu12"
+  const auto op = arch::opByName(words[2]);
+  if (!op.has_value()) return Status::error("setop: unknown op " + words[2]);
+  return record(editor_.setFuOp(fu, *op), result);
+}
+
+Status SessionRunner::constant(const std::vector<std::string>& words,
+                               SessionResult& result) {
+  if (words.size() < 4) return Status::error("const FUID PORT VALUE");
+  const int fu = std::atoi(words[1].c_str() + 2);
+  const int port = words[2] == "b" ? 1 : 0;
+  return record(editor_.setConstInput(fu, port, std::atof(words[3].c_str())), result);
+}
+
+Status SessionRunner::accum(const std::vector<std::string>& words,
+                            SessionResult& result) {
+  if (words.size() < 4) return Status::error("accum FUID PORT SEED");
+  const int fu = std::atoi(words[1].c_str() + 2);
+  const int port = words[2] == "b" ? 1 : 0;
+  return record(editor_.setAccumInput(fu, port, std::atof(words[3].c_str())), result);
+}
+
+Status SessionRunner::dma(const std::vector<std::string>& words,
+                          SessionResult& result) {
+  if (words.size() < 3) return Status::error("dma ENDPOINT key=value...");
+  const auto endpoint = parseEndpoint(words[1]);
+  if (!endpoint.isOk()) return Status::error(endpoint.message());
+  prog::DmaSpec spec;
+  spec.count = 1;
+  for (std::size_t i = 2; i < words.size(); ++i) {
+    if (words[i] == "swap") {
+      spec.swap_buffers = true;
+      continue;
+    }
+    std::string key, value;
+    if (!keyValue(words[i], key, value)) {
+      return Status::error("dma: expected key=value, got " + words[i]);
+    }
+    if (key == "base") spec.base = static_cast<std::uint64_t>(std::atoll(value.c_str()));
+    else if (key == "stride") spec.stride = std::atoll(value.c_str());
+    else if (key == "count") spec.count = static_cast<std::uint64_t>(std::atoll(value.c_str()));
+    else if (key == "count2") spec.count2 = static_cast<std::uint64_t>(std::atoll(value.c_str()));
+    else if (key == "stride2") spec.stride2 = std::atoll(value.c_str());
+    else if (key == "buf") spec.read_buffer = std::atoi(value.c_str());
+    else if (key == "var") spec.variable = value;
+    else return Status::error("dma: unknown key " + key);
+  }
+  return record(editor_.setDma(endpoint.value(), spec), result);
+}
+
+Status SessionRunner::sd(const std::vector<std::string>& words,
+                         SessionResult& result) {
+  if (words.size() < 3) return Status::error("sd N taps=...");
+  const int unit = std::atoi(words[1].c_str());
+  std::string key, value;
+  if (!keyValue(words[2], key, value) || key != "taps") {
+    return Status::error("sd: expected taps=D0,D1,...");
+  }
+  std::vector<int> taps;
+  for (const std::string& t : common::split(value, ',')) {
+    taps.push_back(std::atoi(t.c_str()));
+  }
+  return record(editor_.setShiftDelay(unit, std::move(taps)), result);
+}
+
+Status SessionRunner::cond(const std::vector<std::string>& words,
+                           SessionResult& result) {
+  if (words.size() < 3) return Status::error("cond FUID REG");
+  const int fu = std::atoi(words[1].c_str() + 2);
+  return record(editor_.setCond(fu, std::atoi(words[2].c_str())), result);
+}
+
+Status SessionRunner::seq(const std::vector<std::string>& words,
+                          SessionResult& result) {
+  if (words.size() < 2) return Status::error("seq OP ...");
+  prog::SeqControl control;
+  const std::string& op = words[1];
+  if (op == "next") control.op = arch::SeqOp::kNext;
+  else if (op == "jump") control.op = arch::SeqOp::kJump;
+  else if (op == "brif") control.op = arch::SeqOp::kBranchIf;
+  else if (op == "brnot") control.op = arch::SeqOp::kBranchNot;
+  else if (op == "loop") control.op = arch::SeqOp::kLoop;
+  else if (op == "halt") control.op = arch::SeqOp::kHalt;
+  else return Status::error("seq: unknown op " + op);
+  for (std::size_t i = 2; i < words.size(); ++i) {
+    std::string key, value;
+    if (!keyValue(words[i], key, value)) {
+      return Status::error("seq: expected key=value");
+    }
+    if (key == "target") control.target = std::atoi(value.c_str());
+    else if (key == "reg") control.cond_reg = std::atoi(value.c_str());
+    else if (key == "count") control.count = std::atoi(value.c_str());
+    else return Status::error("seq: unknown key " + key);
+  }
+  editor_.setSeq(control);
+  return record(true, result);
+}
+
+SessionResult runSession(Editor& editor, const std::string& script) {
+  return SessionRunner(editor).runScript(script);
 }
 
 }  // namespace nsc::ed

@@ -36,9 +36,73 @@ struct SessionResult {
   bool clean() const { return status.isOk() && failures == 0; }
 };
 
-// Parses and replays `script` against `editor`, stopping at parse errors
-// (refused editor actions are recorded but do not stop the replay — the
-// paper's editor refuses and lets the user continue).
+// One scanned script line, ready to dispatch: the whole script is scanned
+// into a batch up front (comments stripped, lines tokenized once), then the
+// batch replays against the editor in one pass.
+struct SessionCommand {
+  int line = 0;                    // 1-based source line, for diagnostics
+  std::string text;                // trimmed source text (name parsing)
+  std::vector<std::string> words;  // whitespace tokens, words[0] = op
+};
+
+// Replays command batches against one Editor.  A runner outlives the
+// scripts it replays: driving many scripts (or one script split into
+// batches) through the same runner keeps the editor's memoized checker
+// session warm across commands — the batching counterpart to the editor's
+// revision-keyed caches.
+class SessionRunner {
+ public:
+  explicit SessionRunner(Editor& editor) : editor_(editor) {}
+
+  // Scans `script` into a command batch.  Scanning never fails: malformed
+  // commands surface as parse-level Status errors when the batch runs.
+  static std::vector<SessionCommand> scan(const std::string& script);
+
+  // Replays a batch.  Stops at the first parse-level error; refused editor
+  // actions are recorded but do not stop the replay — the paper's editor
+  // refuses and lets the user continue.
+  SessionResult run(const std::vector<SessionCommand>& batch);
+
+  // scan + run in one call.
+  SessionResult runScript(const std::string& script) {
+    return run(scan(script));
+  }
+
+ private:
+  common::Status dispatch(const SessionCommand& command,
+                          SessionResult& result);
+  common::Status record(bool ok, SessionResult& result);
+  common::Status pipeline(const std::string& line, SessionResult& result);
+  common::Status place(const std::vector<std::string>& words,
+                       SessionResult& result);
+  common::Status drag(const std::vector<std::string>& words,
+                      SessionResult& result);
+  common::Status endpointPair(const std::vector<std::string>& words,
+                              arch::Endpoint& from, arch::Endpoint& to);
+  common::Status connectCmd(const std::vector<std::string>& words,
+                            SessionResult& result);
+  common::Status band(const std::vector<std::string>& words,
+                      SessionResult& result);
+  common::Status setop(const std::vector<std::string>& words,
+                       SessionResult& result);
+  common::Status constant(const std::vector<std::string>& words,
+                          SessionResult& result);
+  common::Status accum(const std::vector<std::string>& words,
+                       SessionResult& result);
+  common::Status dma(const std::vector<std::string>& words,
+                     SessionResult& result);
+  common::Status sd(const std::vector<std::string>& words,
+                    SessionResult& result);
+  common::Status cond(const std::vector<std::string>& words,
+                      SessionResult& result);
+  common::Status seq(const std::vector<std::string>& words,
+                     SessionResult& result);
+
+  Editor& editor_;
+};
+
+// Convenience wrapper: scans and replays `script` against `editor` with a
+// throwaway SessionRunner.
 SessionResult runSession(Editor& editor, const std::string& script);
 
 }  // namespace nsc::ed

@@ -1,0 +1,130 @@
+#include "exec/thread_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace nsc::exec {
+
+namespace {
+// Set while a thread (worker or caller) is executing a pool job; nested
+// parallelFor calls from inside a job run inline instead of deadlocking on
+// run_mu_.
+thread_local bool tl_in_pool_job = false;
+}  // namespace
+
+int resolveThreadCount(int requested) {
+  if (requested > 0) return requested;
+  if (const char* env = std::getenv("NSC_THREADS")) {
+    const int v = std::atoi(env);
+    if (v > 0) return v;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+ThreadPool::ThreadPool(ExecOptions options)
+    : thread_count_(resolveThreadCount(options.threads)) {
+  workers_.reserve(static_cast<std::size_t>(thread_count_ - 1));
+  for (int i = 1; i < thread_count_; ++i) {
+    workers_.emplace_back([this] { workerLoop(); });
+    ++threads_created_;
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::runChunks() {
+  const RangeFn& fn = *job_fn_;
+  // Stop claiming once any chunk has failed: the first exception is what
+  // parallelFor rethrows, so the rest of the range is wasted work against
+  // possibly-inconsistent state.
+  while (!job_failed_.load(std::memory_order_relaxed)) {
+    const std::size_t lo =
+        job_next_.fetch_add(job_grain_, std::memory_order_relaxed);
+    if (lo >= job_end_) break;
+    const std::size_t hi = std::min(lo + job_grain_, job_end_);
+    try {
+      fn(lo, hi);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!job_error_) job_error_ = std::current_exception();
+      job_failed_.store(true, std::memory_order_relaxed);
+    }
+  }
+}
+
+void ThreadPool::workerLoop() {
+  tl_in_pool_job = true;  // nested parallelFor from a task runs inline
+  std::uint64_t last_job = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock,
+                    [&] { return shutdown_ || job_id_ != last_job; });
+      if (shutdown_) return;
+      last_job = job_id_;
+    }
+    runChunks();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--job_workers_running_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallelFor(std::size_t begin, std::size_t end,
+                             std::size_t grain, const RangeFn& fn) {
+  if (begin >= end) return;
+  if (grain == 0) grain = 1;
+  if (workers_.empty() || tl_in_pool_job || end - begin <= grain) {
+    fn(begin, end);
+    return;
+  }
+  std::lock_guard<std::mutex> run_lock(run_mu_);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_fn_ = &fn;
+    job_end_ = end;
+    job_grain_ = grain;
+    job_next_.store(begin, std::memory_order_relaxed);
+    job_workers_running_ = static_cast<int>(workers_.size());
+    job_error_ = nullptr;
+    job_failed_.store(false, std::memory_order_relaxed);
+    ++job_id_;
+  }
+  work_cv_.notify_all();
+  tl_in_pool_job = true;
+  runChunks();
+  tl_in_pool_job = false;
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] { return job_workers_running_ == 0; });
+    job_fn_ = nullptr;
+    error = job_error_;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void TaskGroup::wait() {
+  std::vector<std::function<void()>> tasks;
+  tasks.swap(tasks_);
+  pool_.parallelFor(0, tasks.size(), 1,
+                    [&tasks](std::size_t lo, std::size_t hi) {
+                      for (std::size_t i = lo; i < hi; ++i) tasks[i]();
+                    });
+}
+
+}  // namespace nsc::exec

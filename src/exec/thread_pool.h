@@ -1,0 +1,115 @@
+// nsc_exec: the shared execution layer.
+//
+// Every parallel phase in the tree — hypercube node stepping (src/sim),
+// workbench ensemble runs (src/nsc), and host-side Jacobi/multigrid sweeps
+// (src/cfd) — used to roll its own std::thread harness per call, so thread
+// creation dominated exactly the many-phase workloads the NSC model is
+// built around.  ThreadPool amortizes the harness: workers are created
+// once and woken per job, and `parallelFor` hands them contiguous index
+// chunks claimed from a shared cursor (work-stealing-ish dynamic
+// scheduling over a deterministic result layout).
+//
+// Determinism contract: parallelFor callers write results into
+// caller-owned, index-addressed storage and fold them on the calling
+// thread afterwards.  Under that discipline results are bit-identical for
+// any thread count, which tests/test_hypercube.cpp asserts for the
+// simulator.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace nsc::exec {
+
+struct ExecOptions {
+  // Worker+caller thread count.  0 = use the NSC_THREADS environment
+  // variable if set (and positive), else std::thread::hardware_concurrency.
+  int threads = 0;
+};
+
+// Resolves a requested thread count through the ExecOptions rules above.
+// Always returns >= 1.
+int resolveThreadCount(int requested);
+
+class ThreadPool {
+ public:
+  // fn(begin, end): process the half-open index range [begin, end).
+  using RangeFn = std::function<void(std::size_t, std::size_t)>;
+
+  explicit ThreadPool(ExecOptions options = {});
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Total threads applied to a job: workers + the calling thread.
+  int threadCount() const { return thread_count_; }
+
+  // Lifetime count of OS threads this pool has created — the test hook for
+  // "zero thread creations per phase": construct, note the value, run many
+  // phases, assert it did not move.
+  std::uint64_t threadsCreated() const { return threads_created_; }
+
+  // Runs fn over [begin, end) in chunks of at least `grain` indices and
+  // blocks until the whole range is covered.  The calling thread
+  // participates; with threadCount() == 1 (or a nested call from inside a
+  // pool task) the range runs inline with no synchronization at all.
+  // Exceptions thrown by fn are rethrown here (first one wins).
+  void parallelFor(std::size_t begin, std::size_t end, std::size_t grain,
+                   const RangeFn& fn);
+
+  // The process-wide pool the sim/workbench/cfd layers share by default.
+  // Sized once, on first use, from NSC_THREADS / hardware concurrency.
+  static ThreadPool& shared();
+
+ private:
+  void workerLoop();
+  void runChunks();
+
+  const int thread_count_;
+  std::uint64_t threads_created_ = 0;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  bool shutdown_ = false;
+
+  // Current job, published under mu_; chunks are claimed via job_next_.
+  std::uint64_t job_id_ = 0;
+  const RangeFn* job_fn_ = nullptr;
+  std::size_t job_end_ = 0;
+  std::size_t job_grain_ = 1;
+  std::atomic<std::size_t> job_next_{0};
+  std::atomic<bool> job_failed_{false};
+  int job_workers_running_ = 0;
+  std::exception_ptr job_error_;
+
+  // Serializes external parallelFor callers (one job at a time).
+  std::mutex run_mu_;
+};
+
+// Blocking task group on top of the pool: collect arbitrary thunks, then
+// wait() runs them all (in parallel, caller participating) and blocks
+// until every one has finished.
+class TaskGroup {
+ public:
+  explicit TaskGroup(ThreadPool& pool) : pool_(pool) {}
+
+  void run(std::function<void()> task) { tasks_.push_back(std::move(task)); }
+  std::size_t pending() const { return tasks_.size(); }
+
+  // Executes all submitted tasks and clears the group.
+  void wait();
+
+ private:
+  ThreadPool& pool_;
+  std::vector<std::function<void()>> tasks_;
+};
+
+}  // namespace nsc::exec

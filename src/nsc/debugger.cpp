@@ -46,6 +46,19 @@ std::string VisualDebugger::describeFrame(const sim::TraceFrame& frame) const {
   return out;
 }
 
+std::vector<std::string> VisualDebugger::describeAllFrames(
+    exec::ThreadPool* pool) const {
+  if (pool == nullptr) pool = &exec::ThreadPool::shared();
+  std::vector<std::string> out(frames_.size());
+  pool->parallelFor(0, frames_.size(), 8,
+                    [this, &out](std::size_t lo, std::size_t hi) {
+                      for (std::size_t i = lo; i < hi; ++i) {
+                        out[i] = describeFrame(frames_[i]);
+                      }
+                    });
+  return out;
+}
+
 std::string VisualDebugger::annotatedDiagram(
     const sim::TraceFrame& frame) const {
   if (frame.instruction < 0 ||

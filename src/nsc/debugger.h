@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "arch/machine.h"
+#include "exec/thread_pool.h"
 #include "program/program.h"
 #include "sim/node.h"
 
@@ -37,6 +38,13 @@ class VisualDebugger {
 
   // "fu20.out = 1.25 [el 3]" listing of valid tokens in one frame.
   std::string describeFrame(const sim::TraceFrame& frame) const;
+
+  // Renders every recorded frame, in frame order, on the given pool
+  // (nullptr = the process-wide shared pool).  Frames render independently,
+  // so the pool the debugger's runs already warmed is reused here instead
+  // of spawning anything per call.
+  std::vector<std::string> describeAllFrames(
+      exec::ThreadPool* pool = nullptr) const;
 
   // The instruction's diagram annotated with the frame's values.
   std::string annotatedDiagram(const sim::TraceFrame& frame) const;

@@ -2,8 +2,11 @@
 
 namespace nsc {
 
-Workbench::Workbench(arch::MachineConfig config)
-    : machine_(config), editor_(machine_), node_(machine_) {}
+Workbench::Workbench(arch::MachineConfig config, exec::ThreadPool* pool)
+    : machine_(config),
+      pool_(pool != nullptr ? pool : &exec::ThreadPool::shared()),
+      editor_(machine_),
+      node_(machine_) {}
 
 RunOutcome Workbench::generateAndRun() { return runProgram(editor_.program()); }
 
@@ -15,6 +18,32 @@ RunOutcome Workbench::runProgram(const prog::Program& program) {
   node_.load(outcome.generation.exe);
   outcome.run = node_.run();
   return outcome;
+}
+
+EnsembleOutcome Workbench::runEnsemble(const prog::Program& program,
+                                       int replicas) {
+  EnsembleOutcome outcome;
+  mc::Generator generator(machine_);
+  outcome.generation = generator.generate(program);
+  if (!outcome.generation.ok || replicas <= 0) return outcome;
+  outcome.runs.resize(static_cast<std::size_t>(replicas));
+  exec::TaskGroup group(*pool_);
+  for (std::size_t i = 0; i < outcome.runs.size(); ++i) {
+    group.run([this, &outcome, i] {
+      sim::NodeSim replica(machine_);
+      replica.load(outcome.generation.exe);
+      outcome.runs[i] = replica.run();
+    });
+  }
+  group.wait();
+  return outcome;
+}
+
+sim::HypercubeSystem Workbench::makeSystem(int dimension,
+                                           sim::RouterOptions router,
+                                           sim::NodeSim::Options node_options) {
+  return sim::HypercubeSystem(machine_, dimension, router, node_options,
+                              pool_);
 }
 
 ed::Editor editorForProgram(const arch::Machine& machine,

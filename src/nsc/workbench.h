@@ -5,11 +5,14 @@
 #pragma once
 
 #include <memory>
+#include <vector>
 
 #include "arch/machine.h"
 #include "editor/editor.h"
 #include "editor/session.h"
+#include "exec/thread_pool.h"
 #include "microcode/generator.h"
+#include "sim/hypercube.h"
 #include "sim/node.h"
 
 namespace nsc {
@@ -20,14 +23,33 @@ struct RunOutcome {
   bool ok() const { return generation.ok && !run.error; }
 };
 
+// Result of an ensemble run: the (single, shared) generation plus one
+// RunStats per replica — the microcode image is not duplicated per run.
+struct EnsembleOutcome {
+  mc::GenerateResult generation;
+  std::vector<sim::RunStats> runs;  // runs[i] belongs to replica i
+  bool ok() const {
+    if (!generation.ok) return false;
+    for (const sim::RunStats& r : runs) {
+      if (r.error) return false;
+    }
+    return true;
+  }
+};
+
 class Workbench {
  public:
-  explicit Workbench(arch::MachineConfig config = {});
+  // `pool` is the execution pool every run this workbench drives shares
+  // (ensemble runs, hypercube systems built via makeSystem); nullptr means
+  // the process-wide exec::ThreadPool::shared().
+  explicit Workbench(arch::MachineConfig config = {},
+                     exec::ThreadPool* pool = nullptr);
 
   const arch::Machine& machine() const { return machine_; }
   ed::Editor& editor() { return editor_; }
   const ed::Editor& editor() const { return editor_; }
   sim::NodeSim& node() { return node_; }
+  exec::ThreadPool& pool() const { return *pool_; }
 
   // Replays a session script into the editor (see editor/session.h).
   ed::SessionResult runSession(const std::string& script) {
@@ -40,8 +62,20 @@ class Workbench {
   // Runs an externally built semantic program instead of the editor's.
   RunOutcome runProgram(const prog::Program& program);
 
+  // Generates once, then runs `replicas` independent NodeSim copies of the
+  // program on the shared pool (parameter-ensemble style: same microcode,
+  // per-replica memory).  runs[i] is replica i's stats, deterministically.
+  EnsembleOutcome runEnsemble(const prog::Program& program, int replicas);
+
+  // A multi-node system bound to this workbench's machine and pool, so
+  // every phase it runs reuses the same worker threads.
+  sim::HypercubeSystem makeSystem(int dimension,
+                                  sim::RouterOptions router = {},
+                                  sim::NodeSim::Options node_options = {});
+
  private:
   arch::Machine machine_;
+  exec::ThreadPool* pool_;
   ed::Editor editor_;
   sim::NodeSim node_;
 };

@@ -11,6 +11,7 @@ using common::JsonObject;
 using common::Result;
 
 AlsUse& PipelineDiagram::useAls(const arch::Machine& machine, arch::AlsId als) {
+  bumpRevision();  // the caller may write through the returned reference
   if (AlsUse* existing = findAls(als)) return *existing;
   AlsUse use;
   use.als = als;
@@ -53,6 +54,7 @@ FuUse& PipelineDiagram::fuUse(const arch::Machine& machine, arch::FuId fu) {
   if (use == nullptr) {
     throw std::logic_error("fuUse: ALS not placed in diagram");
   }
+  bumpRevision();  // the caller may write through the returned reference
   return *use;
 }
 
@@ -67,6 +69,7 @@ void PipelineDiagram::setFuOp(const arch::Machine& machine, arch::FuId fu,
 void PipelineDiagram::connect(const arch::Machine& machine,
                               const arch::Endpoint& from,
                               const arch::Endpoint& to) {
+  bumpRevision();
   connections.push_back({from, to});
   if (to.kind == arch::EndpointKind::kFuInput) {
     FuUse& use = fuUse(machine, to.unit);
@@ -95,6 +98,7 @@ void PipelineDiagram::setAccumInput(const arch::Machine& machine,
 
 ShiftDelayUse& PipelineDiagram::useSd(arch::SdId sd,
                                       std::vector<int> tap_delays) {
+  bumpRevision();
   for (ShiftDelayUse& use : sd_uses) {
     if (use.sd == sd) {
       use.tap_delays = std::move(tap_delays);
@@ -120,6 +124,13 @@ std::optional<Connection> PipelineDiagram::connectionTo(
     if (c.to == to) return c;
   }
   return std::nullopt;
+}
+
+bool PipelineDiagram::operator==(const PipelineDiagram& other) const {
+  return name == other.name && comment == other.comment &&
+         als_uses == other.als_uses && connections == other.connections &&
+         dma == other.dma && sd_uses == other.sd_uses && cond == other.cond &&
+         seq == other.seq;
 }
 
 // ---------------------------------------------------------------------------

@@ -167,7 +167,10 @@ class PipelineDiagram {
   void setAccumInput(const arch::Machine& machine, arch::FuId fu, int port,
                      double seed);
 
-  DmaSpec& dmaAt(const arch::Endpoint& endpoint) { return dma[endpoint]; }
+  DmaSpec& dmaAt(const arch::Endpoint& endpoint) {
+    bumpRevision();  // the caller writes through the returned reference
+    return dma[endpoint];
+  }
 
   ShiftDelayUse& useSd(arch::SdId sd, std::vector<int> tap_delays);
 
@@ -175,10 +178,23 @@ class PipelineDiagram {
   std::vector<Connection> connectionsFrom(const arch::Endpoint& from) const;
   std::optional<Connection> connectionTo(const arch::Endpoint& to) const;
 
-  bool operator==(const PipelineDiagram&) const = default;
+  // ---- Edit revision ----
+  // Monotonic counter bumped by every mutating builder call above.  Checker
+  // caches (the editor's memoized checker sessions) key on it to reuse
+  // legalTargets/checkConnection results between mutations.  Code that
+  // mutates the public fields directly must call bumpRevision() itself.
+  // Not part of semantic equality and not serialized.
+  std::uint64_t revision() const { return revision_; }
+  void bumpRevision() { ++revision_; }
+
+  // Semantic equality; ignores revision().
+  bool operator==(const PipelineDiagram& other) const;
 
   common::Json toJson() const;
   static common::Result<PipelineDiagram> fromJson(const common::Json& json);
+
+ private:
+  std::uint64_t revision_ = 0;
 };
 
 // Endpoint (de)serialization shared with the editor's diagram files.

@@ -2,20 +2,23 @@
 
 #include <algorithm>
 #include <bit>
-#include <thread>
 
 namespace nsc::sim {
 
 HypercubeSystem::HypercubeSystem(const arch::Machine& machine, int dimension,
                                  RouterOptions router,
-                                 NodeSim::Options node_options)
-    : machine_(machine), dimension_(dimension), router_(router) {
+                                 NodeSim::Options node_options,
+                                 exec::ThreadPool* pool)
+    : machine_(machine),
+      dimension_(dimension),
+      router_(router),
+      pool_(pool != nullptr ? pool : &exec::ThreadPool::shared()) {
   const int n = 1 << dimension_;
-  nodes_.reserve(static_cast<std::size_t>(n));
+  nodes_.reserve(idx(n));
   for (int i = 0; i < n; ++i) {
     nodes_.push_back(std::make_unique<NodeSim>(machine_, node_options));
   }
-  exchange_cost_.assign(static_cast<std::size_t>(n), 0);
+  exchange_cost_.assign(idx(n), 0);
 }
 
 int HypercubeSystem::hopCount(int a, int b) {
@@ -61,7 +64,9 @@ std::uint64_t HypercubeSystem::sendVector(int src_node,
   node(dst_node).writePlane(dst_plane, dst_base, data);
   const std::uint64_t cycles = transferCycles(src_node, dst_node, count);
   if (exchange_open_) {
-    exchange_cost_.at(static_cast<std::size_t>(dst_node)) += cycles;
+    // dst_node was already bounds-checked by the node() call above; this is
+    // the exchange hot path, so skip the checked access.
+    exchange_cost_[idx(dst_node)] += cycles;
   }
   return cycles;
 }
@@ -72,36 +77,26 @@ void HypercubeSystem::loadAll(const mc::Executable& exe) {
 
 void HypercubeSystem::runPhase(SystemStats& stats) {
   const int n = numNodes();
-  std::vector<RunStats> results(static_cast<std::size_t>(n));
-  // Nodes are fully independent between exchanges; simulate on host
-  // threads (distributed-memory model, one rank per node).
-  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
-  std::vector<std::thread> pool;
-  std::size_t next = 0;
-  const auto worker = [&results, this](std::size_t begin, std::size_t end) {
-    for (std::size_t i = begin; i < end; ++i) {
-      results[i] = nodes_[i]->run();
-    }
-  };
-  const std::size_t chunk =
-      (static_cast<std::size_t>(n) + hw - 1) / hw;
-  while (next < static_cast<std::size_t>(n)) {
-    const std::size_t end =
-        std::min(next + chunk, static_cast<std::size_t>(n));
-    pool.emplace_back(worker, next, end);
-    next = end;
-  }
-  for (auto& t : pool) t.join();
+  std::vector<RunStats> results(idx(n));
+  // Nodes are fully independent between exchanges; simulate on the shared
+  // pool (distributed-memory model, one rank per node).  Each result lands
+  // in its own slot, so scheduling order cannot affect the outcome.
+  pool_->parallelFor(0, idx(n), 1,
+                     [&results, this](std::size_t begin, std::size_t end) {
+                       for (std::size_t i = begin; i < end; ++i) {
+                         results[i] = nodes_[i]->run();
+                       }
+                     });
 
   std::uint64_t max_cycles = 0;
-  if (stats.node_stats.size() != static_cast<std::size_t>(n)) {
-    stats.node_stats.assign(static_cast<std::size_t>(n), RunStats{});
+  if (stats.node_stats.size() != idx(n)) {
+    stats.node_stats.assign(idx(n), RunStats{});
   }
   for (int i = 0; i < n; ++i) {
-    const RunStats& r = results[static_cast<std::size_t>(i)];
+    const RunStats& r = results[idx(i)];
     max_cycles = std::max(max_cycles, r.total_cycles);
     stats.total_flops += r.total_flops;
-    RunStats& agg = stats.node_stats[static_cast<std::size_t>(i)];
+    RunStats& agg = stats.node_stats[idx(i)];
     agg.total_cycles += r.total_cycles;
     agg.total_flops += r.total_flops;
     agg.total_hazards += r.total_hazards;

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "arch/machine.h"
+#include "exec/thread_pool.h"
 #include "microcode/generator.h"
 #include "sim/node.h"
 #include "sim/stats.h"
@@ -50,16 +51,20 @@ struct SystemStats {
 class HypercubeSystem {
  public:
   // dimension d gives 2^d nodes (the paper quotes a 64-node NSC, d = 6).
+  // `pool` is the execution pool node stepping runs on; nullptr means the
+  // process-wide exec::ThreadPool::shared().  The pool outlives the system
+  // and is reused across every phase — runPhase never creates threads.
   HypercubeSystem(const arch::Machine& machine, int dimension,
                   RouterOptions router = {},
-                  NodeSim::Options node_options = {});
+                  NodeSim::Options node_options = {},
+                  exec::ThreadPool* pool = nullptr);
+
+  exec::ThreadPool& pool() const { return *pool_; }
 
   int dimension() const { return dimension_; }
   int numNodes() const { return 1 << dimension_; }
-  NodeSim& node(int id) { return *nodes_.at(static_cast<std::size_t>(id)); }
-  const NodeSim& node(int id) const {
-    return *nodes_.at(static_cast<std::size_t>(id));
-  }
+  NodeSim& node(int id) { return *nodes_.at(idx(id)); }
+  const NodeSim& node(int id) const { return *nodes_.at(idx(id)); }
 
   // e-cube (dimension-ordered) routing: number of hops and the node path.
   static int hopCount(int a, int b);
@@ -78,8 +83,10 @@ class HypercubeSystem {
   // Loads the same executable on every node (SPMD).
   void loadAll(const mc::Executable& exe);
 
-  // Runs every node's program to halt (in parallel on host threads); adds
-  // max(node cycles) to the compute makespan and folds stats into `stats`.
+  // Runs every node's program to halt (in parallel on the shared pool);
+  // adds max(node cycles) to the compute makespan and folds stats into
+  // `stats`.  Stats are folded on the calling thread in node order, so the
+  // result is bit-identical for any pool thread count.
   void runPhase(SystemStats& stats);
 
   // Marks the start of an exchange phase: subsequent sendVector costs are
@@ -89,9 +96,15 @@ class HypercubeSystem {
   void endExchange(SystemStats& stats);
 
  private:
+  // Node ids are ints (hypercube addresses); containers want size_t.
+  static constexpr std::size_t idx(int i) {
+    return static_cast<std::size_t>(i);
+  }
+
   const arch::Machine& machine_;
   int dimension_;
   RouterOptions router_;
+  exec::ThreadPool* pool_;
   std::vector<std::unique_ptr<NodeSim>> nodes_;
   // Per-destination-node accumulated exchange cost in the open phase.
   std::vector<std::uint64_t> exchange_cost_;

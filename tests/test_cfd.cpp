@@ -23,6 +23,23 @@ TEST(Grid3Test, IndexingRoundTrips) {
   }
 }
 
+TEST(PoissonTest, DegenerateGridsAreSafeNoOps) {
+  // One-layer grid: the linear sweep window is empty (linearHi < linearLo)
+  // and there are no interior cells — every sweep must be a graceful no-op,
+  // not a wrapped-bounds scan.
+  PoissonProblem p;
+  p.grid = {8, 8, 1};
+  p.h = 1.0 / 7.0;
+  p.f.assign(64, 0.0);
+  p.u0.assign(64, 1.0);
+  std::vector<double> next;
+  EXPECT_EQ(linearJacobiSweep(p, p.u0, next), 0.0);
+  EXPECT_EQ(next, p.u0);
+  EXPECT_EQ(jacobiSweep(p, p.u0, next), 0.0);
+  EXPECT_EQ(next, p.u0);
+  EXPECT_EQ(residualLinf(p, p.u0), 0.0);
+}
+
 TEST(Grid3Test, LinearSpanCoversExactlyTheInterknownCells) {
   const Grid3 g{6, 5, 4};
   // Every true interior cell lies inside [linearLo, linearHi].

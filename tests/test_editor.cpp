@@ -4,6 +4,7 @@
 
 #include "common/strings.h"
 
+#include <algorithm>
 #include <cstdio>
 
 #include "editor/editor.h"
@@ -358,6 +359,119 @@ TEST(SessionTest, ParseErrorsStopReplay) {
   const SessionResult result = runSession(editor, "frobnicate the widget\n");
   EXPECT_FALSE(result.status.isOk());
   EXPECT_NE(result.status.message().find("line 1"), std::string::npos);
+}
+
+TEST_F(EditorTest, CheckerQueriesAreMemoizedBetweenMutations) {
+  ASSERT_TRUE(
+      editor_.placeIcon(IconKind::kDoublet, inDrawing(60, 60)).has_value());
+  const arch::FuId fu = machine_.als(doublet()).fus[0];
+  const Endpoint from = Endpoint::planeRead(0);
+
+  const auto first = editor_.connectionMenu(from);
+  const std::uint64_t after_first = editor_.stats().checker_queries;
+  const auto second = editor_.connectionMenu(from);
+  EXPECT_EQ(second, first);
+  // Repeated menu population between mutations hits the memoized checker
+  // session: the query counter must not move.
+  EXPECT_EQ(editor_.stats().checker_queries, after_first);
+
+  // legalOps depends only on the machine; cached for the editor's lifetime.
+  const auto ops_first = editor_.opMenu(fu);
+  const std::uint64_t after_ops = editor_.stats().checker_queries;
+  const auto ops_second = editor_.opMenu(fu);
+  EXPECT_EQ(ops_second, ops_first);
+  EXPECT_EQ(editor_.stats().checker_queries, after_ops);
+
+  // checkCurrent is memoized the same way.
+  const auto diags_first = editor_.checkCurrent();
+  const std::uint64_t after_check = editor_.stats().checker_queries;
+  const auto diags_second = editor_.checkCurrent();
+  EXPECT_EQ(diags_second.errorCount(), diags_first.errorCount());
+  EXPECT_EQ(editor_.stats().checker_queries, after_check);
+}
+
+TEST_F(EditorTest, MemoizedCheckerResultsInvalidateOnMutatingEdit) {
+  ASSERT_TRUE(
+      editor_.placeIcon(IconKind::kDoublet, inDrawing(60, 60)).has_value());
+  const arch::FuId fu = machine_.als(doublet()).fus[0];
+  ASSERT_TRUE(editor_.setFuOp(fu, OpCode::kAdd));
+  const Endpoint from = Endpoint::planeRead(0);
+  const Endpoint to = Endpoint::fuInput(fu, 0);
+
+  const auto before = editor_.connectionMenu(from);
+  ASSERT_NE(std::find(before.begin(), before.end(), to), before.end());
+
+  // Mutating edit: drive fu.a from plane 0.  The old menu would be stale —
+  // fu.a is no longer a legal target.
+  ASSERT_TRUE(editor_.connect(from, to)) << editor_.message();
+  const std::uint64_t queries_after_edit = editor_.stats().checker_queries;
+  const auto after = editor_.connectionMenu(from);
+  // Recomputed (revision moved), not served stale from the session cache.
+  EXPECT_GT(editor_.stats().checker_queries, queries_after_edit);
+  EXPECT_EQ(std::find(after.begin(), after.end(), to), after.end());
+
+  // The undo restores the diagram to a fresh revision: still no staleness.
+  ASSERT_TRUE(editor_.undo());
+  const auto undone = editor_.connectionMenu(from);
+  EXPECT_NE(std::find(undone.begin(), undone.end(), to), undone.end());
+}
+
+TEST_F(EditorTest, DiagramRevisionBumpsOnBuilderMutations) {
+  prog::PipelineDiagram d;
+  const std::uint64_t r0 = d.revision();
+  d.useAls(machine_, doublet());
+  EXPECT_GT(d.revision(), r0);
+  const std::uint64_t r1 = d.revision();
+  const arch::FuId fu = machine_.als(doublet()).fus[0];
+  d.setFuOp(machine_, fu, OpCode::kAdd);
+  EXPECT_GT(d.revision(), r1);
+  const std::uint64_t r2 = d.revision();
+  d.dmaAt(Endpoint::planeRead(0)).count = 8;
+  EXPECT_GT(d.revision(), r2);
+  // Revision is not part of semantic equality.
+  prog::PipelineDiagram e;
+  e.useAls(machine_, doublet());
+  e.setFuOp(machine_, fu, OpCode::kAdd);
+  e.dmaAt(Endpoint::planeRead(0)).count = 8;
+  EXPECT_EQ(d, e);
+}
+
+TEST(SessionTest, ScanBatchesCommandsUpFront) {
+  const std::string script = R"(
+# comment-only line
+pipeline "batch"
+
+place doublet at 400,300   # trailing comment
+check
+)";
+  const auto batch = SessionRunner::scan(script);
+  ASSERT_EQ(batch.size(), 3u);
+  EXPECT_EQ(batch[0].words[0], "pipeline");
+  EXPECT_EQ(batch[0].line, 3);
+  EXPECT_EQ(batch[1].words[0], "place");
+  EXPECT_EQ(batch[1].text, "place doublet at 400,300");
+  EXPECT_EQ(batch[2].words[0], "check");
+
+  arch::Machine machine;
+  Editor editor(machine);
+  SessionRunner runner(editor);
+  const SessionResult result = runner.run(batch);
+  EXPECT_TRUE(result.status.isOk()) << result.status.message();
+  EXPECT_EQ(result.commands, 3);
+  EXPECT_EQ(result.failures, 0);
+}
+
+TEST(SessionTest, RunnerPersistsAcrossBatches) {
+  arch::Machine machine;
+  Editor editor(machine);
+  SessionRunner runner(editor);
+  const SessionResult first = runner.runScript("pipeline \"multi\"\n");
+  EXPECT_TRUE(first.clean()) << first.status.message();
+  // Second batch continues against the same editor state.
+  const SessionResult second = runner.runScript("place doublet at 400,300\n");
+  EXPECT_TRUE(second.clean()) << second.status.message();
+  EXPECT_EQ(editor.doc().semantic.name, "multi");
+  EXPECT_EQ(editor.doc().scene.icons().size(), 1u);
 }
 
 TEST(SessionTest, MouseLevelCommandsWork) {

@@ -1,0 +1,159 @@
+// Execution-layer tests: pool sizing, parallelFor coverage and determinism,
+// task groups, exception propagation, and the thread-creation counting hook
+// the simulator's zero-spawn guarantee is built on.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include "exec/thread_pool.h"
+
+namespace nsc::exec {
+namespace {
+
+TEST(ExecTest, ResolveThreadCountHonorsExplicitRequest) {
+  EXPECT_EQ(resolveThreadCount(1), 1);
+  EXPECT_EQ(resolveThreadCount(7), 7);
+  EXPECT_GE(resolveThreadCount(0), 1);  // env / hardware fallback
+}
+
+TEST(ExecTest, PoolSpawnsWorkersOnceUpFront) {
+  ThreadPool pool(ExecOptions{4});
+  EXPECT_EQ(pool.threadCount(), 4);
+  // The caller is one of the 4; only 3 OS threads are ever created.
+  EXPECT_EQ(pool.threadsCreated(), 3u);
+}
+
+TEST(ExecTest, SingleThreadPoolRunsInlineWithoutWorkers) {
+  ThreadPool pool(ExecOptions{1});
+  EXPECT_EQ(pool.threadsCreated(), 0u);
+  int calls = 0;
+  pool.parallelFor(0, 100, 10, [&](std::size_t lo, std::size_t hi) {
+    ++calls;
+    EXPECT_EQ(lo, 0u);
+    EXPECT_EQ(hi, 100u);
+  });
+  EXPECT_EQ(calls, 1);  // whole range, one inline call
+}
+
+TEST(ExecTest, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool(ExecOptions{4});
+  for (const std::size_t grain : {1u, 3u, 16u, 1000u}) {
+    std::vector<std::atomic<int>> hits(257);
+    for (auto& h : hits) h.store(0);
+    pool.parallelFor(0, hits.size(), grain,
+                     [&](std::size_t lo, std::size_t hi) {
+                       for (std::size_t i = lo; i < hi; ++i) {
+                         hits[i].fetch_add(1);
+                       }
+                     });
+    for (std::size_t i = 0; i < hits.size(); ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "index " << i << " grain " << grain;
+    }
+  }
+}
+
+TEST(ExecTest, ParallelForHonorsNonZeroBegin) {
+  ThreadPool pool(ExecOptions{3});
+  std::vector<std::atomic<int>> hits(64);
+  for (auto& h : hits) h.store(0);
+  pool.parallelFor(16, 48, 4, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) hits[i].fetch_add(1);
+  });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), (i >= 16 && i < 48) ? 1 : 0) << "index " << i;
+  }
+}
+
+TEST(ExecTest, RepeatedJobsCreateNoNewThreads) {
+  ThreadPool pool(ExecOptions{4});
+  const std::uint64_t created = pool.threadsCreated();
+  std::atomic<int> total{0};
+  for (int round = 0; round < 50; ++round) {
+    pool.parallelFor(0, 32, 1, [&](std::size_t lo, std::size_t hi) {
+      total.fetch_add(static_cast<int>(hi - lo));
+    });
+  }
+  EXPECT_EQ(total.load(), 50 * 32);
+  EXPECT_EQ(pool.threadsCreated(), created);
+}
+
+TEST(ExecTest, NestedParallelForRunsInline) {
+  ThreadPool pool(ExecOptions{4});
+  std::atomic<int> inner_total{0};
+  pool.parallelFor(0, 8, 1, [&](std::size_t, std::size_t) {
+    // A nested call on the same pool must not deadlock; it runs inline.
+    pool.parallelFor(0, 4, 1, [&](std::size_t lo, std::size_t hi) {
+      inner_total.fetch_add(static_cast<int>(hi - lo));
+    });
+  });
+  EXPECT_EQ(inner_total.load(), 8 * 4);
+}
+
+TEST(ExecTest, ParallelForPropagatesException) {
+  ThreadPool pool(ExecOptions{4});
+  EXPECT_THROW(
+      pool.parallelFor(0, 64, 1,
+                       [](std::size_t lo, std::size_t) {
+                         if (lo == 13) throw std::runtime_error("boom");
+                       }),
+      std::runtime_error);
+  // The pool survives the failed job and can run another.
+  std::atomic<int> total{0};
+  pool.parallelFor(0, 16, 1, [&](std::size_t lo, std::size_t hi) {
+    total.fetch_add(static_cast<int>(hi - lo));
+  });
+  EXPECT_EQ(total.load(), 16);
+}
+
+TEST(ExecTest, TaskGroupRunsEveryTaskAndBlocks) {
+  ThreadPool pool(ExecOptions{4});
+  TaskGroup group(pool);
+  std::vector<std::atomic<int>> done(23);
+  for (auto& d : done) d.store(0);
+  for (std::size_t i = 0; i < done.size(); ++i) {
+    group.run([&done, i] { done[i].fetch_add(1); });
+  }
+  EXPECT_EQ(group.pending(), done.size());
+  group.wait();
+  EXPECT_EQ(group.pending(), 0u);
+  for (std::size_t i = 0; i < done.size(); ++i) {
+    EXPECT_EQ(done[i].load(), 1) << "task " << i;
+  }
+  // wait() on an empty group is a no-op.
+  group.wait();
+}
+
+TEST(ExecTest, DeterministicMaxReductionAcrossThreadCounts) {
+  // The cfd sweeps rely on max reductions over indexed partials being
+  // thread-count invariant; model that contract directly.
+  std::vector<double> values(1000);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    values[i] = static_cast<double>((i * 2654435761u) % 10007);
+  }
+  const auto run_with = [&](int threads) {
+    ThreadPool pool(ExecOptions{threads});
+    std::vector<double> partials(values.size(), 0.0);
+    pool.parallelFor(0, values.size(), 7,
+                     [&](std::size_t lo, std::size_t hi) {
+                       for (std::size_t i = lo; i < hi; ++i) {
+                         partials[i] = values[i];
+                       }
+                     });
+    double max = 0.0;
+    for (const double v : partials) max = v > max ? v : max;
+    return max;
+  };
+  EXPECT_EQ(run_with(1), run_with(4));
+}
+
+TEST(ExecTest, SharedPoolIsAProcessSingleton) {
+  ThreadPool& a = ThreadPool::shared();
+  ThreadPool& b = ThreadPool::shared();
+  EXPECT_EQ(&a, &b);
+  EXPECT_GE(a.threadCount(), 1);
+}
+
+}  // namespace
+}  // namespace nsc::exec

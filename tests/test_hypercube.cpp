@@ -114,6 +114,83 @@ TEST(HypercubeTest, ExchangePhaseChargesMaxOverNodes) {
   EXPECT_EQ(stats.comm_cycles, 223u);
 }
 
+// Builds the tiny SPMD scale program used by the pool-centric tests.
+mc::GenerateResult buildScaleProgram(const Machine& m) {
+  prog::Program p;
+  prog::PipelineDiagram& d = p.append("scale");
+  const arch::AlsId als = m.config().num_singlets;
+  const arch::FuId mul = m.als(als).fus[0];
+  d.setFuOp(m, mul, arch::OpCode::kMul);
+  d.connect(m, Endpoint::planeRead(0), Endpoint::fuInput(mul, 0));
+  d.setConstInput(m, mul, 1, 3.0);
+  d.connect(m, Endpoint::fuOutput(mul), Endpoint::planeWrite(1));
+  d.dmaAt(Endpoint::planeRead(0)) = {"", 0, 1, 32, 1, 0, 0, false};
+  d.dmaAt(Endpoint::planeWrite(1)) = {"", 0, 1, 32, 1, 0, 0, false};
+  d.seq.op = arch::SeqOp::kHalt;
+  mc::Generator g(m);
+  return g.generate(p);
+}
+
+SystemStats runScaleOnPool(const Machine& m, const mc::GenerateResult& gen,
+                           exec::ThreadPool& pool, int phases) {
+  HypercubeSystem sys(m, 3, {}, {}, &pool);
+  sys.loadAll(gen.exe);
+  for (int n = 0; n < sys.numNodes(); ++n) {
+    sys.node(n).writePlane(0, 0, test::iota(32, n));
+  }
+  SystemStats stats;
+  for (int phase = 0; phase < phases; ++phase) {
+    sys.runPhase(stats);
+    for (int n = 0; n < sys.numNodes(); ++n) sys.node(n).restart();
+  }
+  return stats;
+}
+
+TEST(HypercubeTest, RunPhaseIsBitIdenticalAcrossThreadCounts) {
+  Machine m;
+  const mc::GenerateResult gen = buildScaleProgram(m);
+  ASSERT_TRUE(gen.ok) << gen.diagnostics.format();
+
+  exec::ThreadPool serial(exec::ExecOptions{1});
+  exec::ThreadPool pooled(exec::ExecOptions{4});
+  const SystemStats a = runScaleOnPool(m, gen, serial, 3);
+  const SystemStats b = runScaleOnPool(m, gen, pooled, 3);
+
+  EXPECT_EQ(a.compute_makespan_cycles, b.compute_makespan_cycles);
+  EXPECT_EQ(a.comm_cycles, b.comm_cycles);
+  EXPECT_EQ(a.total_flops, b.total_flops);
+  EXPECT_EQ(a.error, b.error);
+  ASSERT_EQ(a.node_stats.size(), b.node_stats.size());
+  for (std::size_t i = 0; i < a.node_stats.size(); ++i) {
+    EXPECT_EQ(a.node_stats[i].total_cycles, b.node_stats[i].total_cycles);
+    EXPECT_EQ(a.node_stats[i].total_flops, b.node_stats[i].total_flops);
+    EXPECT_EQ(a.node_stats[i].total_hazards, b.node_stats[i].total_hazards);
+    EXPECT_EQ(a.node_stats[i].instructions_executed,
+              b.node_stats[i].instructions_executed);
+  }
+}
+
+TEST(HypercubeTest, RunPhaseCreatesZeroThreadsAfterPoolConstruction) {
+  Machine m;
+  const mc::GenerateResult gen = buildScaleProgram(m);
+  ASSERT_TRUE(gen.ok) << gen.diagnostics.format();
+
+  exec::ThreadPool pool(exec::ExecOptions{4});
+  const std::uint64_t created_at_construction = pool.threadsCreated();
+  EXPECT_EQ(created_at_construction, 3u);  // workers only, made once
+
+  HypercubeSystem sys(m, 3, {}, {}, &pool);
+  sys.loadAll(gen.exe);
+  SystemStats stats;
+  for (int phase = 0; phase < 10; ++phase) {
+    sys.runPhase(stats);
+    for (int n = 0; n < sys.numNodes(); ++n) sys.node(n).restart();
+  }
+  ASSERT_FALSE(stats.error) << stats.error_message;
+  // The counting hook: ten phases, not one OS thread created.
+  EXPECT_EQ(pool.threadsCreated(), created_at_construction);
+}
+
 TEST(HypercubeTest, SixtyFourNodePeakMatchesPaperClaim) {
   Machine m;
   HypercubeSystem sys(m, 6);

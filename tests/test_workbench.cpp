@@ -46,6 +46,60 @@ connect plane0.read fu4.a
   EXPECT_TRUE(outcome.generation.diagnostics.hasErrors());
 }
 
+TEST(WorkbenchTest, EnsembleRunsAreDeterministicPerReplica) {
+  Workbench bench;
+  const ed::SessionResult session = bench.runSession(R"(
+pipeline "triple"
+place doublet at 300,200
+setop fu4 mul
+connect plane0.read fu4.a
+const fu4 b 3.0
+connect fu4.out plane1.write
+dma plane0.read base=0 stride=1 count=8 var=x
+dma plane1.write base=0 stride=1 count=8 var=y
+seq halt
+)");
+  ASSERT_TRUE(session.clean()) << session.status.message();
+
+  const prog::Program program = bench.editor().program();
+  const RunOutcome reference = bench.runProgram(program);
+  ASSERT_TRUE(reference.ok());
+
+  const EnsembleOutcome ensemble = bench.runEnsemble(program, 8);
+  ASSERT_TRUE(ensemble.ok()) << ensemble.generation.diagnostics.format();
+  ASSERT_EQ(ensemble.runs.size(), 8u);
+  for (const sim::RunStats& run : ensemble.runs) {
+    // Same program, fresh memory per replica: every replica's stats match
+    // the single-node reference run bit for bit.
+    EXPECT_EQ(run.total_cycles, reference.run.total_cycles);
+    EXPECT_EQ(run.total_flops, reference.run.total_flops);
+    EXPECT_EQ(run.instructions_executed, reference.run.instructions_executed);
+    EXPECT_FALSE(run.error);
+  }
+  // Zero replicas and generation failures degrade gracefully.
+  EXPECT_TRUE(bench.runEnsemble(program, 0).runs.empty());
+}
+
+TEST(WorkbenchTest, MakeSystemSharesTheWorkbenchPool) {
+  exec::ThreadPool pool(exec::ExecOptions{2});
+  Workbench bench({}, &pool);
+  EXPECT_EQ(&bench.pool(), &pool);
+  sim::HypercubeSystem system = bench.makeSystem(2);
+  EXPECT_EQ(system.numNodes(), 4);
+  EXPECT_EQ(&system.pool(), &pool);
+  // Phases on the workbench-built system reuse the injected pool's workers.
+  ASSERT_TRUE(bench.runSession("pipeline \"noop\"\nseq halt\n").clean());
+  mc::Generator generator(bench.machine());
+  const mc::GenerateResult gen = generator.generate(bench.editor().program());
+  ASSERT_TRUE(gen.ok) << gen.diagnostics.format();
+  system.loadAll(gen.exe);
+  const std::uint64_t created = pool.threadsCreated();
+  sim::SystemStats stats;
+  system.runPhase(stats);
+  EXPECT_FALSE(stats.error) << stats.error_message;
+  EXPECT_EQ(pool.threadsCreated(), created);
+}
+
 TEST(EditorForProgramTest, ImportsHandBuiltProgram) {
   arch::Machine machine;
   cfd::JacobiBuildOptions options;
@@ -105,6 +159,34 @@ seq halt
       debugger.endpointHistory(arch::Endpoint::fuOutput(fu));
   EXPECT_NE(history.find("11"), std::string::npos);
   EXPECT_NE(history.find("41"), std::string::npos);
+}
+
+TEST(DebuggerTest, DescribeAllFramesMatchesFrameOrder) {
+  exec::ThreadPool pool(exec::ExecOptions{3});
+  Workbench bench({}, &pool);
+  bench.runSession(R"(
+pipeline "inc"
+place doublet at 300,200
+setop fu4 add
+connect plane0.read fu4.a
+const fu4 b 1.0
+connect fu4.out plane1.write
+dma plane0.read base=0 stride=1 count=4 var=x
+dma plane1.write base=0 stride=1 count=4 var=y
+seq halt
+)");
+  bench.node().writePlane(0, 0, std::vector<double>{10, 20, 30, 40});
+  VisualDebugger debugger(bench.machine(), bench.editor().program());
+  debugger.attach(bench.node());
+  ASSERT_TRUE(bench.generateAndRun().ok());
+  ASSERT_FALSE(debugger.frames().empty());
+
+  const std::vector<std::string> all = debugger.describeAllFrames(&pool);
+  ASSERT_EQ(all.size(), debugger.frames().size());
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    EXPECT_EQ(all[i], debugger.describeFrame(debugger.frames()[i]))
+        << "frame " << i;
+  }
 }
 
 TEST(DebuggerTest, SamplingAndBoundsRespected) {
