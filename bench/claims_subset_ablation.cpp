@@ -46,7 +46,7 @@ int countUserItems(const prog::Program& program) {
   return items;
 }
 
-ModelRow runModel(bool restricted) {
+ModelRow runModel(bool restricted, bool use_compiled = true) {
   const arch::Machine machine(restricted
                                   ? arch::MachineConfig::restrictedSubset()
                                   : arch::MachineConfig{});
@@ -61,7 +61,9 @@ ModelRow runModel(bool restricted) {
 
   mc::Generator generator(machine);
   const mc::GenerateResult gen = generator.generate(jacobi.program());
-  sim::NodeSim node(machine);
+  sim::NodeSim::Options node_options;
+  node_options.use_compiled = use_compiled;
+  sim::NodeSim node(machine, node_options);
   node.load(gen.exe);
   jacobi.load(node, problem);
   const sim::RunStats run = node.run();
@@ -126,6 +128,16 @@ void BM_RestrictedModelSweep(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_RestrictedModelSweep);
+
+// Engine A/B: the same workload on the legacy per-cycle interpreter
+// (NodeOptions::use_compiled = false).  The ratio against BM_FullModelSweep
+// is the compiled engine's speedup, captured in every BENCH_*.json.
+void BM_InterpreterModelSweep(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(runModel(false, false).cycles_per_sweep);
+  }
+}
+BENCHMARK(BM_InterpreterModelSweep);
 
 }  // namespace
 

@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Diff a fresh BENCH_<tag>.json against committed baselines.
+
+The repo tracks its performance trajectory as merged Google Benchmark
+reports produced by bench/run_benches.sh (BENCH_seed.json from PR 1,
+BENCH_exec.json from PR 2, BENCH_nodekernel.json from PR 3, ...).  This
+tool prints per-benchmark deltas between one fresh report and one or more
+baselines, so a perf PR (or the non-gating CI bench job) can show its
+effect in one table.
+
+Usage:
+  bench/compare_benches.py NEW.json [BASELINE.json ...]
+
+With no baselines given, compares against BENCH_seed.json and
+BENCH_exec.json in the repo root (skipping any that do not exist).
+Exit status is always 0 — the report is informational, not a gate;
+pass --fail-above-pct N to turn regressions beyond N percent into a
+non-zero exit instead.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load_rows(path):
+    """Returns {benchmark name: (real_time, unit)} from a merged report."""
+    with open(path) as fh:
+        doc = json.load(fh)
+    rows = {}
+    suites = doc.get("benchmarks", {})
+    if not isinstance(suites, dict):
+        raise SystemExit(f"{path}: not a merged run_benches.sh report")
+    for suite, report in sorted(suites.items()):
+        for row in report.get("benchmarks", []):
+            # Skip aggregate rows (mean/median/stddev) if ever present.
+            if row.get("run_type") == "aggregate":
+                continue
+            name = row.get("name")
+            if name is None or "real_time" not in row:
+                continue
+            rows[f"{suite}/{name}"] = (row["real_time"], row.get("time_unit", "ns"))
+    return rows
+
+
+_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def to_ns(value, unit):
+    return value * _UNIT_NS.get(unit, 1.0)
+
+
+def human(ns):
+    for unit, scale in (("s", 1e9), ("ms", 1e6), ("us", 1e3)):
+        if ns >= scale:
+            return f"{ns / scale:.2f} {unit}"
+    return f"{ns:.0f} ns"
+
+
+def compare(new_path, base_path, fail_above_pct):
+    new_rows = load_rows(new_path)
+    base_rows = load_rows(base_path)
+    common = [k for k in new_rows if k in base_rows]
+    if not common:
+        print(f"-- {os.path.basename(base_path)}: no common benchmarks --")
+        return False
+    print(f"-- {os.path.basename(new_path)} vs {os.path.basename(base_path)} --")
+    print(f"{'benchmark':56s} {'base':>10s} {'new':>10s} {'delta':>8s}  {'speedup':>7s}")
+    regressed = False
+    for key in common:
+        new_ns = to_ns(*new_rows[key])
+        base_ns = to_ns(*base_rows[key])
+        delta_pct = 100.0 * (new_ns - base_ns) / base_ns if base_ns else 0.0
+        speedup = base_ns / new_ns if new_ns else float("inf")
+        marker = ""
+        if fail_above_pct is not None and delta_pct > fail_above_pct:
+            regressed = True
+            marker = "  <-- regression"
+        short = key.split("/", 1)[1] if "/" in key else key
+        print(f"{short:56s} {human(base_ns):>10s} {human(new_ns):>10s} "
+              f"{delta_pct:+7.1f}%  {speedup:6.2f}x{marker}")
+    only_new = sorted(set(new_rows) - set(base_rows))
+    if only_new:
+        print(f"   (not in baseline: {', '.join(k.split('/', 1)[1] for k in only_new)})")
+    print()
+    return regressed
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("new", help="fresh BENCH_<tag>.json")
+    parser.add_argument("baselines", nargs="*",
+                        help="baseline reports (default: BENCH_seed.json, BENCH_exec.json)")
+    parser.add_argument("--fail-above-pct", type=float, default=None,
+                        help="exit non-zero if any benchmark regresses more than this percent")
+    args = parser.parse_args()
+
+    baselines = args.baselines
+    if not baselines:
+        root = os.path.dirname(os.path.dirname(os.path.abspath(args.new)))
+        # Prefer baselines next to the new report; fall back to cwd.
+        candidates = []
+        for name in ("BENCH_seed.json", "BENCH_exec.json"):
+            for base_dir in (os.path.dirname(os.path.abspath(args.new)), root, "."):
+                path = os.path.join(base_dir, name)
+                if os.path.exists(path):
+                    candidates.append(path)
+                    break
+        baselines = candidates
+    if not baselines:
+        print("no baselines found; nothing to compare", file=sys.stderr)
+        return 0
+
+    regressed = False
+    for base in baselines:
+        regressed |= compare(args.new, base, args.fail_above_pct)
+    return 1 if (regressed and args.fail_above_pct is not None) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -82,7 +82,9 @@ int main() {
               mc::listing(machine, generator.spec(), outcome.generation.exe)
                   .c_str());
 
-  const std::vector<double> result = bench.node().readPlane(2, 0, n);
+  // Copy-free extraction: read the result plane into a caller-owned span.
+  std::vector<double> result(static_cast<std::size_t>(n));
+  bench.node().readPlaneInto(2, 0, result);
   std::printf("results (%llu machine cycles):\n",
               static_cast<unsigned long long>(outcome.run.total_cycles));
   for (int i = 0; i < n; ++i) {

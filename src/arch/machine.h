@@ -71,6 +71,10 @@ struct MachineConfig {
   // trades performance for programmability.  Singlet-only ALS mix, no
   // caches, no shift/delay units.
   static MachineConfig restrictedSubset();
+
+  // Two configs are interchangeable iff every parameter matches; the
+  // microword-spec cache keys on this.
+  bool operator==(const MachineConfig&) const = default;
 };
 
 struct FuInfo {

@@ -2,6 +2,7 @@
 
 #include <bit>
 #include <map>
+#include <mutex>
 #include <stdexcept>
 
 #include "common/strings.h"
@@ -108,6 +109,23 @@ MicrowordSpec::MicrowordSpec(const Machine& machine) {
 
   // Interrupt-enable mask (completion interrupts per DMA group).
   add("irq", "irq.mask", 16);
+}
+
+std::shared_ptr<const MicrowordSpec> MicrowordSpec::shared(
+    const Machine& machine) {
+  struct Entry {
+    MachineConfig config;
+    std::shared_ptr<const MicrowordSpec> spec;
+  };
+  static std::mutex mutex;
+  static std::vector<Entry> cache;  // a handful of configs per process
+  std::lock_guard<std::mutex> lock(mutex);
+  for (const Entry& e : cache) {
+    if (e.config == machine.config()) return e.spec;
+  }
+  cache.push_back(
+      {machine.config(), std::make_shared<const MicrowordSpec>(machine)});
+  return cache.back().spec;
 }
 
 void MicrowordSpec::add(const std::string& section, const std::string& name,

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -47,6 +48,13 @@ const char* seqOpName(SeqOp op);
 class MicrowordSpec {
  public:
   explicit MicrowordSpec(const Machine& machine);
+
+  // The spec is a pure function of MachineConfig, and building it (field
+  // table + name index) costs more than decoding a whole instruction.
+  // shared() memoizes one immutable spec per distinct config, so hot paths
+  // that regenerate/recompile programs (microcode generator, compiled
+  // simulator programs) never rebuild it.  Thread-safe.
+  static std::shared_ptr<const MicrowordSpec> shared(const Machine& machine);
 
   std::size_t widthBits() const { return width_; }
   const std::vector<MicroField>& fields() const { return fields_; }

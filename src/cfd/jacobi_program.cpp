@@ -423,8 +423,9 @@ std::vector<double> JacobiProgram::extract(const sim::NodeSim& node,
   // After an odd number of sweeps the freshest iterate is in the B set.
   const arch::PlaneId plane =
       (sweeps_done % 2 == 1) ? layout_.u_b[0] : layout_.u_a[0];
-  return node.readPlane(plane, static_cast<std::uint64_t>(layout_.pad),
-                        static_cast<std::uint64_t>(layout_.grid.N()));
+  std::vector<double> out(static_cast<std::size_t>(layout_.grid.N()));
+  node.readPlaneInto(plane, static_cast<std::uint64_t>(layout_.pad), out);
+  return out;
 }
 
 double JacobiProgram::residual(const sim::NodeSim& node) const {

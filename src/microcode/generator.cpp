@@ -1,6 +1,7 @@
 #include "microcode/generator.h"
 
 #include <cmath>
+#include <cstring>
 
 #include "common/strings.h"
 #include "program/timing.h"
@@ -11,6 +12,41 @@ using arch::Endpoint;
 using arch::EndpointKind;
 using arch::MicrowordSpec;
 using common::strFormat;
+
+std::uint64_t Executable::fingerprint() const {
+  // FNV-1a over the serialized program content.  Not cryptographic — just a
+  // stable identity for compiled-program reuse checks and bench reports.
+  std::uint64_t h = 14695981039346656037ull;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int byte = 0; byte < 8; ++byte) {
+      h ^= (v >> (8 * byte)) & 0xff;
+      h *= 1099511628211ull;
+    }
+  };
+  mix(words.size());
+  for (const common::BitVector& word : words) {
+    mix(word.width());
+    for (const std::uint64_t w : word.words()) mix(w);
+  }
+  for (const std::string& name : names) {
+    mix(name.size());
+    for (const char c : name) {
+      h ^= static_cast<unsigned char>(c);
+      h *= 1099511628211ull;
+    }
+  }
+  for (const auto& [fu, image] : rf_images) {
+    mix(static_cast<std::uint64_t>(fu));
+    mix(image.size());
+    for (const double v : image) {
+      std::uint64_t bits;
+      static_assert(sizeof(bits) == sizeof(v));
+      std::memcpy(&bits, &v, sizeof(bits));
+      mix(bits);
+    }
+  }
+  return h;
+}
 
 int Generator::allocRfSlot(std::vector<double>& image, double value) const {
   for (std::size_t i = 0; i < image.size(); ++i) {
@@ -33,27 +69,27 @@ void Generator::encodeDiagram(
   // --- Functional units and ALS configuration ---
   for (const prog::AlsUse& use : diagram.als_uses) {
     const arch::AlsInfo& info = machine_.als(use.als);
-    spec_.set(word, strFormat("als%02d.bypass", use.als), use.bypass ? 1 : 0);
+    spec_->set(word, strFormat("als%02d.bypass", use.als), use.bypass ? 1 : 0);
     for (std::size_t slot = 0; slot < use.fu.size() && slot < info.fus.size();
          ++slot) {
       const prog::FuUse& fu = use.fu[slot];
       if (!fu.enabled) continue;
       const arch::FuId id = info.fus[slot];
-      spec_.set(word, MicrowordSpec::fuField(id, "enable"), 1);
-      spec_.set(word, MicrowordSpec::fuField(id, "opcode"),
+      spec_->set(word, MicrowordSpec::fuField(id, "enable"), 1);
+      spec_->set(word, MicrowordSpec::fuField(id, "opcode"),
                 static_cast<std::uint64_t>(fu.op));
-      spec_.set(word, MicrowordSpec::fuField(id, "in_a_sel"),
+      spec_->set(word, MicrowordSpec::fuField(id, "in_a_sel"),
                 static_cast<std::uint64_t>(fu.in_a));
-      spec_.set(word, MicrowordSpec::fuField(id, "in_b_sel"),
+      spec_->set(word, MicrowordSpec::fuField(id, "in_b_sel"),
                 static_cast<std::uint64_t>(fu.in_b));
-      spec_.set(word, MicrowordSpec::fuField(id, "rf_mode"),
+      spec_->set(word, MicrowordSpec::fuField(id, "rf_mode"),
                 static_cast<std::uint64_t>(fu.rf_mode));
       // The delay field carries (port << shift)?  No: the queue serves one
       // input; encode the port in the low bit of rf_mode's companion by
       // convention: delay value in rf_delay, served port in bit 0 of
       // rf_addr when in delay mode.  Constants and accumulator seeds use
       // rf_addr as a register-file address instead.
-      spec_.set(word, MicrowordSpec::fuField(id, "rf_delay"),
+      spec_->set(word, MicrowordSpec::fuField(id, "rf_delay"),
                 static_cast<std::uint64_t>(fu.rf_delay));
       const bool needs_const =
           fu.in_a == arch::InputSelect::kRegisterFile ||
@@ -67,10 +103,10 @@ void Generator::encodeDiagram(
                             strFormat("fu%d register file is full", id));
           continue;
         }
-        spec_.set(word, MicrowordSpec::fuField(id, "rf_addr"),
+        spec_->set(word, MicrowordSpec::fuField(id, "rf_addr"),
                   static_cast<std::uint64_t>(addr));
       } else if (fu.rf_mode == arch::RfMode::kDelay) {
-        spec_.set(word, MicrowordSpec::fuField(id, "rf_addr"),
+        spec_->set(word, MicrowordSpec::fuField(id, "rf_addr"),
                   static_cast<std::uint64_t>(fu.rf_delay_port & 1));
       }
     }
@@ -89,7 +125,7 @@ void Generator::encodeDiagram(
                         "unroutable connection " + c.toString());
       continue;
     }
-    spec_.set(word, MicrowordSpec::switchField(dst),
+    spec_->set(word, MicrowordSpec::switchField(dst),
               static_cast<std::uint64_t>(src) + 1);
   }
 
@@ -100,14 +136,14 @@ void Generator::encodeDiagram(
       case EndpointKind::kPlaneRead:
       case EndpointKind::kPlaneWrite: {
         const arch::PlaneId p = endpoint.unit;
-        spec_.set(word, MicrowordSpec::planeField(p, "mode"),
+        spec_->set(word, MicrowordSpec::planeField(p, "mode"),
                   endpoint.kind == EndpointKind::kPlaneRead ? 1 : 2);
-        spec_.set(word, MicrowordSpec::planeField(p, "base"), dma.base);
-        spec_.setSigned(word, MicrowordSpec::planeField(p, "stride"),
+        spec_->set(word, MicrowordSpec::planeField(p, "base"), dma.base);
+        spec_->setSigned(word, MicrowordSpec::planeField(p, "stride"),
                         dma.stride);
-        spec_.set(word, MicrowordSpec::planeField(p, "count"), dma.count);
-        spec_.set(word, MicrowordSpec::planeField(p, "count2"), dma.count2);
-        spec_.setSigned(word, MicrowordSpec::planeField(p, "stride2"),
+        spec_->set(word, MicrowordSpec::planeField(p, "count"), dma.count);
+        spec_->set(word, MicrowordSpec::planeField(p, "count2"), dma.count2);
+        spec_->setSigned(word, MicrowordSpec::planeField(p, "stride2"),
                         dma.stride2);
         irq_mask |= std::uint64_t{1} << (p % 16);
         break;
@@ -117,18 +153,18 @@ void Generator::encodeDiagram(
         const arch::CacheId c = endpoint.unit;
         // Read and write sides share mode bits: 1 read, 2 write, 3 both.
         const std::uint64_t prev =
-            spec_.get(word, MicrowordSpec::cacheField(c, "mode"));
+            spec_->get(word, MicrowordSpec::cacheField(c, "mode"));
         const std::uint64_t bit =
             endpoint.kind == EndpointKind::kCacheRead ? 1 : 2;
-        spec_.set(word, MicrowordSpec::cacheField(c, "mode"), prev | bit);
-        spec_.set(word, MicrowordSpec::cacheField(c, "read_buffer"),
+        spec_->set(word, MicrowordSpec::cacheField(c, "mode"), prev | bit);
+        spec_->set(word, MicrowordSpec::cacheField(c, "read_buffer"),
                   static_cast<std::uint64_t>(dma.read_buffer));
-        spec_.set(word, MicrowordSpec::cacheField(c, "base"), dma.base);
-        spec_.setSigned(word, MicrowordSpec::cacheField(c, "stride"),
+        spec_->set(word, MicrowordSpec::cacheField(c, "base"), dma.base);
+        spec_->setSigned(word, MicrowordSpec::cacheField(c, "stride"),
                         dma.stride);
-        spec_.set(word, MicrowordSpec::cacheField(c, "count"), dma.count);
+        spec_->set(word, MicrowordSpec::cacheField(c, "count"), dma.count);
         if (dma.swap_buffers) {
-          spec_.set(word, MicrowordSpec::cacheField(c, "swap"), 1);
+          spec_->set(word, MicrowordSpec::cacheField(c, "swap"), 1);
         }
         break;
       }
@@ -137,13 +173,13 @@ void Generator::encodeDiagram(
                           "DMA spec attached to " + endpoint.toString());
     }
   }
-  spec_.set(word, "irq.mask", irq_mask);
+  spec_->set(word, "irq.mask", irq_mask);
 
   // --- Shift/delay units ---
   for (const prog::ShiftDelayUse& use : diagram.sd_uses) {
-    spec_.set(word, MicrowordSpec::sdField(use.sd, "enable"), 1);
+    spec_->set(word, MicrowordSpec::sdField(use.sd, "enable"), 1);
     for (std::size_t t = 0; t < use.tap_delays.size(); ++t) {
-      spec_.set(word,
+      spec_->set(word,
                 MicrowordSpec::sdField(use.sd, strFormat("tap%zu", t)),
                 static_cast<std::uint64_t>(use.tap_delays[t]));
     }
@@ -151,17 +187,17 @@ void Generator::encodeDiagram(
 
   // --- Condition latch and sequencer ---
   if (diagram.cond.has_value()) {
-    spec_.set(word, "cond.enable", 1);
-    spec_.set(word, "cond.src_fu",
+    spec_->set(word, "cond.enable", 1);
+    spec_->set(word, "cond.src_fu",
               static_cast<std::uint64_t>(diagram.cond->src_fu));
-    spec_.set(word, "cond.reg",
+    spec_->set(word, "cond.reg",
               static_cast<std::uint64_t>(diagram.cond->cond_reg));
   }
-  spec_.set(word, "seq.op", static_cast<std::uint64_t>(diagram.seq.op));
-  spec_.set(word, "seq.target", static_cast<std::uint64_t>(diagram.seq.target));
-  spec_.set(word, "seq.cond_reg",
+  spec_->set(word, "seq.op", static_cast<std::uint64_t>(diagram.seq.op));
+  spec_->set(word, "seq.target", static_cast<std::uint64_t>(diagram.seq.target));
+  spec_->set(word, "seq.cond_reg",
             static_cast<std::uint64_t>(diagram.seq.cond_reg));
-  spec_.set(word, "seq.count", static_cast<std::uint64_t>(diagram.seq.count));
+  spec_->set(word, "seq.count", static_cast<std::uint64_t>(diagram.seq.count));
 }
 
 GenerateResult Generator::generate(const prog::Program& program,
@@ -191,7 +227,7 @@ GenerateResult Generator::generate(const prog::Program& program,
   }
 
   for (std::size_t i = 0; i < result.balanced.size(); ++i) {
-    common::BitVector word = spec_.makeWord();
+    common::BitVector word = spec_->makeWord();
     encodeDiagram(result.balanced[i], word, result.exe.rf_images,
                   result.diagnostics);
     result.exe.words.push_back(std::move(word));

@@ -11,6 +11,7 @@
 // the register-file timing delays the diagrams need (delay balancing).
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
@@ -34,6 +35,12 @@ struct Executable {
   std::map<arch::FuId, std::vector<double>> rf_images;
 
   std::size_t size() const { return words.size(); }
+
+  // Stable content hash over microwords, names, and register-file images.
+  // sim::CompiledProgram records it at the executable -> compiled-program
+  // handoff, so callers holding a compiled image can tell whether it still
+  // matches a (possibly regenerated) executable without re-lowering.
+  std::uint64_t fingerprint() const;
 };
 
 struct GenerateOptions {
@@ -53,9 +60,11 @@ struct GenerateResult {
 class Generator {
  public:
   explicit Generator(const arch::Machine& machine)
-      : machine_(machine), spec_(machine), checker_(machine) {}
+      : machine_(machine),
+        spec_(arch::MicrowordSpec::shared(machine)),
+        checker_(machine) {}
 
-  const arch::MicrowordSpec& spec() const { return spec_; }
+  const arch::MicrowordSpec& spec() const { return *spec_; }
 
   GenerateResult generate(const prog::Program& program,
                           const GenerateOptions& options = {}) const;
@@ -70,7 +79,7 @@ class Generator {
   int allocRfSlot(std::vector<double>& image, double value) const;
 
   const arch::Machine& machine_;
-  arch::MicrowordSpec spec_;
+  std::shared_ptr<const arch::MicrowordSpec> spec_;
   check::Checker checker_;
 };
 

@@ -26,12 +26,16 @@ EnsembleOutcome Workbench::runEnsemble(const prog::Program& program,
   mc::Generator generator(machine_);
   outcome.generation = generator.generate(program);
   if (!outcome.generation.ok || replicas <= 0) return outcome;
+  // One compiled image shared by every replica: decode/lowering happen once
+  // on the calling thread, the pool only simulates.
+  const auto compiled =
+      sim::CompiledProgram::compile(machine_, outcome.generation.exe);
   outcome.runs.resize(static_cast<std::size_t>(replicas));
   exec::TaskGroup group(*pool_);
   for (std::size_t i = 0; i < outcome.runs.size(); ++i) {
-    group.run([this, &outcome, i] {
+    group.run([this, &outcome, &compiled, i] {
       sim::NodeSim replica(machine_);
-      replica.load(outcome.generation.exe);
+      replica.load(compiled);
       outcome.runs[i] = replica.run();
     });
   }

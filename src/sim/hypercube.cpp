@@ -59,9 +59,12 @@ std::uint64_t HypercubeSystem::sendVector(int src_node,
                                           std::uint64_t count, int dst_node,
                                           arch::PlaneId dst_plane,
                                           std::uint64_t dst_base) {
-  const std::vector<double> data =
-      node(src_node).readPlane(src_plane, src_base, count);
-  node(dst_node).writePlane(dst_plane, dst_base, data);
+  // Stage through a reusable buffer instead of a per-message allocation;
+  // exchanges run on the calling thread (beginExchange/endExchange are not
+  // concurrent), so one scratch vector per system suffices.
+  send_scratch_.resize(count);
+  node(src_node).readPlaneInto(src_plane, src_base, send_scratch_);
+  node(dst_node).writePlane(dst_plane, dst_base, send_scratch_);
   const std::uint64_t cycles = transferCycles(src_node, dst_node, count);
   if (exchange_open_) {
     // dst_node was already bounds-checked by the node() call above; this is
@@ -72,7 +75,13 @@ std::uint64_t HypercubeSystem::sendVector(int src_node,
 }
 
 void HypercubeSystem::loadAll(const mc::Executable& exe) {
-  for (auto& node : nodes_) node->load(exe);
+  loadAll(CompiledProgram::compile(machine_, exe));
+}
+
+void HypercubeSystem::loadAll(std::shared_ptr<const CompiledProgram> program) {
+  // SPMD: every node aliases the same immutable compiled image; nothing is
+  // decoded or copied per node.
+  for (auto& node : nodes_) node->load(program);
 }
 
 void HypercubeSystem::runPhase(SystemStats& stats) {

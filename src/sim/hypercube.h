@@ -80,8 +80,10 @@ class HypercubeSystem {
                            int dst_node, arch::PlaneId dst_plane,
                            std::uint64_t dst_base);
 
-  // Loads the same executable on every node (SPMD).
+  // Loads the same executable on every node (SPMD): compiles once, then
+  // every node shares the one immutable program image.
   void loadAll(const mc::Executable& exe);
+  void loadAll(std::shared_ptr<const CompiledProgram> program);
 
   // Runs every node's program to halt (in parallel on the shared pool);
   // adds max(node cycles) to the compute makespan and folds stats into
@@ -109,6 +111,8 @@ class HypercubeSystem {
   // Per-destination-node accumulated exchange cost in the open phase.
   std::vector<std::uint64_t> exchange_cost_;
   bool exchange_open_ = false;
+  // Reusable staging buffer for sendVector (exchanges are single-threaded).
+  std::vector<double> send_scratch_;
 };
 
 }  // namespace nsc::sim

@@ -8,11 +8,10 @@
 namespace nsc::sim {
 
 using arch::Endpoint;
-using arch::MicrowordSpec;
 using common::strFormat;
 
 NodeSim::NodeSim(const arch::Machine& machine, Options options)
-    : machine_(machine), spec_(machine), options_(options) {
+    : machine_(machine), options_(options) {
   const arch::MachineConfig& cfg = machine_.config();
   planes_.resize(static_cast<std::size_t>(cfg.num_memory_planes));
   caches_.resize(static_cast<std::size_t>(cfg.num_caches));
@@ -22,20 +21,15 @@ NodeSim::NodeSim(const arch::Machine& machine, Options options)
   }
   cond_regs_.assign(4, false);
   fu_launches_.assign(static_cast<std::size_t>(cfg.numFus()), 0);
-  rf_images_.resize(static_cast<std::size_t>(cfg.numFus()));
 }
 
 void NodeSim::load(const mc::Executable& exe) {
-  plans_.clear();
-  names_ = exe.names;
-  for (auto& image : rf_images_) image.clear();
-  for (const auto& [fu, image] : exe.rf_images) {
-    rf_images_.at(static_cast<std::size_t>(fu)) = image;
-  }
-  for (const common::BitVector& word : exe.words) {
-    plans_.push_back(decode(word));
-  }
-  loop_counters_.assign(plans_.size(), std::nullopt);
+  load(CompiledProgram::compile(machine_, exe));
+}
+
+void NodeSim::load(std::shared_ptr<const CompiledProgram> program) {
+  program_ = std::move(program);
+  loop_counters_.assign(program_ ? program_->size() : 0, std::nullopt);
   restart();
 }
 
@@ -50,32 +44,56 @@ void NodeSim::restart() {
 // Memory access
 // ---------------------------------------------------------------------------
 
-namespace {
-void ensureSize(std::vector<double>& plane, std::uint64_t needed,
-                std::uint64_t cap) {
-  if (plane.size() < needed && needed <= cap) {
-    plane.resize(needed, 0.0);
-  }
+void NodeSim::ensurePlaneSize(arch::PlaneId plane, std::uint64_t needed) {
+  auto& mem = planes_[static_cast<std::size_t>(plane)];
+  const std::uint64_t cap = machine_.config().sim_plane_words;
+  if (mem.size() >= needed || needed > cap) return;
+  // Geometric growth (capped at the simulated capacity): a program whose
+  // instructions extend the touched range step by step reallocates
+  // O(log n) times instead of once per instruction.
+  const std::uint64_t target =
+      std::min<std::uint64_t>(cap, std::max<std::uint64_t>(needed, mem.size() * 2));
+  mem.resize(target, 0.0);
 }
-}  // namespace
 
 void NodeSim::writePlane(arch::PlaneId plane, std::uint64_t base,
                          std::span<const double> values) {
   auto& mem = planes_.at(static_cast<std::size_t>(plane));
-  ensureSize(mem, base + values.size(), machine_.config().sim_plane_words);
-  std::copy(values.begin(), values.end(),
-            mem.begin() + static_cast<std::ptrdiff_t>(base));
+  ensurePlaneSize(plane, base + values.size());
+  // Words beyond the simulated capacity are dropped, mirroring the DMA
+  // engines' in-range stores (the backing store never exceeds the cap).
+  const std::uint64_t start = std::min<std::uint64_t>(base, mem.size());
+  const std::uint64_t fit =
+      std::min<std::uint64_t>(values.size(), mem.size() - start);
+  std::copy_n(values.begin(), static_cast<std::ptrdiff_t>(fit),
+              mem.begin() + static_cast<std::ptrdiff_t>(start));
 }
 
 std::vector<double> NodeSim::readPlane(arch::PlaneId plane, std::uint64_t base,
                                        std::uint64_t count) const {
-  const auto& mem = planes_.at(static_cast<std::size_t>(plane));
   std::vector<double> out(count, 0.0);
-  for (std::uint64_t i = 0; i < count; ++i) {
-    const std::uint64_t addr = base + i;
-    if (addr < mem.size()) out[i] = mem[addr];
-  }
+  readPlaneInto(plane, base, out);
   return out;
+}
+
+namespace {
+// Copies mem[base .. base+out.size()) into `out`, zero-filling words beyond
+// the simulated backing store (which may be smaller than the architectural
+// capacity, or not cover `base` at all).
+void readInto(const std::vector<double>& mem, std::uint64_t base,
+              std::span<double> out) {
+  const std::uint64_t start = std::min<std::uint64_t>(base, mem.size());
+  const std::uint64_t avail =
+      std::min<std::uint64_t>(out.size(), mem.size() - start);
+  std::copy_n(mem.begin() + static_cast<std::ptrdiff_t>(start),
+              static_cast<std::ptrdiff_t>(avail), out.begin());
+  std::fill(out.begin() + static_cast<std::ptrdiff_t>(avail), out.end(), 0.0);
+}
+}  // namespace
+
+void NodeSim::readPlaneInto(arch::PlaneId plane, std::uint64_t base,
+                            std::span<double> out) const {
+  readInto(planes_.at(static_cast<std::size_t>(plane)), base, out);
 }
 
 double NodeSim::readPlaneWord(arch::PlaneId plane, std::uint64_t addr) const {
@@ -100,117 +118,21 @@ void NodeSim::writeCache(arch::CacheId cache, int buffer, std::uint64_t base,
 std::vector<double> NodeSim::readCache(arch::CacheId cache, int buffer,
                                        std::uint64_t base,
                                        std::uint64_t count) const {
-  const auto& mem = caches_.at(static_cast<std::size_t>(cache))
-                        .at(static_cast<std::size_t>(buffer));
   std::vector<double> out(count, 0.0);
-  for (std::uint64_t i = 0; i < count && base + i < mem.size(); ++i) {
-    out[i] = mem[base + i];
-  }
+  readCacheInto(cache, buffer, base, out);
   return out;
 }
 
-// ---------------------------------------------------------------------------
-// Decode
-// ---------------------------------------------------------------------------
-
-NodeSim::InstrPlan NodeSim::decode(const common::BitVector& word) const {
-  const arch::MachineConfig& cfg = machine_.config();
-  InstrPlan plan;
-
-  plan.fu.resize(static_cast<std::size_t>(cfg.numFus()));
-  for (const arch::FuInfo& info : machine_.fus()) {
-    FuPlan& fu = plan.fu[static_cast<std::size_t>(info.id)];
-    fu.enabled = spec_.get(word, MicrowordSpec::fuField(info.id, "enable")) != 0;
-    if (!fu.enabled) continue;
-    fu.op = static_cast<arch::OpCode>(
-        spec_.get(word, MicrowordSpec::fuField(info.id, "opcode")));
-    fu.in_a = static_cast<arch::InputSelect>(
-        spec_.get(word, MicrowordSpec::fuField(info.id, "in_a_sel")));
-    fu.in_b = static_cast<arch::InputSelect>(
-        spec_.get(word, MicrowordSpec::fuField(info.id, "in_b_sel")));
-    fu.rf_mode = static_cast<arch::RfMode>(
-        spec_.get(word, MicrowordSpec::fuField(info.id, "rf_mode")));
-    fu.rf_delay = static_cast<int>(
-        spec_.get(word, MicrowordSpec::fuField(info.id, "rf_delay")));
-    const auto rf_addr = static_cast<std::size_t>(
-        spec_.get(word, MicrowordSpec::fuField(info.id, "rf_addr")));
-    if (fu.rf_mode == arch::RfMode::kDelay) {
-      fu.rf_delay_port = static_cast<int>(rf_addr & 1);
-    }
-    const bool needs_const = fu.in_a == arch::InputSelect::kRegisterFile ||
-                             fu.in_b == arch::InputSelect::kRegisterFile ||
-                             fu.rf_mode == arch::RfMode::kAccum;
-    if (needs_const) {
-      const auto& image = rf_images_[static_cast<std::size_t>(info.id)];
-      fu.rf_value = rf_addr < image.size() ? image[rf_addr] : 0.0;
-    }
-    const arch::OpInfo& op = arch::opInfo(fu.op);
-    fu.latency = std::max(1, op.latency);
-    fu.counts_flop = op.counts_as_flop;
-    fu.arity = op.arity;
-  }
-
-  plan.route.resize(machine_.destinations().size(), 0);
-  for (std::size_t d = 0; d < plan.route.size(); ++d) {
-    plan.route[d] = static_cast<int>(
-        spec_.get(word, MicrowordSpec::switchField(static_cast<int>(d))));
-  }
-
-  plan.plane.resize(static_cast<std::size_t>(cfg.num_memory_planes));
-  for (arch::PlaneId p = 0; p < cfg.num_memory_planes; ++p) {
-    DmaPlan& dma = plan.plane[static_cast<std::size_t>(p)];
-    dma.mode = static_cast<int>(
-        spec_.get(word, MicrowordSpec::planeField(p, "mode")));
-    if (dma.mode == 0) continue;
-    dma.base = spec_.get(word, MicrowordSpec::planeField(p, "base"));
-    dma.stride = spec_.getSigned(word, MicrowordSpec::planeField(p, "stride"));
-    dma.count = spec_.get(word, MicrowordSpec::planeField(p, "count"));
-    dma.count2 = std::max<std::uint64_t>(
-        1, spec_.get(word, MicrowordSpec::planeField(p, "count2")));
-    dma.stride2 =
-        spec_.getSigned(word, MicrowordSpec::planeField(p, "stride2"));
-    (dma.mode == 1 ? plan.has_reads : plan.has_writes) = true;
-  }
-
-  plan.cache.resize(static_cast<std::size_t>(cfg.num_caches));
-  for (arch::CacheId c = 0; c < cfg.num_caches; ++c) {
-    DmaPlan& dma = plan.cache[static_cast<std::size_t>(c)];
-    dma.mode = static_cast<int>(
-        spec_.get(word, MicrowordSpec::cacheField(c, "mode")));
-    if (dma.mode == 0) continue;
-    dma.base = spec_.get(word, MicrowordSpec::cacheField(c, "base"));
-    dma.stride = spec_.getSigned(word, MicrowordSpec::cacheField(c, "stride"));
-    dma.count = spec_.get(word, MicrowordSpec::cacheField(c, "count"));
-    dma.read_buffer = static_cast<int>(
-        spec_.get(word, MicrowordSpec::cacheField(c, "read_buffer")));
-    dma.swap = spec_.get(word, MicrowordSpec::cacheField(c, "swap")) != 0;
-    if (dma.mode & 1) plan.has_reads = true;
-    if (dma.mode & 2) plan.has_writes = true;
-  }
-
-  plan.sd.resize(static_cast<std::size_t>(cfg.num_shift_delay));
-  for (arch::SdId s = 0; s < cfg.num_shift_delay; ++s) {
-    SdPlan& sd = plan.sd[static_cast<std::size_t>(s)];
-    sd.enabled = spec_.get(word, MicrowordSpec::sdField(s, "enable")) != 0;
-    if (!sd.enabled) continue;
-    for (int t = 0; t < cfg.sd_taps; ++t) {
-      sd.taps.push_back(static_cast<int>(
-          spec_.get(word, MicrowordSpec::sdField(s, strFormat("tap%d", t)))));
-    }
-  }
-
-  plan.cond_enable = spec_.get(word, "cond.enable") != 0;
-  plan.cond_src_fu = static_cast<int>(spec_.get(word, "cond.src_fu"));
-  plan.cond_reg = static_cast<int>(spec_.get(word, "cond.reg"));
-  plan.seq_op = static_cast<arch::SeqOp>(spec_.get(word, "seq.op"));
-  plan.seq_target = static_cast<int>(spec_.get(word, "seq.target"));
-  plan.seq_cond_reg = static_cast<int>(spec_.get(word, "seq.cond_reg"));
-  plan.seq_count = static_cast<int>(spec_.get(word, "seq.count"));
-  return plan;
+void NodeSim::readCacheInto(arch::CacheId cache, int buffer,
+                            std::uint64_t base, std::span<double> out) const {
+  readInto(caches_.at(static_cast<std::size_t>(cache))
+               .at(static_cast<std::size_t>(buffer)),
+           base, out);
 }
 
 // ---------------------------------------------------------------------------
-// Execute
+// Execute (legacy interpreter — the semantic reference the compiled engine
+// in compiled_exec.cpp is golden-tested against)
 // ---------------------------------------------------------------------------
 
 namespace {
@@ -315,7 +237,6 @@ InstrStats NodeSim::execute(const InstrPlan& plan, int instr_index,
     DmaCursor cursor{dma.base, dma.stride, dma.count, dma.count2,
                      dma.stride2};
     // Grow the simulated backing store to cover the touched range.
-    auto& mem = planes_[static_cast<std::size_t>(p)];
     const std::int64_t row_span = dma.stride * static_cast<std::int64_t>(dma.count - 1);
     const std::int64_t col_span = dma.stride2 * static_cast<std::int64_t>(dma.count2 - 1);
     std::int64_t hi = static_cast<std::int64_t>(dma.base);
@@ -332,7 +253,7 @@ InstrStats NodeSim::execute(const InstrPlan& plan, int instr_index,
           static_cast<unsigned long long>(cfg.sim_plane_words));
       return stats;
     }
-    ensureSize(mem, static_cast<std::uint64_t>(hi) + 1, cfg.sim_plane_words);
+    ensurePlaneSize(p, static_cast<std::uint64_t>(hi) + 1);
     if (dma.mode == 1) {
       reads.push_back({cursor,
                        static_cast<std::size_t>(
@@ -657,25 +578,30 @@ void NodeSim::applySequencer(const InstrPlan& plan) {
       halted_ = true;
       break;
   }
-  if (!halted_ && (pc_ < 0 || pc_ >= static_cast<int>(plans_.size()))) {
+  if (!halted_ &&
+      (pc_ < 0 || pc_ >= static_cast<int>(program_ ? program_->size() : 0))) {
     halted_ = true;
   }
 }
 
 InstrStats NodeSim::stepInstruction() {
-  if (halted_ || plans_.empty()) {
+  const std::size_t program_size = program_ ? program_->size() : 0;
+  if (halted_ || program_size == 0) {
     InstrStats stats;
-    stats.error = halted_ && plans_.empty();
+    stats.error = halted_ && program_size == 0;
     return stats;
   }
   const int index = pc_;
+  const auto slot = static_cast<std::size_t>(index);
+  static const std::string kUnnamed;
+  const std::string& name =
+      slot < program_->names.size() ? program_->names[slot] : kUnnamed;
   InstrStats stats =
-      execute(plans_[static_cast<std::size_t>(index)], index,
-              static_cast<std::size_t>(index) < names_.size()
-                  ? names_[static_cast<std::size_t>(index)]
-                  : "");
+      options_.use_compiled
+          ? executeCompiled(program_->instrs[slot], index, name)
+          : execute(program_->plans[slot], index, name);
   if (!stats.error) {
-    applySequencer(plans_[static_cast<std::size_t>(index)]);
+    applySequencer(program_->plans[slot]);
   } else {
     halted_ = true;
   }

@@ -14,6 +14,14 @@
 //     scheme is used to signal pipeline completions"), and the central
 //     sequencer (next/jump/branch/loop/halt).
 //
+// Programs load as an immutable sim::CompiledProgram (decode + lowering run
+// once; SPMD systems share one image across all nodes).  Two engines
+// execute it: the compiled engine (default) steps pre-resolved instruction
+// images in blocked fill/steady/drain form; the legacy interpreter
+// (NodeOptions::use_compiled = false) re-walks the decoded plans per cycle
+// and is kept as the semantic reference — both produce bit-identical
+// InstrStats and memory contents (test_compiled.cpp golden tests).
+//
 // Determinism: the simulator is single-threaded and fully deterministic;
 // all state is reset per instruction except memory planes, caches,
 // condition registers, loop counters, and register-file images.
@@ -21,14 +29,15 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "arch/machine.h"
-#include "arch/microword_spec.h"
 #include "microcode/generator.h"
+#include "sim/compiled.h"
 #include "sim/stats.h"
 #include "sim/token.h"
 
@@ -48,6 +57,9 @@ using TraceSink = std::function<void(const TraceFrame&)>;
 struct NodeOptions {
   std::uint64_t max_cycles_per_instruction = 64ull * 1024 * 1024;
   std::uint64_t max_instructions = 1ull << 20;
+  // false selects the legacy per-cycle interpreter (semantic reference for
+  // the compiled engine; same results, slower).
+  bool use_compiled = true;
 };
 
 class NodeSim {
@@ -58,14 +70,28 @@ class NodeSim {
 
   const arch::Machine& machine() const { return machine_; }
 
-  // Loads microcode + register-file images and resets the sequencer.
+  // Compiles microcode + register-file images, loads the result, and
+  // resets the sequencer.  For many nodes running the same executable,
+  // compile once and use the shared overload instead.
   void load(const mc::Executable& exe);
+
+  // Loads an already-compiled program (shared, immutable).  All SPMD nodes
+  // of a system load the same image; nothing is copied per node.
+  void load(std::shared_ptr<const CompiledProgram> program);
+
+  const std::shared_ptr<const CompiledProgram>& program() const {
+    return program_;
+  }
 
   // ---- Memory access (host/loader side) ----
   void writePlane(arch::PlaneId plane, std::uint64_t base,
                   std::span<const double> values);
   std::vector<double> readPlane(arch::PlaneId plane, std::uint64_t base,
                                 std::uint64_t count) const;
+  // Copy-free variant: fills `out` (out.size() words starting at `base`),
+  // zero-filling words beyond the simulated backing store.
+  void readPlaneInto(arch::PlaneId plane, std::uint64_t base,
+                     std::span<double> out) const;
   double readPlaneWord(arch::PlaneId plane, std::uint64_t addr) const;
   void fillPlane(arch::PlaneId plane, double value);
 
@@ -73,6 +99,8 @@ class NodeSim {
                   std::span<const double> values);
   std::vector<double> readCache(arch::CacheId cache, int buffer,
                                 std::uint64_t base, std::uint64_t count) const;
+  void readCacheInto(arch::CacheId cache, int buffer, std::uint64_t base,
+                     std::span<double> out) const;
 
   bool cond(int reg) const { return cond_regs_.at(static_cast<std::size_t>(reg)); }
   int pc() const { return pc_; }
@@ -91,64 +119,23 @@ class NodeSim {
   void setTraceSink(TraceSink sink) { trace_ = std::move(sink); }
 
  private:
-  struct FuPlan {
-    bool enabled = false;
-    arch::OpCode op = arch::OpCode::kNop;
-    arch::InputSelect in_a = arch::InputSelect::kNone;
-    arch::InputSelect in_b = arch::InputSelect::kNone;
-    arch::RfMode rf_mode = arch::RfMode::kOff;
-    int rf_delay = 0;
-    int rf_delay_port = 0;
-    double rf_value = 0.0;  // constant or accumulator seed
-    int latency = 1;
-    bool counts_flop = false;
-    int arity = 0;
-  };
-  struct DmaPlan {
-    int mode = 0;  // 0 idle, 1 read, 2 write (caches: bit0 read, bit1 fill)
-    std::uint64_t base = 0;
-    std::int64_t stride = 1;
-    std::uint64_t count = 0;
-    std::uint64_t count2 = 1;
-    std::int64_t stride2 = 0;
-    int read_buffer = 0;
-    bool swap = false;
-  };
-  struct SdPlan {
-    bool enabled = false;
-    std::vector<int> taps;
-  };
-  struct InstrPlan {
-    std::vector<FuPlan> fu;
-    // Switch: dense source index + 1 per destination (0 = unrouted).
-    std::vector<int> route;
-    std::vector<DmaPlan> plane;
-    std::vector<DmaPlan> cache;
-    std::vector<SdPlan> sd;
-    bool cond_enable = false;
-    int cond_src_fu = 0;
-    int cond_reg = 0;
-    arch::SeqOp seq_op = arch::SeqOp::kNext;
-    int seq_target = 0;
-    int seq_cond_reg = 0;
-    int seq_count = 0;
-    bool has_writes = false;
-    bool has_reads = false;
-  };
-
-  InstrPlan decode(const common::BitVector& word) const;
+  // Legacy per-cycle interpreter (semantic reference).
   InstrStats execute(const InstrPlan& plan, int instr_index,
                      const std::string& name);
+  // Compiled engine: blocked fill/steady/drain over a lowered instruction
+  // (defined in compiled_exec.cpp).
+  InstrStats executeCompiled(const CompiledInstr& ci, int instr_index,
+                             const std::string& name);
   void applySequencer(const InstrPlan& plan);
+  // Grows a plane's simulated backing store to cover `needed` words
+  // (geometric growth, capped at MachineConfig::sim_plane_words).
+  void ensurePlaneSize(arch::PlaneId plane, std::uint64_t needed);
 
   const arch::Machine& machine_;
-  arch::MicrowordSpec spec_;
   Options options_;
 
-  // Loaded program.
-  std::vector<InstrPlan> plans_;
-  std::vector<std::string> names_;
-  std::vector<std::vector<double>> rf_images_;  // per FU
+  // Loaded program (shared, immutable; may be aliased by other nodes).
+  std::shared_ptr<const CompiledProgram> program_;
 
   // Persistent machine state.
   std::vector<std::vector<double>> planes_;
@@ -160,6 +147,30 @@ class NodeSim {
 
   // Run accounting.
   std::vector<std::uint64_t> fu_launches_;
+
+  // Reusable per-instruction execution state for the compiled engine; the
+  // capacity survives across instructions so steady-state stepping never
+  // allocates.
+  struct Scratch {
+    std::vector<Token> src_out;  // per switch source, this cycle
+    std::vector<Token> dst_in;   // per switch destination (registered)
+    std::vector<Token> arena;    // all FU pipe/queue + SD history rings
+    struct FuRun {
+      std::uint32_t pipe_pos = 0;
+      std::uint32_t rfq_pos = 0;
+      double acc = 0.0;
+    };
+    std::vector<FuRun> fu;
+    struct DmaRun {
+      std::uint64_t element = 0;
+      std::uint64_t row = 0;
+      std::uint64_t in_row = 0;
+    };
+    std::vector<DmaRun> reads;
+    std::vector<DmaRun> writes;
+    std::vector<std::uint32_t> sd_pos;
+  };
+  Scratch scratch_;
 
   TraceSink trace_;
 };
