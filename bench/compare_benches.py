@@ -14,8 +14,9 @@ Usage:
 With no baselines given, compares against BENCH_seed.json and
 BENCH_exec.json in the repo root (skipping any that do not exist).
 Exit status is always 0 — the report is informational, not a gate;
-pass --fail-above-pct N to turn regressions beyond N percent into a
-non-zero exit instead.
+pass --threshold PCT (alias: --fail-above-pct) to turn regressions
+beyond PCT percent into a non-zero exit, so a CI bench job can
+optionally gate on it.
 """
 
 import argparse
@@ -92,8 +93,11 @@ def main():
     parser.add_argument("new", help="fresh BENCH_<tag>.json")
     parser.add_argument("baselines", nargs="*",
                         help="baseline reports (default: BENCH_seed.json, BENCH_exec.json)")
-    parser.add_argument("--fail-above-pct", type=float, default=None,
-                        help="exit non-zero if any benchmark regresses more than this percent")
+    parser.add_argument("--threshold", "--fail-above-pct",
+                        dest="fail_above_pct", type=float, default=None,
+                        metavar="PCT",
+                        help="exit non-zero if any benchmark regresses more "
+                             "than this percent (default: report only)")
     args = parser.parse_args()
 
     baselines = args.baselines

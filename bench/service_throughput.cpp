@@ -1,0 +1,111 @@
+// Serving-layer claim: the workbench workflow the paper gives one user at a
+// Sun-3 can be served to many concurrent sessions.  BM_ServiceThroughput
+// drives batches of complete Figure-11 Jacobi sessions (editor replay ->
+// microcode generation -> simulated execution) through a WorkbenchService
+// and sweeps the shard count; BM_SequentialWorkbench is the single-user
+// baseline the speedup is measured against.  All shard counts share one
+// exec pool and one compiled-program cache, so the sweep isolates the
+// serving architecture, not redundant lowering.
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "service/service.h"
+
+namespace {
+
+using namespace nsc;
+
+constexpr int kBatch = 32;  // requests per timed batch
+
+svc::GenerateAndRun figure11Request() {
+  svc::GenerateAndRun request;
+  request.script = figure11SessionScript();
+  request.outputs.push_back(svc::PlaneRange{4, 161, 366});
+  return request;
+}
+
+void printArtifact() {
+  bench::banner("service_throughput",
+                "the serving layer (sessions as requests, sharded simulators)");
+  svc::ServiceOptions options;
+  options.shards = 4;
+  options.queue_capacity = 16;
+  svc::WorkbenchService service(options);
+  std::vector<std::future<svc::ServiceReply>> futures;
+  for (int i = 0; i < kBatch; ++i) {
+    futures.push_back(service.submit(figure11Request()));
+  }
+  int ok = 0, cache_hits = 0;
+  std::int64_t queue_us = 0;
+  for (auto& future : futures) {
+    const svc::ServiceReply reply = future.get();
+    if (reply.ok()) ++ok;
+    if (reply.stats.program_cache_hit) ++cache_hits;
+    queue_us += reply.stats.queue_us;
+  }
+  std::printf("one batch: %d/%d Figure-11 sessions ok across %d shards, "
+              "%d compiled-image cache hits,\n"
+              "mean admission wait %.1f us, peak queue depth %zu of %zu\n",
+              ok, kBatch, service.shards(), cache_hits,
+              static_cast<double>(queue_us) / kBatch,
+              service.peakQueueDepth(), options.queue_capacity);
+  for (int s = 0; s < service.shards(); ++s) {
+    const svc::ShardStats stats = service.shardStats(s);
+    std::printf("  shard %d: %llu requests, %.1f ms busy\n", s,
+                static_cast<unsigned long long>(stats.requests),
+                static_cast<double>(stats.busy_us) / 1e3);
+  }
+  std::printf("\n");
+}
+
+// Concurrent sessions through an N-shard service (N = state.range(0)).
+void BM_ServiceThroughput(benchmark::State& state) {
+  sim::CompiledProgramCache cache;
+  svc::ServiceOptions options;
+  options.shards = static_cast<int>(state.range(0));
+  options.queue_capacity = kBatch;
+  options.cache = &cache;
+  svc::WorkbenchService service(options);
+  const svc::GenerateAndRun request = figure11Request();
+  for (auto _ : state) {
+    std::vector<std::future<svc::ServiceReply>> futures;
+    futures.reserve(kBatch);
+    for (int i = 0; i < kBatch; ++i) futures.push_back(service.submit(request));
+    for (auto& future : futures) {
+      benchmark::DoNotOptimize(future.get().run.total_cycles);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * kBatch);
+}
+BENCHMARK(BM_ServiceThroughput)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+// The single-user baseline: the same batch served by one Workbench core,
+// request after request (what the in-process API did before the service).
+void BM_SequentialWorkbench(benchmark::State& state) {
+  sim::CompiledProgramCache cache;
+  WorkbenchContext context({}, nullptr, &cache);
+  WorkbenchCore core(context);
+  const svc::GenerateAndRun request = figure11Request();
+  for (auto _ : state) {
+    for (int i = 0; i < kBatch; ++i) {
+      core.reset();
+      core.runSession(request.script);
+      RunOutcome outcome = core.generateAndRun();
+      benchmark::DoNotOptimize(outcome.run.total_cycles);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * kBatch);
+}
+BENCHMARK(BM_SequentialWorkbench)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  printArtifact();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

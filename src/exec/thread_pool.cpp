@@ -8,7 +8,8 @@ namespace nsc::exec {
 namespace {
 // Set while a thread (worker or caller) is executing a pool job; nested
 // parallelFor calls from inside a job run inline instead of deadlocking on
-// run_mu_.
+// run_mu_, and nested submit calls run inline instead of queueing behind
+// the very worker that issued them.
 thread_local bool tl_in_pool_job = false;
 }  // namespace
 
@@ -38,6 +39,18 @@ ThreadPool::~ThreadPool() {
   }
   work_cv_.notify_all();
   for (std::thread& t : workers_) t.join();
+  // Run any tasks still queued so their futures are fulfilled instead of
+  // abandoned with broken_promise.
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (tasks_.empty()) break;
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
+    }
+    task();
+  }
 }
 
 void ThreadPool::runChunks() {
@@ -61,21 +74,33 @@ void ThreadPool::runChunks() {
 }
 
 void ThreadPool::workerLoop() {
-  tl_in_pool_job = true;  // nested parallelFor from a task runs inline
+  tl_in_pool_job = true;  // nested parallelFor/submit from a task runs inline
   std::uint64_t last_job = 0;
   for (;;) {
+    std::function<void()> task;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock,
-                    [&] { return shutdown_ || job_id_ != last_job; });
+      work_cv_.wait(lock, [&] {
+        return shutdown_ || job_id_ != last_job || !tasks_.empty();
+      });
       if (shutdown_) return;
-      last_job = job_id_;
+      if (job_id_ != last_job) {
+        // A published range takes priority over queued tasks: phase
+        // stepping is latency-sensitive, tasks are throughput work.
+        last_job = job_id_;
+        if (job_fn_ != nullptr) {
+          ++job_active_workers_;
+          lock.unlock();
+          runChunks();
+          lock.lock();
+          if (--job_active_workers_ == 0) done_cv_.notify_all();
+        }
+        continue;
+      }
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
     }
-    runChunks();
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      if (--job_workers_running_ == 0) done_cv_.notify_all();
-    }
+    task();
   }
 }
 
@@ -94,7 +119,7 @@ void ThreadPool::parallelFor(std::size_t begin, std::size_t end,
     job_end_ = end;
     job_grain_ = grain;
     job_next_.store(begin, std::memory_order_relaxed);
-    job_workers_running_ = static_cast<int>(workers_.size());
+    job_active_workers_ = 0;
     job_error_ = nullptr;
     job_failed_.store(false, std::memory_order_relaxed);
     ++job_id_;
@@ -106,11 +131,66 @@ void ThreadPool::parallelFor(std::size_t begin, std::size_t end,
   std::exception_ptr error;
   {
     std::unique_lock<std::mutex> lock(mu_);
-    done_cv_.wait(lock, [&] { return job_workers_running_ == 0; });
+    // The range is exhausted (the calling thread only returns from
+    // runChunks once job_next_ passed job_end_ or the job failed); wait
+    // for workers that joined to finish their claimed chunks.  Workers
+    // busy with submitted tasks never joined and are not waited for.
+    done_cv_.wait(lock, [&] { return job_active_workers_ == 0; });
     job_fn_ = nullptr;
     error = job_error_;
   }
   if (error) std::rethrow_exception(error);
+}
+
+void ThreadPool::enqueueTask(std::function<void()> task) {
+  tasks_submitted_.fetch_add(1, std::memory_order_relaxed);
+  // No workers to hand the task to, or called from inside a pool task
+  // (queueing there can deadlock a worker waiting on its own queue): run
+  // inline.  The future the caller holds becomes ready on return.
+  if (workers_.empty() || tl_in_pool_job) {
+    task();
+    return;
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!shutdown_) {
+      tasks_.push_back(std::move(task));
+      peak_queue_depth_ = std::max(peak_queue_depth_, tasks_.size());
+      lock.unlock();
+      work_cv_.notify_one();
+      return;
+    }
+  }
+  // Pool is tearing down; run inline rather than losing the task.
+  task();
+}
+
+bool ThreadPool::tryRunOneTask() {
+  std::function<void()> task;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (tasks_.empty()) return false;
+    task = std::move(tasks_.front());
+    tasks_.pop_front();
+  }
+  // Nested parallelFor/submit from inside the task must run inline, same
+  // as on a worker; restore the caller's state afterwards (it may itself
+  // be outside any pool job).
+  const bool was_in_job = tl_in_pool_job;
+  tl_in_pool_job = true;
+  task();
+  tl_in_pool_job = was_in_job;
+  return true;
+}
+
+std::size_t ThreadPool::queueDepth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tasks_.size();
+}
+
+std::size_t ThreadPool::peakQueueDepth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return peak_queue_depth_;
 }
 
 ThreadPool& ThreadPool::shared() {

@@ -7,7 +7,11 @@
 // built around.  ThreadPool amortizes the harness: workers are created
 // once and woken per job, and `parallelFor` hands them contiguous index
 // chunks claimed from a shared cursor (work-stealing-ish dynamic
-// scheduling over a deterministic result layout).
+// scheduling over a deterministic result layout).  `submit` is the
+// future-returning task path the service layer uses for independent work
+// items (ensemble replicas, request fan-out); tasks queue behind a FIFO
+// that workers drain between parallelFor jobs, and queue-depth stats
+// expose saturation to callers.
 //
 // Determinism contract: parallelFor callers write results into
 // caller-owned, index-addressed storage and fold them on the calling
@@ -19,10 +23,14 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <exception>
 #include <functional>
+#include <future>
 #include <mutex>
 #include <thread>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 namespace nsc::exec {
@@ -63,6 +71,38 @@ class ThreadPool {
   void parallelFor(std::size_t begin, std::size_t end, std::size_t grain,
                    const RangeFn& fn);
 
+  // Submits one task and returns a future for its result.  Tasks queue
+  // behind a FIFO the workers drain between parallelFor jobs (jobs take
+  // priority; a published range is always finished first).  With no workers
+  // (threadCount() == 1), or when called from inside a pool task — where
+  // queueing could deadlock a worker waiting on its own queue position —
+  // the task runs inline and the returned future is already ready.
+  //
+  // The pool must outlive every returned future; destroying the pool runs
+  // still-queued tasks on the destructing thread so no future is abandoned.
+  template <typename F>
+  auto submit(F&& f) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> future = task->get_future();
+    enqueueTask([task] { (*task)(); });
+    return future;
+  }
+
+  // Runs one queued task on the calling thread, if any is pending.
+  // Returns false when the queue is empty.  A caller blocked on submitted
+  // futures can loop this to contribute instead of idling — the
+  // work-helping counterpart to parallelFor's caller participation.
+  bool tryRunOneTask();
+
+  // ---- Saturation stats for the service layer ----
+  // Tasks currently waiting in the queue (not yet claimed by a thread).
+  std::size_t queueDepth() const;
+  // High-water mark of queueDepth() over the pool's lifetime.
+  std::size_t peakQueueDepth() const;
+  // Lifetime count of submit() calls (including inline-executed ones).
+  std::uint64_t tasksSubmitted() const { return tasks_submitted_; }
+
   // The process-wide pool the sim/workbench/cfd layers share by default.
   // Sized once, on first use, from NSC_THREADS / hardware concurrency.
   static ThreadPool& shared();
@@ -70,25 +110,35 @@ class ThreadPool {
  private:
   void workerLoop();
   void runChunks();
+  void enqueueTask(std::function<void()> task);
 
   const int thread_count_;
   std::uint64_t threads_created_ = 0;
   std::vector<std::thread> workers_;
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable work_cv_;
   std::condition_variable done_cv_;
   bool shutdown_ = false;
 
   // Current job, published under mu_; chunks are claimed via job_next_.
+  // Workers join a job when they observe it (job_active_workers_), so a
+  // worker busy with a long submitted task never stalls parallelFor — the
+  // job completes when the range is exhausted and the joined workers have
+  // drained their claimed chunks.
   std::uint64_t job_id_ = 0;
   const RangeFn* job_fn_ = nullptr;
   std::size_t job_end_ = 0;
   std::size_t job_grain_ = 1;
   std::atomic<std::size_t> job_next_{0};
   std::atomic<bool> job_failed_{false};
-  int job_workers_running_ = 0;
+  int job_active_workers_ = 0;
   std::exception_ptr job_error_;
+
+  // Submitted-task FIFO (under mu_) and its stats.
+  std::deque<std::function<void()>> tasks_;
+  std::size_t peak_queue_depth_ = 0;
+  std::atomic<std::uint64_t> tasks_submitted_{0};
 
   // Serializes external parallelFor callers (one job at a time).
   std::mutex run_mu_;

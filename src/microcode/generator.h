@@ -41,6 +41,11 @@ struct Executable {
   // handoff, so callers holding a compiled image can tell whether it still
   // matches a (possibly regenerated) executable without re-lowering.
   std::uint64_t fingerprint() const;
+
+  // Exact content equality — what the program cache confirms after a
+  // fingerprint match, so a (however unlikely) 64-bit hash collision can
+  // never serve the wrong compiled program.
+  bool operator==(const Executable&) const = default;
 };
 
 struct GenerateOptions {

@@ -19,6 +19,7 @@
 #include "microcode/disasm.h"
 #include "microcode/generator.h"   // diagrams -> microcode
 #include "nsc/debugger.h"          // Section-6 visual debugger extension
+#include "nsc/scripts.h"           // canonical example session scripts
 #include "nsc/workbench.h"
 #include "program/program.h"       // semantic data structures
 #include "program/timing.h"

@@ -1,53 +1,105 @@
 #include "nsc/workbench.h"
 
+#include <future>
+
 namespace nsc {
 
-Workbench::Workbench(arch::MachineConfig config, exec::ThreadPool* pool)
-    : machine_(config),
-      pool_(pool != nullptr ? pool : &exec::ThreadPool::shared()),
-      editor_(machine_),
-      node_(machine_) {}
+WorkbenchCore::WorkbenchCore(const WorkbenchContext& context)
+    : context_(context) {
+  reset();
+}
 
-RunOutcome Workbench::generateAndRun() { return runProgram(editor_.program()); }
+void WorkbenchCore::reset() {
+  // Order matters: the runner holds a reference to the editor, so it is
+  // re-bound after the editor is reconstructed.
+  editor_.emplace(context_.machine());
+  runner_.emplace(*editor_);
+  node_.emplace(context_.machine());
+}
 
-RunOutcome Workbench::runProgram(const prog::Program& program) {
-  RunOutcome outcome;
-  mc::Generator generator(machine_);
+ed::SessionResult WorkbenchCore::runSession(const std::string& script) {
+  return runner_->runScript(script);
+}
+
+RunOutcome WorkbenchCore::generateAndRun() {
+  return runProgram(editor_->program());
+}
+
+CompileOutcome WorkbenchCore::compileProgram(const prog::Program& program) {
+  CompileOutcome outcome;
+  mc::Generator generator(context_.machine());
   outcome.generation = generator.generate(program);
   if (!outcome.generation.ok) return outcome;
-  node_.load(outcome.generation.exe);
-  outcome.run = node_.run();
+  outcome.program = context_.cache().get(context_.machine(),
+                                         outcome.generation.exe,
+                                         &outcome.cache_hit);
   return outcome;
 }
 
-EnsembleOutcome Workbench::runEnsemble(const prog::Program& program,
-                                       int replicas) {
+RunOutcome WorkbenchCore::runProgram(const prog::Program& program) {
+  RunOutcome outcome;
+  CompileOutcome compiled = compileProgram(program);
+  outcome.generation = std::move(compiled.generation);
+  outcome.program = std::move(compiled.program);
+  outcome.cache_hit = compiled.cache_hit;
+  if (!outcome.generation.ok) return outcome;
+  node_->load(outcome.program);
+  outcome.run = node_->run();
+  return outcome;
+}
+
+EnsembleOutcome WorkbenchCore::runEnsemble(const prog::Program& program,
+                                           int replicas) {
   EnsembleOutcome outcome;
-  mc::Generator generator(machine_);
-  outcome.generation = generator.generate(program);
+  CompileOutcome compiled_outcome = compileProgram(program);
+  outcome.generation = std::move(compiled_outcome.generation);
+  outcome.program = std::move(compiled_outcome.program);
+  outcome.cache_hit = compiled_outcome.cache_hit;
   if (!outcome.generation.ok || replicas <= 0) return outcome;
-  // One compiled image shared by every replica: decode/lowering happen once
-  // on the calling thread, the pool only simulates.
-  const auto compiled =
-      sim::CompiledProgram::compile(machine_, outcome.generation.exe);
+  // One compiled image shared by every replica (and, through the cache, by
+  // every other consumer of the same program); the pool only simulates.
+  const auto& compiled = outcome.program;
   outcome.runs.resize(static_cast<std::size_t>(replicas));
-  exec::TaskGroup group(*pool_);
+  // Replicas go in as independent submitted tasks rather than one
+  // parallelFor job: concurrent ensembles from different cores (service
+  // shards) then interleave replica-by-replica instead of serializing on
+  // the pool's one-job-at-a-time range path.  Each result lands in its own
+  // slot, so scheduling order cannot affect the outcome.
+  std::vector<std::future<void>> pending;
+  pending.reserve(outcome.runs.size());
   for (std::size_t i = 0; i < outcome.runs.size(); ++i) {
-    group.run([this, &outcome, &compiled, i] {
-      sim::NodeSim replica(machine_);
+    pending.push_back(context_.pool().submit([this, &outcome, &compiled, i] {
+      sim::NodeSim replica(context_.machine());
       replica.load(compiled);
       outcome.runs[i] = replica.run();
-    });
+    }));
   }
-  group.wait();
+  // The caller participates instead of idling: drain queued pool tasks
+  // (this ensemble's replicas, or anyone else's work) until the queue is
+  // empty, then settle the futures.  Every task references
+  // `outcome`/`compiled`, so all futures must settle before this frame can
+  // unwind — collect the first failure and rethrow only after the whole
+  // ensemble has drained.
+  while (context_.pool().tryRunOneTask()) {
+  }
+  std::exception_ptr error;
+  for (std::future<void>& f : pending) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!error) error = std::current_exception();
+    }
+  }
+  if (error) std::rethrow_exception(error);
   return outcome;
 }
 
-sim::HypercubeSystem Workbench::makeSystem(int dimension,
-                                           sim::RouterOptions router,
-                                           sim::NodeSim::Options node_options) {
-  return sim::HypercubeSystem(machine_, dimension, router, node_options,
-                              pool_);
+sim::HypercubeSystem WorkbenchCore::makeSystem(
+    int dimension, sim::RouterOptions router,
+    sim::NodeSim::Options node_options) {
+  return sim::HypercubeSystem(context_.machine(), dimension, router,
+                              node_options, &context_.pool(),
+                              &context_.cache());
 }
 
 ed::Editor editorForProgram(const arch::Machine& machine,

@@ -2,9 +2,26 @@
 // graphical editor + checker + microcode generator — joined to the
 // simulated NSC backend, so a program can go from diagrams to executed
 // vectors in one object.  This is the library's top-level entry point.
+//
+// The workbench is split request-service style:
+//
+//   WorkbenchContext — the shared *immutable* half: machine model, the
+//     execution pool, and the compiled-program cache.  One context serves
+//     any number of concurrent consumers (the service layer's shards all
+//     reference one).
+//   WorkbenchCore — the cheap *mutable* half: one editor document set, a
+//     persistent SessionRunner (keeps the editor's memoized checker
+//     session warm across scripts), and one NodeSim.  A core is
+//     single-consumer; reset() returns it to the freshly-constructed
+//     state so independent requests replay against identical initial
+//     conditions.
+//   Workbench — context + one core in a single object: the original
+//     in-process, one-user-at-a-Sun-3 API, unchanged.
 #pragma once
 
 #include <memory>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "arch/machine.h"
@@ -14,19 +31,36 @@
 #include "microcode/generator.h"
 #include "sim/hypercube.h"
 #include "sim/node.h"
+#include "sim/program_cache.h"
 
 namespace nsc {
 
 struct RunOutcome {
   mc::GenerateResult generation;
   sim::RunStats run;
+  // The compiled image the run executed, as returned by the shared program
+  // cache — pointer-equal across runs of the same program on the same
+  // machine config.  `cache_hit` is true when the image was reused.
+  std::shared_ptr<const sim::CompiledProgram> program;
+  bool cache_hit = false;
   bool ok() const { return generation.ok && !run.error; }
+};
+
+// Generation plus the cached compiled image: the common front half of
+// every execution path (single run, ensemble, system load).
+struct CompileOutcome {
+  mc::GenerateResult generation;
+  std::shared_ptr<const sim::CompiledProgram> program;  // null if !ok
+  bool cache_hit = false;
+  bool ok() const { return generation.ok; }
 };
 
 // Result of an ensemble run: the (single, shared) generation plus one
 // RunStats per replica — the microcode image is not duplicated per run.
 struct EnsembleOutcome {
   mc::GenerateResult generation;
+  std::shared_ptr<const sim::CompiledProgram> program;  // shared by replicas
+  bool cache_hit = false;
   std::vector<sim::RunStats> runs;  // runs[i] belongs to replica i
   bool ok() const {
     if (!generation.ok) return false;
@@ -37,47 +71,131 @@ struct EnsembleOutcome {
   }
 };
 
-class Workbench {
+// The shared immutable context every core (and service shard) references:
+// the machine model plus the process-level execution resources.  `pool` and
+// `cache` are borrowed when given, else the process-wide singletons.  A
+// context must outlive every core built on it.
+class WorkbenchContext {
  public:
-  // `pool` is the execution pool every run this workbench drives shares
-  // (ensemble runs, hypercube systems built via makeSystem); nullptr means
-  // the process-wide exec::ThreadPool::shared().
-  explicit Workbench(arch::MachineConfig config = {},
-                     exec::ThreadPool* pool = nullptr);
+  explicit WorkbenchContext(arch::MachineConfig config = {},
+                            exec::ThreadPool* pool = nullptr,
+                            sim::CompiledProgramCache* cache = nullptr)
+      : machine_(config),
+        pool_(pool != nullptr ? pool : &exec::ThreadPool::shared()),
+        cache_(cache != nullptr ? cache : &sim::CompiledProgramCache::shared()) {}
 
   const arch::Machine& machine() const { return machine_; }
-  ed::Editor& editor() { return editor_; }
-  const ed::Editor& editor() const { return editor_; }
-  sim::NodeSim& node() { return node_; }
   exec::ThreadPool& pool() const { return *pool_; }
+  sim::CompiledProgramCache& cache() const { return *cache_; }
 
-  // Replays a session script into the editor (see editor/session.h).
-  ed::SessionResult runSession(const std::string& script) {
-    return ed::runSession(editor_, script);
-  }
+ private:
+  arch::Machine machine_;
+  exec::ThreadPool* pool_;
+  sim::CompiledProgramCache* cache_;
+};
+
+// The per-consumer mutable state: editor + persistent session runner +
+// node simulator.  Cores are cheap; a service shard owns one and resets it
+// between requests.
+class WorkbenchCore {
+ public:
+  explicit WorkbenchCore(const WorkbenchContext& context);
+
+  const WorkbenchContext& context() const { return context_; }
+  ed::Editor& editor() { return *editor_; }
+  const ed::Editor& editor() const { return *editor_; }
+  sim::NodeSim& node() { return *node_; }
+  const sim::NodeSim& node() const { return *node_; }
+
+  // Replays a session script through the persistent SessionRunner, so
+  // consecutive scripts against the same diagram reuse the editor's
+  // memoized checker session (see editor/session.h).
+  ed::SessionResult runSession(const std::string& script);
+
+  // Generates microcode and resolves the compiled image through the shared
+  // cache, without running anything — the front half runProgram /
+  // runEnsemble / the service's system requests all share.
+  CompileOutcome compileProgram(const prog::Program& program);
 
   // Generates microcode from the edited program, loads it, runs to halt.
   RunOutcome generateAndRun();
 
   // Runs an externally built semantic program instead of the editor's.
+  // Compilation goes through the shared program cache, so repeated runs of
+  // the same program (from this core or any other) lower it once.
   RunOutcome runProgram(const prog::Program& program);
 
   // Generates once, then runs `replicas` independent NodeSim copies of the
-  // program on the shared pool (parameter-ensemble style: same microcode,
-  // per-replica memory).  runs[i] is replica i's stats, deterministically.
+  // program as submitted pool tasks (parameter-ensemble style: same
+  // microcode, per-replica memory).  runs[i] is replica i's stats,
+  // deterministically; concurrent ensembles from different cores interleave
+  // replica-by-replica on the shared pool.
   EnsembleOutcome runEnsemble(const prog::Program& program, int replicas);
 
-  // A multi-node system bound to this workbench's machine and pool, so
-  // every phase it runs reuses the same worker threads.
+  // A multi-node system bound to this context's machine, pool, and
+  // program cache.
   sim::HypercubeSystem makeSystem(int dimension,
                                   sim::RouterOptions router = {},
                                   sim::NodeSim::Options node_options = {});
 
+  // Returns the core to its freshly-constructed state (empty editor
+  // documents, zeroed node memory, cold undo history).  Requests served
+  // after a reset are bit-identical to requests served by a new core.
+  void reset();
+
  private:
-  arch::Machine machine_;
-  exec::ThreadPool* pool_;
-  ed::Editor editor_;
-  sim::NodeSim node_;
+  const WorkbenchContext& context_;
+  // optional<> so reset() can reconstruct in place: Editor, SessionRunner,
+  // and NodeSim all hold references fixed at construction.
+  std::optional<ed::Editor> editor_;
+  std::optional<ed::SessionRunner> runner_;
+  std::optional<sim::NodeSim> node_;
+};
+
+// The classic single-user workbench: owns a context and one core and
+// forwards to them.
+class Workbench {
+ public:
+  // `pool` is the execution pool every run this workbench drives shares
+  // (ensemble runs, hypercube systems built via makeSystem); nullptr means
+  // the process-wide exec::ThreadPool::shared().  Likewise `cache` for the
+  // compiled-program cache.
+  explicit Workbench(arch::MachineConfig config = {},
+                     exec::ThreadPool* pool = nullptr,
+                     sim::CompiledProgramCache* cache = nullptr)
+      : context_(config, pool, cache), core_(context_) {}
+
+  const arch::Machine& machine() const { return context_.machine(); }
+  const WorkbenchContext& context() const { return context_; }
+  WorkbenchCore& core() { return core_; }
+  ed::Editor& editor() { return core_.editor(); }
+  const ed::Editor& editor() const { return core_.editor(); }
+  sim::NodeSim& node() { return core_.node(); }
+  exec::ThreadPool& pool() const { return context_.pool(); }
+
+  // Replays a session script into the editor (see editor/session.h) via
+  // the core's persistent runner, keeping memoized checker sessions warm
+  // across scripts.
+  ed::SessionResult runSession(const std::string& script) {
+    return core_.runSession(script);
+  }
+
+  RunOutcome generateAndRun() { return core_.generateAndRun(); }
+  RunOutcome runProgram(const prog::Program& program) {
+    return core_.runProgram(program);
+  }
+  EnsembleOutcome runEnsemble(const prog::Program& program, int replicas) {
+    return core_.runEnsemble(program, replicas);
+  }
+  sim::HypercubeSystem makeSystem(int dimension,
+                                  sim::RouterOptions router = {},
+                                  sim::NodeSim::Options node_options = {}) {
+    return core_.makeSystem(dimension, router, node_options);
+  }
+
+ private:
+  WorkbenchContext context_;
+  WorkbenchCore core_;
 };
 
 // Builds an editor document from an existing semantic program, placing

@@ -1,0 +1,91 @@
+// BoundedQueue: the service front door — a bounded, blocking MPMC queue.
+//
+// Producers are caller threads submitting requests; consumers are the
+// workbench shards.  The bound is the admission-control knob: when every
+// shard is busy and the queue is full, push() blocks the caller
+// (backpressure) instead of letting an unbounded backlog hide saturation.
+// close() drains gracefully: already-admitted items are still popped, then
+// every pop returns nullopt — so a stopping service finishes the work it
+// accepted and never abandons a caller's future.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace nsc::svc {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  // Blocks while the queue is full.  Returns false (dropping `item`) if
+  // the queue is closed before space frees up.
+  bool push(T item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock, [&] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    if (items_.size() > peak_depth_) peak_depth_ = items_.size();
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  // Blocks while the queue is empty.  Returns nullopt once the queue is
+  // closed *and* drained — items admitted before close() are still
+  // delivered.
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+  std::size_t depth() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  // High-water mark of depth() over the queue's lifetime.
+  std::size_t peakDepth() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return peak_depth_;
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  std::size_t peak_depth_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace nsc::svc

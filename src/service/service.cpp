@@ -1,0 +1,204 @@
+#include "service/service.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/strings.h"
+
+namespace nsc::svc {
+
+namespace {
+
+std::int64_t nowUs() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::future<ServiceReply> readyError(std::string message) {
+  std::promise<ServiceReply> promise;
+  ServiceReply reply;
+  reply.status = common::Status::error(std::move(message));
+  promise.set_value(std::move(reply));
+  return promise.get_future();
+}
+
+}  // namespace
+
+WorkbenchService::WorkbenchService(ServiceOptions options)
+    : context_(options.machine, options.pool, options.cache),
+      queue_(options.queue_capacity) {
+  const int shard_count = std::max(options.shards, 1);
+  shards_.reserve(static_cast<std::size_t>(shard_count));
+  for (int i = 0; i < shard_count; ++i) {
+    shards_.push_back(std::make_unique<Shard>(context_));
+  }
+  // Cores exist before any thread starts, so shardLoop never races the
+  // shards_ vector itself.
+  for (int i = 0; i < shard_count; ++i) {
+    shards_[static_cast<std::size_t>(i)].get()->thread =
+        std::thread([this, i] { shardLoop(i); });
+  }
+}
+
+WorkbenchService::~WorkbenchService() { stop(); }
+
+void WorkbenchService::stop() {
+  stopped_.store(true, std::memory_order_relaxed);
+  queue_.close();
+  // Serialize the join phase: stop() racing the destructor (or another
+  // stop()) must not double-join a shard thread.
+  std::lock_guard<std::mutex> lock(stop_mu_);
+  for (auto& shard : shards_) {
+    if (shard->thread.joinable()) shard->thread.join();
+  }
+}
+
+std::future<ServiceReply> WorkbenchService::submit(Request request) {
+  if (stopped_.load(std::memory_order_relaxed)) {
+    return readyError("service stopped");
+  }
+  Job job;
+  job.request = std::move(request);
+  job.sequence = next_sequence_.fetch_add(1, std::memory_order_relaxed);
+  job.admitted_us = nowUs();
+  std::future<ServiceReply> future = job.promise.get_future();
+  if (!queue_.push(std::move(job))) {
+    // Closed while we were blocked on admission.
+    return readyError("service stopped");
+  }
+  return future;
+}
+
+ShardStats WorkbenchService::shardStats(int shard) const {
+  const Shard& s = *shards_.at(static_cast<std::size_t>(shard));
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.stats;
+}
+
+void WorkbenchService::shardLoop(int shard_index) {
+  Shard& shard = *shards_[static_cast<std::size_t>(shard_index)];
+  while (std::optional<Job> job = queue_.pop()) {
+    const std::int64_t start_us = nowUs();
+    ServiceReply reply;
+    try {
+      reply = serve(shard.core, job->request);
+    } catch (const std::exception& e) {
+      reply.status = common::Status::error(
+          common::strFormat("request failed: %s", e.what()));
+    } catch (...) {
+      // Anything escaping the shard thread would terminate the process and
+      // abandon every pending future; map it to an error reply instead.
+      reply.status = common::Status::error("request failed: unknown error");
+    }
+    const std::int64_t end_us = nowUs();
+    reply.stats.shard = shard_index;
+    reply.stats.sequence = job->sequence;
+    reply.stats.queue_us = start_us - job->admitted_us;
+    reply.stats.run_us = end_us - start_us;
+    {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      ++shard.stats.requests;
+      if (!reply.ok()) ++shard.stats.failures;
+      if (reply.stats.program_cache_hit) ++shard.stats.cache_hits;
+      shard.stats.busy_us += end_us - start_us;
+    }
+    job->promise.set_value(std::move(reply));
+  }
+}
+
+ServiceReply WorkbenchService::serve(WorkbenchCore& core, Request& request) {
+  // Every request replays against freshly-constructed state: replies are
+  // bit-identical to a fresh single-user Workbench serving the same
+  // request, independent of what this shard served before.
+  core.reset();
+  ServiceReply reply;
+  reply.stats.pool_queue_depth = context_.pool().queueDepth();
+  std::visit([&](const auto& typed) { serveOne(core, typed, reply); },
+             request);
+  return reply;
+}
+
+void WorkbenchService::serveOne(WorkbenchCore& core,
+                                const SubmitSession& request,
+                                ServiceReply& reply) {
+  reply.session = core.runSession(request.script);
+  reply.complete_ = reply.session.clean();
+}
+
+void WorkbenchService::serveOne(WorkbenchCore& core,
+                                const GenerateAndRun& request,
+                                ServiceReply& reply) {
+  reply.session = core.runSession(request.script);
+  for (const PlaneImage& input : request.inputs) {
+    core.node().writePlane(input.plane, input.base, input.values);
+  }
+  RunOutcome outcome = core.generateAndRun();
+  reply.generation = std::move(outcome.generation);
+  reply.run = std::move(outcome.run);
+  reply.program = std::move(outcome.program);
+  reply.stats.program_cache_hit = outcome.cache_hit;
+  reply.outputs.reserve(request.outputs.size());
+  for (const PlaneRange& range : request.outputs) {
+    reply.outputs.push_back(
+        core.node().readPlane(range.plane, range.base, range.count));
+  }
+  reply.complete_ =
+      reply.session.clean() && reply.generation.ok && !reply.run.error;
+}
+
+void WorkbenchService::serveOne(WorkbenchCore& core,
+                                const RunEnsemble& request,
+                                ServiceReply& reply) {
+  if (request.replicas < 0) {
+    reply.status = common::Status::error("RunEnsemble: negative replicas");
+    return;
+  }
+  reply.session = core.runSession(request.script);
+  EnsembleOutcome outcome =
+      core.runEnsemble(core.editor().program(), request.replicas);
+  const bool runs_ok = outcome.ok();
+  reply.generation = std::move(outcome.generation);
+  reply.ensemble = std::move(outcome.runs);
+  reply.program = std::move(outcome.program);
+  reply.stats.program_cache_hit = outcome.cache_hit;
+  reply.complete_ = reply.session.clean() && runs_ok;
+}
+
+void WorkbenchService::serveOne(WorkbenchCore& core,
+                                const RunSystemPhases& request,
+                                ServiceReply& reply) {
+  if (request.dimension < 0 || request.dimension > 12) {
+    reply.status = common::Status::error(
+        common::strFormat("RunSystemPhases: bad dimension %d",
+                          request.dimension));
+    return;
+  }
+  if (request.phases < 0) {
+    reply.status = common::Status::error("RunSystemPhases: negative phases");
+    return;
+  }
+  reply.session = core.runSession(request.script);
+  CompileOutcome compiled = core.compileProgram(core.editor().program());
+  reply.generation = std::move(compiled.generation);
+  reply.program = std::move(compiled.program);
+  reply.stats.program_cache_hit = compiled.cache_hit;
+  if (reply.generation.ok) {
+    sim::HypercubeSystem system = core.makeSystem(request.dimension,
+                                                  request.router);
+    system.loadAll(reply.program);
+    for (int phase = 0; phase < request.phases && !reply.system.error;
+         ++phase) {
+      // Phase-synchronous SPMD: every node re-runs its program to halt;
+      // the makespan accumulates max-over-nodes per phase.
+      if (phase > 0) {
+        for (int n = 0; n < system.numNodes(); ++n) system.node(n).restart();
+      }
+      system.runPhase(reply.system);
+    }
+  }
+  reply.complete_ =
+      reply.session.clean() && reply.generation.ok && !reply.system.error;
+}
+
+}  // namespace nsc::svc

@@ -1,0 +1,204 @@
+// WorkbenchService: the request-oriented serving layer over the workbench.
+//
+// The paper's environment is one user at a Sun-3 driving one editor and one
+// simulated NSC.  This layer serves that workflow to many concurrent
+// callers: sessions arrive as typed requests through a bounded MPMC queue
+// and are dispatched across N workbench *shards*.  Each shard owns the
+// cheap mutable half of a workbench (WorkbenchCore: editor + persistent
+// SessionRunner + NodeSim) and processes one request at a time; all shards
+// reference one shared immutable WorkbenchContext (machine model, the
+// process execution pool, the compiled-program cache), so the expensive
+// state — worker threads and lowered SPMD images — exists once no matter
+// how many shards serve.
+//
+// Determinism contract: every request is *independent* — a shard resets
+// its core before serving, so a reply is bit-identical to running the same
+// request on a fresh single-user Workbench, regardless of shard count,
+// submission order, queue capacity, or NSC_THREADS (tests/test_service.cpp
+// asserts this).  Only the ReplyStats timing fields are nondeterministic.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <variant>
+#include <vector>
+
+#include "nsc/workbench.h"
+#include "service/request_queue.h"
+
+namespace nsc::svc {
+
+// ---------------------------------------------------------------------------
+// Typed requests.
+// ---------------------------------------------------------------------------
+
+// Replay a session script through a shard's editor and return the replay
+// record (commands, refusals, message log) without executing anything.
+struct SubmitSession {
+  std::string script;
+};
+
+// A host-side write into a node memory plane before execution (problem
+// data), and a read-back range after execution (result vectors).
+struct PlaneImage {
+  arch::PlaneId plane = 0;
+  std::uint64_t base = 0;
+  std::vector<double> values;
+};
+struct PlaneRange {
+  arch::PlaneId plane = 0;
+  std::uint64_t base = 0;
+  std::uint64_t count = 0;
+};
+
+// Replay a script, deposit `inputs`, generate microcode, run to halt on the
+// shard's node, and read back `outputs`.
+struct GenerateAndRun {
+  std::string script;
+  std::vector<PlaneImage> inputs;
+  std::vector<PlaneRange> outputs;
+};
+
+// Replay a script, generate once, and run `replicas` independent copies of
+// the program on the shared pool (one compiled image, per-replica memory).
+struct RunEnsemble {
+  std::string script;
+  int replicas = 1;
+};
+
+// Replay a script, load the generated executable SPMD on a 2^dimension-node
+// hypercube bound to the shared pool, and run `phases` compute phases.
+struct RunSystemPhases {
+  std::string script;
+  int dimension = 2;
+  int phases = 1;
+  sim::RouterOptions router{};
+};
+
+using Request =
+    std::variant<SubmitSession, GenerateAndRun, RunEnsemble, RunSystemPhases>;
+
+// ---------------------------------------------------------------------------
+// Replies and stats.
+// ---------------------------------------------------------------------------
+
+struct ReplyStats {
+  int shard = -1;               // shard that served the request
+  std::uint64_t sequence = 0;   // admission order (0-based)
+  std::int64_t queue_us = 0;    // admission -> dispatch wait
+  std::int64_t run_us = 0;      // dispatch -> reply
+  bool program_cache_hit = false;  // compiled image reused from the cache
+  std::size_t pool_queue_depth = 0;  // exec pool backlog at dispatch
+};
+
+struct ServiceReply {
+  // Service-level failure (service stopped before admission).  Script- and
+  // program-level problems surface through `session` / `generation` /
+  // the run stats instead, exactly as on a single-user Workbench.
+  common::Status status = common::Status::ok();
+  ed::SessionResult session;     // every request type replays a script
+  mc::GenerateResult generation; // GenerateAndRun / RunEnsemble / SystemPhases
+  sim::RunStats run;             // GenerateAndRun
+  std::vector<sim::RunStats> ensemble;  // RunEnsemble, one per replica
+  sim::SystemStats system;       // RunSystemPhases
+  std::vector<std::vector<double>> outputs;  // GenerateAndRun read-backs
+  // The compiled image the request executed (empty for SubmitSession and
+  // failed generations).  Pointer-equal across requests that ran the same
+  // program on the same machine config — the cache-sharing witness.
+  std::shared_ptr<const sim::CompiledProgram> program;
+  ReplyStats stats;
+
+  // True when the request did everything it was asked without refusals,
+  // generation diagnostics, or run errors.
+  bool ok() const { return status.isOk() && complete_; }
+
+ private:
+  friend class WorkbenchService;
+  bool complete_ = false;
+};
+
+// Per-shard serving counters (monotonic over the service lifetime).
+struct ShardStats {
+  std::uint64_t requests = 0;
+  std::uint64_t failures = 0;       // replies with ok() == false
+  std::uint64_t cache_hits = 0;     // compiled-program cache hits
+  std::int64_t busy_us = 0;         // total time spent serving
+};
+
+struct ServiceOptions {
+  int shards = 4;
+  std::size_t queue_capacity = 64;  // bounded admission (backpressure)
+  arch::MachineConfig machine{};
+  exec::ThreadPool* pool = nullptr;           // null -> process shared pool
+  sim::CompiledProgramCache* cache = nullptr; // null -> process shared cache
+};
+
+// ---------------------------------------------------------------------------
+// The service.
+// ---------------------------------------------------------------------------
+
+class WorkbenchService {
+ public:
+  explicit WorkbenchService(ServiceOptions options = {});
+  ~WorkbenchService();  // stop(): drains admitted requests, joins shards
+  WorkbenchService(const WorkbenchService&) = delete;
+  WorkbenchService& operator=(const WorkbenchService&) = delete;
+
+  // Admits a request; blocks while the queue is full (backpressure).  The
+  // future resolves when a shard has served the request.  After stop(),
+  // returns an already-ready reply whose status is an error.
+  std::future<ServiceReply> submit(Request request);
+
+  // Closes admission, serves everything already admitted, joins the shard
+  // threads.  Idempotent; the destructor calls it.
+  void stop();
+
+  int shards() const { return static_cast<int>(shards_.size()); }
+  const WorkbenchContext& context() const { return context_; }
+
+  // Queue saturation: current depth and lifetime high-water mark.
+  std::size_t queueDepth() const { return queue_.depth(); }
+  std::size_t peakQueueDepth() const { return queue_.peakDepth(); }
+
+  ShardStats shardStats(int shard) const;
+
+ private:
+  struct Job {
+    Request request;
+    std::promise<ServiceReply> promise;
+    std::uint64_t sequence = 0;
+    std::int64_t admitted_us = 0;  // steady-clock stamp at admission
+  };
+
+  void shardLoop(int shard_index);
+  ServiceReply serve(WorkbenchCore& core, Request& request);
+  void serveOne(WorkbenchCore& core, const SubmitSession& request,
+                ServiceReply& reply);
+  void serveOne(WorkbenchCore& core, const GenerateAndRun& request,
+                ServiceReply& reply);
+  void serveOne(WorkbenchCore& core, const RunEnsemble& request,
+                ServiceReply& reply);
+  void serveOne(WorkbenchCore& core, const RunSystemPhases& request,
+                ServiceReply& reply);
+
+  WorkbenchContext context_;
+  BoundedQueue<Job> queue_;
+  std::atomic<std::uint64_t> next_sequence_{0};
+  std::atomic<bool> stopped_{false};
+  std::mutex stop_mu_;  // serializes the join phase of stop()
+
+  struct Shard {
+    explicit Shard(const WorkbenchContext& context) : core(context) {}
+    WorkbenchCore core;
+    std::thread thread;
+    mutable std::mutex mu;
+    ShardStats stats;
+  };
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace nsc::svc

@@ -3,16 +3,20 @@
 #include <algorithm>
 #include <bit>
 
+#include "sim/program_cache.h"
+
 namespace nsc::sim {
 
 HypercubeSystem::HypercubeSystem(const arch::Machine& machine, int dimension,
                                  RouterOptions router,
                                  NodeSim::Options node_options,
-                                 exec::ThreadPool* pool)
+                                 exec::ThreadPool* pool,
+                                 CompiledProgramCache* cache)
     : machine_(machine),
       dimension_(dimension),
       router_(router),
-      pool_(pool != nullptr ? pool : &exec::ThreadPool::shared()) {
+      pool_(pool != nullptr ? pool : &exec::ThreadPool::shared()),
+      cache_(cache != nullptr ? cache : &CompiledProgramCache::shared()) {
   const int n = 1 << dimension_;
   nodes_.reserve(idx(n));
   for (int i = 0; i < n; ++i) {
@@ -75,7 +79,15 @@ std::uint64_t HypercubeSystem::sendVector(int src_node,
 }
 
 void HypercubeSystem::loadAll(const mc::Executable& exe) {
-  loadAll(CompiledProgram::compile(machine_, exe));
+  // The program cache owns compiled-image sharing: a second system (or a
+  // workbench shard / ensemble call) loading the same SPMD executable
+  // reuses this system's image instead of re-lowering it.
+  loadAll(exe, *cache_);
+}
+
+void HypercubeSystem::loadAll(const mc::Executable& exe,
+                              CompiledProgramCache& cache) {
+  loadAll(cache.get(machine_, exe));
 }
 
 void HypercubeSystem::loadAll(std::shared_ptr<const CompiledProgram> program) {

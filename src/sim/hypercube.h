@@ -23,6 +23,8 @@
 
 namespace nsc::sim {
 
+class CompiledProgramCache;
+
 struct RouterOptions {
   std::uint64_t message_startup_cycles = 32;
   std::uint64_t hop_latency_cycles = 8;
@@ -54,10 +56,13 @@ class HypercubeSystem {
   // `pool` is the execution pool node stepping runs on; nullptr means the
   // process-wide exec::ThreadPool::shared().  The pool outlives the system
   // and is reused across every phase — runPhase never creates threads.
+  // `cache` is the compiled-program cache loadAll(exe) resolves images
+  // through; nullptr means CompiledProgramCache::shared().
   HypercubeSystem(const arch::Machine& machine, int dimension,
                   RouterOptions router = {},
                   NodeSim::Options node_options = {},
-                  exec::ThreadPool* pool = nullptr);
+                  exec::ThreadPool* pool = nullptr,
+                  CompiledProgramCache* cache = nullptr);
 
   exec::ThreadPool& pool() const { return *pool_; }
 
@@ -80,9 +85,11 @@ class HypercubeSystem {
                            int dst_node, arch::PlaneId dst_plane,
                            std::uint64_t dst_base);
 
-  // Loads the same executable on every node (SPMD): compiles once, then
-  // every node shares the one immutable program image.
+  // Loads the same executable on every node (SPMD): resolves one immutable
+  // compiled image through `cache` (first form: the cache this system was
+  // constructed with) and every node shares it.
   void loadAll(const mc::Executable& exe);
+  void loadAll(const mc::Executable& exe, CompiledProgramCache& cache);
   void loadAll(std::shared_ptr<const CompiledProgram> program);
 
   // Runs every node's program to halt (in parallel on the shared pool);
@@ -107,6 +114,7 @@ class HypercubeSystem {
   int dimension_;
   RouterOptions router_;
   exec::ThreadPool* pool_;
+  CompiledProgramCache* cache_;
   std::vector<std::unique_ptr<NodeSim>> nodes_;
   // Per-destination-node accumulated exchange cost in the open phase.
   std::vector<std::uint64_t> exchange_cost_;

@@ -1,0 +1,80 @@
+#include "sim/program_cache.h"
+
+#include <algorithm>
+
+namespace nsc::sim {
+
+CompiledProgramCache::CompiledProgramCache(std::size_t max_entries)
+    : max_entries_(std::max<std::size_t>(max_entries, 1)) {}
+
+CompiledProgramCache::Entry* CompiledProgramCache::find(
+    std::uint64_t fingerprint, const arch::Machine& machine,
+    const mc::Executable& exe) {
+  for (Entry& entry : entries_) {
+    // Fingerprint first (cheap), then config, then exact content: a 64-bit
+    // collision between distinct programs compiles its own entry instead of
+    // silently running another program's image.
+    if (entry.fingerprint == fingerprint && entry.config == machine.config() &&
+        entry.exe == exe) {
+      return &entry;
+    }
+  }
+  return nullptr;
+}
+
+std::shared_ptr<const CompiledProgram> CompiledProgramCache::get(
+    const arch::Machine& machine, const mc::Executable& exe, bool* hit) {
+  const std::uint64_t fingerprint = exe.fingerprint();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (Entry* entry = find(fingerprint, machine, exe)) {
+      entry->last_used = ++tick_;
+      ++hits_;
+      if (hit != nullptr) *hit = true;
+      return entry->program;
+    }
+  }
+  // Compile outside the lock: lowering a big program should not serialize
+  // unrelated lookups (or concurrent first loads of different programs).
+  std::shared_ptr<const CompiledProgram> compiled =
+      CompiledProgram::compile(machine, exe);
+  std::lock_guard<std::mutex> lock(mu_);
+  // Insertion race: another thread may have compiled the same program while
+  // we did.  The first insertion wins so every caller sees one instance.
+  if (Entry* entry = find(fingerprint, machine, exe)) {
+    entry->last_used = ++tick_;
+    ++hits_;
+    if (hit != nullptr) *hit = true;
+    return entry->program;
+  }
+  ++misses_;
+  if (hit != nullptr) *hit = false;
+  if (entries_.size() >= max_entries_) {
+    auto lru = std::min_element(entries_.begin(), entries_.end(),
+                                [](const Entry& a, const Entry& b) {
+                                  return a.last_used < b.last_used;
+                                });
+    entries_.erase(lru);
+    ++evictions_;
+  }
+  entries_.push_back(Entry{fingerprint, machine.config(), exe, compiled,
+                           ++tick_});
+  return compiled;
+}
+
+CompiledProgramCache::Stats CompiledProgramCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return Stats{hits_, misses_, evictions_, entries_.size()};
+}
+
+void CompiledProgramCache::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+}
+
+CompiledProgramCache& CompiledProgramCache::shared() {
+  static CompiledProgramCache cache;
+  return cache;
+}
+
+}  // namespace nsc::sim

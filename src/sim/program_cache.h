@@ -1,0 +1,84 @@
+// CompiledProgramCache: one compiled image per (executable, machine config),
+// process-wide.
+//
+// PR 3 made compilation a once-per-program cost shared across the nodes of
+// one HypercubeSystem / the replicas of one ensemble call — but the sharing
+// was ad hoc: every loadAll / runEnsemble call site compiled its own image,
+// so two workbench shards (or two ensemble calls) running the same SPMD
+// executable still lowered it twice.  This cache owns that sharing: lookups
+// key on mc::Executable::fingerprint() plus the full MachineConfig (lowered
+// indices depend on the machine layout), confirm exact executable content
+// after a fingerprint match, hits return the *same*
+// shared_ptr<const CompiledProgram> instance, and entries are evicted LRU
+// past a bounded capacity.  The service layer's shards and every
+// HypercubeSystem::loadAll(exe) go through here, so N concurrent consumers
+// of one program observe exactly one immutable image.
+//
+// Thread-safe.  Compilation runs outside the lock; a lost insertion race
+// discards the loser's image and returns the winner's, preserving
+// pointer-equality for every caller.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "arch/machine.h"
+#include "microcode/generator.h"
+#include "sim/compiled.h"
+
+namespace nsc::sim {
+
+class CompiledProgramCache {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::size_t entries = 0;
+  };
+
+  explicit CompiledProgramCache(std::size_t max_entries = 64);
+
+  // Returns the compiled image for `exe` on `machine`, compiling on miss.
+  // Two calls with the same executable content and machine config return
+  // the same instance.  `hit` (optional) reports whether this call reused
+  // a cached image.
+  std::shared_ptr<const CompiledProgram> get(const arch::Machine& machine,
+                                             const mc::Executable& exe,
+                                             bool* hit = nullptr);
+
+  Stats stats() const;
+  void clear();
+
+  // The process-wide cache shards, systems, and workbenches share by
+  // default (sized with the default max_entries).
+  static CompiledProgramCache& shared();
+
+ private:
+  struct Entry {
+    std::uint64_t fingerprint = 0;
+    arch::MachineConfig config;
+    // The source content, kept to confirm fingerprint matches exactly: a
+    // hash collision must compile its own entry, never alias another
+    // program's image.
+    mc::Executable exe;
+    std::shared_ptr<const CompiledProgram> program;
+    std::uint64_t last_used = 0;  // LRU tick
+  };
+
+  // The entry matching (fingerprint, config, content), or nullptr.
+  Entry* find(std::uint64_t fingerprint, const arch::Machine& machine,
+              const mc::Executable& exe);
+
+  mutable std::mutex mu_;
+  std::size_t max_entries_;
+  std::uint64_t tick_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace nsc::sim

@@ -474,6 +474,104 @@ TEST(SessionTest, RunnerPersistsAcrossBatches) {
   EXPECT_EQ(editor.doc().scene.icons().size(), 1u);
 }
 
+TEST(SessionTest, ScanOfBlankAndCommentOnlyScriptsIsEmpty) {
+  EXPECT_TRUE(SessionRunner::scan("").empty());
+  EXPECT_TRUE(SessionRunner::scan("\n\n\n").empty());
+  EXPECT_TRUE(SessionRunner::scan("   \t \n# just a comment\n  # more\n")
+                  .empty());
+  // Replaying the empty batch is a clean no-op session.
+  arch::Machine machine;
+  Editor editor(machine);
+  const SessionResult result =
+      runSession(editor, "# commentary only\n\n   \n");
+  EXPECT_TRUE(result.clean()) << result.status.message();
+  EXPECT_EQ(result.commands, 0);
+  EXPECT_TRUE(result.log.empty());
+}
+
+TEST(SessionTest, MalformedCommandsReportOneBasedSourceLines) {
+  arch::Machine machine;
+  // Line numbers must survive blank and comment lines: the bad command
+  // below sits on source line 5 even though it is the 2nd scanned command.
+  const std::string script = "\n"                         // line 1
+                             "pipeline \"lines\"\n"       // line 2
+                             "# commentary\n"             // line 3
+                             "\n"                         // line 4
+                             "place doublet nowhere\n";   // line 5
+  const auto batch = SessionRunner::scan(script);
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch[1].line, 5);
+  Editor editor(machine);
+  const SessionResult result = SessionRunner(editor).run(batch);
+  EXPECT_FALSE(result.status.isOk());
+  EXPECT_NE(result.status.message().find("line 5:"), std::string::npos)
+      << result.status.message();
+  // Commands before the malformed one were replayed; the error stopped the
+  // batch at the offender.
+  EXPECT_EQ(result.commands, 2);
+
+  // A representative sample of malformed spellings: each surfaces as a
+  // Status error naming its (1-based) line, never a crash or a refusal.
+  const char* malformed[] = {
+      "place\n",                        // too few words
+      "place gizmo at 10,10\n",         // unknown icon kind
+      "connect plane0.read\n",          // missing TO endpoint
+      "connect nonsense fu4.a\n",       // unparseable endpoint
+      "dma plane0.read base16\n",       // not key=value
+      "dma plane0.read vase=16\n",      // unknown key
+      "sd 0 delay=1,2\n",               // expected taps=
+      "seq warp target=3\n",            // unknown sequencer op
+      "select\n",                       // missing index
+      "frobnicate the widget\n",        // unknown command
+  };
+  for (const char* bad : malformed) {
+    Editor fresh(machine);
+    const SessionResult r = runSession(fresh, bad);
+    EXPECT_FALSE(r.status.isOk()) << bad;
+    EXPECT_NE(r.status.message().find("line 1:"), std::string::npos)
+        << bad << " -> " << r.status.message();
+  }
+}
+
+TEST(SessionTest, BatchReplayMatchesLineAtATimeReplay) {
+  arch::Machine machine;
+  const std::string script = R"(
+pipeline "parity"
+place doublet at 300,200
+setop fu4 mul
+connect plane0.read fu4.a
+const fu4 b 2.0
+connect fu4.out plane1.write
+connect plane1.read fu4.b   # refused: fu4.b already fed by a constant
+dma plane0.read base=0 stride=1 count=16 var=x
+dma plane1.write base=0 stride=1 count=16 var=y
+seq halt
+check
+)";
+  // Whole script as one batch.
+  Editor batch_editor(machine);
+  const SessionResult batch = runSession(batch_editor, script);
+
+  // Same script, one line per runScript call on a persistent runner.
+  Editor line_editor(machine);
+  SessionRunner runner(line_editor);
+  SessionResult merged;
+  for (const std::string& line : common::split(script, '\n')) {
+    const SessionResult one = runner.runScript(line);
+    merged.commands += one.commands;
+    merged.failures += one.failures;
+    merged.log.insert(merged.log.end(), one.log.begin(), one.log.end());
+    ASSERT_TRUE(one.status.isOk()) << one.status.message();
+  }
+
+  EXPECT_EQ(batch.commands, merged.commands);
+  EXPECT_EQ(batch.failures, merged.failures);
+  EXPECT_EQ(batch.log, merged.log);
+  EXPECT_EQ(batch.failures, 1);  // exactly the flagged refusal
+  EXPECT_EQ(batch_editor.program(), line_editor.program());
+  EXPECT_TRUE(batch_editor.generate().ok);
+}
+
 TEST(SessionTest, MouseLevelCommandsWork) {
   arch::Machine machine;
   Editor editor(machine);

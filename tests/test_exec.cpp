@@ -4,7 +4,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <future>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "exec/thread_pool.h"
@@ -153,6 +156,143 @@ TEST(ExecTest, SharedPoolIsAProcessSingleton) {
   ThreadPool& b = ThreadPool::shared();
   EXPECT_EQ(&a, &b);
   EXPECT_GE(a.threadCount(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// submit(): the future-returning task path the service layer uses.
+// ---------------------------------------------------------------------------
+
+TEST(ExecTest, SubmitReturnsFutureValue) {
+  ThreadPool pool(ExecOptions{4});
+  std::future<int> value = pool.submit([] { return 42; });
+  EXPECT_EQ(value.get(), 42);
+  std::atomic<bool> ran{false};
+  std::future<void> side_effect = pool.submit([&] { ran.store(true); });
+  side_effect.get();
+  EXPECT_TRUE(ran.load());
+  EXPECT_EQ(pool.tasksSubmitted(), 2u);
+}
+
+TEST(ExecTest, SubmitManyTasksAllRunExactlyOnce) {
+  ThreadPool pool(ExecOptions{4});
+  std::vector<std::atomic<int>> hits(128);
+  for (auto& h : hits) h.store(0);
+  std::vector<std::future<void>> futures;
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    futures.push_back(pool.submit([&hits, i] { hits[i].fetch_add(1); }));
+  }
+  for (auto& f : futures) f.get();
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "task " << i;
+  }
+  EXPECT_EQ(pool.queueDepth(), 0u);
+}
+
+TEST(ExecTest, SubmitPropagatesExceptionThroughFuture) {
+  ThreadPool pool(ExecOptions{4});
+  std::future<int> doomed =
+      pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(doomed.get(), std::runtime_error);
+  // The pool survives and keeps serving.
+  EXPECT_EQ(pool.submit([] { return 7; }).get(), 7);
+}
+
+TEST(ExecTest, SubmitOnSingleThreadPoolRunsInline) {
+  ThreadPool pool(ExecOptions{1});
+  std::future<int> value = pool.submit([] { return 9; });
+  // No workers: the task already ran on the submitting thread.
+  EXPECT_EQ(value.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  EXPECT_EQ(value.get(), 9);
+  EXPECT_EQ(pool.threadsCreated(), 0u);
+  EXPECT_EQ(pool.queueDepth(), 0u);
+}
+
+TEST(ExecTest, SubmitFromInsidePoolTaskRunsInlineWithoutDeadlock) {
+  ThreadPool pool(ExecOptions{2});  // one worker: queueing would deadlock
+  std::future<int> outer = pool.submit([&pool] {
+    std::future<int> inner = pool.submit([] { return 5; });
+    return inner.get() + 1;
+  });
+  EXPECT_EQ(outer.get(), 6);
+}
+
+TEST(ExecTest, QueueDepthStatsReportBacklog) {
+  ThreadPool pool(ExecOptions{2});  // exactly one worker
+  std::promise<void> gate;
+  std::shared_future<void> open = gate.get_future().share();
+  std::future<void> blocker = pool.submit([open] { open.wait(); });
+  // Wait until the worker has claimed the blocker, then pile up a backlog.
+  while (pool.queueDepth() != 0) std::this_thread::yield();
+  std::vector<std::future<void>> backlog;
+  for (int i = 0; i < 3; ++i) backlog.push_back(pool.submit([] {}));
+  EXPECT_EQ(pool.queueDepth(), 3u);
+  EXPECT_GE(pool.peakQueueDepth(), 3u);
+  gate.set_value();
+  blocker.get();
+  for (auto& f : backlog) f.get();
+  EXPECT_EQ(pool.queueDepth(), 0u);
+  EXPECT_EQ(pool.tasksSubmitted(), 4u);
+}
+
+TEST(ExecTest, ParallelForCompletesWhileWorkerBusyWithTask) {
+  // A worker pinned by a long submitted task must not stall parallelFor:
+  // the job is done when the range is exhausted by whoever joined it.
+  ThreadPool pool(ExecOptions{3});
+  std::promise<void> gate;
+  std::shared_future<void> open = gate.get_future().share();
+  std::future<void> pinned = pool.submit([open] { open.wait(); });
+  std::atomic<int> total{0};
+  pool.parallelFor(0, 64, 1, [&](std::size_t lo, std::size_t hi) {
+    total.fetch_add(static_cast<int>(hi - lo));
+  });
+  EXPECT_EQ(total.load(), 64);  // completed with the worker still pinned
+  gate.set_value();
+  pinned.get();
+}
+
+TEST(ExecTest, TryRunOneTaskLetsTheCallerHelpDrainBacklog) {
+  ThreadPool pool(ExecOptions{2});  // exactly one worker
+  std::promise<void> gate;
+  std::shared_future<void> open = gate.get_future().share();
+  std::future<void> blocker = pool.submit([open] { open.wait(); });
+  while (pool.queueDepth() != 0) std::this_thread::yield();
+  std::atomic<int> done{0};
+  std::vector<std::future<void>> backlog;
+  for (int i = 0; i < 3; ++i) {
+    backlog.push_back(pool.submit([&done] { done.fetch_add(1); }));
+  }
+  // The worker is pinned: the caller drains the whole backlog itself.
+  while (pool.tryRunOneTask()) {
+  }
+  EXPECT_EQ(done.load(), 3);
+  EXPECT_EQ(pool.queueDepth(), 0u);
+  for (auto& f : backlog) f.get();
+  EXPECT_FALSE(pool.tryRunOneTask());  // empty queue reports false
+  gate.set_value();
+  blocker.get();
+}
+
+TEST(ExecTest, DestructorDrainsQueuedTasks) {
+  // Futures must never be abandoned: tasks still queued when the pool is
+  // destroyed run on the destructing thread.
+  std::vector<std::future<int>> futures;
+  {
+    ThreadPool pool(ExecOptions{2});
+    std::promise<void> gate;
+    std::shared_future<void> open = gate.get_future().share();
+    futures.push_back(pool.submit([open] {
+      open.wait();
+      return 1;
+    }));
+    for (int i = 0; i < 4; ++i) {
+      futures.push_back(pool.submit([] { return 2; }));
+    }
+    gate.set_value();
+  }  // pool destroyed here; queued tasks drained
+  int sum = 0;
+  for (auto& f : futures) sum += f.get();
+  EXPECT_EQ(sum, 1 + 4 * 2);
 }
 
 }  // namespace

@@ -1,0 +1,470 @@
+// Service-layer tests: the sharded workbench service over the shared pool
+// and compiled-program cache.
+//
+// The load-bearing property is the determinism contract: a set of session
+// scripts submitted *concurrently* to an N-shard service yields per-request
+// results bit-identical to running each request on a fresh single-user
+// Workbench, for any shard count, queue capacity, producer interleaving,
+// and NSC_THREADS (the CI TSan job replays this suite with NSC_THREADS=4).
+#include <gtest/gtest.h>
+
+#include <future>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "nsc/nsc.h"
+#include "service/service.h"
+
+namespace nsc::svc {
+namespace {
+
+// A tiny scale-by-k pipeline: y = k * x over 8 words.
+std::string tripleScript(double k) {
+  std::ostringstream script;
+  script << R"(
+pipeline "triple"
+place doublet at 300,200
+setop fu4 mul
+connect plane0.read fu4.a
+const fu4 b )" << k << R"(
+connect fu4.out plane1.write
+dma plane0.read base=0 stride=1 count=8 var=x
+dma plane1.write base=0 stride=1 count=8 var=y
+seq halt
+)";
+  return script.str();
+}
+
+// A script the editor partially refuses (still replayable, failures > 0).
+const char* kRefusedScript = R"(
+pipeline "bad"
+place doublet at 300,200
+setop fu4 max
+connect plane0.read fu4.a
+connect plane1.read fu4.a
+)";
+
+// Host-side problem data for the Figure-11 sweep: u copies, f, and mask.
+std::vector<PlaneImage> figure11Inputs() {
+  std::vector<PlaneImage> inputs;
+  std::vector<double> u(640);
+  for (std::size_t i = 0; i < u.size(); ++i) {
+    u[i] = 0.25 * static_cast<double>((i * 37) % 11);
+  }
+  for (arch::PlaneId plane = 0; plane < 4; ++plane) {
+    inputs.push_back(PlaneImage{plane, 0, u});
+  }
+  std::vector<double> f(640);
+  for (std::size_t i = 0; i < f.size(); ++i) {
+    f[i] = 0.125 * static_cast<double>((i * 13) % 7);
+  }
+  inputs.push_back(PlaneImage{8, 0, f});
+  inputs.push_back(PlaneImage{10, 0, std::vector<double>(640, 1.0)});
+  return inputs;
+}
+
+std::vector<PlaneRange> figure11Outputs() {
+  return {PlaneRange{4, 161, 366}, PlaneRange{9, 0, 1}};
+}
+
+void expectRunStatsEq(const sim::RunStats& got, const sim::RunStats& want,
+                      const std::string& where) {
+  EXPECT_EQ(got.total_cycles, want.total_cycles) << where;
+  EXPECT_EQ(got.total_flops, want.total_flops) << where;
+  EXPECT_EQ(got.total_hazards, want.total_hazards) << where;
+  EXPECT_EQ(got.instructions_executed, want.instructions_executed) << where;
+  EXPECT_EQ(got.halted, want.halted) << where;
+  EXPECT_EQ(got.error, want.error) << where;
+  EXPECT_EQ(got.fu_launches, want.fu_launches) << where;
+  ASSERT_EQ(got.trace.size(), want.trace.size()) << where;
+  for (std::size_t i = 0; i < got.trace.size(); ++i) {
+    EXPECT_EQ(got.trace[i].cycles, want.trace[i].cycles) << where << " #" << i;
+    EXPECT_EQ(got.trace[i].flops, want.trace[i].flops) << where << " #" << i;
+    EXPECT_EQ(got.trace[i].name, want.trace[i].name) << where << " #" << i;
+  }
+}
+
+void expectSessionEq(const ed::SessionResult& got,
+                     const ed::SessionResult& want, const std::string& where) {
+  EXPECT_EQ(got.commands, want.commands) << where;
+  EXPECT_EQ(got.failures, want.failures) << where;
+  EXPECT_EQ(got.log, want.log) << where;
+  EXPECT_EQ(got.status.isOk(), want.status.isOk()) << where;
+  EXPECT_EQ(got.status.message(), want.status.message()) << where;
+}
+
+// The sequential single-user reference for one GenerateAndRun request.
+struct Reference {
+  ed::SessionResult session;
+  bool generated = false;
+  sim::RunStats run;
+  std::vector<std::vector<double>> outputs;
+};
+
+Reference referenceFor(const GenerateAndRun& request) {
+  Reference ref;
+  Workbench wb;
+  ref.session = wb.runSession(request.script);
+  for (const PlaneImage& input : request.inputs) {
+    wb.node().writePlane(input.plane, input.base, input.values);
+  }
+  const RunOutcome outcome = wb.generateAndRun();
+  ref.generated = outcome.generation.ok;
+  ref.run = outcome.run;
+  for (const PlaneRange& range : request.outputs) {
+    ref.outputs.push_back(
+        wb.node().readPlane(range.plane, range.base, range.count));
+  }
+  return ref;
+}
+
+// ---------------------------------------------------------------------------
+// BoundedQueue
+// ---------------------------------------------------------------------------
+
+TEST(BoundedQueueTest, FifoOrderAndPeakDepth) {
+  BoundedQueue<int> queue(8);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(queue.push(i));
+  EXPECT_EQ(queue.depth(), 5u);
+  EXPECT_EQ(queue.peakDepth(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    const auto item = queue.pop();
+    ASSERT_TRUE(item.has_value());
+    EXPECT_EQ(*item, i);
+  }
+  EXPECT_EQ(queue.depth(), 0u);
+  EXPECT_EQ(queue.peakDepth(), 5u);
+}
+
+TEST(BoundedQueueTest, CloseDeliversAdmittedItemsThenNullopt) {
+  BoundedQueue<int> queue(8);
+  EXPECT_TRUE(queue.push(1));
+  EXPECT_TRUE(queue.push(2));
+  queue.close();
+  EXPECT_FALSE(queue.push(3));  // admission refused after close
+  EXPECT_EQ(queue.pop(), std::optional<int>(1));
+  EXPECT_EQ(queue.pop(), std::optional<int>(2));
+  EXPECT_EQ(queue.pop(), std::nullopt);
+  EXPECT_EQ(queue.pop(), std::nullopt);  // stays drained
+}
+
+TEST(BoundedQueueTest, FullQueueBlocksProducerUntilPop) {
+  BoundedQueue<int> queue(1);
+  EXPECT_TRUE(queue.push(0));
+  std::thread producer([&] {
+    EXPECT_TRUE(queue.push(1));  // blocks until the consumer pops
+    EXPECT_TRUE(queue.push(2));
+  });
+  for (int expected = 0; expected <= 2; ++expected) {
+    const auto item = queue.pop();
+    ASSERT_TRUE(item.has_value());
+    EXPECT_EQ(*item, expected);
+  }
+  producer.join();
+  EXPECT_EQ(queue.peakDepth(), 1u);  // the bound held throughout
+}
+
+// ---------------------------------------------------------------------------
+// CompiledProgramCache
+// ---------------------------------------------------------------------------
+
+mc::GenerateResult generateFor(const arch::Machine& machine,
+                               const std::string& script) {
+  ed::Editor editor(machine);
+  ed::runSession(editor, script);
+  mc::Generator generator(machine);
+  return generator.generate(editor.program());
+}
+
+TEST(ProgramCacheTest, HitReturnsPointerEqualInstance) {
+  arch::Machine machine;
+  const mc::GenerateResult gen = generateFor(machine, tripleScript(3.0));
+  ASSERT_TRUE(gen.ok) << gen.diagnostics.format();
+
+  sim::CompiledProgramCache cache;
+  bool hit = true;
+  const auto first = cache.get(machine, gen.exe, &hit);
+  EXPECT_FALSE(hit);
+  const auto second = cache.get(machine, gen.exe, &hit);
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(first.get(), second.get());  // one immutable image, shared
+
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST(ProgramCacheTest, MachineConfigIsPartOfTheKey) {
+  // Same executable bits, different machine config: lowered indices could
+  // differ, so the cache must not alias the images.
+  arch::MachineConfig small;
+  small.sim_plane_words = 1u << 16;
+  arch::Machine machine_a;
+  arch::Machine machine_b(small);
+  const mc::GenerateResult gen = generateFor(machine_a, tripleScript(2.0));
+  ASSERT_TRUE(gen.ok);
+
+  sim::CompiledProgramCache cache;
+  const auto a = cache.get(machine_a, gen.exe);
+  const auto b = cache.get(machine_b, gen.exe);
+  EXPECT_NE(a.get(), b.get());
+  EXPECT_EQ(cache.stats().misses, 2u);
+  EXPECT_EQ(cache.stats().entries, 2u);
+}
+
+TEST(ProgramCacheTest, EvictsLeastRecentlyUsedPastCapacity) {
+  arch::Machine machine;
+  const mc::GenerateResult gen_a = generateFor(machine, tripleScript(2.0));
+  const mc::GenerateResult gen_b = generateFor(machine, tripleScript(5.0));
+  ASSERT_TRUE(gen_a.ok);
+  ASSERT_TRUE(gen_b.ok);
+  ASSERT_NE(gen_a.exe.fingerprint(), gen_b.exe.fingerprint());
+
+  sim::CompiledProgramCache cache(1);
+  cache.get(machine, gen_a.exe);
+  cache.get(machine, gen_b.exe);  // evicts A
+  EXPECT_EQ(cache.stats().entries, 1u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  bool hit = true;
+  cache.get(machine, gen_a.exe, &hit);  // A was evicted: recompiled
+  EXPECT_FALSE(hit);
+  EXPECT_EQ(cache.stats().evictions, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// WorkbenchService: determinism against the single-user reference
+// ---------------------------------------------------------------------------
+
+TEST(ServiceTest, ConcurrentSubmissionsMatchSequentialWorkbench) {
+  // A mixed batch: distinct programs, the full Figure-11 sweep with problem
+  // data and read-backs, a script with refusals, and an empty session.
+  std::vector<GenerateAndRun> requests;
+  for (int k = 1; k <= 6; ++k) {
+    requests.push_back(GenerateAndRun{tripleScript(1.0 + 0.5 * k), {}, {}});
+  }
+  requests.push_back(GenerateAndRun{figure11SessionScript(),
+                                    figure11Inputs(), figure11Outputs()});
+  requests.push_back(GenerateAndRun{kRefusedScript, {}, {}});
+  requests.push_back(GenerateAndRun{"# nothing but a comment\n\n", {}, {}});
+
+  // Sequential single-user reference, one fresh Workbench per request.
+  std::vector<Reference> references;
+  references.reserve(requests.size());
+  for (const GenerateAndRun& request : requests) {
+    references.push_back(referenceFor(request));
+  }
+
+  // Serve the same batch concurrently: 4 shards, 3 producer threads, a
+  // queue small enough to exercise backpressure.
+  ServiceOptions options;
+  options.shards = 4;
+  options.queue_capacity = 4;
+  WorkbenchService service(options);
+  std::vector<std::future<ServiceReply>> futures(requests.size());
+  {
+    std::vector<std::thread> producers;
+    for (int p = 0; p < 3; ++p) {
+      producers.emplace_back([&, p] {
+        for (std::size_t i = static_cast<std::size_t>(p); i < requests.size();
+             i += 3) {
+          futures[i] = service.submit(requests[i]);
+        }
+      });
+    }
+    for (std::thread& t : producers) t.join();
+  }
+
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const std::string where = "request " + std::to_string(i);
+    ServiceReply reply = futures[i].get();
+    const Reference& ref = references[i];
+    EXPECT_TRUE(reply.status.isOk()) << where << ": " << reply.status.message();
+    expectSessionEq(reply.session, ref.session, where);
+    EXPECT_EQ(reply.generation.ok, ref.generated) << where;
+    expectRunStatsEq(reply.run, ref.run, where);
+    ASSERT_EQ(reply.outputs.size(), ref.outputs.size()) << where;
+    for (std::size_t o = 0; o < reply.outputs.size(); ++o) {
+      EXPECT_EQ(reply.outputs[o], ref.outputs[o]) << where << " output " << o;
+    }
+  }
+}
+
+TEST(ServiceTest, CacheSharedAcrossShardsPointerEqual) {
+  sim::CompiledProgramCache cache;
+  ServiceOptions options;
+  options.shards = 4;
+  options.cache = &cache;
+  WorkbenchService service(options);
+
+  std::vector<std::future<ServiceReply>> futures;
+  for (int i = 0; i < 8; ++i) {
+    futures.push_back(service.submit(
+        GenerateAndRun{figure11SessionScript(), {}, {}}));
+  }
+  const sim::CompiledProgram* image = nullptr;
+  int hits = 0;
+  for (auto& future : futures) {
+    ServiceReply reply = future.get();
+    ASSERT_TRUE(reply.ok()) << reply.status.message()
+                            << reply.generation.diagnostics.format();
+    ASSERT_NE(reply.program, nullptr);
+    if (image == nullptr) image = reply.program.get();
+    // Every shard observes the *same* compiled instance, never a copy.
+    EXPECT_EQ(reply.program.get(), image);
+    if (reply.stats.program_cache_hit) ++hits;
+  }
+  // Exactly one compilation happened, no matter how the 8 requests raced.
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().entries, 1u);
+  EXPECT_EQ(hits, 7);
+}
+
+TEST(ServiceTest, EnsembleMatchesWorkbenchEnsemble) {
+  const std::string script = tripleScript(3.0);
+  Workbench reference;
+  ASSERT_TRUE(reference.runSession(script).clean());
+  const EnsembleOutcome want =
+      reference.runEnsemble(reference.editor().program(), 6);
+  ASSERT_TRUE(want.ok()) << want.generation.diagnostics.format();
+
+  WorkbenchService service(ServiceOptions{});
+  ServiceReply reply = service.submit(RunEnsemble{script, 6}).get();
+  ASSERT_TRUE(reply.ok()) << reply.status.message();
+  ASSERT_EQ(reply.ensemble.size(), want.runs.size());
+  for (std::size_t i = 0; i < want.runs.size(); ++i) {
+    expectRunStatsEq(reply.ensemble[i], want.runs[i],
+                     "replica " + std::to_string(i));
+  }
+}
+
+TEST(ServiceTest, SystemPhasesMatchesDirectSystem) {
+  const std::string script = tripleScript(2.0);
+  Workbench reference;
+  ASSERT_TRUE(reference.runSession(script).clean());
+  mc::Generator generator(reference.machine());
+  const mc::GenerateResult gen =
+      generator.generate(reference.editor().program());
+  ASSERT_TRUE(gen.ok) << gen.diagnostics.format();
+  sim::HypercubeSystem system = reference.makeSystem(2);
+  system.loadAll(gen.exe);
+  sim::SystemStats want;
+  for (int phase = 0; phase < 3; ++phase) {
+    if (phase > 0) {
+      for (int n = 0; n < system.numNodes(); ++n) system.node(n).restart();
+    }
+    system.runPhase(want);
+  }
+
+  WorkbenchService service(ServiceOptions{});
+  RunSystemPhases request;
+  request.script = script;
+  request.dimension = 2;
+  request.phases = 3;
+  ServiceReply reply = service.submit(request).get();
+  ASSERT_TRUE(reply.ok()) << reply.status.message();
+  EXPECT_EQ(reply.system.compute_makespan_cycles, want.compute_makespan_cycles);
+  EXPECT_EQ(reply.system.comm_cycles, want.comm_cycles);
+  EXPECT_EQ(reply.system.total_flops, want.total_flops);
+  ASSERT_EQ(reply.system.node_stats.size(), want.node_stats.size());
+  for (std::size_t i = 0; i < want.node_stats.size(); ++i) {
+    EXPECT_EQ(reply.system.node_stats[i].total_cycles,
+              want.node_stats[i].total_cycles) << "node " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// WorkbenchService: admission, stats, lifecycle
+// ---------------------------------------------------------------------------
+
+TEST(ServiceTest, BackpressureQueueBoundHoldsUnderLoad) {
+  ServiceOptions options;
+  options.shards = 2;
+  options.queue_capacity = 2;
+  WorkbenchService service(options);
+
+  constexpr int kRequests = 24;
+  std::vector<std::future<ServiceReply>> futures(kRequests);
+  std::vector<std::thread> producers;
+  for (int p = 0; p < 4; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = p; i < kRequests; i += 4) {
+        futures[static_cast<std::size_t>(i)] =
+            service.submit(SubmitSession{tripleScript(2.0)});
+      }
+    });
+  }
+  for (std::thread& t : producers) t.join();
+  for (auto& future : futures) {
+    EXPECT_TRUE(future.get().ok());
+  }
+  EXPECT_LE(service.peakQueueDepth(), 2u);  // admission control held
+}
+
+TEST(ServiceTest, StatsAccountRequestsShardsAndSequence) {
+  ServiceOptions options;
+  options.shards = 2;
+  WorkbenchService service(options);
+  constexpr int kRequests = 10;
+  std::vector<std::future<ServiceReply>> futures;
+  for (int i = 0; i < kRequests; ++i) {
+    futures.push_back(service.submit(SubmitSession{"pipeline \"p\"\n"}));
+  }
+  std::set<std::uint64_t> sequences;
+  for (auto& future : futures) {
+    const ServiceReply reply = future.get();
+    EXPECT_TRUE(reply.ok());
+    EXPECT_GE(reply.stats.shard, 0);
+    EXPECT_LT(reply.stats.shard, 2);
+    sequences.insert(reply.stats.sequence);
+    EXPECT_GE(reply.stats.queue_us, 0);
+    EXPECT_GE(reply.stats.run_us, 0);
+  }
+  EXPECT_EQ(sequences.size(), static_cast<std::size_t>(kRequests));
+  std::uint64_t served = 0;
+  for (int s = 0; s < service.shards(); ++s) {
+    served += service.shardStats(s).requests;
+  }
+  EXPECT_EQ(served, static_cast<std::uint64_t>(kRequests));
+}
+
+TEST(ServiceTest, ShardStateDoesNotLeakBetweenRequests) {
+  // Request 1 builds a diagram on some shard; request 2 replays a script
+  // whose pipeline name collides — on a dirty editor it would select the
+  // old pipeline instead of renaming the initial empty one.  With one
+  // shard the pair is guaranteed to share a core.
+  ServiceOptions options;
+  options.shards = 1;
+  WorkbenchService service(options);
+  const std::string script = tripleScript(4.0);
+  const ServiceReply first = service.submit(SubmitSession{script}).get();
+  const ServiceReply second = service.submit(SubmitSession{script}).get();
+  expectSessionEq(second.session, first.session, "reset parity");
+}
+
+TEST(ServiceTest, SubmitAfterStopReturnsError) {
+  WorkbenchService service(ServiceOptions{});
+  service.stop();
+  ServiceReply reply = service.submit(SubmitSession{"pipeline \"p\"\n"}).get();
+  EXPECT_FALSE(reply.status.isOk());
+  EXPECT_FALSE(reply.ok());
+  service.stop();  // idempotent
+}
+
+TEST(ServiceTest, BadRequestParametersSurfaceAsStatusErrors) {
+  WorkbenchService service(ServiceOptions{});
+  ServiceReply ensemble =
+      service.submit(RunEnsemble{tripleScript(2.0), -1}).get();
+  EXPECT_FALSE(ensemble.status.isOk());
+  RunSystemPhases bad_dim;
+  bad_dim.script = tripleScript(2.0);
+  bad_dim.dimension = -1;
+  ServiceReply system = service.submit(bad_dim).get();
+  EXPECT_FALSE(system.status.isOk());
+}
+
+}  // namespace
+}  // namespace nsc::svc
