@@ -108,14 +108,16 @@ void printClaims() {
 }
 
 // Seed shapes (8^3 slabs) keep their single-arg names so BENCH_*.json rows
-// stay comparable against the committed BENCH_seed.json baseline.
+// stay comparable against the committed BENCH_seed.json baseline.  d=6 is
+// the paper's 64-node flagship; d=7 (128 nodes) exercises the beyond-paper
+// shape that tests/test_hypercube.cpp pins for stats consistency.
 void BM_SystemPhase(benchmark::State& state) {
   const int dim = static_cast<int>(state.range(0));
   for (auto _ : state) {
     benchmark::DoNotOptimize(runScale(dim).achieved_mflops);
   }
 }
-BENCHMARK(BM_SystemPhase)->Arg(0)->Arg(2)->Arg(4);
+BENCHMARK(BM_SystemPhase)->Arg(0)->Arg(2)->Arg(4)->Arg(6)->Arg(7);
 
 // Scaled production shapes from the ROADMAP: 16^3 and 32^3 slabs.
 void BM_SystemPhaseScaled(benchmark::State& state) {

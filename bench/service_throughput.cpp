@@ -82,6 +82,174 @@ void BM_ServiceThroughput(benchmark::State& state) {
 BENCHMARK(BM_ServiceThroughput)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
     ->Unit(benchmark::kMillisecond)->UseRealTime();
 
+// ---------------------------------------------------------------------------
+// Stateful sessions: persistent per-session cores vs per-request reset.
+//
+// The interactive workload the paper actually describes is a user editing
+// one diagram across many commands.  A *stateless* service must replay the
+// cumulative script prefix on every command (each request resets the
+// shard's core), so command k costs O(k) replay; a *stateful* session
+// replays each command batch once against its persistent core.  Both
+// benchmarks drive the same interaction — kSessions users each issuing
+// kChunks command batches of the Figure-11 script, the last one running
+// the generated program — through the same 4-shard service.
+// ---------------------------------------------------------------------------
+
+constexpr int kSessions = 8;
+constexpr int kChunks = 8;
+
+// The Figure-11 script cut into kChunks line-balanced command batches.
+std::vector<std::string> figure11Chunks() {
+  const std::string script = figure11SessionScript();
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  while (start < script.size()) {
+    std::size_t end = script.find('\n', start);
+    if (end == std::string::npos) end = script.size() - 1;
+    lines.push_back(script.substr(start, end - start + 1));
+    start = end + 1;
+  }
+  std::vector<std::string> chunks(kChunks);
+  const std::size_t n = lines.size();
+  for (int c = 0; c < kChunks; ++c) {
+    const std::size_t lo = n * static_cast<std::size_t>(c) / kChunks;
+    const std::size_t hi = n * static_cast<std::size_t>(c + 1) / kChunks;
+    for (std::size_t i = lo; i < hi; ++i) chunks[static_cast<std::size_t>(c)] += lines[i];
+  }
+  return chunks;
+}
+
+svc::ServiceOptions sessionServiceOptions(sim::CompiledProgramCache& cache) {
+  svc::ServiceOptions options;
+  options.shards = 4;
+  options.queue_capacity = 2 * kSessions * kChunks;
+  options.cache = &cache;
+  return options;
+}
+
+// One user's multi-command session, narrated: shard affinity, warm checker
+// reuse, and a deadline shed — the admission-control story in one block.
+void printSessionArtifact() {
+  sim::CompiledProgramCache cache;
+  svc::WorkbenchService service(sessionServiceOptions(cache));
+  const std::vector<std::string> chunks = figure11Chunks();
+  const svc::ServiceReply opened = service.submit(svc::OpenSession{}).get();
+  std::vector<svc::ServiceReply> replies;
+  for (int c = 0; c < kChunks; ++c) {
+    svc::SessionCommand command;
+    command.session = opened.stats.session;
+    // Each batch re-validates the diagram on entry and validates on exit:
+    // the entry `check` of batch c+1 is answered from the checker session
+    // batch c left warm — only possible because the session persists.
+    command.script = (c > 0 ? std::string("check\n") : std::string()) +
+                     chunks[static_cast<std::size_t>(c)] + "check\n";
+    command.run = (c == kChunks - 1);
+    replies.push_back(service.submit(std::move(command)).get());
+  }
+  std::uint64_t warm_hits = 0;
+  bool same_shard = true;
+  int commands = 0;
+  int flagged = 0;
+  for (const svc::ServiceReply& reply : replies) {
+    warm_hits += reply.stats.checker_session_hits;
+    same_shard = same_shard && reply.stats.shard == opened.stats.shard;
+    commands += reply.session.commands;
+    flagged += reply.session.failures;
+  }
+  svc::Admission expired;
+  expired.deadline_us = -1;
+  const svc::ServiceReply shed =
+      service.submit(svc::RunEnsemble{figure11SessionScript(), 2}, expired)
+          .get();
+  std::printf("stateful session %llu: %d commands in %d batches, all on "
+              "shard %d (affinity %s),\n"
+              "%d mid-edit checks flagged still-incomplete wiring, "
+              "%llu checker queries answered from the warm session,\n"
+              "final batch ran to halt: %s; expired-deadline ensemble %s\n\n",
+              static_cast<unsigned long long>(opened.stats.session), commands,
+              kChunks, opened.stats.shard, same_shard ? "held" : "BROKEN",
+              flagged, static_cast<unsigned long long>(warm_hits),
+              !replies.back().run.error ? "yes" : "no",
+              shed.stats.rejected == svc::Reject::kDeadline
+                  ? "shed before dispatch"
+                  : "NOT shed");
+  service.submit(svc::CloseSession{opened.stats.session}).get();
+}
+
+// Persistent sessions: open, kChunks incremental SessionCommands (the last
+// generates and runs), close.  Affinity keeps each session's editor and
+// warm checker session alive across its requests.
+void BM_SessionThroughput_Persistent(benchmark::State& state) {
+  sim::CompiledProgramCache cache;
+  svc::WorkbenchService service(sessionServiceOptions(cache));
+  const std::vector<std::string> chunks = figure11Chunks();
+  for (auto _ : state) {
+    std::vector<std::uint64_t> ids(kSessions);
+    for (int s = 0; s < kSessions; ++s) {
+      ids[static_cast<std::size_t>(s)] =
+          service.submit(svc::OpenSession{}).get().stats.session;
+    }
+    std::vector<std::future<svc::ServiceReply>> futures;
+    futures.reserve(static_cast<std::size_t>(kSessions * kChunks));
+    for (int c = 0; c < kChunks; ++c) {
+      for (int s = 0; s < kSessions; ++s) {
+        svc::SessionCommand command;
+        command.session = ids[static_cast<std::size_t>(s)];
+        command.script = chunks[static_cast<std::size_t>(c)];
+        command.run = (c == kChunks - 1);
+        futures.push_back(service.submit(std::move(command)));
+      }
+    }
+    for (auto& future : futures) {
+      benchmark::DoNotOptimize(future.get().run.total_cycles);
+    }
+    for (int s = 0; s < kSessions; ++s) {
+      service.submit(svc::CloseSession{ids[static_cast<std::size_t>(s)]})
+          .get();
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * kSessions * kChunks);
+}
+BENCHMARK(BM_SessionThroughput_Persistent)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+// Per-request reset: the same interaction on the stateless request types —
+// every command replays the cumulative prefix from scratch (what PR 4's
+// service had to do for interactive traffic).
+void BM_SessionThroughput_PerRequestReset(benchmark::State& state) {
+  sim::CompiledProgramCache cache;
+  svc::WorkbenchService service(sessionServiceOptions(cache));
+  const std::vector<std::string> chunks = figure11Chunks();
+  std::vector<std::string> prefixes(kChunks);
+  std::string prefix;
+  for (int c = 0; c < kChunks; ++c) {
+    prefix += chunks[static_cast<std::size_t>(c)];
+    prefixes[static_cast<std::size_t>(c)] = prefix;
+  }
+  for (auto _ : state) {
+    std::vector<std::future<svc::ServiceReply>> futures;
+    futures.reserve(static_cast<std::size_t>(kSessions * kChunks));
+    for (int c = 0; c < kChunks; ++c) {
+      for (int s = 0; s < kSessions; ++s) {
+        if (c == kChunks - 1) {
+          futures.push_back(service.submit(
+              svc::GenerateAndRun{prefixes[static_cast<std::size_t>(c)],
+                                  {}, {}}));
+        } else {
+          futures.push_back(service.submit(
+              svc::SubmitSession{prefixes[static_cast<std::size_t>(c)]}));
+        }
+      }
+    }
+    for (auto& future : futures) {
+      benchmark::DoNotOptimize(future.get().run.total_cycles);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * kSessions * kChunks);
+}
+BENCHMARK(BM_SessionThroughput_PerRequestReset)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
 // The single-user baseline: the same batch served by one Workbench core,
 // request after request (what the in-process API did before the service).
 void BM_SequentialWorkbench(benchmark::State& state) {
@@ -105,6 +273,7 @@ BENCHMARK(BM_SequentialWorkbench)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
   printArtifact();
+  printSessionArtifact();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

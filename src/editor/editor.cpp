@@ -41,7 +41,10 @@ const std::optional<check::Diagnostic>& Editor::cachedCheckConnection(
   CheckerSession& session = checkerSession();
   const auto key = std::make_pair(from, to);
   const auto it = session.connection_checks.find(key);
-  if (it != session.connection_checks.end()) return it->second;
+  if (it != session.connection_checks.end()) {
+    ++stats_.checker_session_hits;
+    return it->second;
+  }
   ++stats_.checker_queries;
   return session.connection_checks
       .emplace(key, checker_.checkConnection(doc().semantic, from, to))
@@ -423,7 +426,10 @@ bool Editor::disconnect(const arch::Endpoint& to) {
 std::vector<arch::Endpoint> Editor::connectionMenu(const arch::Endpoint& from) {
   CheckerSession& session = checkerSession();
   const auto it = session.legal_targets.find(from);
-  if (it != session.legal_targets.end()) return it->second;
+  if (it != session.legal_targets.end()) {
+    ++stats_.checker_session_hits;
+    return it->second;
+  }
   ++stats_.checker_queries;
   std::vector<arch::Endpoint> targets =
       checker_.legalTargets(doc().semantic, from);
@@ -574,7 +580,10 @@ void Editor::overwriteSemantic(const prog::PipelineDiagram& semantic) {
 
 check::DiagnosticList Editor::checkCurrent() {
   CheckerSession& session = checkerSession();
-  if (session.diagram_check.has_value()) return *session.diagram_check;
+  if (session.diagram_check.has_value()) {
+    ++stats_.checker_session_hits;
+    return *session.diagram_check;
+  }
   ++stats_.checker_queries;
   session.diagram_check = checker_.checkDiagram(doc().semantic, current_);
   return *session.diagram_check;

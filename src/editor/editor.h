@@ -45,6 +45,11 @@ struct EditorStats {
   // feedback and validation re-queries that hit the memoized checker
   // session (below) do not count — the counter measures real checker work.
   std::uint64_t checker_queries = 0;
+  // Queries answered from the memoized checker session instead — the
+  // "warm session" witness the service layer surfaces per request: a
+  // repeated legalTargets / checkConnection / checkDiagram against an
+  // unchanged diagram lands here, not in checker_queries.
+  std::uint64_t checker_session_hits = 0;
 };
 
 // Interaction state for the mouse-level interface.

@@ -148,6 +148,7 @@ void ThreadPool::enqueueTask(std::function<void()> task) {
   // (queueing there can deadlock a worker waiting on its own queue): run
   // inline.  The future the caller holds becomes ready on return.
   if (workers_.empty() || tl_in_pool_job) {
+    tasks_inline_.fetch_add(1, std::memory_order_relaxed);
     task();
     return;
   }
@@ -162,7 +163,20 @@ void ThreadPool::enqueueTask(std::function<void()> task) {
     }
   }
   // Pool is tearing down; run inline rather than losing the task.
+  tasks_inline_.fetch_add(1, std::memory_order_relaxed);
   task();
+}
+
+ThreadPool::PoolStats ThreadPool::stats() const {
+  PoolStats stats;
+  stats.threads = thread_count_;
+  stats.tasks_submitted = tasks_submitted_.load(std::memory_order_relaxed);
+  stats.tasks_inline = tasks_inline_.load(std::memory_order_relaxed);
+  stats.threads_created = threads_created_;
+  std::lock_guard<std::mutex> lock(mu_);
+  stats.queue_depth = tasks_.size();
+  stats.peak_queue_depth = peak_queue_depth_;
+  return stats;
 }
 
 bool ThreadPool::tryRunOneTask() {

@@ -102,6 +102,21 @@ class ThreadPool {
   std::size_t peakQueueDepth() const;
   // Lifetime count of submit() calls (including inline-executed ones).
   std::uint64_t tasksSubmitted() const { return tasks_submitted_; }
+  // Of those, tasks that ran inline on the submitting thread (no workers,
+  // nested submission, or pool teardown) instead of through the FIFO.
+  std::uint64_t tasksInline() const { return tasks_inline_; }
+
+  // One consistent snapshot of the counters above — what the service layer
+  // samples per request and the session example prints.
+  struct PoolStats {
+    int threads = 0;
+    std::size_t queue_depth = 0;
+    std::size_t peak_queue_depth = 0;
+    std::uint64_t tasks_submitted = 0;
+    std::uint64_t tasks_inline = 0;
+    std::uint64_t threads_created = 0;
+  };
+  PoolStats stats() const;
 
   // The process-wide pool the sim/workbench/cfd layers share by default.
   // Sized once, on first use, from NSC_THREADS / hardware concurrency.
@@ -139,6 +154,7 @@ class ThreadPool {
   std::deque<std::function<void()>> tasks_;
   std::size_t peak_queue_depth_ = 0;
   std::atomic<std::uint64_t> tasks_submitted_{0};
+  std::atomic<std::uint64_t> tasks_inline_{0};
 
   // Serializes external parallelFor callers (one job at a time).
   std::mutex run_mu_;

@@ -15,10 +15,20 @@ void WorkbenchCore::reset() {
   editor_.emplace(context_.machine());
   runner_.emplace(*editor_);
   node_.emplace(context_.machine());
+  ++resets_;
 }
 
 ed::SessionResult WorkbenchCore::runSession(const std::string& script) {
+  ++scripts_run_;
   return runner_->runScript(script);
+}
+
+WorkbenchCore::Checkpoint WorkbenchCore::checkpoint() const {
+  Checkpoint checkpoint;
+  checkpoint.resets = resets_;
+  checkpoint.scripts_run = scripts_run_;
+  checkpoint.editor = editor_->stats();
+  return checkpoint;
 }
 
 RunOutcome WorkbenchCore::generateAndRun() {

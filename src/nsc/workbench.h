@@ -143,6 +143,20 @@ class WorkbenchCore {
   // after a reset are bit-identical to requests served by a new core.
   void reset();
 
+  // A cheap observable snapshot of the core's lifetime: how many times it
+  // was reset, how many scripts it replayed, and the editor's cumulative
+  // action/checker counters.  The service layer diffs two checkpoints
+  // around a request to attribute per-request work — in particular
+  // `editor.checker_session_hits`, the witness that a stateful session's
+  // second command reused the still-warm memoized checker session instead
+  // of re-running the checker.
+  struct Checkpoint {
+    std::uint64_t resets = 0;        // reset() calls (construction is one)
+    std::uint64_t scripts_run = 0;   // runSession() calls since construction
+    ed::EditorStats editor;          // cumulative editor counters
+  };
+  Checkpoint checkpoint() const;
+
  private:
   const WorkbenchContext& context_;
   // optional<> so reset() can reconstruct in place: Editor, SessionRunner,
@@ -150,6 +164,8 @@ class WorkbenchCore {
   std::optional<ed::Editor> editor_;
   std::optional<ed::SessionRunner> runner_;
   std::optional<sim::NodeSim> node_;
+  std::uint64_t resets_ = 0;
+  std::uint64_t scripts_run_ = 0;
 };
 
 // The classic single-user workbench: owns a context and one core and

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <type_traits>
 
 #include "common/strings.h"
 
@@ -9,11 +10,7 @@ namespace nsc::svc {
 
 namespace {
 
-std::int64_t nowUs() {
-  return std::chrono::duration_cast<std::chrono::microseconds>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
+std::int64_t nowUs() { return monotonicNowUs(); }
 
 std::future<ServiceReply> readyError(std::string message) {
   std::promise<ServiceReply> promise;
@@ -23,51 +20,144 @@ std::future<ServiceReply> readyError(std::string message) {
   return promise.get_future();
 }
 
+// The class a request is admitted at when the caller does not say:
+// interactive editor/session traffic ahead of deferrable batch work.
+Priority defaultPriority(const Request& request) {
+  if (std::holds_alternative<RunEnsemble>(request) ||
+      std::holds_alternative<RunSystemPhases>(request)) {
+    return Priority::kBatch;
+  }
+  return Priority::kInteractive;
+}
+
 }  // namespace
 
 WorkbenchService::WorkbenchService(ServiceOptions options)
-    : context_(options.machine, options.pool, options.cache),
-      queue_(options.queue_capacity) {
-  const int shard_count = std::max(options.shards, 1);
+    : options_(options),
+      context_(options.machine, options.pool, options.cache),
+      sessions_(context_, std::max(options.shards, 1)),
+      queue_(options.queue_capacity, options.admission) {
+  const int shard_count = std::max(options_.shards, 1);
   shards_.reserve(static_cast<std::size_t>(shard_count));
   for (int i = 0; i < shard_count; ++i) {
     shards_.push_back(std::make_unique<Shard>(context_));
   }
-  // Cores exist before any thread starts, so shardLoop never races the
-  // shards_ vector itself.
-  for (int i = 0; i < shard_count; ++i) {
-    shards_[static_cast<std::size_t>(i)].get()->thread =
-        std::thread([this, i] { shardLoop(i); });
-  }
+  if (options_.start) start();
 }
 
 WorkbenchService::~WorkbenchService() { stop(); }
+
+void WorkbenchService::start() {
+  std::lock_guard<std::mutex> lock(start_mu_);
+  if (started_ || stopped_.load(std::memory_order_relaxed)) return;
+  started_ = true;
+  // Cores exist before any thread starts, so shardLoop never races the
+  // shards_ vector itself.
+  for (int i = 0; i < static_cast<int>(shards_.size()); ++i) {
+    shards_[static_cast<std::size_t>(i)]->thread =
+        std::thread([this, i] { shardLoop(i); });
+  }
+}
 
 void WorkbenchService::stop() {
   stopped_.store(true, std::memory_order_relaxed);
   queue_.close();
   // Serialize the join phase: stop() racing the destructor (or another
   // stop()) must not double-join a shard thread.
-  std::lock_guard<std::mutex> lock(stop_mu_);
+  std::lock_guard<std::mutex> lock(start_mu_);
   for (auto& shard : shards_) {
     if (shard->thread.joinable()) shard->thread.join();
   }
 }
 
-std::future<ServiceReply> WorkbenchService::submit(Request request) {
+std::future<ServiceReply> WorkbenchService::readyReject(Reject reason,
+                                                        std::string message,
+                                                        std::uint64_t session) {
+  std::promise<ServiceReply> promise;
+  ServiceReply reply;
+  reply.status = common::Status::error(std::move(message));
+  reply.stats.rejected = reason;
+  reply.stats.session = session;
+  promise.set_value(std::move(reply));
+  return promise.get_future();
+}
+
+std::future<ServiceReply> WorkbenchService::submit(Request request,
+                                                   Admission admission) {
+  submitted_.fetch_add(1, std::memory_order_relaxed);
   if (stopped_.load(std::memory_order_relaxed)) {
     return readyError("service stopped");
   }
+
   Job job;
+  job.priority = admission.priority.value_or(defaultPriority(request));
+  job.deadline_us = admission.deadline_us;
+
+  // Stateful requests resolve their shard affinity here, at admission:
+  // OpenSession reserves a core on the least-loaded shard; commands and
+  // closes follow the session to the shard that owns it.  Session ids
+  // start at 1, so a default-constructed id (0) is itself unknown — it
+  // must not fall through to the stateless path.
+  int affinity = -1;
+  bool stateful = false;
+  if (std::holds_alternative<OpenSession>(request)) {
+    const auto opened = sessions_.open(options_.max_sessions, nowUs());
+    if (!opened.has_value()) {
+      rejected_session_.fetch_add(1, std::memory_order_relaxed);
+      return readyReject(Reject::kSessionLimit,
+                         common::strFormat("session limit (%zu) reached",
+                                           options_.max_sessions));
+    }
+    stateful = true;
+    affinity = opened->shard;
+    job.session = opened->id;
+  } else if (const auto* command = std::get_if<SessionCommand>(&request)) {
+    stateful = true;
+    affinity = sessions_.shardOf(command->session);
+    job.session = command->session;
+  } else if (const auto* close = std::get_if<CloseSession>(&request)) {
+    stateful = true;
+    affinity = sessions_.shardOf(close->session);
+    job.session = close->session;
+  }
+  if (stateful && affinity < 0) {
+    rejected_session_.fetch_add(1, std::memory_order_relaxed);
+    return readyReject(
+        Reject::kUnknownSession,
+        common::strFormat("unknown session %llu",
+                          static_cast<unsigned long long>(job.session)),
+        job.session);
+  }
+
   job.request = std::move(request);
   job.sequence = next_sequence_.fetch_add(1, std::memory_order_relaxed);
   job.admitted_us = nowUs();
   std::future<ServiceReply> future = job.promise.get_future();
-  if (!queue_.push(std::move(job))) {
-    // Closed while we were blocked on admission.
-    return readyError("service stopped");
+
+  Ticket ticket;
+  ticket.priority = job.priority;
+  ticket.affinity = affinity;
+  const std::uint64_t session = job.session;
+  // A refused OpenSession must drop the core it just reserved; a refused
+  // command/close must NOT touch the (still live) session it names.
+  const bool reserved_here = std::holds_alternative<OpenSession>(job.request);
+  switch (queue_.push(job, ticket)) {
+    case PushResult::kAdmitted:
+      admitted_.fetch_add(1, std::memory_order_relaxed);
+      return future;
+    case PushResult::kShed:
+      // Overload watermark: batch work is refused instead of blocked.  An
+      // OpenSession is never batch by default, but a caller can mark one.
+      shed_overload_.fetch_add(1, std::memory_order_relaxed);
+      if (reserved_here) sessions_.close(session);
+      return readyReject(Reject::kOverload, "shed: queue over watermark",
+                         session);
+    case PushResult::kClosed:
+      // Closed while we were blocked on admission.
+      if (reserved_here) sessions_.close(session);
+      return readyError("service stopped");
   }
-  return future;
+  return readyError("unreachable");
 }
 
 ShardStats WorkbenchService::shardStats(int shard) const {
@@ -76,46 +166,141 @@ ShardStats WorkbenchService::shardStats(int shard) const {
   return s.stats;
 }
 
+AdmissionStats WorkbenchService::admissionStats() const {
+  AdmissionStats stats;
+  stats.submitted = submitted_.load(std::memory_order_relaxed);
+  stats.admitted = admitted_.load(std::memory_order_relaxed);
+  stats.shed_overload = shed_overload_.load(std::memory_order_relaxed);
+  stats.rejected_session = rejected_session_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+bool WorkbenchService::withinDeadline(const Job& job, std::int64_t now_us) {
+  if (job.deadline_us == 0) return true;
+  if (job.deadline_us < 0) return false;  // admitted already expired
+  return now_us - job.admitted_us <= job.deadline_us;
+}
+
 void WorkbenchService::shardLoop(int shard_index) {
   Shard& shard = *shards_[static_cast<std::size_t>(shard_index)];
-  while (std::optional<Job> job = queue_.pop()) {
+  while (std::optional<Job> job = queue_.pop(shard_index)) {
     const std::int64_t start_us = nowUs();
     ServiceReply reply;
-    try {
-      reply = serve(shard.core, job->request);
-    } catch (const std::exception& e) {
-      reply.status = common::Status::error(
-          common::strFormat("request failed: %s", e.what()));
-    } catch (...) {
-      // Anything escaping the shard thread would terminate the process and
-      // abandon every pending future; map it to an error reply instead.
-      reply.status = common::Status::error("request failed: unknown error");
+    if (!withinDeadline(*job, start_us)) {
+      // Shed before dispatch: the deadline passed while the request sat in
+      // the queue, so executing it would waste shard time on an answer the
+      // caller has given up on.  A shed OpenSession drops the core it
+      // reserved at admission — the caller never learns the id.
+      reply.status = common::Status::error("deadline expired before dispatch");
+      reply.stats.rejected = Reject::kDeadline;
+      reply.stats.session = job->session;
+      if (std::holds_alternative<OpenSession>(job->request)) {
+        sessions_.close(job->session);
+        reply.stats.session = 0;  // the id was never handed out
+      }
+    } else {
+      try {
+        reply = serve(shard, shard_index, *job);
+      } catch (const std::exception& e) {
+        reply.status = common::Status::error(
+            common::strFormat("request failed: %s", e.what()));
+      } catch (...) {
+        // Anything escaping the shard thread would terminate the process and
+        // abandon every pending future; map it to an error reply instead.
+        reply.status = common::Status::error("request failed: unknown error");
+      }
     }
     const std::int64_t end_us = nowUs();
     reply.stats.shard = shard_index;
     reply.stats.sequence = job->sequence;
+    reply.stats.priority = job->priority;
     reply.stats.queue_us = start_us - job->admitted_us;
     reply.stats.run_us = end_us - start_us;
+
+    // Idle-session sweep: only the owning shard evicts, so an eviction can
+    // never race a claim (both run on this thread, between requests).
+    std::size_t evicted = 0;
+    if (options_.session_ttl_us > 0) {
+      evicted = sessions_.evictIdle(shard_index, nowUs(),
+                                    options_.session_ttl_us);
+    }
+
     {
       std::lock_guard<std::mutex> lock(shard.mu);
+      reply.stats.shard_sequence = shard.stats.requests;
       ++shard.stats.requests;
       if (!reply.ok()) ++shard.stats.failures;
       if (reply.stats.program_cache_hit) ++shard.stats.cache_hits;
       shard.stats.busy_us += end_us - start_us;
+      if (reply.stats.rejected == Reject::kDeadline) {
+        ++shard.stats.shed_deadline;
+      }
+      if (!reply.rejected()) {
+        if (std::holds_alternative<OpenSession>(job->request)) {
+          ++shard.stats.sessions_opened;
+        } else if (std::holds_alternative<CloseSession>(job->request)) {
+          ++shard.stats.sessions_closed;
+        } else if (job->session != 0) {
+          ++shard.stats.session_commands;
+        }
+      }
+      shard.stats.checker_session_hits += reply.stats.checker_session_hits;
+      shard.stats.sessions_evicted += evicted;
     }
     job->promise.set_value(std::move(reply));
   }
 }
 
-ServiceReply WorkbenchService::serve(WorkbenchCore& core, Request& request) {
-  // Every request replays against freshly-constructed state: replies are
-  // bit-identical to a fresh single-user Workbench serving the same
-  // request, independent of what this shard served before.
-  core.reset();
+ServiceReply WorkbenchService::serve(Shard& shard, int shard_index, Job& job) {
   ServiceReply reply;
   reply.stats.pool_queue_depth = context_.pool().queueDepth();
-  std::visit([&](const auto& typed) { serveOne(core, typed, reply); },
-             request);
+  reply.stats.session = job.session;
+
+  if (const auto* close = std::get_if<CloseSession>(&job.request)) {
+    if (sessions_.close(close->session)) {
+      reply.complete_ = true;
+    } else {
+      reply.status = common::Status::error("unknown session");
+      reply.stats.rejected = Reject::kUnknownSession;
+    }
+    return reply;
+  }
+
+  WorkbenchCore* core = nullptr;
+  if (job.session != 0) {
+    // A session core is only ever touched by its affine shard, one request
+    // at a time — the claim can fail only if the session was idle-evicted
+    // (or closed) between admission and dispatch.
+    core = sessions_.claim(job.session, shard_index, nowUs());
+    if (core == nullptr) {
+      reply.status = common::Status::error("session expired");
+      reply.stats.rejected = Reject::kUnknownSession;
+      return reply;
+    }
+  } else {
+    // Stateless requests replay against freshly-constructed state: replies
+    // are bit-identical to a fresh single-user Workbench serving the same
+    // request, independent of what this shard served before.
+    core = &shard.core;
+    core->reset();
+  }
+
+  const WorkbenchCore::Checkpoint before = core->checkpoint();
+  std::visit(
+      [&](const auto& typed) {
+        using Tp = std::decay_t<decltype(typed)>;
+        if constexpr (!std::is_same_v<Tp, CloseSession>) {
+          serveOne(*core, typed, reply);
+        }
+      },
+      job.request);
+  reply.stats.checker_session_hits =
+      core->checkpoint().editor.checker_session_hits -
+      before.editor.checker_session_hits;
+  // Re-stamp after serving: a session's idle clock starts when its last
+  // request *finished*, so a long-running command can't age it toward the
+  // TTL while it is being served.
+  if (job.session != 0) sessions_.claim(job.session, shard_index, nowUs());
   return reply;
 }
 
@@ -199,6 +384,45 @@ void WorkbenchService::serveOne(WorkbenchCore& core,
   }
   reply.complete_ =
       reply.session.clean() && reply.generation.ok && !reply.system.error;
+}
+
+void WorkbenchService::serveOne(WorkbenchCore& core,
+                                const OpenSession& request,
+                                ServiceReply& reply) {
+  // The core was constructed fresh at admission; an empty initial script
+  // leaves it at the editor's initial state.
+  if (!request.script.empty()) {
+    reply.session = core.runSession(request.script);
+  }
+  reply.complete_ = reply.session.clean();
+}
+
+void WorkbenchService::serveOne(WorkbenchCore& core,
+                                const SessionCommand& request,
+                                ServiceReply& reply) {
+  // No reset: the script continues where the session's previous request
+  // left off, against the same editor documents and warm checker session.
+  if (!request.script.empty()) {
+    reply.session = core.runSession(request.script);
+  }
+  for (const PlaneImage& input : request.inputs) {
+    core.node().writePlane(input.plane, input.base, input.values);
+  }
+  bool ran_ok = true;
+  if (request.run) {
+    RunOutcome outcome = core.generateAndRun();
+    reply.generation = std::move(outcome.generation);
+    reply.run = std::move(outcome.run);
+    reply.program = std::move(outcome.program);
+    reply.stats.program_cache_hit = outcome.cache_hit;
+    ran_ok = reply.generation.ok && !reply.run.error;
+  }
+  reply.outputs.reserve(request.outputs.size());
+  for (const PlaneRange& range : request.outputs) {
+    reply.outputs.push_back(
+        core.node().readPlane(range.plane, range.base, range.count));
+  }
+  reply.complete_ = reply.session.clean() && ran_ok;
 }
 
 }  // namespace nsc::svc

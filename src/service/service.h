@@ -2,26 +2,45 @@
 //
 // The paper's environment is one user at a Sun-3 driving one editor and one
 // simulated NSC.  This layer serves that workflow to many concurrent
-// callers: sessions arrive as typed requests through a bounded MPMC queue
-// and are dispatched across N workbench *shards*.  Each shard owns the
-// cheap mutable half of a workbench (WorkbenchCore: editor + persistent
+// callers: requests arrive through a bounded admission queue and are
+// dispatched across N workbench *shards*.  Each shard owns the cheap
+// mutable half of a workbench (WorkbenchCore: editor + persistent
 // SessionRunner + NodeSim) and processes one request at a time; all shards
 // reference one shared immutable WorkbenchContext (machine model, the
 // process execution pool, the compiled-program cache), so the expensive
 // state — worker threads and lowered SPMD images — exists once no matter
 // how many shards serve.
 //
-// Determinism contract: every request is *independent* — a shard resets
-// its core before serving, so a reply is bit-identical to running the same
-// request on a fresh single-user Workbench, regardless of shard count,
-// submission order, queue capacity, or NSC_THREADS (tests/test_service.cpp
-// asserts this).  Only the ReplyStats timing fields are nondeterministic.
+// Two request families ride the same queue:
+//
+//   Stateless (SubmitSession, GenerateAndRun, RunEnsemble,
+//   RunSystemPhases): a shard resets its core before serving, so a reply
+//   is bit-identical to running the same request on a fresh single-user
+//   Workbench, regardless of shard count, submission order, queue
+//   capacity, or NSC_THREADS (tests/test_service.cpp asserts this).  Only
+//   the RequestStats timing fields are nondeterministic.
+//
+//   Stateful (OpenSession, SessionCommand, CloseSession): OpenSession
+//   allocates a per-session WorkbenchCore in the SessionTable, pinned to
+//   the least-loaded shard; every subsequent request for that session is
+//   routed to the same shard (affinity), so the session's diagram state,
+//   warm memoized checker session, and compiled-program handles survive
+//   across requests.  A script split across N SessionCommands produces
+//   bit-identical editor/run results to the same script submitted whole.
+//   Idle sessions are evicted after ServiceOptions::session_ttl_us.
+//
+// Admission control (AdmissionPolicy, request_queue.h): per-request
+// deadlines shed expired work before dispatch with a Rejected reply;
+// priority classes serve interactive traffic ahead of batch (aging keeps
+// batch starvation-free); shed-on-overload mode refuses batch work past a
+// queue-depth watermark instead of blocking the producer.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <future>
 #include <memory>
+#include <optional>
 #include <string>
 #include <thread>
 #include <variant>
@@ -29,6 +48,7 @@
 
 #include "nsc/workbench.h"
 #include "service/request_queue.h"
+#include "service/session_table.h"
 
 namespace nsc::svc {
 
@@ -79,38 +99,100 @@ struct RunSystemPhases {
   sim::RouterOptions router{};
 };
 
+// Open a stateful session: allocates a dedicated WorkbenchCore pinned to a
+// shard and optionally replays an initial script into it.  The reply's
+// stats.session carries the new session id.
+struct OpenSession {
+  std::string script;  // initial script; empty is fine
+};
+
+// One command batch against a live session: replays `script` against the
+// session's *persistent* editor (no reset — state accumulates), then
+// optionally deposits inputs, generates + runs to halt, and reads back
+// outputs, exactly like GenerateAndRun but on the session's node.
+struct SessionCommand {
+  std::uint64_t session = 0;
+  std::string script;
+  bool run = false;
+  std::vector<PlaneImage> inputs;
+  std::vector<PlaneRange> outputs;
+};
+
+// Close a stateful session, destroying its core.
+struct CloseSession {
+  std::uint64_t session = 0;
+};
+
 using Request =
-    std::variant<SubmitSession, GenerateAndRun, RunEnsemble, RunSystemPhases>;
+    std::variant<SubmitSession, GenerateAndRun, RunEnsemble, RunSystemPhases,
+                 OpenSession, SessionCommand, CloseSession>;
+
+// Per-request admission parameters.
+struct Admission {
+  // nullopt = by request type: session/editor traffic (SubmitSession,
+  // GenerateAndRun, Open/SessionCommand/CloseSession) is interactive,
+  // RunEnsemble / RunSystemPhases are batch.
+  std::optional<Priority> priority;
+  // Dispatch deadline relative to admission, in microseconds.  0 = none.
+  // A request still queued past its deadline is shed with a Rejected reply
+  // instead of executing; a negative value is already expired (rejected at
+  // dispatch without running — the admission-control contract tests use
+  // this).
+  std::int64_t deadline_us = 0;
+};
 
 // ---------------------------------------------------------------------------
 // Replies and stats.
 // ---------------------------------------------------------------------------
 
-struct ReplyStats {
+// Why a request was refused without executing.
+enum class Reject {
+  kNone = 0,
+  kDeadline,        // still queued past its deadline; shed before dispatch
+  kOverload,        // shed at admission by the overload watermark
+  kUnknownSession,  // no live session with that id (never opened / closed /
+                    // idle-evicted)
+  kSessionLimit,    // ServiceOptions::max_sessions live sessions already
+};
+
+struct RequestStats {
   int shard = -1;               // shard that served the request
   std::uint64_t sequence = 0;   // admission order (0-based)
+  std::uint64_t shard_sequence = 0;  // dispatch order on that shard (0-based)
+  Priority priority = Priority::kInteractive;  // class it was admitted at
   std::int64_t queue_us = 0;    // admission -> dispatch wait
   std::int64_t run_us = 0;      // dispatch -> reply
   bool program_cache_hit = false;  // compiled image reused from the cache
   std::size_t pool_queue_depth = 0;  // exec pool backlog at dispatch
+  std::uint64_t session = 0;    // session id (stateful requests only)
+  // Checker queries this request answered from the editor's still-warm
+  // memoized checker session — the witness that a SessionCommand reused
+  // state a previous request built, instead of re-running the checker.
+  std::uint64_t checker_session_hits = 0;
+  Reject rejected = Reject::kNone;
 };
 
 struct ServiceReply {
-  // Service-level failure (service stopped before admission).  Script- and
+  // Service-level failure (service stopped before admission, or the
+  // request was shed/rejected — see stats.rejected).  Script- and
   // program-level problems surface through `session` / `generation` /
   // the run stats instead, exactly as on a single-user Workbench.
   common::Status status = common::Status::ok();
-  ed::SessionResult session;     // every request type replays a script
+  ed::SessionResult session;     // every script-carrying request replays one
   mc::GenerateResult generation; // GenerateAndRun / RunEnsemble / SystemPhases
-  sim::RunStats run;             // GenerateAndRun
+  sim::RunStats run;             // GenerateAndRun / SessionCommand{run}
   std::vector<sim::RunStats> ensemble;  // RunEnsemble, one per replica
   sim::SystemStats system;       // RunSystemPhases
-  std::vector<std::vector<double>> outputs;  // GenerateAndRun read-backs
+  std::vector<std::vector<double>> outputs;  // plane read-backs
   // The compiled image the request executed (empty for SubmitSession and
   // failed generations).  Pointer-equal across requests that ran the same
   // program on the same machine config — the cache-sharing witness.
   std::shared_ptr<const sim::CompiledProgram> program;
-  ReplyStats stats;
+  RequestStats stats;
+
+  // True when the request was refused by admission control (deadline,
+  // overload shed, unknown session, session limit) without executing.
+  bool rejected() const { return stats.rejected != Reject::kNone; }
 
   // True when the request did everything it was asked without refusals,
   // generation diagnostics, or run errors.
@@ -127,11 +209,33 @@ struct ShardStats {
   std::uint64_t failures = 0;       // replies with ok() == false
   std::uint64_t cache_hits = 0;     // compiled-program cache hits
   std::int64_t busy_us = 0;         // total time spent serving
+  std::uint64_t shed_deadline = 0;  // popped jobs rejected: expired deadline
+  std::uint64_t sessions_opened = 0;
+  std::uint64_t sessions_closed = 0;
+  std::uint64_t sessions_evicted = 0;   // idle past session_ttl_us
+  std::uint64_t session_commands = 0;   // requests served on a live session
+  std::uint64_t checker_session_hits = 0;  // warm checker reuse, summed
+};
+
+// Service-wide admission counters (what never reached a shard).
+struct AdmissionStats {
+  std::uint64_t submitted = 0;       // submit() calls
+  std::uint64_t admitted = 0;        // entered the queue
+  std::uint64_t shed_overload = 0;   // batch work refused at the watermark
+  std::uint64_t rejected_session = 0;  // unknown session / session limit
 };
 
 struct ServiceOptions {
   int shards = 4;
   std::size_t queue_capacity = 64;  // bounded admission (backpressure)
+  AdmissionPolicy admission{};      // overload mode, watermark, aging
+  // Stateful sessions: idle eviction TTL (0 = never evict; sweeps run on
+  // the owning shard between requests) and the live-session cap.
+  std::int64_t session_ttl_us = 0;
+  std::size_t max_sessions = 256;
+  // When false, the constructor admits but does not serve until start() —
+  // lets tests and warm-up code stage a queue deterministically.
+  bool start = true;
   arch::MachineConfig machine{};
   exec::ThreadPool* pool = nullptr;           // null -> process shared pool
   sim::CompiledProgramCache* cache = nullptr; // null -> process shared cache
@@ -148,10 +252,16 @@ class WorkbenchService {
   WorkbenchService(const WorkbenchService&) = delete;
   WorkbenchService& operator=(const WorkbenchService&) = delete;
 
-  // Admits a request; blocks while the queue is full (backpressure).  The
-  // future resolves when a shard has served the request.  After stop(),
-  // returns an already-ready reply whose status is an error.
-  std::future<ServiceReply> submit(Request request);
+  // Launches the shard threads.  Idempotent; the constructor calls it
+  // unless ServiceOptions::start is false.
+  void start();
+
+  // Admits a request; blocks while the queue is full (backpressure),
+  // except batch-class work past the shed watermark in kShed mode, which
+  // resolves immediately with a Rejected reply.  The future resolves when
+  // a shard has served (or shed) the request.  After stop(), returns an
+  // already-ready reply whose status is an error.
+  std::future<ServiceReply> submit(Request request, Admission admission = {});
 
   // Closes admission, serves everything already admitted, joins the shard
   // threads.  Idempotent; the destructor calls it.
@@ -165,31 +275,19 @@ class WorkbenchService {
   std::size_t peakQueueDepth() const { return queue_.peakDepth(); }
 
   ShardStats shardStats(int shard) const;
+  AdmissionStats admissionStats() const;
+  std::size_t sessionCount() const { return sessions_.size(); }
 
  private:
   struct Job {
     Request request;
     std::promise<ServiceReply> promise;
     std::uint64_t sequence = 0;
+    Priority priority = Priority::kInteractive;
     std::int64_t admitted_us = 0;  // steady-clock stamp at admission
+    std::int64_t deadline_us = 0;  // relative to admitted_us; 0 = none
+    std::uint64_t session = 0;     // stateful requests only
   };
-
-  void shardLoop(int shard_index);
-  ServiceReply serve(WorkbenchCore& core, Request& request);
-  void serveOne(WorkbenchCore& core, const SubmitSession& request,
-                ServiceReply& reply);
-  void serveOne(WorkbenchCore& core, const GenerateAndRun& request,
-                ServiceReply& reply);
-  void serveOne(WorkbenchCore& core, const RunEnsemble& request,
-                ServiceReply& reply);
-  void serveOne(WorkbenchCore& core, const RunSystemPhases& request,
-                ServiceReply& reply);
-
-  WorkbenchContext context_;
-  BoundedQueue<Job> queue_;
-  std::atomic<std::uint64_t> next_sequence_{0};
-  std::atomic<bool> stopped_{false};
-  std::mutex stop_mu_;  // serializes the join phase of stop()
 
   struct Shard {
     explicit Shard(const WorkbenchContext& context) : core(context) {}
@@ -198,6 +296,39 @@ class WorkbenchService {
     mutable std::mutex mu;
     ShardStats stats;
   };
+
+  void shardLoop(int shard_index);
+  // True when `job` is still within its dispatch deadline.
+  static bool withinDeadline(const Job& job, std::int64_t now_us);
+  std::future<ServiceReply> readyReject(Reject reason, std::string message,
+                                        std::uint64_t session = 0);
+  ServiceReply serve(Shard& shard, int shard_index, Job& job);
+  void serveOne(WorkbenchCore& core, const SubmitSession& request,
+                ServiceReply& reply);
+  void serveOne(WorkbenchCore& core, const GenerateAndRun& request,
+                ServiceReply& reply);
+  void serveOne(WorkbenchCore& core, const RunEnsemble& request,
+                ServiceReply& reply);
+  void serveOne(WorkbenchCore& core, const RunSystemPhases& request,
+                ServiceReply& reply);
+  void serveOne(WorkbenchCore& core, const OpenSession& request,
+                ServiceReply& reply);
+  void serveOne(WorkbenchCore& core, const SessionCommand& request,
+                ServiceReply& reply);
+
+  const ServiceOptions options_;
+  WorkbenchContext context_;
+  SessionTable sessions_;
+  BoundedQueue<Job> queue_;
+  std::atomic<std::uint64_t> next_sequence_{0};
+  std::atomic<bool> stopped_{false};
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> admitted_{0};
+  std::atomic<std::uint64_t> shed_overload_{0};
+  std::atomic<std::uint64_t> rejected_session_{0};
+  std::mutex start_mu_;  // serializes start() and the join phase of stop()
+  bool started_ = false;
+
   std::vector<std::unique_ptr<Shard>> shards_;
 };
 

@@ -1,0 +1,86 @@
+#include "service/session_table.h"
+
+#include <algorithm>
+
+namespace nsc::svc {
+
+SessionTable::SessionTable(const WorkbenchContext& context, int shards)
+    : context_(context),
+      per_shard_(static_cast<std::size_t>(std::max(shards, 1)), 0) {}
+
+std::optional<SessionTable::Opened> SessionTable::open(
+    std::size_t max_sessions, std::int64_t now_us) {
+  // Construct the core before taking the lock: it allocates an editor, a
+  // runner, and node memory, and must not serialize every shard's claim()
+  // behind it.  An over-limit race just discards the speculative core.
+  auto core = std::make_unique<WorkbenchCore>(context_);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (sessions_.size() >= max_sessions) return std::nullopt;
+  const auto least = std::min_element(per_shard_.begin(), per_shard_.end());
+  const int shard = static_cast<int>(least - per_shard_.begin());
+  Opened opened;
+  opened.id = next_id_++;
+  opened.shard = shard;
+  Session session;
+  session.shard = shard;
+  session.last_used_us = now_us;
+  session.core = std::move(core);
+  sessions_.emplace(opened.id, std::move(session));
+  ++per_shard_[static_cast<std::size_t>(shard)];
+  return opened;
+}
+
+int SessionTable::shardOf(std::uint64_t id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = sessions_.find(id);
+  return it == sessions_.end() ? -1 : it->second.shard;
+}
+
+WorkbenchCore* SessionTable::claim(std::uint64_t id, int shard,
+                                   std::int64_t now_us) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = sessions_.find(id);
+  if (it == sessions_.end() || it->second.shard != shard) return nullptr;
+  it->second.last_used_us = now_us;
+  return it->second.core.get();
+}
+
+bool SessionTable::close(std::uint64_t id) {
+  std::unique_ptr<WorkbenchCore> doomed;  // destroyed outside the lock
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = sessions_.find(id);
+    if (it == sessions_.end()) return false;
+    --per_shard_[static_cast<std::size_t>(it->second.shard)];
+    doomed = std::move(it->second.core);
+    sessions_.erase(it);
+  }
+  return true;
+}
+
+std::size_t SessionTable::evictIdle(int shard, std::int64_t now_us,
+                                    std::int64_t ttl_us) {
+  if (ttl_us <= 0) return 0;
+  std::vector<std::unique_ptr<WorkbenchCore>> doomed;  // freed outside lock
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto it = sessions_.begin(); it != sessions_.end();) {
+      if (it->second.shard == shard &&
+          now_us - it->second.last_used_us > ttl_us) {
+        --per_shard_[static_cast<std::size_t>(shard)];
+        doomed.push_back(std::move(it->second.core));
+        it = sessions_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  return doomed.size();
+}
+
+std::size_t SessionTable::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sessions_.size();
+}
+
+}  // namespace nsc::svc

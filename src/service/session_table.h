@@ -1,0 +1,83 @@
+// SessionTable: the stateful half of the serving layer.
+//
+// The paper's workbench is an interactive environment: a user's editor
+// session lives across many commands, not one request.  The table maps a
+// session id to the shard that owns it (its *affinity*) and to a dedicated
+// WorkbenchCore — editor documents, the persistent SessionRunner with its
+// warm memoized checker session, and node memory — that survives between
+// requests.  Every request for a session is routed to its affine shard, so
+// exactly one thread ever touches a session's core:
+//
+//   open   — caller thread, under the table lock: picks the least-loaded
+//            shard, constructs the core, returns {id, shard}.  Ids are
+//            monotonic and never reused.
+//   claim  — the affine shard, while serving: looks the core up and stamps
+//            last-used.  Commands for one session serialize on its shard,
+//            so the returned pointer is safe to use outside the lock until
+//            the same shard closes or evicts the session.
+//   close  — the affine shard (CloseSession is routed with the session's
+//            affinity), destroying the core.
+//   evictIdle — the affine shard, between requests: destroys *its own*
+//            sessions idle past a TTL.  A shard never sweeps another
+//            shard's sessions, so eviction can't race a concurrent claim.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "nsc/workbench.h"
+
+namespace nsc::svc {
+
+class SessionTable {
+ public:
+  // `context` outlives the table; every session core is built on it.
+  SessionTable(const WorkbenchContext& context, int shards);
+
+  struct Opened {
+    std::uint64_t id = 0;
+    int shard = -1;
+  };
+
+  // Creates a session on the shard with the fewest live sessions (lowest
+  // shard index breaks ties — deterministic placement).  Returns nullopt
+  // when `max_sessions` sessions are already live.  The core is
+  // constructed outside the table lock.
+  std::optional<Opened> open(std::size_t max_sessions, std::int64_t now_us);
+
+  // The shard owning `id`, or -1 when the session is unknown (never
+  // opened, closed, or evicted).  This is the submit-time router.
+  int shardOf(std::uint64_t id) const;
+
+  // The session's core, if `id` is live and owned by `shard`; stamps the
+  // session's last-used time.  Only the affine shard may claim.
+  WorkbenchCore* claim(std::uint64_t id, int shard, std::int64_t now_us);
+
+  // Destroys the session.  Returns false when `id` is not live.
+  bool close(std::uint64_t id);
+
+  // Destroys every session owned by `shard` whose idle time exceeds
+  // `ttl_us`.  Returns the number evicted.  No-op when ttl_us <= 0.
+  std::size_t evictIdle(int shard, std::int64_t now_us, std::int64_t ttl_us);
+
+  std::size_t size() const;
+
+ private:
+  struct Session {
+    int shard = -1;
+    std::int64_t last_used_us = 0;
+    std::unique_ptr<WorkbenchCore> core;
+  };
+
+  const WorkbenchContext& context_;
+  mutable std::mutex mu_;
+  std::uint64_t next_id_ = 1;
+  std::vector<std::size_t> per_shard_;  // live session count per shard
+  std::map<std::uint64_t, Session> sessions_;
+};
+
+}  // namespace nsc::svc

@@ -191,6 +191,54 @@ TEST(HypercubeTest, RunPhaseCreatesZeroThreadsAfterPoolConstruction) {
   EXPECT_EQ(pool.threadsCreated(), created_at_construction);
 }
 
+TEST(HypercubeTest, D7SystemPhaseStatsAreConsistentAt128Nodes) {
+  // The paper's flagship is a 64-node (d=6) NSC; the system accepts any
+  // dimension but nothing exercised d > 6.  A stats-consistency (not
+  // golden) check at d=7: 128 SPMD nodes over the shared pool must
+  // aggregate exactly like one node times 128, phase after phase.
+  Machine m;
+  const mc::GenerateResult gen = buildScaleProgram(m);
+  ASSERT_TRUE(gen.ok) << gen.diagnostics.format();
+
+  // Single-node reference for the per-node numbers.
+  NodeSim reference(m);
+  reference.load(gen.exe);
+  const RunStats ref = reference.run();
+  ASSERT_FALSE(ref.error);
+
+  HypercubeSystem sys(m, 7);
+  EXPECT_EQ(sys.numNodes(), 128);
+  sys.loadAll(gen.exe);
+  SystemStats stats;
+  constexpr int kPhases = 2;
+  for (int phase = 0; phase < kPhases; ++phase) {
+    if (phase > 0) {
+      for (int n = 0; n < sys.numNodes(); ++n) sys.node(n).restart();
+    }
+    sys.runPhase(stats);
+  }
+  ASSERT_FALSE(stats.error) << stats.error_message;
+  ASSERT_EQ(stats.node_stats.size(), 128u);
+  // SPMD on identical data: every node's accumulated stats equal the
+  // single-node run times the phase count.
+  const auto phases = static_cast<std::uint64_t>(kPhases);
+  for (int n = 0; n < sys.numNodes(); ++n) {
+    const RunStats& node = stats.node_stats[static_cast<std::size_t>(n)];
+    EXPECT_EQ(node.total_cycles, phases * ref.total_cycles) << "node " << n;
+    EXPECT_EQ(node.total_flops, phases * ref.total_flops) << "node " << n;
+    EXPECT_EQ(node.instructions_executed,
+              phases * ref.instructions_executed)
+        << "node " << n;
+  }
+  // Aggregates: makespan is max-over-nodes summed over phases; flops sum
+  // over nodes and phases; no exchange phases ran.
+  EXPECT_EQ(stats.compute_makespan_cycles,
+            static_cast<std::uint64_t>(kPhases) * ref.total_cycles);
+  EXPECT_EQ(stats.total_flops,
+            static_cast<std::uint64_t>(kPhases) * 128u * ref.total_flops);
+  EXPECT_EQ(stats.comm_cycles, 0u);
+}
+
 TEST(HypercubeTest, SixtyFourNodePeakMatchesPaperClaim) {
   Machine m;
   HypercubeSystem sys(m, 6);

@@ -125,9 +125,15 @@ Reference referenceFor(const GenerateAndRun& request) {
 // BoundedQueue
 // ---------------------------------------------------------------------------
 
+PushResult pushValue(BoundedQueue<int>& queue, int value, Ticket ticket = {}) {
+  return queue.push(value, ticket);
+}
+
 TEST(BoundedQueueTest, FifoOrderAndPeakDepth) {
   BoundedQueue<int> queue(8);
-  for (int i = 0; i < 5; ++i) EXPECT_TRUE(queue.push(i));
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(pushValue(queue, i), PushResult::kAdmitted);
+  }
   EXPECT_EQ(queue.depth(), 5u);
   EXPECT_EQ(queue.peakDepth(), 5u);
   for (int i = 0; i < 5; ++i) {
@@ -141,10 +147,10 @@ TEST(BoundedQueueTest, FifoOrderAndPeakDepth) {
 
 TEST(BoundedQueueTest, CloseDeliversAdmittedItemsThenNullopt) {
   BoundedQueue<int> queue(8);
-  EXPECT_TRUE(queue.push(1));
-  EXPECT_TRUE(queue.push(2));
+  EXPECT_EQ(pushValue(queue, 1), PushResult::kAdmitted);
+  EXPECT_EQ(pushValue(queue, 2), PushResult::kAdmitted);
   queue.close();
-  EXPECT_FALSE(queue.push(3));  // admission refused after close
+  EXPECT_EQ(pushValue(queue, 3), PushResult::kClosed);  // refused after close
   EXPECT_EQ(queue.pop(), std::optional<int>(1));
   EXPECT_EQ(queue.pop(), std::optional<int>(2));
   EXPECT_EQ(queue.pop(), std::nullopt);
@@ -153,10 +159,10 @@ TEST(BoundedQueueTest, CloseDeliversAdmittedItemsThenNullopt) {
 
 TEST(BoundedQueueTest, FullQueueBlocksProducerUntilPop) {
   BoundedQueue<int> queue(1);
-  EXPECT_TRUE(queue.push(0));
+  EXPECT_EQ(pushValue(queue, 0), PushResult::kAdmitted);
   std::thread producer([&] {
-    EXPECT_TRUE(queue.push(1));  // blocks until the consumer pops
-    EXPECT_TRUE(queue.push(2));
+    EXPECT_EQ(pushValue(queue, 1), PushResult::kAdmitted);  // blocks for pop
+    EXPECT_EQ(pushValue(queue, 2), PushResult::kAdmitted);
   });
   for (int expected = 0; expected <= 2; ++expected) {
     const auto item = queue.pop();
@@ -165,6 +171,76 @@ TEST(BoundedQueueTest, FullQueueBlocksProducerUntilPop) {
   }
   producer.join();
   EXPECT_EQ(queue.peakDepth(), 1u);  // the bound held throughout
+}
+
+TEST(BoundedQueueTest, InteractiveClassServedBeforeBatch) {
+  AdmissionPolicy policy;
+  policy.aging_us = 0;  // pure class ordering, no clock dependence
+  BoundedQueue<int> queue(8, policy);
+  Ticket batch;
+  batch.priority = Priority::kBatch;
+  Ticket interactive;
+  interactive.priority = Priority::kInteractive;
+  EXPECT_EQ(pushValue(queue, 1, batch), PushResult::kAdmitted);
+  EXPECT_EQ(pushValue(queue, 2, batch), PushResult::kAdmitted);
+  EXPECT_EQ(pushValue(queue, 3, interactive), PushResult::kAdmitted);
+  EXPECT_EQ(pushValue(queue, 4, interactive), PushResult::kAdmitted);
+  // Interactive items jump the earlier batch items; FIFO within a class.
+  EXPECT_EQ(queue.pop(), std::optional<int>(3));
+  EXPECT_EQ(queue.pop(), std::optional<int>(4));
+  EXPECT_EQ(queue.pop(), std::optional<int>(1));
+  EXPECT_EQ(queue.pop(), std::optional<int>(2));
+}
+
+TEST(BoundedQueueTest, AgingPromotesBatchPastFreshInteractive) {
+  AdmissionPolicy policy;
+  policy.aging_us = 1'000;  // one class per millisecond waited
+  BoundedQueue<int> queue(8, policy);
+  Ticket batch;
+  batch.priority = Priority::kBatch;
+  EXPECT_EQ(pushValue(queue, 1, batch), PushResult::kAdmitted);
+  // After > 1ms the batch item has aged at least one full class below a
+  // fresh interactive item, so it can no longer be starved by one.
+  std::this_thread::sleep_for(std::chrono::milliseconds(3));
+  EXPECT_EQ(pushValue(queue, 2, Ticket{}), PushResult::kAdmitted);
+  EXPECT_EQ(queue.pop(), std::optional<int>(1));
+  EXPECT_EQ(queue.pop(), std::optional<int>(2));
+}
+
+TEST(BoundedQueueTest, AffinityPinsItemsToTheirConsumer) {
+  AdmissionPolicy policy;
+  policy.aging_us = 0;
+  BoundedQueue<int> queue(8, policy);
+  Ticket pinned;
+  pinned.affinity = 1;
+  EXPECT_EQ(pushValue(queue, 10, pinned), PushResult::kAdmitted);
+  EXPECT_EQ(pushValue(queue, 20, Ticket{}), PushResult::kAdmitted);
+  // Consumer 0 skips the pinned item even though it is first in line.
+  EXPECT_EQ(queue.pop(0), std::optional<int>(20));
+  EXPECT_EQ(queue.depth(), 1u);
+  // Consumer 1 gets it.
+  EXPECT_EQ(queue.pop(1), std::optional<int>(10));
+}
+
+TEST(BoundedQueueTest, ShedModeRefusesBatchAtWatermarkKeepsInteractive) {
+  AdmissionPolicy policy;
+  policy.overload = AdmissionPolicy::Overload::kShed;
+  policy.shed_watermark = 2;
+  BoundedQueue<int> queue(4, policy);
+  Ticket batch;
+  batch.priority = Priority::kBatch;
+  EXPECT_EQ(pushValue(queue, 1, batch), PushResult::kAdmitted);
+  EXPECT_EQ(pushValue(queue, 2, batch), PushResult::kAdmitted);
+  // Depth reached the watermark: batch is shed without blocking, and the
+  // refused value is NOT consumed (the service replies Rejected with it).
+  int shed_item = 3;
+  EXPECT_EQ(queue.push(shed_item, batch), PushResult::kShed);
+  EXPECT_EQ(shed_item, 3);
+  EXPECT_EQ(queue.depth(), 2u);
+  // Interactive work keeps the blocking contract up to full capacity.
+  EXPECT_EQ(pushValue(queue, 4, Ticket{}), PushResult::kAdmitted);
+  EXPECT_EQ(pushValue(queue, 5, Ticket{}), PushResult::kAdmitted);
+  EXPECT_EQ(queue.depth(), 4u);
 }
 
 // ---------------------------------------------------------------------------
@@ -233,6 +309,64 @@ TEST(ProgramCacheTest, EvictsLeastRecentlyUsedPastCapacity) {
   cache.get(machine, gen_a.exe, &hit);  // A was evicted: recompiled
   EXPECT_FALSE(hit);
   EXPECT_EQ(cache.stats().evictions, 2u);
+}
+
+TEST(ProgramCacheTest, ConcurrentHitsChurnLruWithoutBreakingInFlightHolders) {
+  // A capacity-1 cache thrashed by four threads alternating four distinct
+  // programs: every get() must return a usable image even while other
+  // threads force evictions, and a shared_ptr held across an arbitrary
+  // number of evictions must stay valid (eviction drops the cache's
+  // reference, never the holder's).  ASan/TSan make this a memory-safety
+  // proof, not just a liveness one.
+  arch::Machine machine;
+  std::vector<mc::GenerateResult> gens;
+  for (int k = 2; k <= 5; ++k) {
+    gens.push_back(generateFor(machine, tripleScript(static_cast<double>(k))));
+    ASSERT_TRUE(gens.back().ok);
+  }
+
+  sim::CompiledProgramCache cache(1);
+  // The in-flight holder: acquired before the churn, used after it.
+  const auto held = cache.get(machine, gens[0].exe);
+  ASSERT_NE(held, nullptr);
+
+  constexpr int kThreads = 4;
+  constexpr int kIterations = 32;
+  std::vector<std::thread> workers;
+  std::vector<int> failures(kThreads, 0);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (int i = 0; i < kIterations; ++i) {
+        const auto& gen = gens[static_cast<std::size_t>((t + i) % 4)];
+        const auto program = cache.get(machine, gen.exe);
+        // Use the image immediately: a freed or aliased image would trip
+        // the sanitizers or produce a failed run.
+        sim::NodeSim node(machine);
+        node.load(program);
+        if (node.run().error) ++failures[static_cast<std::size_t>(t)];
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  for (int t = 0; t < kThreads; ++t) EXPECT_EQ(failures[t], 0) << "thread " << t;
+
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.entries, 1u);  // the bound held through the churn
+  EXPECT_GT(stats.evictions, 0u);
+
+  // The held image survived every eviction: running it now is bit-identical
+  // to running a freshly compiled copy of the same program.
+  sim::NodeSim from_held(machine);
+  from_held.load(held);
+  const sim::RunStats held_run = from_held.run();
+  sim::NodeSim fresh(machine);
+  sim::CompiledProgramCache fresh_cache;
+  fresh.load(fresh_cache.get(machine, gens[0].exe));
+  const sim::RunStats fresh_run = fresh.run();
+  EXPECT_FALSE(held_run.error);
+  EXPECT_EQ(held_run.total_cycles, fresh_run.total_cycles);
+  EXPECT_EQ(held_run.total_flops, fresh_run.total_flops);
+  EXPECT_EQ(held_run.instructions_executed, fresh_run.instructions_executed);
 }
 
 // ---------------------------------------------------------------------------
@@ -464,6 +598,320 @@ TEST(ServiceTest, BadRequestParametersSurfaceAsStatusErrors) {
   bad_dim.dimension = -1;
   ServiceReply system = service.submit(bad_dim).get();
   EXPECT_FALSE(system.status.isOk());
+}
+
+// ---------------------------------------------------------------------------
+// Stateful sessions: affinity, warm state, lifecycle
+// ---------------------------------------------------------------------------
+
+// The Figure-11 script cut at the "# step 3" marker, with a `check` on each
+// side of the cut.  The reference script carries both checks in sequence,
+// so the second is answered from the still-warm memoized checker session —
+// in the split variant that only happens if the session's editor state
+// survived across two separate requests.
+struct SplitScript {
+  std::string full;
+  std::string first;
+  std::string second;
+};
+
+SplitScript splitFigure11() {
+  const std::string script = figure11SessionScript();
+  const std::size_t cut = script.find("# step 3");
+  EXPECT_NE(cut, std::string::npos);
+  SplitScript split;
+  split.first = script.substr(0, cut) + "check\n";
+  split.second = "check\n" + script.substr(cut);
+  split.full = split.first + split.second;
+  return split;
+}
+
+TEST(ServiceTest, SessionSplitAcrossRequestsMatchesSingleScriptSubmit) {
+  const SplitScript split = splitFigure11();
+
+  // Single-script reference: the whole session as one stateless request.
+  GenerateAndRun whole;
+  whole.script = split.full;
+  whole.inputs = figure11Inputs();
+  whole.outputs = figure11Outputs();
+  const Reference ref = referenceFor(whole);
+  ASSERT_TRUE(ref.generated);
+
+  ServiceOptions options;
+  options.shards = 4;
+  WorkbenchService service(options);
+
+  // Open, two command batches, close — four requests against one session.
+  ServiceReply opened = service.submit(OpenSession{}).get();
+  ASSERT_TRUE(opened.ok()) << opened.status.message();
+  const std::uint64_t id = opened.stats.session;
+  ASSERT_NE(id, 0u);
+  EXPECT_EQ(service.sessionCount(), 1u);
+
+  SessionCommand part1;
+  part1.session = id;
+  part1.script = split.first;
+  ServiceReply first = service.submit(part1).get();
+  ASSERT_TRUE(first.ok()) << first.status.message();
+
+  SessionCommand part2;
+  part2.session = id;
+  part2.script = split.second;
+  part2.run = true;
+  part2.inputs = whole.inputs;
+  part2.outputs = whole.outputs;
+  ServiceReply second = service.submit(part2).get();
+  ASSERT_TRUE(second.ok()) << second.status.message()
+                           << second.generation.diagnostics.format();
+
+  // (1) Affinity: every request for the session landed on the same shard.
+  EXPECT_GE(opened.stats.shard, 0);
+  EXPECT_EQ(first.stats.shard, opened.stats.shard);
+  EXPECT_EQ(second.stats.shard, opened.stats.shard);
+  EXPECT_EQ(first.stats.session, id);
+  EXPECT_EQ(second.stats.session, id);
+
+  // (2) Warm state: the second request's leading `check` was answered from
+  // the checker session the first request left warm — a per-request
+  // cache-hit counter the reply carries.
+  EXPECT_GE(second.stats.checker_session_hits, 1u);
+
+  // (3) Bit-identical editor results: the two batches concatenate to
+  // exactly the single-script replay record.
+  EXPECT_EQ(first.session.commands + second.session.commands,
+            ref.session.commands);
+  EXPECT_EQ(first.session.failures + second.session.failures,
+            ref.session.failures);
+  std::vector<std::string> combined_log = first.session.log;
+  combined_log.insert(combined_log.end(), second.session.log.begin(),
+                      second.session.log.end());
+  EXPECT_EQ(combined_log, ref.session.log);
+
+  // (4) Bit-identical run results and read-backs.
+  expectRunStatsEq(second.run, ref.run, "split session run");
+  ASSERT_EQ(second.outputs.size(), ref.outputs.size());
+  for (std::size_t o = 0; o < second.outputs.size(); ++o) {
+    EXPECT_EQ(second.outputs[o], ref.outputs[o]) << "output " << o;
+  }
+
+  ServiceReply closed = service.submit(CloseSession{id}).get();
+  EXPECT_TRUE(closed.ok()) << closed.status.message();
+  EXPECT_EQ(service.sessionCount(), 0u);
+  const ShardStats stats =
+      service.shardStats(opened.stats.shard);
+  EXPECT_EQ(stats.sessions_opened, 1u);
+  EXPECT_EQ(stats.sessions_closed, 1u);
+  EXPECT_EQ(stats.session_commands, 2u);
+  EXPECT_GE(stats.checker_session_hits, 1u);
+}
+
+TEST(ServiceTest, SessionsSpreadAcrossShardsLeastLoadedFirst) {
+  ServiceOptions options;
+  options.shards = 4;
+  WorkbenchService service(options);
+  std::set<int> shards;
+  std::vector<std::uint64_t> ids;
+  for (int i = 0; i < 4; ++i) {
+    ServiceReply opened = service.submit(OpenSession{}).get();
+    ASSERT_TRUE(opened.ok());
+    shards.insert(opened.stats.shard);
+    ids.push_back(opened.stats.session);
+  }
+  // Least-loaded placement: four sessions on four distinct shards.
+  EXPECT_EQ(shards.size(), 4u);
+  EXPECT_EQ(service.sessionCount(), 4u);
+  for (const std::uint64_t id : ids) {
+    EXPECT_TRUE(service.submit(CloseSession{id}).get().ok());
+  }
+  EXPECT_EQ(service.sessionCount(), 0u);
+}
+
+TEST(ServiceTest, UnknownSessionIsRejectedAtAdmission) {
+  WorkbenchService service(ServiceOptions{});
+  SessionCommand command;
+  command.session = 12345;
+  command.script = "check\n";
+  ServiceReply reply = service.submit(command).get();
+  EXPECT_FALSE(reply.ok());
+  EXPECT_TRUE(reply.rejected());
+  EXPECT_EQ(reply.stats.rejected, Reject::kUnknownSession);
+  EXPECT_EQ(service.admissionStats().rejected_session, 1u);
+  // Closing an unknown session is rejected the same way.
+  ServiceReply closed = service.submit(CloseSession{12345}).get();
+  EXPECT_EQ(closed.stats.rejected, Reject::kUnknownSession);
+  // A default-constructed id (0) is unknown too — it must not fall through
+  // to the stateless path and silently execute on a scratch core.
+  ServiceReply zero = service.submit(SessionCommand{}).get();
+  EXPECT_EQ(zero.stats.rejected, Reject::kUnknownSession);
+  EXPECT_EQ(zero.session.commands, 0);
+}
+
+TEST(ServiceTest, ShedOpenSessionDoesNotLeakItsReservedCore) {
+  ServiceOptions options;
+  options.shards = 1;
+  WorkbenchService service(options);
+  Admission expired;
+  expired.deadline_us = -1;
+  ServiceReply reply = service.submit(OpenSession{}, expired).get();
+  EXPECT_EQ(reply.stats.rejected, Reject::kDeadline);
+  EXPECT_EQ(reply.stats.session, 0u);  // the id was never handed out
+  // The core reserved at admission was dropped with the shed.
+  EXPECT_EQ(service.sessionCount(), 0u);
+}
+
+TEST(ServiceTest, SessionLimitRejectsFurtherOpens) {
+  ServiceOptions options;
+  options.shards = 1;
+  options.max_sessions = 2;
+  WorkbenchService service(options);
+  const std::uint64_t a = service.submit(OpenSession{}).get().stats.session;
+  const std::uint64_t b = service.submit(OpenSession{}).get().stats.session;
+  ASSERT_NE(a, 0u);
+  ASSERT_NE(b, 0u);
+  ServiceReply third = service.submit(OpenSession{}).get();
+  EXPECT_EQ(third.stats.rejected, Reject::kSessionLimit);
+  // Closing one frees a slot.
+  ASSERT_TRUE(service.submit(CloseSession{a}).get().ok());
+  EXPECT_NE(service.submit(OpenSession{}).get().stats.session, 0u);
+}
+
+TEST(ServiceTest, IdleSessionsAreEvictedAfterTtl) {
+  ServiceOptions options;
+  options.shards = 1;
+  // Wide margins so sanitizer slowdown can't evict early or sweep late:
+  // the idle clock starts when the open's serve *finishes*.
+  options.session_ttl_us = 50'000;  // 50ms idle TTL
+  WorkbenchService service(options);
+  ServiceReply opened = service.submit(OpenSession{tripleScript(2.0)}).get();
+  ASSERT_TRUE(opened.ok());
+  const std::uint64_t id = opened.stats.session;
+  EXPECT_EQ(service.sessionCount(), 1u);
+
+  // Let the session go idle past the TTL, then serve any request on the
+  // owning shard — sweeps run between requests on the owner.
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  ASSERT_TRUE(service.submit(SubmitSession{"pipeline \"p\"\n"}).get().ok());
+  EXPECT_EQ(service.sessionCount(), 0u);
+  EXPECT_EQ(service.shardStats(0).sessions_evicted, 1u);
+
+  // A command for the evicted session is rejected, not served on a ghost.
+  SessionCommand command;
+  command.session = id;
+  command.script = "check\n";
+  ServiceReply reply = service.submit(command).get();
+  EXPECT_EQ(reply.stats.rejected, Reject::kUnknownSession);
+}
+
+// ---------------------------------------------------------------------------
+// Admission control: deadlines, priorities, load shedding
+// ---------------------------------------------------------------------------
+
+TEST(ServiceTest, ExpiredDeadlineIsShedBeforeDispatch) {
+  ServiceOptions options;
+  options.shards = 1;
+  WorkbenchService service(options);
+
+  Admission expired;
+  expired.deadline_us = -1;  // already expired at admission
+  GenerateAndRun request{tripleScript(3.0), {}, {}};
+  ServiceReply reply = service.submit(request, expired).get();
+  EXPECT_FALSE(reply.ok());
+  EXPECT_TRUE(reply.rejected());
+  EXPECT_EQ(reply.stats.rejected, Reject::kDeadline);
+  // Nothing executed: no replay, no generation, no run.
+  EXPECT_EQ(reply.session.commands, 0);
+  EXPECT_FALSE(reply.generation.ok);
+  EXPECT_EQ(reply.run.total_cycles, 0u);
+  EXPECT_EQ(service.shardStats(0).shed_deadline, 1u);
+
+  // A generous deadline executes normally.
+  Admission generous;
+  generous.deadline_us = 60'000'000;
+  ServiceReply served = service.submit(request, generous).get();
+  EXPECT_TRUE(served.ok()) << served.status.message();
+  EXPECT_EQ(served.stats.rejected, Reject::kNone);
+}
+
+TEST(ServiceTest, OverloadShedsBatchWhileInteractiveCompletes) {
+  // Deterministic staging: the service admits but does not serve until
+  // start(), so the queue can be filled past the watermark with no race
+  // against the shards draining it.
+  ServiceOptions options;
+  options.shards = 1;
+  options.queue_capacity = 8;
+  options.admission.overload = AdmissionPolicy::Overload::kShed;
+  options.admission.shed_watermark = 2;
+  options.admission.aging_us = 1'000'000;  // no promotion inside this test
+  options.start = false;
+  WorkbenchService service(options);
+
+  const std::string script = tripleScript(2.0);
+  // Two batch requests fill to the watermark — the first carries a
+  // deadline that expired at admission (it is admitted here, and shed at
+  // dispatch).  The third batch push hits the watermark and is shed
+  // immediately with a Rejected reply (the producer never blocks).
+  Admission expired;
+  expired.deadline_us = -1;
+  auto dead = service.submit(RunEnsemble{script, 2}, expired);
+  auto batch1 = service.submit(RunEnsemble{script, 2});
+  auto shed = service.submit(RunEnsemble{script, 2});
+  ServiceReply shed_reply = shed.get();  // already ready: nothing serves yet
+  EXPECT_TRUE(shed_reply.rejected());
+  EXPECT_EQ(shed_reply.stats.rejected, Reject::kOverload);
+  EXPECT_EQ(service.admissionStats().shed_overload, 1u);
+
+  // Interactive work is still admitted above the watermark.
+  auto inter1 = service.submit(SubmitSession{script});
+  auto inter2 = service.submit(SubmitSession{script});
+  EXPECT_EQ(service.queueDepth(), 4u);
+
+  service.start();
+  ServiceReply i1 = inter1.get();
+  ServiceReply i2 = inter2.get();
+  EXPECT_TRUE(i1.ok()) << i1.status.message();
+  EXPECT_TRUE(i2.ok()) << i2.status.message();
+  ServiceReply b1 = batch1.get();
+  EXPECT_TRUE(b1.ok());
+  ServiceReply dead_reply = dead.get();
+  EXPECT_EQ(dead_reply.stats.rejected, Reject::kDeadline);
+  // Nothing of the expired request executed.
+  EXPECT_EQ(dead_reply.session.commands, 0);
+  EXPECT_TRUE(dead_reply.ensemble.empty());
+
+  // Interactive outranked the earlier-admitted batch work at dispatch:
+  // pop order is i1, i2, then the batch class in FIFO order.
+  EXPECT_EQ(i1.stats.shard_sequence, 0u);
+  EXPECT_EQ(i2.stats.shard_sequence, 1u);
+  EXPECT_EQ(dead_reply.stats.shard_sequence, 2u);
+  EXPECT_EQ(b1.stats.shard_sequence, 3u);
+  // Shed replies are accounted: the deadline shed on the shard that popped
+  // it, the overload shed at admission.
+  const ShardStats shard = service.shardStats(0);
+  EXPECT_EQ(shard.shed_deadline, 1u);
+  EXPECT_EQ(shard.requests, 4u);  // 1 batch + 2 interactive + 1 deadline shed
+  const AdmissionStats admission = service.admissionStats();
+  EXPECT_EQ(admission.shed_overload, 1u);
+  EXPECT_EQ(admission.admitted, 4u);
+  EXPECT_EQ(admission.submitted, 5u);
+}
+
+TEST(ServiceTest, CallerPriorityOverridesTypeDefault) {
+  ServiceOptions options;
+  options.shards = 1;
+  WorkbenchService service(options);
+  Admission batch;
+  batch.priority = Priority::kBatch;
+  ServiceReply demoted =
+      service.submit(SubmitSession{"pipeline \"p\"\n"}, batch).get();
+  EXPECT_TRUE(demoted.ok());
+  EXPECT_EQ(demoted.stats.priority, Priority::kBatch);
+  ServiceReply defaulted =
+      service.submit(RunEnsemble{tripleScript(2.0), 1}).get();
+  EXPECT_TRUE(defaulted.ok());
+  EXPECT_EQ(defaulted.stats.priority, Priority::kBatch);
+  ServiceReply interactive =
+      service.submit(SubmitSession{"pipeline \"p\"\n"}).get();
+  EXPECT_EQ(interactive.stats.priority, Priority::kInteractive);
 }
 
 }  // namespace
