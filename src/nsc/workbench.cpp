@@ -2,6 +2,8 @@
 
 #include <future>
 
+#include "sim/verify.h"
+
 namespace nsc {
 
 WorkbenchCore::WorkbenchCore(const WorkbenchContext& context)
@@ -43,6 +45,21 @@ CompileOutcome WorkbenchCore::compileProgram(const prog::Program& program) {
   outcome.program = context_.cache().get(context_.machine(),
                                          outcome.generation.exe,
                                          &outcome.cache_hit);
+  // Surface verifier errors next to the generator's own diagnostics (the
+  // report itself rides outcome.program->verify).  Warnings stay in the
+  // report only; generation.ok is untouched — execution still runs and
+  // faults exactly as it always did, the service layer is what gates.
+  if (outcome.program != nullptr && outcome.program->verify != nullptr &&
+      !outcome.program->verify->clean()) {
+    const check::DiagnosticList bridged =
+        outcome.program->verify->toDiagnostics();
+    for (const check::Diagnostic& d : bridged.all()) {
+      if (d.severity == check::Severity::kError) {
+        outcome.generation.diagnostics.add(d.rule, d.severity, d.message,
+                                           d.pipeline);
+      }
+    }
+  }
   return outcome;
 }
 
@@ -65,29 +82,37 @@ EnsembleOutcome WorkbenchCore::runEnsemble(const prog::Program& program,
   outcome.generation = std::move(compiled_outcome.generation);
   outcome.program = std::move(compiled_outcome.program);
   outcome.cache_hit = compiled_outcome.cache_hit;
-  if (!outcome.generation.ok || replicas <= 0) return outcome;
+  if (!outcome.generation.ok) return outcome;
+  outcome.runs = runReplicas(outcome.program, replicas);
+  return outcome;
+}
+
+std::vector<sim::RunStats> WorkbenchCore::runReplicas(
+    const std::shared_ptr<const sim::CompiledProgram>& program,
+    int replicas) {
+  std::vector<sim::RunStats> runs;
+  if (program == nullptr || replicas <= 0) return runs;
   // One compiled image shared by every replica (and, through the cache, by
   // every other consumer of the same program); the pool only simulates.
-  const auto& compiled = outcome.program;
-  outcome.runs.resize(static_cast<std::size_t>(replicas));
+  runs.resize(static_cast<std::size_t>(replicas));
   // Replicas go in as independent submitted tasks rather than one
   // parallelFor job: concurrent ensembles from different cores (service
   // shards) then interleave replica-by-replica instead of serializing on
   // the pool's one-job-at-a-time range path.  Each result lands in its own
   // slot, so scheduling order cannot affect the outcome.
   std::vector<std::future<void>> pending;
-  pending.reserve(outcome.runs.size());
-  for (std::size_t i = 0; i < outcome.runs.size(); ++i) {
-    pending.push_back(context_.pool().submit([this, &outcome, &compiled, i] {
+  pending.reserve(runs.size());
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    pending.push_back(context_.pool().submit([this, &runs, &program, i] {
       sim::NodeSim replica(context_.machine());
-      replica.load(compiled);
-      outcome.runs[i] = replica.run();
+      replica.load(program);
+      runs[i] = replica.run();
     }));
   }
   // The caller participates instead of idling: drain queued pool tasks
   // (this ensemble's replicas, or anyone else's work) until the queue is
   // empty, then settle the futures.  Every task references
-  // `outcome`/`compiled`, so all futures must settle before this frame can
+  // `runs`/`program`, so all futures must settle before this frame can
   // unwind — collect the first failure and rethrow only after the whole
   // ensemble has drained.
   while (context_.pool().tryRunOneTask()) {
@@ -101,7 +126,7 @@ EnsembleOutcome WorkbenchCore::runEnsemble(const prog::Program& program,
     }
   }
   if (error) std::rethrow_exception(error);
-  return outcome;
+  return runs;
 }
 
 sim::HypercubeSystem WorkbenchCore::makeSystem(

@@ -114,8 +114,19 @@ class WorkbenchCore {
 
   // Generates microcode and resolves the compiled image through the shared
   // cache, without running anything — the front half runProgram /
-  // runEnsemble / the service's system requests all share.
+  // runEnsemble / the service's system requests all share.  The image
+  // carries its static-verification report (CompiledProgram::verify,
+  // computed once at cache insert and pointer-shared by every holder);
+  // error-severity verifier findings are appended to the generation
+  // diagnostics so they surface in the editor's message strip.
   CompileOutcome compileProgram(const prog::Program& program);
+
+  // Runs `replicas` independent NodeSim copies of an already-compiled
+  // image on the shared pool — the back half of runEnsemble, exposed so
+  // the service layer can verify/gate between compile and run.
+  std::vector<sim::RunStats> runReplicas(
+      const std::shared_ptr<const sim::CompiledProgram>& program,
+      int replicas);
 
   // Generates microcode from the edited program, loads it, runs to halt.
   RunOutcome generateAndRun();

@@ -5,6 +5,7 @@
 #include <type_traits>
 
 #include "common/strings.h"
+#include "sim/verify.h"
 
 namespace nsc::svc {
 
@@ -172,7 +173,23 @@ AdmissionStats WorkbenchService::admissionStats() const {
   stats.admitted = admitted_.load(std::memory_order_relaxed);
   stats.shed_overload = shed_overload_.load(std::memory_order_relaxed);
   stats.rejected_session = rejected_session_.load(std::memory_order_relaxed);
+  stats.rejected_program = rejected_program_.load(std::memory_order_relaxed);
   return stats;
+}
+
+bool WorkbenchService::admitCompiled(
+    const std::shared_ptr<const sim::CompiledProgram>& program,
+    ServiceReply& reply) {
+  if (program == nullptr || program->verify == nullptr ||
+      program->verify->clean()) {
+    return true;
+  }
+  rejected_program_.fetch_add(1, std::memory_order_relaxed);
+  reply.stats.rejected = Reject::kInvalidProgram;
+  reply.status = common::Status::error(
+      "program rejected by static verification: " +
+      program->verify->firstError());
+  return false;
 }
 
 bool WorkbenchService::withinDeadline(const Job& job, std::int64_t now_us) {
@@ -318,18 +335,28 @@ void WorkbenchService::serveOne(WorkbenchCore& core,
   for (const PlaneImage& input : request.inputs) {
     core.node().writePlane(input.plane, input.base, input.values);
   }
-  RunOutcome outcome = core.generateAndRun();
-  reply.generation = std::move(outcome.generation);
-  reply.run = std::move(outcome.run);
-  reply.program = std::move(outcome.program);
-  reply.stats.program_cache_hit = outcome.cache_hit;
+  // Compile, pass the verification gate, and only then touch an engine: a
+  // program the verifier proves faulty is refused here and never runs.
+  CompileOutcome compiled = core.compileProgram(core.editor().program());
+  reply.generation = std::move(compiled.generation);
+  reply.program = compiled.program;
+  reply.verify = compiled.program != nullptr ? compiled.program->verify
+                                             : nullptr;
+  reply.stats.program_cache_hit = compiled.cache_hit;
+  bool ran_ok = reply.generation.ok;
+  if (reply.generation.ok && admitCompiled(compiled.program, reply)) {
+    core.node().load(compiled.program);
+    reply.run = core.node().run();
+    ran_ok = !reply.run.error;
+  }
+  // Read-backs stay unconditional, exactly like the pre-gate behaviour:
+  // a refused request returns the (untouched) plane contents.
   reply.outputs.reserve(request.outputs.size());
   for (const PlaneRange& range : request.outputs) {
     reply.outputs.push_back(
         core.node().readPlane(range.plane, range.base, range.count));
   }
-  reply.complete_ =
-      reply.session.clean() && reply.generation.ok && !reply.run.error;
+  reply.complete_ = reply.session.clean() && ran_ok && !reply.rejected();
 }
 
 void WorkbenchService::serveOne(WorkbenchCore& core,
@@ -340,14 +367,20 @@ void WorkbenchService::serveOne(WorkbenchCore& core,
     return;
   }
   reply.session = core.runSession(request.script);
-  EnsembleOutcome outcome =
-      core.runEnsemble(core.editor().program(), request.replicas);
-  const bool runs_ok = outcome.ok();
-  reply.generation = std::move(outcome.generation);
-  reply.ensemble = std::move(outcome.runs);
-  reply.program = std::move(outcome.program);
-  reply.stats.program_cache_hit = outcome.cache_hit;
-  reply.complete_ = reply.session.clean() && runs_ok;
+  CompileOutcome compiled = core.compileProgram(core.editor().program());
+  reply.generation = std::move(compiled.generation);
+  reply.program = compiled.program;
+  reply.verify = compiled.program != nullptr ? compiled.program->verify
+                                             : nullptr;
+  reply.stats.program_cache_hit = compiled.cache_hit;
+  bool runs_ok = reply.generation.ok;
+  if (reply.generation.ok && admitCompiled(compiled.program, reply)) {
+    reply.ensemble = core.runReplicas(compiled.program, request.replicas);
+    for (const sim::RunStats& run : reply.ensemble) {
+      runs_ok = runs_ok && !run.error;
+    }
+  }
+  reply.complete_ = reply.session.clean() && runs_ok && !reply.rejected();
 }
 
 void WorkbenchService::serveOne(WorkbenchCore& core,
@@ -366,9 +399,11 @@ void WorkbenchService::serveOne(WorkbenchCore& core,
   reply.session = core.runSession(request.script);
   CompileOutcome compiled = core.compileProgram(core.editor().program());
   reply.generation = std::move(compiled.generation);
-  reply.program = std::move(compiled.program);
+  reply.program = compiled.program;
+  reply.verify = compiled.program != nullptr ? compiled.program->verify
+                                             : nullptr;
   reply.stats.program_cache_hit = compiled.cache_hit;
-  if (reply.generation.ok) {
+  if (reply.generation.ok && admitCompiled(compiled.program, reply)) {
     sim::HypercubeSystem system = core.makeSystem(request.dimension,
                                                   request.router);
     system.loadAll(reply.program);
@@ -382,8 +417,8 @@ void WorkbenchService::serveOne(WorkbenchCore& core,
       system.runPhase(reply.system);
     }
   }
-  reply.complete_ =
-      reply.session.clean() && reply.generation.ok && !reply.system.error;
+  reply.complete_ = reply.session.clean() && reply.generation.ok &&
+                    !reply.system.error && !reply.rejected();
 }
 
 void WorkbenchService::serveOne(WorkbenchCore& core,
@@ -410,19 +445,27 @@ void WorkbenchService::serveOne(WorkbenchCore& core,
   }
   bool ran_ok = true;
   if (request.run) {
-    RunOutcome outcome = core.generateAndRun();
-    reply.generation = std::move(outcome.generation);
-    reply.run = std::move(outcome.run);
-    reply.program = std::move(outcome.program);
-    reply.stats.program_cache_hit = outcome.cache_hit;
-    ran_ok = reply.generation.ok && !reply.run.error;
+    // Same compile -> verify-gate -> run split as GenerateAndRun, against
+    // the session's persistent node.
+    CompileOutcome compiled = core.compileProgram(core.editor().program());
+    reply.generation = std::move(compiled.generation);
+    reply.program = compiled.program;
+    reply.verify = compiled.program != nullptr ? compiled.program->verify
+                                               : nullptr;
+    reply.stats.program_cache_hit = compiled.cache_hit;
+    ran_ok = reply.generation.ok;
+    if (reply.generation.ok && admitCompiled(compiled.program, reply)) {
+      core.node().load(compiled.program);
+      reply.run = core.node().run();
+      ran_ok = !reply.run.error;
+    }
   }
   reply.outputs.reserve(request.outputs.size());
   for (const PlaneRange& range : request.outputs) {
     reply.outputs.push_back(
         core.node().readPlane(range.plane, range.base, range.count));
   }
-  reply.complete_ = reply.session.clean() && ran_ok;
+  reply.complete_ = reply.session.clean() && ran_ok && !reply.rejected();
 }
 
 }  // namespace nsc::svc

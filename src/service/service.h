@@ -153,6 +153,9 @@ enum class Reject {
   kUnknownSession,  // no live session with that id (never opened / closed /
                     // idle-evicted)
   kSessionLimit,    // ServiceOptions::max_sessions live sessions already
+  kInvalidProgram,  // static verification proved the compiled program
+                    // faults or is hardware-infeasible; never dispatched to
+                    // an engine (reply.verify carries the diagnostics)
 };
 
 struct RequestStats {
@@ -188,6 +191,11 @@ struct ServiceReply {
   // failed generations).  Pointer-equal across requests that ran the same
   // program on the same machine config — the cache-sharing witness.
   std::shared_ptr<const sim::CompiledProgram> program;
+  // The image's static-verification report (pointer-equal to
+  // program->verify, and across shards serving the same program).  Set
+  // whenever a program compiled — including rejections, where it carries
+  // the diagnostics that justified Reject::kInvalidProgram.
+  std::shared_ptr<const sim::VerifyReport> verify;
   RequestStats stats;
 
   // True when the request was refused by admission control (deadline,
@@ -223,6 +231,9 @@ struct AdmissionStats {
   std::uint64_t admitted = 0;        // entered the queue
   std::uint64_t shed_overload = 0;   // batch work refused at the watermark
   std::uint64_t rejected_session = 0;  // unknown session / session limit
+  // Programs refused by the static-verification gate (Reject::kInvalidProgram)
+  // after compiling but before any engine dispatch.
+  std::uint64_t rejected_program = 0;
 };
 
 struct ServiceOptions {
@@ -300,6 +311,11 @@ class WorkbenchService {
   void shardLoop(int shard_index);
   // True when `job` is still within its dispatch deadline.
   static bool withinDeadline(const Job& job, std::int64_t now_us);
+  // The verification gate every execute path passes after compiling:
+  // returns true when the program's report is clean (admit), else stamps
+  // the reply with Reject::kInvalidProgram + the report and returns false.
+  bool admitCompiled(const std::shared_ptr<const sim::CompiledProgram>& program,
+                     ServiceReply& reply);
   std::future<ServiceReply> readyReject(Reject reason, std::string message,
                                         std::uint64_t session = 0);
   ServiceReply serve(Shard& shard, int shard_index, Job& job);
@@ -326,6 +342,7 @@ class WorkbenchService {
   std::atomic<std::uint64_t> admitted_{0};
   std::atomic<std::uint64_t> shed_overload_{0};
   std::atomic<std::uint64_t> rejected_session_{0};
+  std::atomic<std::uint64_t> rejected_program_{0};
   std::mutex start_mu_;  // serializes start() and the join phase of stop()
   bool started_ = false;
 

@@ -5,6 +5,7 @@
 
 #include "arch/microword_spec.h"
 #include "common/strings.h"
+#include "sim/verify.h"
 
 namespace nsc::sim {
 
@@ -295,8 +296,12 @@ CompiledInstr lowerPlan(const arch::Machine& machine, const InstrPlan& plan,
       hi = std::max(hi, corner);
     }
     if (static_cast<std::uint64_t>(hi) >= cfg.sim_plane_words &&
-        ci.dma_error.empty()) {
-      ci.dma_error = strFormat(
+        ci.fault.kind == FaultKind::kNone) {
+      ci.fault.kind = FaultKind::kDmaBounds;
+      ci.fault.endpoint = dma.mode == 1 ? Endpoint::planeRead(p)
+                                        : Endpoint::planeWrite(p);
+      ci.fault.address = hi;
+      ci.fault.message = strFormat(
           "plane %d DMA touches word %lld beyond the simulated capacity %llu "
           "(raise MachineConfig::sim_plane_words)",
           p, static_cast<long long>(hi),
@@ -304,7 +309,7 @@ CompiledInstr lowerPlan(const arch::Machine& machine, const InstrPlan& plan,
     }
     // The interpreter grows backing stores plane-by-plane and bails at the
     // first out-of-range engine; record grows only for planes it reaches.
-    if (ci.dma_error.empty()) {
+    if (ci.fault.kind == FaultKind::kNone) {
       ci.plane_grows.push_back({p, static_cast<std::uint64_t>(hi) + 1});
     }
     CompiledDma eng;
@@ -443,6 +448,15 @@ std::shared_ptr<const CompiledProgram> CompiledProgram::compile(
     program->instrs.push_back(
         lowerPlan(machine, program->plans.back(), static_cast<int>(i)));
   }
+
+  // Verify once here so the report (and the proven steady-state windows it
+  // justifies) ride the shared program pointer through the cache.
+  auto report = std::make_shared<VerifyReport>(
+      ProgramVerifier(machine).verify(*program));
+  for (std::size_t i = 0; i < program->instrs.size(); ++i) {
+    program->instrs[i].steady_window = report->instrs[i].steady_window;
+  }
+  program->verify = std::move(report);
   return program;
 }
 

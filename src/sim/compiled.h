@@ -29,8 +29,11 @@
 
 #include "arch/machine.h"
 #include "microcode/generator.h"
+#include "sim/stats.h"
 
 namespace nsc::sim {
+
+struct VerifyReport;  // sim/verify.h
 
 // ---------------------------------------------------------------------------
 // Decoded per-instruction plans (the interpreter's view of one microword).
@@ -143,6 +146,15 @@ struct CompiledSd {
   std::vector<CompiledSdTap> taps;
 };
 
+// A fault proven at compile time: the instruction refuses to issue and both
+// engines report it as this typed fault instead of executing.
+struct InstrFault {
+  FaultKind kind = FaultKind::kNone;
+  arch::Endpoint endpoint{};   // offending endpoint (e.g. the DMA plane)
+  std::int64_t address = 0;    // offending word for bounds faults
+  std::string message;
+};
+
 struct CompiledInstr {
   std::vector<CompiledFu> fus;  // enabled units only, ALS slot order
   std::vector<std::pair<std::int32_t, std::int32_t>> routes;  // (dst, src)
@@ -152,14 +164,18 @@ struct CompiledInstr {
   // Planes whose simulated backing store must cover the touched range
   // before the engines start (pair: plane id, words needed).
   std::vector<std::pair<arch::PlaneId, std::uint64_t>> plane_grows;
-  // Non-empty when a plane DMA provably walks beyond sim_plane_words: the
-  // instruction faults at issue with this message (detected at compile).
-  std::string dma_error;
+  // Set when a plane DMA provably walks beyond sim_plane_words: the
+  // instruction faults at issue with this diagnostic (detected at compile;
+  // this replaced the stringly dma_error field).
+  InstrFault fault;
   std::vector<arch::CacheId> swaps;  // double-buffer swaps at instruction end
   bool cond_enable = false;
   std::int32_t cond_src = -1;  // src_out index watched by the latch
   std::int32_t cond_reg = 0;
   std::uint32_t ring_slots = 0;  // total token-arena size for this instr
+  // Proven-safe steady-state block for executeCompiled, derived by the
+  // verifier (sim/verify.h); stays at the conservative 64 when unproven.
+  std::uint32_t steady_window = 64;
 };
 
 // An immutable, shareable compiled program: decoded plans (sequencer +
@@ -177,6 +193,10 @@ class CompiledProgram {
   std::vector<CompiledInstr> instrs;
   std::vector<std::string> names;
   std::uint64_t fingerprint = 0;  // mc::Executable::fingerprint() of source
+  // Static-analysis verdict produced once at compile; rides the shared
+  // program pointer, so every cache shard / node / replica holding the image
+  // shares one report (never null after compile()).
+  std::shared_ptr<const VerifyReport> verify;
 };
 
 }  // namespace nsc::sim

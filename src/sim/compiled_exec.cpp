@@ -5,8 +5,9 @@
 //   fill -> steady state -> drain
 //
 // where the steady-state region advances DMA cursors, shift/delay
-// histories, and FU pipelines in element-blocked inner loops (kSteadyBlock
-// cycles at a time) with no per-cycle plan interpretation and no per-cycle
+// histories, and FU pipelines in element-blocked inner loops (up to the
+// instruction's verifier-proven steady_window cycles at a time; 64 when
+// unproven) with no per-cycle plan interpretation and no per-cycle
 // completion polling: every endpoint index, ring size, and route was
 // resolved at compile time (sim/compiled.cpp), and the block length is a
 // proven lower bound on the cycles remaining before the instruction can
@@ -21,14 +22,6 @@
 
 namespace nsc::sim {
 
-namespace {
-
-// Steady-state block length: long enough to amortize the per-block
-// bookkeeping, short enough that the working set of one block stays hot.
-constexpr std::uint64_t kSteadyBlock = 64;
-
-}  // namespace
-
 InstrStats NodeSim::executeCompiled(const CompiledInstr& ci, int instr_index,
                                     const std::string& name) {
   const arch::MachineConfig& cfg = machine_.config();
@@ -38,9 +31,10 @@ InstrStats NodeSim::executeCompiled(const CompiledInstr& ci, int instr_index,
 
   // Faults detected at compile time surface at issue, like the interpreter
   // bailing out of engine setup.
-  if (!ci.dma_error.empty()) {
+  if (ci.fault.kind != FaultKind::kNone) {
     stats.error = true;
-    stats.error_message = ci.dma_error;
+    stats.fault = ci.fault.kind;
+    stats.error_message = ci.fault.message;
     return stats;
   }
   for (const auto& [plane, needed] : ci.plane_grows) {
@@ -234,6 +228,7 @@ InstrStats NodeSim::executeCompiled(const CompiledInstr& ci, int instr_index,
   while (!completed) {
     if (cycle >= options_.max_cycles_per_instruction) {
       stats.error = true;
+      stats.fault = FaultKind::kTimeout;
       stats.error_message = common::strFormat(
           "instruction %d did not complete within %llu cycles", instr_index,
           static_cast<unsigned long long>(options_.max_cycles_per_instruction));
@@ -267,7 +262,15 @@ InstrStats NodeSim::executeCompiled(const CompiledInstr& ci, int instr_index,
         block = reads_settle + drain_budget - drain - 1;
       }
     }
-    block = std::min(block, kSteadyBlock);
+    // Cap the block at the verifier-proven safe window for this instruction
+    // (64, the legacy fixed block, when nothing stronger was proven).  The
+    // remaining-element bound above is already a completion-distance proof,
+    // so any cap >= 64 leaves the executed cycle sequence — and therefore
+    // every stat and memory cell — bit-identical; the override knob exists
+    // for benchmarking the fixed-block behaviour.
+    block = std::min(block, options_.steady_block_override
+                                ? options_.steady_block_override
+                                : std::uint64_t{ci.steady_window});
     block = std::min(block, options_.max_cycles_per_instruction - cycle - 1);
     if (block > 0) {
       for (std::uint64_t b = 0; b < block; ++b) stepCycle(cycle + b);

@@ -246,6 +246,7 @@ InstrStats NodeSim::execute(const InstrPlan& plan, int instr_index,
     }
     if (static_cast<std::uint64_t>(hi) >= cfg.sim_plane_words) {
       stats.error = true;
+      stats.fault = FaultKind::kDmaBounds;
       stats.error_message = strFormat(
           "plane %d DMA touches word %lld beyond the simulated capacity %llu "
           "(raise MachineConfig::sim_plane_words)",
@@ -340,6 +341,7 @@ InstrStats NodeSim::execute(const InstrPlan& plan, int instr_index,
   for (;; ++cycle) {
     if (cycle >= options_.max_cycles_per_instruction) {
       stats.error = true;
+      stats.fault = FaultKind::kTimeout;
       stats.error_message = strFormat(
           "instruction %d did not complete within %llu cycles", instr_index,
           static_cast<unsigned long long>(options_.max_cycles_per_instruction));
@@ -625,6 +627,7 @@ RunStats NodeSim::run() {
     ++stats.instructions_executed;
     if (instr.error) {
       stats.error = true;
+      stats.fault = instr.fault;
       stats.error_message = instr.error_message;
       stats.trace.push_back(std::move(instr));
       break;

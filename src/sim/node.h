@@ -60,6 +60,10 @@ struct NodeOptions {
   // false selects the legacy per-cycle interpreter (semantic reference for
   // the compiled engine; same results, slower).
   bool use_compiled = true;
+  // Nonzero pins the compiled engine's steady-state block length, ignoring
+  // the per-instruction verifier-proven window (bench/testing knob; 64
+  // reproduces the legacy fixed block exactly).
+  std::uint64_t steady_block_override = 0;
 };
 
 class NodeSim {

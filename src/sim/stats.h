@@ -7,6 +7,25 @@
 
 namespace nsc::sim {
 
+// Structured classification of the (few) ways an instruction can fault at
+// runtime.  Both execution engines set it alongside the legacy error
+// message; the static verifier (sim/verify.h) predicts these kinds, and the
+// soundness property in test_property.cpp pins prediction to reality.
+enum class FaultKind : std::uint8_t {
+  kNone = 0,
+  kDmaBounds,  // plane DMA provably walks past the simulated capacity
+  kTimeout,    // instruction did not complete within the cycle budget
+};
+
+inline const char* faultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone: return "none";
+    case FaultKind::kDmaBounds: return "dma-bounds";
+    case FaultKind::kTimeout: return "timeout";
+  }
+  return "?";
+}
+
 struct InstrStats {
   int instruction = 0;  // program counter value executed
   std::string name;
@@ -14,6 +33,7 @@ struct InstrStats {
   std::uint64_t flops = 0;
   std::uint64_t hazards = 0;  // valid/invalid operand pairings observed
   bool error = false;
+  FaultKind fault = FaultKind::kNone;  // typed cause when error is set
   std::string error_message;
 };
 
@@ -28,6 +48,7 @@ struct RunStats {
   std::vector<InstrStats> trace;  // one entry per executed instruction
   bool halted = false;
   bool error = false;
+  FaultKind fault = FaultKind::kNone;  // fault kind of the erroring instruction
   std::string error_message;
 
   // Achieved MFLOPS at the given hardware clock.

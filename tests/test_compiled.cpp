@@ -20,6 +20,7 @@
 #include "sim/compiled.h"
 #include "sim/hypercube.h"
 #include "sim/node.h"
+#include "sim/verify.h"
 #include "test_helpers.h"
 
 namespace nsc {
@@ -41,6 +42,7 @@ void expectIdenticalRuns(const sim::RunStats& legacy,
                          const sim::RunStats& compiled) {
   EXPECT_EQ(legacy.error, compiled.error);
   EXPECT_EQ(legacy.error_message, compiled.error_message);
+  EXPECT_EQ(legacy.fault, compiled.fault);
   EXPECT_EQ(legacy.halted, compiled.halted);
   EXPECT_EQ(legacy.total_cycles, compiled.total_cycles);
   EXPECT_EQ(legacy.total_flops, compiled.total_flops);
@@ -59,6 +61,7 @@ void expectIdenticalRuns(const sim::RunStats& legacy,
         << "trace entry " << i << " (" << a.name << ")";
     EXPECT_EQ(a.error, b.error) << "trace entry " << i;
     EXPECT_EQ(a.error_message, b.error_message) << "trace entry " << i;
+    EXPECT_EQ(a.fault, b.fault) << "trace entry " << i;
   }
 }
 
@@ -317,6 +320,61 @@ TEST(CompiledGolden, TimeoutMatches) {
   ASSERT_TRUE(legacy_run.error);
   EXPECT_EQ(legacy_run.trace.back().cycles, 500u);
   expectIdenticalRuns(legacy_run, compiled_run);
+}
+
+// Adaptive steady-state blocks: a verified program runs with the
+// per-instruction proven window (larger than the legacy fixed 64 on the
+// Figure-11 sweep), and the choice of block length is unobservable — the
+// interpreter, the compiled engine pinned to 64-cycle blocks, and the
+// compiled engine with adaptive blocks agree on every stat, every memory
+// word, and every trace entry.
+TEST(CompiledGolden, AdaptiveSteadyBlocksBitIdenticalToFixed64) {
+  const Machine machine;
+  cfd::JacobiBuildOptions options;
+  options.grid = {8, 8, 8};
+  options.h = 1.0 / 7.0;
+  options.convergence_mode = false;
+  options.fixed_sweeps = 6;
+  const cfd::JacobiProgram jacobi(machine, options);
+  const cfd::PoissonProblem problem = cfd::PoissonProblem::manufactured(
+      options.grid.nx, options.grid.ny, options.grid.nz);
+  mc::Generator generator(machine);
+  const mc::GenerateResult gen = generator.generate(jacobi.program());
+  ASSERT_TRUE(gen.ok) << gen.diagnostics.format();
+
+  // The workload must actually exercise the adaptive path: the compiled
+  // image verifies clean and at least one instruction proves a steady
+  // window beyond the legacy fixed block.
+  const auto program = sim::CompiledProgram::compile(machine, gen.exe);
+  ASSERT_NE(program, nullptr);
+  ASSERT_NE(program->verify, nullptr);
+  EXPECT_TRUE(program->verify->clean()) << program->verify->format();
+  std::uint32_t widest = 0;
+  for (const auto& ci : program->instrs) widest = std::max(widest, ci.steady_window);
+  EXPECT_GT(widest, sim::kFallbackSteadyBlock);
+
+  sim::NodeSim::Options fixed64;
+  fixed64.steady_block_override = 64;
+  NodeSim legacy(machine, legacyOptions());
+  NodeSim pinned(machine, fixed64);
+  NodeSim adaptive(machine);
+  for (NodeSim* node : {&legacy, &pinned, &adaptive}) {
+    node->load(gen.exe);
+    jacobi.load(*node, problem);
+  }
+  const sim::RunStats legacy_run = legacy.run();
+  const sim::RunStats pinned_run = pinned.run();
+  const sim::RunStats adaptive_run = adaptive.run();
+  ASSERT_FALSE(legacy_run.error) << legacy_run.error_message;
+
+  expectIdenticalRuns(legacy_run, pinned_run);
+  expectIdenticalRuns(legacy_run, adaptive_run);
+  const std::uint64_t words =
+      static_cast<std::uint64_t>(options.grid.N()) +
+      2 * static_cast<std::uint64_t>(jacobi.layout().pad);
+  expectIdenticalMemory(machine, legacy, adaptive, words);
+  expectIdenticalMemory(machine, pinned, adaptive, words);
+  EXPECT_EQ(jacobi.residual(pinned), jacobi.residual(adaptive));
 }
 
 // SPMD sharing: loadAll compiles once and every node aliases the same

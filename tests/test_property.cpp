@@ -3,16 +3,25 @@
 //   2. random editor sessions: undoing everything restores the start;
 //   3. microword fields: encode/decode identity for random values;
 //   4. incremental/thorough checker consistency: whatever the editor
-//      accepts connection-by-connection, the global pass accepts too.
+//      accepts connection-by-connection, the global pass accepts too;
+//   5. verifier soundness: randomly mutated microcode either verifies clean
+//      and executes fault-free on both engines, or the verifier's fault
+//      prediction matches the runtime fault — no false-clean verdicts.
 #include <gtest/gtest.h>
+
+#include <set>
 
 #include "common/strings.h"
 
+#include "arch/microword_spec.h"
 #include "common/rng.h"
 #include "compiler/stencil_lang.h"
 #include "editor/editor.h"
 #include "microcode/generator.h"
+#include "sim/compiled.h"
 #include "sim/node.h"
+#include "sim/verify.h"
+#include "test_helpers.h"
 
 namespace nsc {
 namespace {
@@ -269,6 +278,119 @@ TEST_P(CheckerConsistencyTest, EditorAcceptedDiagramHasNoWiringErrors) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, CheckerConsistencyTest, ::testing::Range(0, 10));
+
+// ---------------------------------------------------------------------------
+// 5. Verifier soundness on mutated microcode: no false-clean verdicts
+// ---------------------------------------------------------------------------
+
+class VerifierSoundnessTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(VerifierSoundnessTest, CleanRunsFaultFreeErrorsPredictTheRuntimeFault) {
+  const int seed = GetParam();
+  common::Rng rng(static_cast<std::uint64_t>(seed) * 6151 + 11);
+  Machine machine;
+
+  // A well-formed two-FU pipeline with a randomized stream length; every
+  // mutation below corrupts its one microword the way bad lowering, a bad
+  // cache entry, or a hostile client would.
+  const int n = 8 + static_cast<int>(rng.below(120));
+  prog::Program p;
+  prog::PipelineDiagram& d = p.append("m");
+  const arch::AlsId als = machine.config().num_singlets;
+  const arch::FuId mul = machine.als(als).fus[0];
+  const arch::FuId add = machine.als(als).fus[1];
+  d.setFuOp(machine, mul, arch::OpCode::kMul);
+  d.connect(machine, Endpoint::planeRead(0), Endpoint::fuInput(mul, 0));
+  d.setConstInput(machine, mul, 1, rng.uniform(0.5, 2.0));
+  d.setFuOp(machine, add, arch::OpCode::kAdd);
+  d.connect(machine, Endpoint::fuOutput(mul), Endpoint::fuInput(add, 0));
+  d.connect(machine, Endpoint::planeRead(1), Endpoint::fuInput(add, 1));
+  d.connect(machine, Endpoint::fuOutput(add), Endpoint::planeWrite(2));
+  for (const Endpoint e : {Endpoint::planeRead(0), Endpoint::planeRead(1),
+                           Endpoint::planeWrite(2)}) {
+    prog::DmaSpec& dma = d.dmaAt(e);
+    dma.base = 0;
+    dma.stride = 1;
+    dma.count = n;
+  }
+  d.seq.op = arch::SeqOp::kHalt;
+
+  mc::Generator generator(machine);
+  const mc::GenerateResult gen = generator.generate(p);
+  ASSERT_TRUE(gen.ok) << gen.diagnostics.format();
+  mc::Executable exe = gen.exe;
+  const auto spec = arch::MicrowordSpec::shared(machine);
+  common::BitVector& word = exe.words[0];
+  switch (seed % 5) {
+    case 0:
+      break;  // unmutated control: must verify clean and run clean
+    case 1:   // read DMA walks past the simulated plane capacity
+      spec->set(word, arch::MicrowordSpec::planeField(0, "base"),
+                ~std::uint64_t{0});
+      break;
+    case 2:   // the route feeding the write engine is severed
+      spec->set(word,
+                arch::MicrowordSpec::switchField(
+                    machine.destinationIndex(Endpoint::planeWrite(2))),
+                0);
+      break;
+    case 3:   // write engine programmed for twice the delivered stream
+      spec->set(word, arch::MicrowordSpec::planeField(2, "count"),
+                static_cast<std::uint64_t>(2 * n));
+      break;
+    default:  // condition latch armed on a unit that never produces a value
+      spec->set(word, "cond.enable", 1);
+      spec->set(word, "cond.src_fu", 0);  // singlet 0 is unprogrammed
+      spec->set(word, "cond.reg", 1);
+      break;
+  }
+
+  const auto program = sim::CompiledProgram::compile(machine, exe);
+  ASSERT_NE(program, nullptr);
+  ASSERT_NE(program->verify, nullptr);
+  const sim::VerifyReport& report = *program->verify;
+
+  const auto execute = [&](bool use_compiled) {
+    sim::NodeSim::Options options;
+    options.use_compiled = use_compiled;
+    options.max_cycles_per_instruction = 2000;
+    sim::NodeSim node(machine, options);
+    node.load(program);
+    node.writePlane(0, 0, test::iota(n, 1.0, 0.5));
+    node.writePlane(1, 0, test::iota(n, -2.0, 0.25));
+    return node.run();
+  };
+  const sim::RunStats legacy = execute(false);
+  const sim::RunStats compiled = execute(true);
+
+  // The engines agree on the fault verdict no matter what the bits say.
+  EXPECT_EQ(legacy.error, compiled.error) << report.format();
+  EXPECT_EQ(legacy.fault, compiled.fault) << report.format();
+
+  std::set<sim::FaultKind> predicted;
+  for (const sim::VerifyDiagnostic& diag : report.diagnostics) {
+    if (diag.severity != check::Severity::kError) continue;
+    const sim::FaultKind kind = sim::predictedFault(diag.code);
+    if (kind != sim::FaultKind::kNone) predicted.insert(kind);
+  }
+
+  if (report.clean()) {
+    // No false-clean verdicts: a clean report is a proof of fault-freedom.
+    EXPECT_FALSE(legacy.error) << "mutation " << seed % 5 << ": "
+                               << legacy.error_message;
+    EXPECT_EQ(legacy.fault, sim::FaultKind::kNone);
+  }
+  if (!predicted.empty()) {
+    // Fault-proving errors are proofs too: the run must fault, with one of
+    // the predicted kinds.
+    EXPECT_TRUE(legacy.error) << report.format();
+    EXPECT_EQ(predicted.count(legacy.fault), 1u)
+        << "fault " << sim::faultKindName(legacy.fault) << " not predicted:\n"
+        << report.format();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VerifierSoundnessTest, ::testing::Range(0, 25));
 
 }  // namespace
 }  // namespace nsc

@@ -17,6 +17,7 @@
 
 #include "nsc/nsc.h"
 #include "service/service.h"
+#include "sim/verify.h"
 
 namespace nsc::svc {
 namespace {
@@ -339,6 +340,11 @@ TEST(ProgramCacheTest, ConcurrentHitsChurnLruWithoutBreakingInFlightHolders) {
       for (int i = 0; i < kIterations; ++i) {
         const auto& gen = gens[static_cast<std::size_t>((t + i) % 4)];
         const auto program = cache.get(machine, gen.exe);
+        // Every image carries its verification report, however the LRU
+        // churns: compiled-at-insert, never detached by eviction.
+        if (program->verify == nullptr || !program->verify->clean()) {
+          ++failures[static_cast<std::size_t>(t)];
+        }
         // Use the image immediately: a freed or aliased image would trip
         // the sanitizers or produce a failed run.
         sim::NodeSim node(machine);
@@ -598,6 +604,150 @@ TEST(ServiceTest, BadRequestParametersSurfaceAsStatusErrors) {
   bad_dim.dimension = -1;
   ServiceReply system = service.submit(bad_dim).get();
   EXPECT_FALSE(system.status.isOk());
+}
+
+// ---------------------------------------------------------------------------
+// Static-verification admission gate
+// ---------------------------------------------------------------------------
+
+// A pipeline the editor and generator accept — the DMA pattern fits the
+// architected 16M-word planes — but whose transfer provably walks past the
+// *simulated* plane capacity, so static verification must refuse it at
+// admission before it ever reaches a node.
+std::string oobDmaScript() {
+  const std::uint64_t count = arch::MachineConfig{}.sim_plane_words + 1;
+  std::ostringstream script;
+  script << R"(
+pipeline "oob"
+place doublet at 300,200
+setop fu4 mul
+connect plane0.read fu4.a
+const fu4 b 2
+connect fu4.out plane1.write
+dma plane0.read base=0 stride=1 count=)" << count << R"(
+dma plane1.write base=0 stride=1 count=)" << count << R"(
+seq halt
+)";
+  return script.str();
+}
+
+TEST(ServiceTest, HazardousProgramRejectedAtAdmissionNeverDispatched) {
+  WorkbenchService service(ServiceOptions{});
+  ServiceReply reply =
+      service.submit(GenerateAndRun{oobDmaScript(), {}, {}}).get();
+
+  // The script replayed and generated fine; the verifier is what refused.
+  EXPECT_TRUE(reply.session.clean()) << reply.session.status.message();
+  EXPECT_TRUE(reply.generation.ok);
+  EXPECT_FALSE(reply.ok());
+  EXPECT_TRUE(reply.rejected());
+  EXPECT_EQ(reply.stats.rejected, Reject::kInvalidProgram);
+  EXPECT_FALSE(reply.status.isOk());
+  EXPECT_NE(reply.status.message().find("static verification"),
+            std::string::npos);
+  EXPECT_EQ(service.admissionStats().rejected_program, 1u);
+
+  // The typed diagnostics ride the reply, pointer-shared with the cached
+  // image's own report.
+  ASSERT_NE(reply.verify, nullptr);
+  EXPECT_FALSE(reply.verify->clean());
+  EXPECT_GE(reply.verify->errorCount(), 1u);
+  ASSERT_NE(reply.program, nullptr);
+  EXPECT_EQ(reply.verify.get(), reply.program->verify.get());
+
+  // Nothing dispatched: no cycles were simulated.
+  EXPECT_TRUE(reply.run.trace.empty());
+  EXPECT_EQ(reply.run.total_cycles, 0u);
+
+  // The verifier's findings also surface in the generation diagnostics
+  // (the editor's message strip), without flipping generation.ok.
+  EXPECT_TRUE(reply.generation.diagnostics.hasErrors());
+}
+
+TEST(ServiceTest, RejectionSharesOneReportAcrossShards) {
+  sim::CompiledProgramCache cache;
+  ServiceOptions options;
+  options.shards = 4;
+  options.cache = &cache;
+  WorkbenchService service(options);
+  std::vector<std::future<ServiceReply>> futures;
+  for (int i = 0; i < 8; ++i) {
+    futures.push_back(service.submit(GenerateAndRun{oobDmaScript(), {}, {}}));
+  }
+  const sim::VerifyReport* report = nullptr;
+  for (auto& future : futures) {
+    ServiceReply reply = future.get();
+    EXPECT_EQ(reply.stats.rejected, Reject::kInvalidProgram);
+    ASSERT_NE(reply.verify, nullptr);
+    if (report == nullptr) report = reply.verify.get();
+    // One verification, shared by every shard that saw the image.
+    EXPECT_EQ(reply.verify.get(), report);
+  }
+  EXPECT_EQ(service.admissionStats().rejected_program, 8u);
+  EXPECT_EQ(cache.stats().misses, 1u);  // verified once, at cache insert
+}
+
+TEST(ServiceTest, EnsembleAndSystemRequestsAreGatedToo) {
+  WorkbenchService service(ServiceOptions{});
+  ServiceReply ensemble =
+      service.submit(RunEnsemble{oobDmaScript(), 4}).get();
+  EXPECT_EQ(ensemble.stats.rejected, Reject::kInvalidProgram);
+  EXPECT_TRUE(ensemble.ensemble.empty());  // no replica ever ran
+
+  RunSystemPhases request;
+  request.script = oobDmaScript();
+  request.dimension = 2;
+  request.phases = 2;
+  ServiceReply system = service.submit(request).get();
+  EXPECT_EQ(system.stats.rejected, Reject::kInvalidProgram);
+  EXPECT_TRUE(system.system.node_stats.empty());  // no node ever loaded it
+  EXPECT_EQ(service.admissionStats().rejected_program, 2u);
+}
+
+TEST(ServiceTest, SessionRunIsGatedAndSessionStaysUsable) {
+  ServiceOptions options;
+  options.shards = 2;
+  WorkbenchService service(options);
+  ServiceReply opened = service.submit(OpenSession{}).get();
+  ASSERT_TRUE(opened.ok());
+  const std::uint64_t id = opened.stats.session;
+
+  SessionCommand bad;
+  bad.session = id;
+  bad.script = oobDmaScript();
+  bad.run = true;
+  ServiceReply rejected = service.submit(bad).get();
+  EXPECT_EQ(rejected.stats.rejected, Reject::kInvalidProgram);
+  EXPECT_TRUE(rejected.run.trace.empty());
+
+  // The session survived the refusal: shrinking the offending DMA on the
+  // same (persistent) editor makes the next run admissible — the
+  // interactive fix-and-resubmit loop.
+  SessionCommand good;
+  good.session = id;
+  good.script =
+      "pipeline \"oob\"\n"
+      "dma plane0.read base=0 stride=1 count=8\n"
+      "dma plane1.write base=0 stride=1 count=8\n";
+  good.run = true;
+  ServiceReply served = service.submit(good).get();
+  EXPECT_TRUE(served.ok()) << served.status.message()
+                           << served.generation.diagnostics.format();
+  EXPECT_EQ(served.stats.rejected, Reject::kNone);
+  ASSERT_NE(served.verify, nullptr);
+  EXPECT_TRUE(served.verify->clean());
+  EXPECT_TRUE(service.submit(CloseSession{id}).get().ok());
+}
+
+TEST(ServiceTest, CleanRepliesCarryTheSharedCleanReport) {
+  WorkbenchService service(ServiceOptions{});
+  ServiceReply reply =
+      service.submit(GenerateAndRun{figure11SessionScript(), {}, {}}).get();
+  ASSERT_TRUE(reply.ok()) << reply.status.message();
+  ASSERT_NE(reply.verify, nullptr);
+  EXPECT_TRUE(reply.verify->clean());
+  ASSERT_NE(reply.program, nullptr);
+  EXPECT_EQ(reply.verify.get(), reply.program->verify.get());
 }
 
 // ---------------------------------------------------------------------------
