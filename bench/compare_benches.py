@@ -59,15 +59,19 @@ def human(ns):
     return f"{ns:.0f} ns"
 
 
+def short_name(key):
+    return key.split("/", 1)[1] if "/" in key else key
+
+
 def compare(new_path, base_path, fail_above_pct):
     new_rows = load_rows(new_path)
     base_rows = load_rows(base_path)
     common = [k for k in new_rows if k in base_rows]
-    if not common:
-        print(f"-- {os.path.basename(base_path)}: no common benchmarks --")
-        return False
     print(f"-- {os.path.basename(new_path)} vs {os.path.basename(base_path)} --")
-    print(f"{'benchmark':56s} {'base':>10s} {'new':>10s} {'delta':>8s}  {'speedup':>7s}")
+    if not common:
+        print("   (no common benchmarks)")
+    else:
+        print(f"{'benchmark':56s} {'base':>10s} {'new':>10s} {'delta':>8s}  {'speedup':>7s}")
     regressed = False
     for key in common:
         new_ns = to_ns(*new_rows[key])
@@ -78,12 +82,19 @@ def compare(new_path, base_path, fail_above_pct):
         if fail_above_pct is not None and delta_pct > fail_above_pct:
             regressed = True
             marker = "  <-- regression"
-        short = key.split("/", 1)[1] if "/" in key else key
-        print(f"{short:56s} {human(base_ns):>10s} {human(new_ns):>10s} "
+        print(f"{short_name(key):56s} {human(base_ns):>10s} {human(new_ns):>10s} "
               f"{delta_pct:+7.1f}%  {speedup:6.2f}x{marker}")
-    only_new = sorted(set(new_rows) - set(base_rows))
-    if only_new:
-        print(f"   (not in baseline: {', '.join(k.split('/', 1)[1] for k in only_new)})")
+    # One-sided rows are reported, never silently dropped: a benchmark that
+    # exists in only one snapshot usually means a bench was added, renamed,
+    # or lost from the claims set — exactly what a reviewer needs to see.
+    for key in sorted(set(new_rows) - set(base_rows)):
+        ns, unit = new_rows[key]
+        print(f"{short_name(key):56s} {'--':>10s} {human(to_ns(ns, unit)):>10s} "
+              f"{'':8s}  only in {os.path.basename(new_path)}")
+    for key in sorted(set(base_rows) - set(new_rows)):
+        ns, unit = base_rows[key]
+        print(f"{short_name(key):56s} {human(to_ns(ns, unit)):>10s} {'--':>10s} "
+              f"{'':8s}  only in {os.path.basename(base_path)}")
     print()
     return regressed
 

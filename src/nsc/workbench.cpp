@@ -1,5 +1,7 @@
 #include "nsc/workbench.h"
 
+#include <algorithm>
+#include <atomic>
 #include <future>
 
 #include "sim/verify.h"
@@ -76,41 +78,88 @@ RunOutcome WorkbenchCore::runProgram(const prog::Program& program) {
 }
 
 EnsembleOutcome WorkbenchCore::runEnsemble(const prog::Program& program,
-                                           int replicas) {
+                                           int replicas,
+                                           const EnsembleOptions& options) {
   EnsembleOutcome outcome;
   CompileOutcome compiled_outcome = compileProgram(program);
   outcome.generation = std::move(compiled_outcome.generation);
   outcome.program = std::move(compiled_outcome.program);
   outcome.cache_hit = compiled_outcome.cache_hit;
   if (!outcome.generation.ok) return outcome;
-  outcome.runs = runReplicas(outcome.program, replicas);
+  ReplicaRunOutcome replicas_outcome =
+      runReplicas(outcome.program, replicas, options);
+  outcome.runs = std::move(replicas_outcome.runs);
+  outcome.lanes_used = replicas_outcome.lanes_used;
+  outcome.replicas_batched = replicas_outcome.replicas_batched;
+  outcome.replicas_scalar = replicas_outcome.replicas_scalar;
   return outcome;
 }
 
 std::vector<sim::RunStats> WorkbenchCore::runReplicas(
     const std::shared_ptr<const sim::CompiledProgram>& program,
     int replicas) {
-  std::vector<sim::RunStats> runs;
-  if (program == nullptr || replicas <= 0) return runs;
+  return runReplicas(program, replicas, EnsembleOptions{}).runs;
+}
+
+WorkbenchCore::ReplicaRunOutcome WorkbenchCore::runReplicas(
+    const std::shared_ptr<const sim::CompiledProgram>& program, int replicas,
+    const EnsembleOptions& options) {
+  ReplicaRunOutcome outcome;
+  if (program == nullptr || replicas <= 0) return outcome;
+  const int lanes = sim::resolveEnsembleLanes(options.lanes);
+  outcome.lanes_used = lanes;
   // One compiled image shared by every replica (and, through the cache, by
   // every other consumer of the same program); the pool only simulates.
+  std::vector<sim::RunStats>& runs = outcome.runs;
   runs.resize(static_cast<std::size_t>(replicas));
-  // Replicas go in as independent submitted tasks rather than one
-  // parallelFor job: concurrent ensembles from different cores (service
-  // shards) then interleave replica-by-replica instead of serializing on
-  // the pool's one-job-at-a-time range path.  Each result lands in its own
-  // slot, so scheduling order cannot affect the outcome.
+  // Replicas partition into contiguous SoA batches of `lanes` width, each
+  // an independent submitted task rather than one parallelFor job:
+  // concurrent ensembles from different cores (service shards) then
+  // interleave batch-by-batch instead of serializing on the pool's
+  // one-job-at-a-time range path.  Each result lands in its own slot, so
+  // scheduling order cannot affect the outcome.  Width-1 remainders (and
+  // the lanes == 1 configuration) run directly on the scalar engine.
+  std::atomic<int> scalar_replicas{0};
   std::vector<std::future<void>> pending;
-  pending.reserve(runs.size());
-  for (std::size_t i = 0; i < runs.size(); ++i) {
-    pending.push_back(context_.pool().submit([this, &runs, &program, i] {
-      sim::NodeSim replica(context_.machine());
-      replica.load(program);
-      runs[i] = replica.run();
-    }));
+  pending.reserve((runs.size() + static_cast<std::size_t>(lanes) - 1) /
+                  static_cast<std::size_t>(lanes));
+  for (int base = 0; base < replicas; base += lanes) {
+    const int width = std::min(lanes, replicas - base);
+    if (width == 1) {
+      pending.push_back(context_.pool().submit(
+          [this, &runs, &program, &options, base, &scalar_replicas] {
+            sim::NodeSim replica(context_.machine());
+            replica.load(program);
+            if (options.init) {
+              sim::NodeReplicaStore store(replica);
+              options.init(base, store);
+            }
+            runs[static_cast<std::size_t>(base)] = replica.run();
+            scalar_replicas.fetch_add(1, std::memory_order_relaxed);
+          }));
+      continue;
+    }
+    pending.push_back(context_.pool().submit(
+        [this, &runs, &program, &options, base, width, &scalar_replicas] {
+          sim::ReplicaBatch batch(context_.machine(), width);
+          batch.load(program);
+          if (options.init) {
+            for (int w = 0; w < width; ++w) {
+              sim::ReplicaBatch::LaneStore store(batch, w);
+              options.init(base + w, store);
+            }
+          }
+          sim::BatchRunResult result = batch.run();
+          for (int w = 0; w < width; ++w) {
+            runs[static_cast<std::size_t>(base + w)] =
+                std::move(result.runs[static_cast<std::size_t>(w)]);
+          }
+          scalar_replicas.fetch_add(result.drained_scalar,
+                                    std::memory_order_relaxed);
+        }));
   }
   // The caller participates instead of idling: drain queued pool tasks
-  // (this ensemble's replicas, or anyone else's work) until the queue is
+  // (this ensemble's batches, or anyone else's work) until the queue is
   // empty, then settle the futures.  Every task references
   // `runs`/`program`, so all futures must settle before this frame can
   // unwind — collect the first failure and rethrow only after the whole
@@ -126,7 +175,9 @@ std::vector<sim::RunStats> WorkbenchCore::runReplicas(
     }
   }
   if (error) std::rethrow_exception(error);
-  return runs;
+  outcome.replicas_scalar = scalar_replicas.load(std::memory_order_relaxed);
+  outcome.replicas_batched = replicas - outcome.replicas_scalar;
+  return outcome;
 }
 
 sim::HypercubeSystem WorkbenchCore::makeSystem(

@@ -19,6 +19,7 @@
 //     in-process, one-user-at-a-Sun-3 API, unchanged.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -29,6 +30,7 @@
 #include "editor/session.h"
 #include "exec/thread_pool.h"
 #include "microcode/generator.h"
+#include "sim/batch.h"
 #include "sim/hypercube.h"
 #include "sim/node.h"
 #include "sim/program_cache.h"
@@ -55,6 +57,19 @@ struct CompileOutcome {
   bool ok() const { return generation.ok; }
 };
 
+// Knobs for an ensemble run.  `lanes` is the SoA batch width: 0 resolves
+// the auto default (the NSC_ENSEMBLE_LANES environment variable, else 8),
+// 1 forces the scalar per-replica path, anything larger batches that many
+// replicas per ReplicaBatch.  `init` (optional) seeds replica `i`'s memory
+// before it runs; it is invoked from pool threads (possibly concurrently
+// for different replicas) and must be thread-safe.  Both execution paths
+// seed through the same ReplicaStore interface, so results are
+// bit-identical whichever path a replica takes.
+struct EnsembleOptions {
+  int lanes = 0;
+  std::function<void(int replica, sim::ReplicaStore&)> init;
+};
+
 // Result of an ensemble run: the (single, shared) generation plus one
 // RunStats per replica — the microcode image is not duplicated per run.
 struct EnsembleOutcome {
@@ -62,6 +77,12 @@ struct EnsembleOutcome {
   std::shared_ptr<const sim::CompiledProgram> program;  // shared by replicas
   bool cache_hit = false;
   std::vector<sim::RunStats> runs;  // runs[i] belongs to replica i
+  // How the replicas executed: the resolved SoA lane width, and how many
+  // replicas finished inside a ReplicaBatch vs on the scalar engine
+  // (lane-width-1 remainders and lanes drained after divergence).
+  int lanes_used = 1;
+  int replicas_batched = 0;
+  int replicas_scalar = 0;
   bool ok() const {
     if (!generation.ok) return false;
     for (const sim::RunStats& r : runs) {
@@ -121,9 +142,22 @@ class WorkbenchCore {
   // diagnostics so they surface in the editor's message strip.
   CompileOutcome compileProgram(const prog::Program& program);
 
-  // Runs `replicas` independent NodeSim copies of an already-compiled
-  // image on the shared pool — the back half of runEnsemble, exposed so
-  // the service layer can verify/gate between compile and run.
+  // Runs `replicas` independent copies of an already-compiled image on the
+  // shared pool — the back half of runEnsemble, exposed so the service
+  // layer can verify/gate between compile and run.  Replicas partition into
+  // SoA ReplicaBatch groups of `options.lanes` width (see EnsembleOptions),
+  // dispatched one pool task per batch; results are index-stable and
+  // bit-identical to scalar per-replica execution.
+  struct ReplicaRunOutcome {
+    std::vector<sim::RunStats> runs;
+    int lanes_used = 1;
+    int replicas_batched = 0;
+    int replicas_scalar = 0;
+  };
+  ReplicaRunOutcome runReplicas(
+      const std::shared_ptr<const sim::CompiledProgram>& program,
+      int replicas, const EnsembleOptions& options);
+  // Back-compat shorthand: default options, stats only.
   std::vector<sim::RunStats> runReplicas(
       const std::shared_ptr<const sim::CompiledProgram>& program,
       int replicas);
@@ -136,12 +170,13 @@ class WorkbenchCore {
   // the same program (from this core or any other) lower it once.
   RunOutcome runProgram(const prog::Program& program);
 
-  // Generates once, then runs `replicas` independent NodeSim copies of the
-  // program as submitted pool tasks (parameter-ensemble style: same
-  // microcode, per-replica memory).  runs[i] is replica i's stats,
+  // Generates once, then runs `replicas` independent copies of the program
+  // (parameter-ensemble style: same microcode, per-replica memory) as
+  // submitted pool tasks, one per SoA batch.  runs[i] is replica i's stats,
   // deterministically; concurrent ensembles from different cores interleave
-  // replica-by-replica on the shared pool.
-  EnsembleOutcome runEnsemble(const prog::Program& program, int replicas);
+  // batch-by-batch on the shared pool.
+  EnsembleOutcome runEnsemble(const prog::Program& program, int replicas,
+                              const EnsembleOptions& options = {});
 
   // A multi-node system bound to this context's machine, pool, and
   // program cache.
@@ -211,8 +246,9 @@ class Workbench {
   RunOutcome runProgram(const prog::Program& program) {
     return core_.runProgram(program);
   }
-  EnsembleOutcome runEnsemble(const prog::Program& program, int replicas) {
-    return core_.runEnsemble(program, replicas);
+  EnsembleOutcome runEnsemble(const prog::Program& program, int replicas,
+                              const EnsembleOptions& options = {}) {
+    return core_.runEnsemble(program, replicas, options);
   }
   sim::HypercubeSystem makeSystem(int dimension,
                                   sim::RouterOptions router = {},

@@ -375,7 +375,14 @@ void WorkbenchService::serveOne(WorkbenchCore& core,
   reply.stats.program_cache_hit = compiled.cache_hit;
   bool runs_ok = reply.generation.ok;
   if (reply.generation.ok && admitCompiled(compiled.program, reply)) {
-    reply.ensemble = core.runReplicas(compiled.program, request.replicas);
+    EnsembleOptions options;
+    options.lanes = request.lanes;
+    WorkbenchCore::ReplicaRunOutcome ensemble =
+        core.runReplicas(compiled.program, request.replicas, options);
+    reply.ensemble = std::move(ensemble.runs);
+    reply.stats.ensemble_lanes = ensemble.lanes_used;
+    reply.stats.replicas_batched = ensemble.replicas_batched;
+    reply.stats.replicas_scalar = ensemble.replicas_scalar;
     for (const sim::RunStats& run : reply.ensemble) {
       runs_ok = runs_ok && !run.error;
     }

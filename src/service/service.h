@@ -88,6 +88,10 @@ struct GenerateAndRun {
 struct RunEnsemble {
   std::string script;
   int replicas = 1;
+  // SoA lane width for the batched ensemble engine: 0 = auto
+  // (NSC_ENSEMBLE_LANES, else the built-in default), 1 = scalar
+  // per-replica path (see EnsembleOptions::lanes).
+  int lanes = 0;
 };
 
 // Replay a script, load the generated executable SPMD on a 2^dimension-node
@@ -172,6 +176,12 @@ struct RequestStats {
   // memoized checker session — the witness that a SessionCommand reused
   // state a previous request built, instead of re-running the checker.
   std::uint64_t checker_session_hits = 0;
+  // RunEnsemble only: the resolved SoA lane width, and how the replicas
+  // split between batched (lockstep inside a ReplicaBatch) and scalar
+  // execution (lane-width-1 remainders + divergence drains).
+  int ensemble_lanes = 0;
+  int replicas_batched = 0;
+  int replicas_scalar = 0;
   Reject rejected = Reject::kNone;
 };
 

@@ -1,0 +1,212 @@
+// ReplicaBatch: structure-of-arrays batched execution of one CompiledProgram
+// over W replica lanes (ensembles as the vector axis).
+//
+// runEnsemble replicas execute the *same* compiled instruction stream over
+// different data.  In this machine the timing of every token — validity,
+// last-element marks, DMA cursor positions, ring offsets, launch decisions,
+// completion interrupts — is data-independent: only token *values*,
+// accumulator contents, and latched condition booleans depend on the data.
+// ReplicaBatch exploits that split.  Per-node state is packed as
+// structure-of-arrays (a plane word `addr` holds lanes at
+// `mem[addr * W + w]`), one *shape* copy of every token stream is stepped
+// exactly as the scalar compiled engine does (compiled_exec.cpp), and only
+// the value arithmetic runs as contiguous W-wide inner loops — no per-lane
+// dispatch, auto-vectorizable, one CompiledInstr stepping all lanes per
+// cycle inside the verifier-proven steady blocks.
+//
+// Lanes therefore run in exact lockstep until the *sequencer* consults a
+// condition register (kBranchIf / kBranchNot) whose per-lane values
+// disagree.  At that instruction boundary the batch keeps the largest
+// agreeing lane group and retires every other lane into a private scalar
+// NodeSim — seeded with an exact de-interleaved copy of the lane's memory,
+// condition registers, and loop counters — which finishes the run on the
+// reference engine.  Faults (compile-time DMA bounds, cycle timeouts) are
+// shape-level and hit every lockstep lane identically, exactly as the same
+// replicas would fault one by one on the scalar engine.  The golden tests
+// in test_compiled.cpp / test_workbench.cpp pin every lane's InstrStats,
+// fu_launches, planes, and caches bit-identical to a scalar NodeSim run.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "arch/machine.h"
+#include "sim/compiled.h"
+#include "sim/node.h"
+#include "sim/stats.h"
+#include "sim/token.h"
+
+namespace nsc::sim {
+
+// Host-side seeding interface over one replica's memory, implemented by
+// both execution paths (a scalar NodeSim and one lane of a ReplicaBatch),
+// so a single per-replica init callback seeds either engine identically.
+class ReplicaStore {
+ public:
+  virtual void writePlane(arch::PlaneId plane, std::uint64_t base,
+                          std::span<const double> values) = 0;
+  virtual void writeCache(arch::CacheId cache, int buffer, std::uint64_t base,
+                          std::span<const double> values) = 0;
+
+ protected:
+  ~ReplicaStore() = default;
+};
+
+// Adapter: a NodeSim as a ReplicaStore (the scalar ensemble path).
+class NodeReplicaStore final : public ReplicaStore {
+ public:
+  explicit NodeReplicaStore(NodeSim& node) : node_(node) {}
+  void writePlane(arch::PlaneId plane, std::uint64_t base,
+                  std::span<const double> values) override {
+    node_.writePlane(plane, base, values);
+  }
+  void writeCache(arch::CacheId cache, int buffer, std::uint64_t base,
+                  std::span<const double> values) override {
+    node_.writeCache(cache, buffer, base, values);
+  }
+
+ private:
+  NodeSim& node_;
+};
+
+struct BatchRunResult {
+  std::vector<RunStats> runs;  // runs[w] is lane w's full-run stats
+  // Lanes that left the batch at a divergence point and executed at least
+  // one instruction on the scalar reference engine.
+  int drained_scalar = 0;
+};
+
+class ReplicaBatch {
+ public:
+  static constexpr int kMaxLanes = 64;
+
+  ReplicaBatch(const arch::Machine& machine, int lanes,
+               NodeSim::Options options = {});
+
+  int lanes() const { return lanes_; }
+
+  // Loads a compiled program (shared, immutable) and re-arms the sequencer;
+  // lane memory is untouched, like NodeSim::load.
+  void load(std::shared_ptr<const CompiledProgram> program);
+
+  // ---- Per-lane host memory access (scalar-engine semantics per lane) ----
+  void writePlane(int lane, arch::PlaneId plane, std::uint64_t base,
+                  std::span<const double> values);
+  void writeCache(int lane, arch::CacheId cache, int buffer,
+                  std::uint64_t base, std::span<const double> values);
+  std::vector<double> readPlane(int lane, arch::PlaneId plane,
+                                std::uint64_t base, std::uint64_t count) const;
+  std::vector<double> readCache(int lane, arch::CacheId cache, int buffer,
+                                std::uint64_t base, std::uint64_t count) const;
+  // The seeding view of one lane (for EnsembleOptions::init callbacks).
+  class LaneStore final : public ReplicaStore {
+   public:
+    LaneStore(ReplicaBatch& batch, int lane) : batch_(batch), lane_(lane) {}
+    void writePlane(arch::PlaneId plane, std::uint64_t base,
+                    std::span<const double> values) override {
+      batch_.writePlane(lane_, plane, base, values);
+    }
+    void writeCache(arch::CacheId cache, int buffer, std::uint64_t base,
+                    std::span<const double> values) override {
+      batch_.writeCache(lane_, cache, buffer, base, values);
+    }
+
+   private:
+    ReplicaBatch& batch_;
+    int lane_;
+  };
+
+  // Runs every lane from the current pc to halt / error / budget, batched
+  // while lanes agree and scalar-drained after divergence.  One shot per
+  // load(); per-lane results are index-stable.
+  BatchRunResult run();
+
+ private:
+  // The SoA compiled engine: one CompiledInstr across all lanes (shape
+  // stepped once, values W-wide); mirrors executeCompiled cycle for cycle.
+  // Dispatches to the KW-specialized body so the common widths run with
+  // compile-time-constant lane loops (fully unrolled / vectorized); KW = 0
+  // is the runtime-width fallback for unusual lane counts.
+  InstrStats executeCompiledBatch(const CompiledInstr& ci, int instr_index,
+                                  const std::string& name);
+  template <int KW>
+  InstrStats executeCompiledBatchT(const CompiledInstr& ci, int instr_index,
+                                   const std::string& name);
+  // Cache buffers allocate lazily on first write (host or DMA); empty means
+  // all-zero, exactly what a scalar NodeSim's pre-zeroed buffer reads as.
+  std::vector<double>& cacheStore(std::size_t cache, std::size_t buffer);
+  // Grows plane SoA backing (and each lane's scalar-equivalent logical
+  // size) exactly like NodeSim::ensurePlaneSize does per replica.
+  void ensurePlaneSize(arch::PlaneId plane, std::uint64_t needed);
+  // De-interleaves lane `w` into a private NodeSim carrying the lane's
+  // exact mid-run state; the node finishes the run on the scalar engine.
+  std::unique_ptr<NodeSim> extractLane(int w, int lane_pc, bool lane_halted,
+                                       std::uint64_t executed) const;
+
+  const arch::Machine& machine_;
+  NodeSim::Options options_;
+  const int lanes_;
+
+  std::shared_ptr<const CompiledProgram> program_;
+
+  // ---- Persistent per-lane machine state, SoA ----
+  // planes_[p] holds plane_words_[p] * W doubles, address-major.
+  std::vector<std::vector<double>> planes_;
+  std::vector<std::uint64_t> plane_words_;  // shared physical words per plane
+  // What a scalar NodeSim's backing store size would be for this lane
+  // (lane_plane_words_[p][w]); host reads/writes and lane extraction use it
+  // so per-lane growth history stays observably identical to the scalar
+  // engine.  DMA in-range checks may use the shared physical size: both
+  // sizes cover every non-wrapped DMA address (plane_grows ran), so the
+  // comparisons agree.
+  std::vector<std::vector<std::uint64_t>> lane_plane_words_;
+  // [c][buf]: SoA, lazily allocated (empty buffer == all zeros).
+  std::vector<std::vector<std::vector<double>>> caches_;
+  std::vector<std::uint8_t> cond_;  // [reg * W + w]
+  std::vector<std::optional<int>> loop_counters_;  // shared: lanes in lockstep
+  int pc_ = 0;
+  bool halted_ = false;
+
+  // Shared run accounting (identical for every lockstep lane).
+  std::vector<std::uint64_t> fu_launches_;
+
+  // Lanes retired mid-run (divergence): the NodeSim holds the lane's final
+  // memory, so readPlane/readCache route through it after run().
+  std::vector<std::unique_ptr<NodeSim>> retired_;
+  std::vector<std::uint8_t> active_;
+  std::vector<RunStats> runs_;
+
+  // ---- Reusable per-instruction execution state ----
+  // Shape arrays mirror NodeSim::Scratch one-for-one; `*_vals` carry the
+  // per-lane token values (endpoint- or slot-major, W contiguous lanes).
+  struct Scratch {
+    std::vector<Token> src_out, dst_in, arena;
+    std::vector<double> src_vals, dst_vals, arena_vals;
+    struct FuRun {
+      std::uint32_t pipe_pos = 0;
+      std::uint32_t rfq_pos = 0;
+    };
+    std::vector<FuRun> fu;
+    std::vector<double> acc;  // [fu_slot * W + w]
+    struct DmaRun {
+      std::uint64_t element = 0;
+      std::uint64_t row = 0;
+      std::uint64_t in_row = 0;
+    };
+    std::vector<DmaRun> reads, writes;
+    std::vector<std::uint32_t> sd_pos;
+    std::vector<double> a_vals, b_vals, res_vals;  // W-wide operand staging
+  };
+  Scratch scratch_;
+};
+
+// Resolves the effective ensemble lane width: an explicit request >= 1 wins
+// (clamped to kMaxLanes), else the NSC_ENSEMBLE_LANES environment variable,
+// else kDefaultEnsembleLanes.  1 selects the scalar per-replica path.
+inline constexpr int kDefaultEnsembleLanes = 8;
+int resolveEnsembleLanes(int requested);
+
+}  // namespace nsc::sim

@@ -35,6 +35,15 @@ namespace nsc::sim {
 
 struct VerifyReport;  // sim/verify.h
 
+// Drain budget for read-only pipelines: enough cycles for every FU latency
+// in the machine plus the register-file and shift/delay queue depths.  All
+// three execution engines (interpreter, compiled, SoA batch) share this so
+// the completion rule cannot drift between them.
+inline std::uint64_t drainBudget(const arch::MachineConfig& cfg) {
+  return 64 + static_cast<std::uint64_t>(cfg.rf_max_delay) +
+         static_cast<std::uint64_t>(cfg.sd_max_delay);
+}
+
 // ---------------------------------------------------------------------------
 // Decoded per-instruction plans (the interpreter's view of one microword).
 // ---------------------------------------------------------------------------

@@ -54,9 +54,7 @@ InstrStats NodeSim::executeCompiled(const CompiledInstr& ci, int instr_index,
   s.writes.assign(ci.writes.size(), Scratch::DmaRun{});
   s.sd_pos.assign(ci.sds.size(), 0);
 
-  const std::uint64_t drain_budget =
-      64 + static_cast<std::uint64_t>(cfg.rf_max_delay) +
-      static_cast<std::uint64_t>(cfg.sd_max_delay);
+  const std::uint64_t drain_budget = drainBudget(cfg);
   std::uint64_t drain = 0;
   bool cond_fired = false;
 

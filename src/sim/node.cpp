@@ -330,11 +330,7 @@ InstrStats NodeSim::execute(const InstrPlan& plan, int instr_index,
           : -1;
   bool cond_fired = false;
 
-  // Drain budget for read-only pipelines: enough for every latency in the
-  // machine plus queue depths.
-  const std::uint64_t drain_budget =
-      64 + static_cast<std::uint64_t>(cfg.rf_max_delay) +
-      static_cast<std::uint64_t>(cfg.sd_max_delay);
+  const std::uint64_t drain_budget = drainBudget(cfg);
   std::uint64_t drain = 0;
 
   std::uint64_t cycle = 0;

@@ -123,6 +123,10 @@ class NodeSim {
   void setTraceSink(TraceSink sink) { trace_ = std::move(sink); }
 
  private:
+  // The SoA ensemble engine (sim/batch.h) extracts diverged lanes into
+  // private NodeSims mid-run — an exact de-interleaved state hand-off.
+  friend class ReplicaBatch;
+
   // Legacy per-cycle interpreter (semantic reference).
   InstrStats execute(const InstrPlan& plan, int instr_index,
                      const std::string& name);

@@ -66,6 +66,28 @@ struct RunStats {
            (static_cast<double>(total_cycles) *
             static_cast<double>(fu_launches.size()));
   }
+
+  // Folds a continuation of the same run (e.g. a diverged ensemble lane
+  // finishing on the scalar engine after leaving its ReplicaBatch) onto the
+  // stats accumulated so far: totals and launch counts add, traces append,
+  // terminal flags come from the continuation.
+  void absorbContinuation(RunStats&& continuation) {
+    total_cycles += continuation.total_cycles;
+    total_flops += continuation.total_flops;
+    total_hazards += continuation.total_hazards;
+    instructions_executed += continuation.instructions_executed;
+    if (fu_launches.size() < continuation.fu_launches.size()) {
+      fu_launches.resize(continuation.fu_launches.size(), 0);
+    }
+    for (std::size_t i = 0; i < continuation.fu_launches.size(); ++i) {
+      fu_launches[i] += continuation.fu_launches[i];
+    }
+    for (InstrStats& t : continuation.trace) trace.push_back(std::move(t));
+    halted = continuation.halted;
+    error = continuation.error;
+    fault = continuation.fault;
+    error_message = std::move(continuation.error_message);
+  }
 };
 
 }  // namespace nsc::sim

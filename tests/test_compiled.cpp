@@ -10,6 +10,9 @@
 // corner cases (condition latch, accumulator drain, timeout, DMA faults).
 #include <gtest/gtest.h>
 
+#include <functional>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "arch/machine.h"
@@ -17,6 +20,7 @@
 #include "cfd/poisson.h"
 #include "microcode/generator.h"
 #include "program/program.h"
+#include "sim/batch.h"
 #include "sim/compiled.h"
 #include "sim/hypercube.h"
 #include "sim/node.h"
@@ -410,6 +414,331 @@ TEST(CompiledProgram, SharedAcrossHypercubeNodes) {
   const cfd::JacobiProgram jacobi2(machine, other);
   EXPECT_NE(generator.generate(jacobi2.program()).exe.fingerprint(),
             gen.exe.fingerprint());
+}
+
+// ---------------------------------------------------------------------------
+// Batched SoA engine goldens (sim/batch.h): a ReplicaBatch must be
+// indistinguishable, lane by lane, from the same replicas run one at a time
+// on the scalar engine — every RunStats field, every trace entry, every
+// plane word, every cache buffer.
+// ---------------------------------------------------------------------------
+
+// Runs `gen` through a ReplicaBatch of `lanes` lanes and through `lanes`
+// independent scalar NodeSims, seeding lane w on both paths through the
+// same ReplicaStore callback, then pins everything observable identical.
+void runBatchGolden(const Machine& machine, const mc::GenerateResult& gen,
+                    int lanes, std::uint64_t plane_words,
+                    const std::function<void(int, sim::ReplicaStore&)>& seed,
+                    sim::NodeSim::Options options = {},
+                    sim::BatchRunResult* result_out = nullptr) {
+  const auto program = sim::CompiledProgram::compile(machine, gen.exe);
+  ASSERT_NE(program, nullptr);
+  sim::ReplicaBatch batch(machine, lanes, options);
+  batch.load(program);
+  std::vector<std::unique_ptr<NodeSim>> scalars;
+  for (int w = 0; w < lanes; ++w) {
+    auto node = std::make_unique<NodeSim>(machine, options);
+    node->load(program);
+    if (seed) {
+      sim::NodeReplicaStore node_store(*node);
+      seed(w, node_store);
+      sim::ReplicaBatch::LaneStore lane_store(batch, w);
+      seed(w, lane_store);
+    }
+    scalars.push_back(std::move(node));
+  }
+  sim::BatchRunResult result = batch.run();
+  ASSERT_EQ(result.runs.size(), static_cast<std::size_t>(lanes));
+  const arch::MachineConfig& cfg = machine.config();
+  std::vector<double> cache_ref(cfg.cacheWords());
+  for (int w = 0; w < lanes; ++w) {
+    SCOPED_TRACE("lane " + std::to_string(w) + " of " + std::to_string(lanes));
+    const sim::RunStats scalar_run = scalars[static_cast<std::size_t>(w)]->run();
+    expectIdenticalRuns(scalar_run, result.runs[static_cast<std::size_t>(w)]);
+    for (arch::PlaneId pl = 0; pl < cfg.num_memory_planes; ++pl) {
+      EXPECT_EQ(scalars[static_cast<std::size_t>(w)]->readPlane(pl, 0,
+                                                                plane_words),
+                batch.readPlane(w, pl, 0, plane_words))
+          << "plane " << pl;
+    }
+    for (arch::CacheId c = 0; c < cfg.num_caches; ++c) {
+      for (int buf = 0; buf < cfg.cache_buffers; ++buf) {
+        scalars[static_cast<std::size_t>(w)]->readCacheInto(c, buf, 0,
+                                                            cache_ref);
+        EXPECT_EQ(cache_ref, batch.readCache(w, c, buf, 0, cfg.cacheWords()))
+            << "cache " << c << " buffer " << buf;
+      }
+    }
+  }
+  if (result_out != nullptr) *result_out = std::move(result);
+}
+
+// The two-FU scale pipeline over per-lane distinct vectors, at every lane
+// width the ensemble engine uses in practice (1 = degenerate scalar batch,
+// 13 = odd width such as an ensemble remainder, 8/16 = the SIMD sweet
+// spots).
+TEST(BatchedGolden, ScaleAddLaneWidths) {
+  const Machine machine;
+  const int n = 96;
+  prog::Program p;
+  prog::PipelineDiagram& d = p.append("scale");
+  const arch::AlsId als = machine.config().num_singlets;
+  const arch::FuId mul = machine.als(als).fus[0];
+  const arch::FuId add = machine.als(als).fus[1];
+  d.setFuOp(machine, mul, OpCode::kMul);
+  d.connect(machine, Endpoint::planeRead(0), Endpoint::fuInput(mul, 0));
+  d.setConstInput(machine, mul, 1, 3.0);
+  d.setFuOp(machine, add, OpCode::kAdd);
+  d.connect(machine, Endpoint::fuOutput(mul), Endpoint::fuInput(add, 0));
+  d.connect(machine, Endpoint::planeRead(1), Endpoint::fuInput(add, 1));
+  d.connect(machine, Endpoint::fuOutput(add), Endpoint::planeWrite(2));
+  for (const Endpoint e : {Endpoint::planeRead(0), Endpoint::planeRead(1),
+                           Endpoint::planeWrite(2)}) {
+    prog::DmaSpec& dma = d.dmaAt(e);
+    dma.base = 0;
+    dma.stride = 1;
+    dma.count = n;
+  }
+  d.seq.op = arch::SeqOp::kHalt;
+
+  mc::Generator generator(machine);
+  const mc::GenerateResult gen = generator.generate(p);
+  ASSERT_TRUE(gen.ok) << gen.diagnostics.format();
+
+  const auto seed = [n](int w, sim::ReplicaStore& store) {
+    store.writePlane(0, 0, test::iota(n, 1.0 + w, 0.5));
+    store.writePlane(1, 0, test::iota(n, -2.0 - 0.5 * w, 0.125));
+  };
+  for (const int lanes : {1, 4, 8, 13, 16}) {
+    runBatchGolden(machine, gen, lanes, n, seed);
+  }
+}
+
+// Read-only drain + accumulator + condition latch: the accumulator value is
+// the one piece of per-lane state that feeds back into launch staging, and
+// the drain counter finishes the instruction with no write engine.
+TEST(BatchedGolden, AccumulatorLatchLaneWidths) {
+  const Machine machine;
+  const int n = 200;
+  prog::Program p;
+  prog::PipelineDiagram& d = p.append("reduce");
+  const arch::AlsId als = machine.config().num_singlets;
+  const arch::FuId acc = machine.als(als).fus[1];
+  d.setFuOp(machine, acc, OpCode::kMax);
+  d.connect(machine, Endpoint::planeRead(0), Endpoint::fuInput(acc, 0));
+  d.setAccumInput(machine, acc, 1, 0.0);
+  d.cond = prog::CondLatch{acc, 2};
+  d.dmaAt(Endpoint::planeRead(0)) = {"", 0, 1, n, 1, 0, 0, false};
+  d.seq.op = arch::SeqOp::kHalt;
+
+  mc::Generator generator(machine);
+  const mc::GenerateResult gen = generator.generate(p);
+  ASSERT_TRUE(gen.ok) << gen.diagnostics.format();
+
+  const auto seed = [n](int w, sim::ReplicaStore& store) {
+    store.writePlane(0, 0, test::iota(n, 0.25 * (w + 1), 0.25));
+  };
+  for (const int lanes : {4, 8}) {
+    runBatchGolden(machine, gen, lanes, n, seed);
+  }
+}
+
+// The Figure-11 Jacobi fixed-sweep workload (shift/delay taps, caches,
+// kLoop sequencing, plane ping-pong) with a per-lane scaled problem: the
+// full production pipeline stays bit-identical through the SoA path.
+TEST(BatchedGolden, Figure11JacobiFixedSweepsLanes8) {
+  const Machine machine;
+  cfd::JacobiBuildOptions options;
+  options.grid = {8, 8, 8};
+  options.h = 1.0 / 7.0;
+  options.convergence_mode = false;
+  options.fixed_sweeps = 4;
+  const cfd::JacobiProgram jacobi(machine, options);
+  const cfd::PoissonProblem problem = cfd::PoissonProblem::manufactured(
+      options.grid.nx, options.grid.ny, options.grid.nz);
+  mc::Generator generator(machine);
+  const mc::GenerateResult gen = generator.generate(jacobi.program());
+  ASSERT_TRUE(gen.ok) << gen.diagnostics.format();
+
+  // Mirror JacobiProgram::load through the ReplicaStore interface, with the
+  // right-hand side scaled per lane so every lane computes different data.
+  const cfd::JacobiLayout& layout = jacobi.layout();
+  const auto pad = static_cast<std::uint64_t>(layout.pad);
+  const auto seed = [&](int w, sim::ReplicaStore& store) {
+    std::vector<double> f = problem.f;
+    for (double& v : f) v *= 1.0 + 0.25 * w;
+    for (const arch::PlaneId pl : layout.u_a) store.writePlane(pl, pad, problem.u0);
+    for (const arch::PlaneId pl : layout.u_b) store.writePlane(pl, pad, problem.u0);
+    store.writePlane(layout.f_plane, pad, f);
+    if (layout.mask_plane >= 0) {
+      store.writePlane(layout.mask_plane, pad, options.grid.interiorMask());
+    }
+    if (layout.res_plane >= 0) {
+      const double zero[] = {0.0};
+      store.writePlane(layout.res_plane, 0, zero);
+    }
+  };
+  const std::uint64_t words =
+      static_cast<std::uint64_t>(options.grid.N()) + 2 * pad;
+  runBatchGolden(machine, gen, 8, words, seed);
+}
+
+// Builds the three-instruction divergence harness: instruction 0 reduces
+// plane0 through a kMax accumulator, latches the max into cond reg 1, and
+// branches to instruction 2 when it exceeds 0.5; instruction 1 (the
+// fall-through) copies plane0 to plane1 and halts.  Instruction 2 is left
+// to the caller.
+prog::Program divergenceProgram(const Machine& machine, int n) {
+  prog::Program p;
+  prog::PipelineDiagram& gate = p.append("gate");
+  const arch::AlsId als = machine.config().num_singlets;
+  const arch::FuId acc = machine.als(als).fus[1];
+  gate.setFuOp(machine, acc, OpCode::kMax);
+  gate.connect(machine, Endpoint::planeRead(0), Endpoint::fuInput(acc, 0));
+  gate.setAccumInput(machine, acc, 1, 0.0);
+  gate.cond = prog::CondLatch{acc, 1};
+  gate.dmaAt(Endpoint::planeRead(0)) = {"", 0, 1, static_cast<std::uint64_t>(n),
+                                        1, 0, 0, false};
+  gate.seq.op = arch::SeqOp::kBranchIf;
+  gate.seq.cond_reg = 1;
+  gate.seq.target = 2;
+
+  prog::PipelineDiagram& clean = p.append("clean");
+  clean.connect(machine, Endpoint::planeRead(0), Endpoint::planeWrite(1));
+  for (const Endpoint e : {Endpoint::planeRead(0), Endpoint::planeWrite(1)}) {
+    prog::DmaSpec& dma = clean.dmaAt(e);
+    dma.base = 0;
+    dma.stride = 1;
+    dma.count = static_cast<std::uint64_t>(n);
+  }
+  clean.seq.op = arch::SeqOp::kHalt;
+  return p;
+}
+
+// Divergence with a faulting branch target: one lane's latched condition
+// sends it to an instruction whose write engine is starved, so that lane
+// times out mid-run on the scalar drain while the other lanes complete
+// clean — exactly as the same replicas behave one at a time.
+TEST(BatchedGolden, DivergenceOneLaneFaultsRestCompleteClean) {
+  const Machine machine;
+  const int n = 32;
+  prog::Program p = divergenceProgram(machine, n);
+  prog::PipelineDiagram& starved = p.append("starved");
+  starved.connect(machine, Endpoint::planeRead(0), Endpoint::planeWrite(1));
+  prog::DmaSpec read;
+  read.base = 0;
+  read.stride = 1;
+  read.count = 4;
+  prog::DmaSpec write = read;
+  write.count = 8;  // four tokens never arrive: guaranteed timeout
+  starved.dmaAt(Endpoint::planeRead(0)) = read;
+  starved.dmaAt(Endpoint::planeWrite(1)) = write;
+  starved.seq.op = arch::SeqOp::kHalt;
+
+  mc::Generator generator(machine);
+  mc::GenerateOptions gen_options;
+  gen_options.run_checker = false;  // the starved stream is the point
+  const mc::GenerateResult gen = generator.generate(p, gen_options);
+  ASSERT_TRUE(gen.ok) << gen.diagnostics.format();
+
+  // Lane 2 sees a value above the latch threshold and branches to the
+  // faulting instruction; every other lane stays below and falls through.
+  const auto seed = [n](int w, sim::ReplicaStore& store) {
+    std::vector<double> x = test::iota(n, 0.001 * (w + 1), 0.0001);
+    if (w == 2) x[static_cast<std::size_t>(n) / 2] = 1.0;
+    store.writePlane(0, 0, x);
+  };
+  sim::NodeSim::Options options;
+  options.max_cycles_per_instruction = 500;
+  sim::BatchRunResult result;
+  runBatchGolden(machine, gen, 8, n, seed, options, &result);
+  // Exactly the diverged lane drained on the scalar engine, faulted; the
+  // lockstep majority completed clean inside the batch.
+  EXPECT_EQ(result.drained_scalar, 1);
+  for (int w = 0; w < 8; ++w) {
+    const sim::RunStats& run = result.runs[static_cast<std::size_t>(w)];
+    EXPECT_EQ(run.error, w == 2) << "lane " << w;
+    if (w == 2) {
+      EXPECT_EQ(run.fault, sim::FaultKind::kTimeout);
+    } else {
+      EXPECT_TRUE(run.halted) << "lane " << w;
+      EXPECT_EQ(run.fault, sim::FaultKind::kNone) << "lane " << w;
+    }
+  }
+}
+
+// Clean divergence split: a minority of lanes branch to an alternate clean
+// instruction.  The batch keeps the (larger) fall-through group, drains the
+// branch takers scalar, and both groups stay bit-identical — including the
+// early completion of the group whose path halts first.
+TEST(BatchedGolden, DivergenceCleanSplitBothPathsIdentical) {
+  const Machine machine;
+  const int n = 32;
+  prog::Program p = divergenceProgram(machine, n);
+  prog::PipelineDiagram& alt = p.append("alt");
+  const arch::AlsId als = machine.config().num_singlets;
+  const arch::FuId mul = machine.als(als).fus[0];
+  alt.setFuOp(machine, mul, OpCode::kMul);
+  alt.connect(machine, Endpoint::planeRead(0), Endpoint::fuInput(mul, 0));
+  alt.setConstInput(machine, mul, 1, 2.0);
+  alt.connect(machine, Endpoint::fuOutput(mul), Endpoint::planeWrite(2));
+  for (const Endpoint e :
+       {Endpoint::planeRead(0), Endpoint::planeWrite(2)}) {
+    prog::DmaSpec& dma = alt.dmaAt(e);
+    dma.base = 0;
+    dma.stride = 1;
+    dma.count = static_cast<std::uint64_t>(n);
+  }
+  alt.seq.op = arch::SeqOp::kHalt;
+
+  mc::Generator generator(machine);
+  const mc::GenerateResult gen = generator.generate(p);
+  ASSERT_TRUE(gen.ok) << gen.diagnostics.format();
+
+  // Lanes 1, 5, and 9 branch (13-lane batch, so the 10-lane fall-through
+  // group is kept and three lanes retire to the scalar engine).
+  const auto seed = [n](int w, sim::ReplicaStore& store) {
+    std::vector<double> x = test::iota(n, 0.001 * (w + 1), 0.0001);
+    if (w % 4 == 1) x[0] = 0.75;
+    store.writePlane(0, 0, x);
+  };
+  sim::BatchRunResult result;
+  runBatchGolden(machine, gen, 13, n, seed, {}, &result);
+  EXPECT_EQ(result.drained_scalar, 3);
+  for (int w = 0; w < 13; ++w) {
+    const sim::RunStats& run = result.runs[static_cast<std::size_t>(w)];
+    EXPECT_FALSE(run.error) << "lane " << w;
+    ASSERT_EQ(run.trace.size(), 2u) << "lane " << w;
+    EXPECT_EQ(run.trace[1].name, w % 4 == 1 ? "alt" : "clean")
+        << "lane " << w;
+  }
+}
+
+// Shape-level faults hit every lockstep lane identically: a DMA pattern
+// past the plane capacity faults all lanes of the batch exactly as it
+// faults each scalar replica.
+TEST(BatchedGolden, DmaCapacityFaultAllLanes) {
+  const Machine machine;
+  prog::Program p;
+  prog::PipelineDiagram& d = p.append("overrun");
+  d.connect(machine, Endpoint::planeRead(0), Endpoint::planeWrite(1));
+  prog::DmaSpec spec;
+  spec.base = 0;
+  spec.stride = 1;
+  spec.count = machine.config().sim_plane_words + 1;
+  d.dmaAt(Endpoint::planeRead(0)) = spec;
+  d.dmaAt(Endpoint::planeWrite(1)) = spec;
+  d.seq.op = arch::SeqOp::kHalt;
+
+  mc::Generator generator(machine);
+  const mc::GenerateResult gen = generator.generate(p);
+  ASSERT_TRUE(gen.ok) << gen.diagnostics.format();
+  sim::BatchRunResult result;
+  runBatchGolden(machine, gen, 8, 16, nullptr, {}, &result);
+  for (const sim::RunStats& run : result.runs) {
+    EXPECT_TRUE(run.error);
+    EXPECT_EQ(run.fault, sim::FaultKind::kDmaBounds);
+  }
 }
 
 }  // namespace

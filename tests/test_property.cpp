@@ -18,6 +18,7 @@
 #include "compiler/stencil_lang.h"
 #include "editor/editor.h"
 #include "microcode/generator.h"
+#include "sim/batch.h"
 #include "sim/compiled.h"
 #include "sim/node.h"
 #include "sim/verify.h"
@@ -366,6 +367,24 @@ TEST_P(VerifierSoundnessTest, CleanRunsFaultFreeErrorsPredictTheRuntimeFault) {
   // The engines agree on the fault verdict no matter what the bits say.
   EXPECT_EQ(legacy.error, compiled.error) << report.format();
   EXPECT_EQ(legacy.fault, compiled.fault) << report.format();
+
+  // The batched SoA engine reaches the same verdict in every lane: no
+  // mutation may execute false-clean (or fault differently) just because
+  // the replica rode a ReplicaBatch instead of a scalar NodeSim.
+  sim::NodeSim::Options batch_options;
+  batch_options.max_cycles_per_instruction = 2000;
+  sim::ReplicaBatch batch(machine, 4, batch_options);
+  batch.load(program);
+  for (int w = 0; w < batch.lanes(); ++w) {
+    batch.writePlane(w, 0, 0, test::iota(static_cast<std::size_t>(n), 1.0, 0.5));
+    batch.writePlane(w, 1, 0, test::iota(static_cast<std::size_t>(n), -2.0, 0.25));
+  }
+  const sim::BatchRunResult batched = batch.run();
+  for (const sim::RunStats& lane : batched.runs) {
+    EXPECT_EQ(legacy.error, lane.error) << report.format();
+    EXPECT_EQ(legacy.fault, lane.fault) << report.format();
+    EXPECT_EQ(compiled.error_message, lane.error_message) << report.format();
+  }
 
   std::set<sim::FaultKind> predicted;
   for (const sim::VerifyDiagnostic& diag : report.diagnostics) {

@@ -481,6 +481,36 @@ TEST(ServiceTest, EnsembleMatchesWorkbenchEnsemble) {
   }
 }
 
+// The RunEnsemble lane knob reaches the batched engine and the execution
+// split is surfaced in RequestStats; batched replies stay bit-identical to
+// the scalar path.
+TEST(ServiceTest, EnsembleLanesSurfaceInStatsAndMatchScalar) {
+  const std::string script = tripleScript(3.0);
+  WorkbenchService service(ServiceOptions{});
+
+  RunEnsemble scalar_request{script, 13};
+  scalar_request.lanes = 1;
+  ServiceReply scalar = service.submit(scalar_request).get();
+  ASSERT_TRUE(scalar.ok()) << scalar.status.message();
+  EXPECT_EQ(scalar.stats.ensemble_lanes, 1);
+  EXPECT_EQ(scalar.stats.replicas_scalar, 13);
+  EXPECT_EQ(scalar.stats.replicas_batched, 0);
+
+  RunEnsemble batched_request{script, 13};
+  batched_request.lanes = 4;
+  ServiceReply batched = service.submit(batched_request).get();
+  ASSERT_TRUE(batched.ok()) << batched.status.message();
+  EXPECT_EQ(batched.stats.ensemble_lanes, 4);
+  // 13 = 3 batches of 4 + a width-1 remainder on the scalar engine.
+  EXPECT_EQ(batched.stats.replicas_batched, 12);
+  EXPECT_EQ(batched.stats.replicas_scalar, 1);
+  ASSERT_EQ(batched.ensemble.size(), scalar.ensemble.size());
+  for (std::size_t i = 0; i < scalar.ensemble.size(); ++i) {
+    expectRunStatsEq(batched.ensemble[i], scalar.ensemble[i],
+                     "replica " + std::to_string(i));
+  }
+}
+
 TEST(ServiceTest, SystemPhasesMatchesDirectSystem) {
   const std::string script = tripleScript(2.0);
   Workbench reference;

@@ -80,6 +80,119 @@ seq halt
   EXPECT_TRUE(bench.runEnsemble(program, 0).runs.empty());
 }
 
+// Batched SoA ensembles through the workbench: every replica's stats are
+// bit-identical to the scalar per-replica path at every lane width,
+// including an odd replica count (13) that leaves a width-1 remainder and
+// per-replica seeds that force some replicas down a divergent branch.
+TEST(WorkbenchTest, EnsembleBatchedMatchesScalarAcrossLaneWidths) {
+  Workbench bench;
+  const arch::Machine& machine = bench.machine();
+  const int n = 32;
+  // gate: kMax-reduce plane0, latch the max into cond reg 1, branch to
+  // "alt" when it exceeds 0.5; "clean" copies plane0 -> plane1; "alt"
+  // doubles plane0 into plane2.  Replica seeds pick the path.
+  prog::Program program;
+  prog::PipelineDiagram& gate = program.append("gate");
+  const arch::AlsId als = machine.config().num_singlets;
+  const arch::FuId acc = machine.als(als).fus[1];
+  gate.setFuOp(machine, acc, arch::OpCode::kMax);
+  gate.connect(machine, arch::Endpoint::planeRead(0),
+               arch::Endpoint::fuInput(acc, 0));
+  gate.setAccumInput(machine, acc, 1, 0.0);
+  gate.cond = prog::CondLatch{acc, 1};
+  gate.dmaAt(arch::Endpoint::planeRead(0)) = {
+      "", 0, 1, static_cast<std::uint64_t>(n), 1, 0, 0, false};
+  gate.seq.op = arch::SeqOp::kBranchIf;
+  gate.seq.cond_reg = 1;
+  gate.seq.target = 2;
+  prog::PipelineDiagram& clean = program.append("clean");
+  clean.connect(machine, arch::Endpoint::planeRead(0),
+                arch::Endpoint::planeWrite(1));
+  for (const arch::Endpoint e :
+       {arch::Endpoint::planeRead(0), arch::Endpoint::planeWrite(1)}) {
+    prog::DmaSpec& dma = clean.dmaAt(e);
+    dma.base = 0;
+    dma.stride = 1;
+    dma.count = static_cast<std::uint64_t>(n);
+  }
+  clean.seq.op = arch::SeqOp::kHalt;
+  prog::PipelineDiagram& alt = program.append("alt");
+  const arch::FuId mul = machine.als(als).fus[0];
+  alt.setFuOp(machine, mul, arch::OpCode::kMul);
+  alt.connect(machine, arch::Endpoint::planeRead(0),
+              arch::Endpoint::fuInput(mul, 0));
+  alt.setConstInput(machine, mul, 1, 2.0);
+  alt.connect(machine, arch::Endpoint::fuOutput(mul),
+              arch::Endpoint::planeWrite(2));
+  for (const arch::Endpoint e :
+       {arch::Endpoint::planeRead(0), arch::Endpoint::planeWrite(2)}) {
+    prog::DmaSpec& dma = alt.dmaAt(e);
+    dma.base = 0;
+    dma.stride = 1;
+    dma.count = static_cast<std::uint64_t>(n);
+  }
+  alt.seq.op = arch::SeqOp::kHalt;
+
+  const int replicas = 13;
+  const auto seed = [n](int replica, sim::ReplicaStore& store) {
+    std::vector<double> x(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      x[static_cast<std::size_t>(i)] = 0.001 * (replica + 1) + 0.0001 * i;
+    }
+    if (replica % 4 == 1) x[0] = 0.75;  // over the latch threshold
+    store.writePlane(0, 0, x);
+  };
+
+  EnsembleOptions scalar_options;
+  scalar_options.lanes = 1;
+  scalar_options.init = seed;
+  const EnsembleOutcome want =
+      bench.runEnsemble(program, replicas, scalar_options);
+  ASSERT_TRUE(want.ok()) << want.generation.diagnostics.format();
+  EXPECT_EQ(want.lanes_used, 1);
+  EXPECT_EQ(want.replicas_scalar, replicas);
+  EXPECT_EQ(want.replicas_batched, 0);
+
+  for (const int lanes : {4, 8, 16}) {
+    SCOPED_TRACE("lanes=" + std::to_string(lanes));
+    EnsembleOptions options;
+    options.lanes = lanes;
+    options.init = seed;
+    const EnsembleOutcome got = bench.runEnsemble(program, replicas, options);
+    ASSERT_TRUE(got.ok()) << got.generation.diagnostics.format();
+    EXPECT_EQ(got.lanes_used, lanes);
+    EXPECT_EQ(got.replicas_batched + got.replicas_scalar, replicas);
+    EXPECT_GT(got.replicas_batched, 0);
+    ASSERT_EQ(got.runs.size(), want.runs.size());
+    for (std::size_t i = 0; i < want.runs.size(); ++i) {
+      const sim::RunStats& a = want.runs[i];
+      const sim::RunStats& b = got.runs[i];
+      EXPECT_EQ(a.total_cycles, b.total_cycles) << "replica " << i;
+      EXPECT_EQ(a.total_flops, b.total_flops) << "replica " << i;
+      EXPECT_EQ(a.total_hazards, b.total_hazards) << "replica " << i;
+      EXPECT_EQ(a.instructions_executed, b.instructions_executed)
+          << "replica " << i;
+      EXPECT_EQ(a.fu_launches, b.fu_launches) << "replica " << i;
+      EXPECT_EQ(a.halted, b.halted) << "replica " << i;
+      ASSERT_EQ(a.trace.size(), b.trace.size()) << "replica " << i;
+      for (std::size_t t = 0; t < a.trace.size(); ++t) {
+        EXPECT_EQ(a.trace[t].name, b.trace[t].name)
+            << "replica " << i << " trace " << t;
+        EXPECT_EQ(a.trace[t].cycles, b.trace[t].cycles)
+            << "replica " << i << " trace " << t;
+      }
+      // The divergent replicas really took the other path.
+      EXPECT_EQ(b.trace.back().name, i % 4 == 1 ? "alt" : "clean")
+          << "replica " << i;
+    }
+  }
+
+  // Lane-width resolution: explicit widths win and clamp to the SoA cap.
+  EXPECT_EQ(sim::resolveEnsembleLanes(5), 5);
+  EXPECT_EQ(sim::resolveEnsembleLanes(1), 1);
+  EXPECT_EQ(sim::resolveEnsembleLanes(1000), sim::ReplicaBatch::kMaxLanes);
+}
+
 TEST(WorkbenchTest, MakeSystemSharesTheWorkbenchPool) {
   exec::ThreadPool pool(exec::ExecOptions{2});
   Workbench bench({}, &pool);
