@@ -17,7 +17,7 @@ OUT="${2:-BENCH_seed.json}"
 if [[ $# -gt 2 ]]; then
   CLAIMS=("${@:3}")
 else
-  CLAIMS=(claims_microword claims_performance claims_subset_ablation claims_usability ensemble_throughput service_throughput verify_bench)
+  CLAIMS=(claims_microword claims_performance claims_subset_ablation claims_usability durable_bench ensemble_throughput service_throughput verify_bench)
 fi
 
 if ! command -v jq > /dev/null; then

@@ -1,0 +1,162 @@
+// Durable sessions end to end: a session survives a full service restart
+// and replies exactly as if nothing had happened.
+//
+// Part 1 — restart survival: a user builds the first half of the Figure-11
+// Jacobi pipeline in a durable service, the service stops (graceful stop
+// flushes every open session to a verified checkpoint file), and a *new*
+// service over the same directory adopts the checkpoint.  The user's next
+// command transparently restores the session and finishes the pipeline;
+// the demo exits non-zero unless the final sweep is bit-identical to a
+// control session that never restarted.
+//
+// Part 2 — failure isolation: a service with recovery enabled is driven
+// through a fault injector that throws on every first dispatch attempt.
+// Each request is retried from the session's last-good snapshot and still
+// returns the control reply; the shard counters record the recoveries.
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "nsc/nsc.h"
+#include "service/service.h"
+
+namespace {
+
+// The Figure-11 script cut in two at a command boundary.
+std::vector<std::string> scriptHalves() {
+  const std::string script = nsc::figure11SessionScript();
+  std::size_t cut = script.find('\n', script.size() / 2);
+  cut = (cut == std::string::npos) ? script.size() : cut + 1;
+  return {script.substr(0, cut), script.substr(cut)};
+}
+
+std::string freshDir(const char* name) {
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / name;
+  std::filesystem::remove_all(dir);
+  return dir.string();
+}
+
+constexpr nsc::svc::PlaneRange kSweepOutput{4, 161, 366};
+
+}  // namespace
+
+int main() {
+  using namespace nsc;
+  const std::vector<std::string> halves = scriptHalves();
+
+  // Control: the same two command batches against one uninterrupted
+  // service — the reply every durable variant must reproduce.
+  svc::ServiceReply control;
+  {
+    svc::WorkbenchService service{svc::ServiceOptions{}};
+    const std::uint64_t id =
+        service.submit(svc::OpenSession{halves[0]}).get().stats.session;
+    svc::SessionCommand finish;
+    finish.session = id;
+    finish.script = halves[1];
+    finish.run = true;
+    finish.outputs = {kSweepOutput};
+    control = service.submit(finish).get();
+  }
+  if (!control.ok()) {
+    std::fprintf(stderr, "control session failed\n");
+    return 1;
+  }
+
+  // ---- Part 1: stop, restart, resume ----
+  const std::string dir = freshDir("nsc_durable_demo");
+  std::uint64_t id = 0;
+  int shard_before = -1;
+  {
+    svc::ServiceOptions options;
+    options.durability.checkpoint_dir = dir;
+    svc::WorkbenchService first(options);
+    const svc::ServiceReply opened =
+        first.submit(svc::OpenSession{halves[0]}).get();
+    id = opened.stats.session;
+    shard_before = opened.stats.shard;
+  }  // destructor = graceful stop: the session is flushed to disk
+
+  svc::ServiceOptions options;
+  options.durability.checkpoint_dir = dir;
+  svc::WorkbenchService revived(options);
+  if (revived.sessionCount() != 1) {
+    std::fprintf(stderr, "restart adopted %zu checkpoints, expected 1\n",
+                 revived.sessionCount());
+    return 1;
+  }
+  svc::SessionCommand finish;
+  finish.session = id;
+  finish.script = halves[1];
+  finish.run = true;
+  finish.outputs = {kSweepOutput};
+  const svc::ServiceReply resumed = revived.submit(finish).get();
+  if (!resumed.ok() || !resumed.stats.restored_from_disk) {
+    std::fprintf(stderr, "resume after restart failed (%s)\n",
+                 resumed.status.isOk() ? "not restored from disk"
+                                       : resumed.status.message().c_str());
+    return 1;
+  }
+  if (resumed.run.total_cycles != control.run.total_cycles ||
+      resumed.outputs != control.outputs ||
+      resumed.session.commands != control.session.commands) {
+    std::fprintf(stderr, "restarted session diverged from control\n");
+    return 1;
+  }
+  std::printf("durable_demo: session %llu flushed on stop, adopted on "
+              "restart (shard %d -> %d)\n",
+              static_cast<unsigned long long>(id), shard_before,
+              resumed.stats.shard);
+  std::printf("  resumed sweep bit-identical to the uninterrupted control "
+              "(%llu cycles, %zu outputs)\n",
+              static_cast<unsigned long long>(resumed.run.total_cycles),
+              resumed.outputs.front().size());
+  revived.submit(svc::CloseSession{id}).get();
+
+  // ---- Part 2: every first dispatch attempt faults; recovery retries ----
+  exec::FaultInjector injector;
+  exec::FaultPlan plan;
+  plan.seed = 7;
+  plan.dispatch_throw = 1.0;  // throw on every unsuppressed dispatch
+  injector.configure(plan);
+  svc::ServiceOptions faulty;
+  faulty.shards = 2;
+  faulty.durability.checkpoint_dir = freshDir("nsc_durable_demo_faults");
+  faulty.durability.recover = true;
+  faulty.injector = &injector;
+  svc::WorkbenchService recovering(faulty);
+  const svc::ServiceReply opened =
+      recovering.submit(svc::OpenSession{halves[0]}).get();
+  svc::SessionCommand faulted;
+  faulted.session = opened.stats.session;
+  faulted.script = halves[1];
+  faulted.run = true;
+  faulted.outputs = {kSweepOutput};
+  const svc::ServiceReply recovered = recovering.submit(faulted).get();
+  if (!recovered.ok() || recovered.stats.retries < 1 ||
+      recovered.run.total_cycles != control.run.total_cycles ||
+      recovered.outputs != control.outputs) {
+    std::fprintf(stderr, "fault recovery diverged from control\n");
+    return 1;
+  }
+  std::uint64_t faults = 0, recoveries = 0, rebuilt = 0;
+  for (int s = 0; s < recovering.shards(); ++s) {
+    const svc::ShardStats stats = recovering.shardStats(s);
+    faults += stats.dispatch_faults;
+    recoveries += stats.faults_recovered;
+    rebuilt += stats.cores_rebuilt;
+  }
+  std::printf("  fault injection: %llu dispatch faults, %llu recovered, "
+              "%llu cores rebuilt from last-good snapshots; replies "
+              "bit-identical throughout\n",
+              static_cast<unsigned long long>(faults),
+              static_cast<unsigned long long>(recoveries),
+              static_cast<unsigned long long>(rebuilt));
+  if (faults == 0 || recoveries == 0) {
+    std::fprintf(stderr, "expected injected faults to be counted\n");
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,72 @@
+#include "common/env.h"
+
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <set>
+
+namespace nsc::common {
+
+std::optional<long long> parseInt(const std::string& text) {
+  if (text.empty()) return std::nullopt;
+  // strtoll skips leading whitespace; the documented contract does not.
+  const char first = text.front();
+  if (first != '+' && first != '-' && (first < '0' || first > '9')) {
+    return std::nullopt;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const long long value = std::strtoll(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0') return std::nullopt;  // garbage
+  if (errno == ERANGE) return std::nullopt;                      // overflow
+  return value;
+}
+
+namespace {
+// One warning per variable per process: a bad knob is worth exactly one
+// line of stderr, not one per pool construction / ensemble run.
+std::mutex warned_mu;
+std::set<std::string>& warnedSet() {
+  static std::set<std::string> warned;
+  return warned;
+}
+std::atomic<std::uint64_t> warnings_emitted{0};
+
+void warnOnce(const char* name, const char* value, const char* why) {
+  std::lock_guard<std::mutex> lock(warned_mu);
+  if (!warnedSet().insert(name).second) return;
+  warnings_emitted.fetch_add(1, std::memory_order_relaxed);
+  std::fprintf(stderr, "nsc: ignoring %s='%s' (%s); using the default\n",
+               name, value, why);
+}
+}  // namespace
+
+std::optional<long long> envInt(const char* name, long long min_value,
+                                long long max_value) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr) return std::nullopt;
+  const std::optional<long long> parsed = parseInt(raw);
+  if (!parsed.has_value()) {
+    warnOnce(name, raw, "not an integer");
+    return std::nullopt;
+  }
+  if (*parsed < min_value || *parsed > max_value) {
+    warnOnce(name, raw, "out of range");
+    return std::nullopt;
+  }
+  return parsed;
+}
+
+std::uint64_t envWarningCount() {
+  return warnings_emitted.load(std::memory_order_relaxed);
+}
+
+void resetEnvWarnings() {
+  std::lock_guard<std::mutex> lock(warned_mu);
+  warnedSet().clear();
+  warnings_emitted.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace nsc::common

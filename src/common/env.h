@@ -1,0 +1,38 @@
+// Strict environment-variable parsing.
+//
+// Runtime knobs (NSC_THREADS, NSC_ENSEMBLE_LANES, NSC_FAULTS) are read from
+// the environment; a typo there must degrade to the documented default with
+// one visible warning, never to UB or a silently misconfigured service.
+// std::atoi-style parsing ("8x" -> 8, "junk" -> 0, overflow UB) is exactly
+// the failure mode this header replaces: parseEnvInt accepts a value only
+// when the whole string is one in-range decimal integer.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace nsc::common {
+
+// Parses `text` as a strict base-10 integer: optional sign, digits, nothing
+// else (surrounding whitespace rejected).  Returns nullopt on empty input,
+// trailing garbage, or overflow of long long.
+std::optional<long long> parseInt(const std::string& text);
+
+// Reads environment variable `name` and parses it strictly.  Returns
+// nullopt when the variable is unset.  When it is set but malformed or
+// outside [min, max], returns nullopt after emitting (once per variable per
+// process) a single stderr warning naming the variable, the offending
+// value, and the fallback behaviour — misconfiguration is surfaced, not
+// silently absorbed.
+std::optional<long long> envInt(const char* name, long long min_value,
+                                long long max_value);
+
+// Testing hooks: envWarningCount() is the number of warnings emitted since
+// process start or the last reset; resetEnvWarnings() forgets both the
+// count and which variables have already warned, so a test can assert the
+// warning fires (exactly once).
+std::uint64_t envWarningCount();
+void resetEnvWarnings();
+
+}  // namespace nsc::common

@@ -84,4 +84,13 @@ std::string joinStrings(const std::vector<std::string>& parts, std::string_view 
   return out;
 }
 
+std::uint64_t fnv1a64(std::string_view bytes) {
+  std::uint64_t h = 14695981039346656037ull;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
 }  // namespace nsc::common

@@ -28,4 +28,9 @@ std::string bytesHuman(std::uint64_t bytes);
 std::string joinStrings(const std::vector<std::string>& parts,
                         std::string_view sep);
 
+// FNV-1a over a byte string — the same non-cryptographic content hash
+// mc::Executable::fingerprint() mixes with, exposed for checkpoint
+// integrity checksums (service/checkpoint.h) and other stable identities.
+std::uint64_t fnv1a64(std::string_view bytes);
+
 }  // namespace nsc::common

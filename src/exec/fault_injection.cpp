@@ -1,0 +1,180 @@
+#include "exec/fault_injection.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+#include "common/env.h"
+#include "common/strings.h"
+
+namespace nsc::exec {
+
+namespace {
+// Suppression is per-thread and process-global: a recovery retry must not
+// see faults from *any* injector while it re-executes.
+thread_local int tl_suppress_depth = 0;
+}  // namespace
+
+void FaultInjector::configure(const FaultPlan& plan) {
+  std::lock_guard<std::mutex> lock(mu_);
+  plan_ = plan;
+  enabled_.store(plan.enabled(), std::memory_order_release);
+  rng_ = common::Rng(plan.seed);
+  counters_ = Counters{};
+}
+
+FaultPlan FaultInjector::plan() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return plan_;
+}
+
+FaultInjector::Counters FaultInjector::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+FaultInjector& FaultInjector::global() {
+  static FaultInjector injector;
+  static const bool configured = [] {
+    if (const char* spec = std::getenv("NSC_FAULTS")) {
+      std::string error;
+      const FaultPlan plan = parseFaultPlan(spec, &error);
+      if (error.empty()) {
+        injector.configure(plan);
+      } else {
+        std::fprintf(stderr, "nsc: ignoring NSC_FAULTS='%s' (%s)\n", spec,
+                     error.c_str());
+      }
+    }
+    return true;
+  }();
+  (void)configured;
+  return injector;
+}
+
+bool FaultInjector::armed() const {
+  return enabled_.load(std::memory_order_acquire) && tl_suppress_depth == 0;
+}
+
+bool FaultInjector::fire(double FaultPlan::*probability,
+                         std::uint64_t Counters::*counter) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const double p = plan_.*probability;
+  if (p <= 0.0 || !rng_.chance(p)) return false;
+  ++(counters_.*counter);
+  return true;
+}
+
+void FaultInjector::maybeThrow(FaultSite site) {
+  if (!armed()) return;
+  switch (site) {
+    case FaultSite::kDispatch:
+      if (fire(&FaultPlan::dispatch_throw, &Counters::throws_injected)) {
+        throw InjectedFault("injected dispatch fault");
+      }
+      return;
+    case FaultSite::kSession:
+      if (fire(&FaultPlan::session_throw, &Counters::throws_injected)) {
+        throw InjectedFault("injected mid-request fault");
+      }
+      return;
+    default:
+      return;
+  }
+}
+
+void FaultInjector::maybeDelay(FaultSite) {
+  if (!armed()) return;
+  int delay_us = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (plan_.delay <= 0.0 || !rng_.chance(plan_.delay)) return;
+    ++counters_.delays_injected;
+    delay_us = plan_.delay_us;
+  }
+  std::this_thread::sleep_for(std::chrono::microseconds(delay_us));
+}
+
+bool FaultInjector::shouldForceEvict() {
+  if (!armed()) return false;
+  return fire(&FaultPlan::force_evict, &Counters::evictions_forced);
+}
+
+std::string FaultInjector::mangleCheckpointBytes(std::string bytes) {
+  if (!armed() || bytes.empty()) return bytes;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (plan_.torn_write > 0.0 && rng_.chance(plan_.torn_write)) {
+    // Torn write: the tail is lost mid-flush.  Any cut point is fair game —
+    // header, checksum line, or payload — restore verification must catch
+    // them all.
+    ++counters_.writes_torn;
+    bytes.resize(static_cast<std::size_t>(rng_.below(bytes.size())));
+    return bytes;
+  }
+  if (plan_.corrupt_write > 0.0 && rng_.chance(plan_.corrupt_write)) {
+    ++counters_.writes_corrupted;
+    const auto at = static_cast<std::size_t>(rng_.below(bytes.size()));
+    bytes[at] = static_cast<char>(bytes[at] ^ 0x20);
+  }
+  return bytes;
+}
+
+FaultInjector::Suppress::Suppress() { ++tl_suppress_depth; }
+FaultInjector::Suppress::~Suppress() { --tl_suppress_depth; }
+
+FaultPlan parseFaultPlan(const std::string& spec, std::string* error) {
+  FaultPlan plan;
+  const auto fail = [&](const std::string& why) {
+    if (error != nullptr) *error = why;
+    return FaultPlan{};
+  };
+  for (const std::string& part : common::split(spec, ',')) {
+    const std::string entry = common::trim(part);
+    if (entry.empty()) continue;
+    const std::size_t eq = entry.find('=');
+    if (eq == std::string::npos) {
+      return fail("expected key=value, got '" + entry + "'");
+    }
+    const std::string key = common::trim(entry.substr(0, eq));
+    const std::string value = common::trim(entry.substr(eq + 1));
+    if (key == "seed") {
+      const std::optional<long long> v = common::parseInt(value);
+      if (!v.has_value() || *v < 0) return fail("bad seed '" + value + "'");
+      plan.seed = static_cast<std::uint64_t>(*v);
+      continue;
+    }
+    if (key == "delay_us") {
+      const std::optional<long long> v = common::parseInt(value);
+      if (!v.has_value() || *v < 0 || *v > 1'000'000) {
+        return fail("bad delay_us '" + value + "'");
+      }
+      plan.delay_us = static_cast<int>(*v);
+      continue;
+    }
+    char* end = nullptr;
+    const double p = std::strtod(value.c_str(), &end);
+    if (end == value.c_str() || *end != '\0' || p < 0.0 || p > 1.0) {
+      return fail("bad probability '" + value + "' for " + key);
+    }
+    if (key == "dispatch") {
+      plan.dispatch_throw = p;
+    } else if (key == "session") {
+      plan.session_throw = p;
+    } else if (key == "evict") {
+      plan.force_evict = p;
+    } else if (key == "torn") {
+      plan.torn_write = p;
+    } else if (key == "corrupt") {
+      plan.corrupt_write = p;
+    } else if (key == "delay") {
+      plan.delay = p;
+    } else {
+      return fail("unknown key '" + key + "'");
+    }
+  }
+  if (error != nullptr) error->clear();
+  return plan;
+}
+
+}  // namespace nsc::exec

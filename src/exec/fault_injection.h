@@ -1,0 +1,160 @@
+// FaultInjector: deterministic, seeded fault injection for the serving
+// layer's robustness harness (tests/test_chaos.cpp).
+//
+// The durability contract is that injected faults never change what a
+// caller observes: a dispatch exception is recovered by rebuilding the
+// session core from its last good checkpoint and retrying; a forced
+// eviction round-trips the session through a disk checkpoint; a torn
+// checkpoint write is caught by read-back verification and the eviction is
+// aborted.  The injector is how that contract is *proved* rather than
+// asserted: hook points in the admission queue, shard dispatch, session
+// table, and checkpoint I/O consult one seeded RNG, and the chaos suite
+// sweeps seeds asserting replies stay bit-identical to a fault-free run.
+//
+// Determinism: the RNG sequence is fixed by the seed, but which request a
+// fault lands on depends on thread interleaving — deliberately so.  The
+// invariant under test is interleaving-independent (every reply identical,
+// every promise settled), which is exactly why it is safe to assert across
+// any scheduler behaviour.
+//
+// Configuration: programmatic (configure()) for tests, or the NSC_FAULTS
+// environment variable for whole-process runs (CI chaos lane, examples):
+//
+//   NSC_FAULTS="seed=7,dispatch=0.2,session=0.2,evict=0.3,torn=0.5,delay=0.1,delay_us=200"
+//
+// keys: seed (u64), dispatch / session / evict / torn / corrupt / delay
+// (probabilities in [0,1]), delay_us (microseconds); `delay` covers every
+// delay-capable site with one probability.
+// Unknown keys and malformed values disable the plan with one stderr
+// warning — a typo must not silently run a different experiment.
+//
+// Retry suppression: recovery paths re-execute a request that already had
+// its fault; FaultInjector::Suppress disables injection on the current
+// thread for its scope so an injected fault cannot re-fire forever and
+// starve the retry budget (real faults still propagate and exhaust it).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+
+#include "common/rng.h"
+
+namespace nsc::exec {
+
+// Where a fault is being considered.  Sites map 1:1 to hook points:
+//   kQueuePush / kQueuePop   admission queue (delays only)
+//   kDispatch                shard dispatch, before any request work
+//   kSession                 mid-request, after a session command's script
+//                            replay (exercises partial-mutation rollback)
+//   kSessionClaim            session-table claim (delays only)
+//   kCheckpointWrite         spill-to-disk (torn / corrupted bytes)
+//   kCheckpointRead          restore-from-disk (delays only)
+//   kEvictSweep              post-request sweep (forced evictions)
+enum class FaultSite {
+  kQueuePush,
+  kQueuePop,
+  kDispatch,
+  kSession,
+  kSessionClaim,
+  kCheckpointWrite,
+  kCheckpointRead,
+  kEvictSweep,
+};
+
+// The exception type every injected throw raises; recovery code treats it
+// like any other std::exception (nothing may pattern-match on it — the
+// point is surviving *arbitrary* dispatch exceptions).
+struct InjectedFault : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+// Per-site probabilities; 0 everywhere (the default) means the injector is
+// completely inert and every hook is a single predicted-false branch.
+struct FaultPlan {
+  std::uint64_t seed = 1;
+  double dispatch_throw = 0.0;   // P(throw InjectedFault) at kDispatch
+  double session_throw = 0.0;    // P(throw) at kSession (mid-request)
+  double force_evict = 0.0;      // P(force-spill a shard's sessions) at sweep
+  double torn_write = 0.0;       // P(truncate checkpoint bytes mid-write)
+  double corrupt_write = 0.0;    // P(flip one checkpoint byte mid-write)
+  double delay = 0.0;            // P(injected sleep) at delay-capable sites
+  int delay_us = 100;            // sleep length when a delay fires
+  bool enabled() const {
+    return dispatch_throw > 0 || session_throw > 0 || force_evict > 0 ||
+           torn_write > 0 || corrupt_write > 0 || delay > 0;
+  }
+};
+
+class FaultInjector {
+ public:
+  // Lifetime fault counters (what actually fired), for tests to assert the
+  // sweep exercised real faults and for ops visibility.
+  struct Counters {
+    std::uint64_t throws_injected = 0;
+    std::uint64_t delays_injected = 0;
+    std::uint64_t evictions_forced = 0;
+    std::uint64_t writes_torn = 0;
+    std::uint64_t writes_corrupted = 0;
+  };
+
+  FaultInjector() = default;
+  explicit FaultInjector(const FaultPlan& plan) { configure(plan); }
+
+  // Installs `plan`, reseeding the RNG and zeroing the counters.
+  void configure(const FaultPlan& plan);
+  FaultPlan plan() const;
+  Counters counters() const;
+
+  // The process-wide injector, configured once from NSC_FAULTS (inert when
+  // the variable is unset).  Service instances default to this; tests pass
+  // their own instance instead so suites cannot contaminate each other.
+  static FaultInjector& global();
+
+  // Throws InjectedFault with probability plan().<site>_throw.  Only
+  // kDispatch and kSession throw; other sites are no-ops here.
+  void maybeThrow(FaultSite site);
+
+  // Sleeps plan().delay_us with probability plan().delay.  Never throws.
+  void maybeDelay(FaultSite site);
+
+  // True (with probability force_evict) when the post-request sweep should
+  // spill the shard's sessions to disk regardless of idle time.
+  bool shouldForceEvict();
+
+  // Checkpoint-write byte mangling: returns `bytes` unchanged, truncated
+  // (torn write), or with one byte flipped (bit rot), per the plan.  The
+  // checkpoint store writes the mangled bytes and is expected to *catch*
+  // the damage via read-back verification before committing the spill.
+  std::string mangleCheckpointBytes(std::string bytes);
+
+  // RAII: disables this injector's faults on the current thread (recovery
+  // retries run under Suppress so an injected fault fires at most once per
+  // request attempt chain).
+  class Suppress {
+   public:
+    Suppress();
+    ~Suppress();
+    Suppress(const Suppress&) = delete;
+    Suppress& operator=(const Suppress&) = delete;
+  };
+
+ private:
+  // Fast path: false when the plan is inert or this thread is suppressed.
+  bool armed() const;
+  bool fire(double FaultPlan::*probability, std::uint64_t Counters::*counter);
+
+  mutable std::mutex mu_;
+  FaultPlan plan_{};
+  std::atomic<bool> enabled_{false};  // plan_.enabled(), cached for armed()
+  common::Rng rng_{1};
+  Counters counters_{};
+};
+
+// Parses an NSC_FAULTS-style spec ("seed=7,dispatch=0.2,...").  Returns an
+// inert plan and sets `error` on malformed input.
+FaultPlan parseFaultPlan(const std::string& spec, std::string* error);
+
+}  // namespace nsc::exec

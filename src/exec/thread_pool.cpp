@@ -1,7 +1,8 @@
 #include "exec/thread_pool.h"
 
 #include <algorithm>
-#include <cstdlib>
+
+#include "common/env.h"
 
 namespace nsc::exec {
 
@@ -15,9 +16,11 @@ thread_local bool tl_in_pool_job = false;
 
 int resolveThreadCount(int requested) {
   if (requested > 0) return requested;
-  if (const char* env = std::getenv("NSC_THREADS")) {
-    const int v = std::atoi(env);
-    if (v > 0) return v;
+  // Strict parse with a sane ceiling: "8x", "-2", "junk", or an absurd
+  // value falls back to hardware concurrency with one stderr warning (see
+  // common/env.h) instead of UB or a million-thread pool.
+  if (const std::optional<long long> v = common::envInt("NSC_THREADS", 1, 4096)) {
+    return static_cast<int>(*v);
   }
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : static_cast<int>(hw);

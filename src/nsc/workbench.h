@@ -26,6 +26,8 @@
 #include <vector>
 
 #include "arch/machine.h"
+#include "common/json.h"
+#include "common/status.h"
 #include "editor/editor.h"
 #include "editor/session.h"
 #include "exec/thread_pool.h"
@@ -203,6 +205,34 @@ class WorkbenchCore {
   };
   Checkpoint checkpoint() const;
 
+  // ---- Durable session state ----
+  //
+  // serializeState() captures everything a later restoreState() needs to
+  // resume the session on a *fresh* core, bit-identically:
+  //
+  //   * the session's script log — every runSession() script since the last
+  //     reset, in order.  Editor state is restored by *replay* rather than
+  //     by serializing editor data structures: PR 5's split-session parity
+  //     guarantees replaying the same scripts reproduces the same editor
+  //     (documents, undo history, memoized checker sessions) exactly.
+  //   * the NodeSim durable snapshot (plane/cache memory, condition
+  //     registers, sequencer position), with every double encoded as its
+  //     16-hex-digit IEEE-754 bit pattern so the round trip is bit-exact —
+  //     JSON decimal text is not.
+  //   * the lifetime counters (resets, scripts_run), so checkpoint() diffs
+  //     stay meaningful across a restore.
+  //
+  // The payload is a versioned common::Json document (kStateFormat /
+  // kStateVersion); restoreState() rejects unknown formats and versions
+  // with a descriptive error and leaves the core reset-but-usable on any
+  // failure.  A session checkpointed mid-script-sequence and restored on a
+  // fresh core replies to the remaining commands bit-identically to one
+  // that never moved.
+  static constexpr const char* kStateFormat = "nsc-session-checkpoint";
+  static constexpr int kStateVersion = 1;
+  common::Json serializeState() const;
+  common::Status restoreState(const common::Json& state);
+
  private:
   const WorkbenchContext& context_;
   // optional<> so reset() can reconstruct in place: Editor, SessionRunner,
@@ -212,6 +242,9 @@ class WorkbenchCore {
   std::optional<sim::NodeSim> node_;
   std::uint64_t resets_ = 0;
   std::uint64_t scripts_run_ = 0;
+  // Scripts replayed since the last reset, in order — the replay log that
+  // serializeState() persists in place of the editor's internal state.
+  std::vector<std::string> script_log_;
 };
 
 // The classic single-user workbench: owns a context and one core and

@@ -1,0 +1,98 @@
+// CheckpointStore: durable on-disk home for evicted session state.
+//
+// Each session checkpoint is one file, `session-<id>.ckpt`, framed as
+//
+//   NSCKPT1 <16-hex fnv1a64(payload)> <payload-bytes>\n<payload>
+//
+// where the payload is the compact dump of WorkbenchCore::serializeState()
+// (itself versioned; see nsc/workbench.h).  The frame gives three
+// independent integrity checks — magic+frame-version, declared length, and
+// an FNV-1a checksum (the same hash mc::Executable::fingerprint() uses) —
+// so every way a file can be damaged maps to a *typed* restore error:
+//
+//   kIo         file missing / unreadable / unwritable directory
+//   kTruncated  empty file, or payload shorter than the header declares
+//   kBadMagic   header is not "NSCKPT1 ..." (wrong frame version included)
+//   kChecksum   payload bytes present but hash mismatch (bit rot)
+//   kParse      checksum fine but the payload is not JSON
+//   kBadVersion payload parses but format/version keys are unsupported
+//   kBadState   (reserved for the caller) payload valid, restore refused it
+//
+// Writes are torn-write-safe: bytes go to a temp file in the same
+// directory, are read back and re-verified end to end, and only then
+// renamed over the final name.  A write that comes back damaged (including
+// damage injected by exec::FaultInjector at FaultSite::kCheckpointWrite)
+// returns an error and leaves no file behind — the caller keeps the
+// session in memory instead of committing a bad spill.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/status.h"
+#include "exec/fault_injection.h"
+
+namespace nsc::svc {
+
+enum class CheckpointError {
+  kNone,
+  kIo,
+  kTruncated,
+  kBadMagic,
+  kChecksum,
+  kParse,
+  kBadVersion,
+  kBadState,
+};
+
+// Human-readable tag for logs/tests ("io", "truncated", ...).
+const char* checkpointErrorName(CheckpointError error);
+
+class CheckpointStore {
+ public:
+  // `dir` is created on first write; a missing directory lists as empty.
+  // `injector` hooks checkpoint I/O for the chaos harness (null = the
+  // process-wide exec::FaultInjector::global()).
+  explicit CheckpointStore(std::string dir,
+                           exec::FaultInjector* injector = nullptr);
+
+  const std::string& dir() const { return dir_; }
+
+  // Serializes `payload`, frames it, and commits it under `session-<id>.ckpt`
+  // via temp-write -> read-back verify -> rename.  On any failure the final
+  // file is untouched (a previous good checkpoint, if any, survives).
+  common::Status write(std::uint64_t session_id, const common::Json& payload);
+
+  struct ReadResult {
+    CheckpointError error = CheckpointError::kNone;
+    std::string message;       // empty when ok
+    common::Json payload;      // valid when error == kNone
+    bool ok() const { return error == CheckpointError::kNone; }
+  };
+  // Reads and fully verifies `session-<id>.ckpt` (frame, checksum, JSON,
+  // payload format/version).
+  ReadResult read(std::uint64_t session_id) const;
+
+  // Removes a session's checkpoint file if present (idempotent).
+  void remove(std::uint64_t session_id) const;
+
+  bool exists(std::uint64_t session_id) const;
+
+  // Session ids with a checkpoint file on disk, ascending — what a
+  // restarted service adopts as its spilled-session inventory.
+  std::vector<std::uint64_t> listSessions() const;
+
+  // Exposed for tests that hand-craft damaged files.
+  std::string pathFor(std::uint64_t session_id) const;
+  static std::string frame(const std::string& payload);
+
+ private:
+  exec::FaultInjector& injector() const;
+
+  std::string dir_;
+  exec::FaultInjector* injector_;
+};
+
+}  // namespace nsc::svc

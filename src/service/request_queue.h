@@ -22,7 +22,14 @@
 //
 // close() drains gracefully: already-admitted items are still popped, then
 // every pop returns nullopt — so a stopping service finishes the work it
-// accepted and never abandons a caller's future.
+// accepted and never abandons a caller's future.  tryPopAny() is the
+// companion for the ungraceful case: after close(), an owner with no
+// consumers left drains remaining items — *ignoring* affinity pins — so
+// each one's promise can still be settled.
+//
+// Chaos harness: an optional exec::FaultInjector adds seeded scheduling
+// delays around push/pop (FaultSite::kQueuePush / kQueuePop), perturbing
+// admission order and consumer wakeups without changing any contract.
 #pragma once
 
 #include <chrono>
@@ -33,6 +40,8 @@
 #include <mutex>
 #include <optional>
 #include <utility>
+
+#include "exec/fault_injection.h"
 
 namespace nsc::svc {
 
@@ -80,8 +89,11 @@ inline std::int64_t monotonicNowUs() {
 template <typename T>
 class BoundedQueue {
  public:
-  explicit BoundedQueue(std::size_t capacity, AdmissionPolicy policy = {})
-      : capacity_(capacity == 0 ? 1 : capacity), policy_(policy) {}
+  explicit BoundedQueue(std::size_t capacity, AdmissionPolicy policy = {},
+                        exec::FaultInjector* injector = nullptr)
+      : capacity_(capacity == 0 ? 1 : capacity),
+        policy_(policy),
+        injector_(injector) {}
 
   // Admits `item` under the policy.  Blocks while the queue is full,
   // except that batch-class items in kShed mode return kShed immediately
@@ -89,6 +101,9 @@ class BoundedQueue {
   // (moved-from) only on kAdmitted; on kShed / kClosed the caller keeps it
   // — the service needs the refused request's promise to reply Rejected.
   PushResult push(T& item, Ticket ticket = {}) {
+    if (injector_ != nullptr) {
+      injector_->maybeDelay(exec::FaultSite::kQueuePush);
+    }
     std::unique_lock<std::mutex> lock(mu_);
     if (policy_.overload == AdmissionPolicy::Overload::kShed &&
         ticket.priority == Priority::kBatch &&
@@ -128,8 +143,25 @@ class BoundedQueue {
       items_.erase(items_.begin() + static_cast<std::ptrdiff_t>(index));
       lock.unlock();
       not_full_.notify_all();
+      if (injector_ != nullptr) {
+        injector_->maybeDelay(exec::FaultSite::kQueuePop);
+      }
       return item;
     }
+  }
+
+  // Non-blocking pop of the oldest item regardless of affinity.  For the
+  // owner's post-close settle-drain: pop(-1) honours affinity pins, so a
+  // service stopped before its shards ever ran would leave pinned items —
+  // and their promises — stranded without this.
+  std::optional<T> tryPopAny() {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front().item);
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_all();
+    return item;
   }
 
   void close() {
@@ -209,6 +241,7 @@ class BoundedQueue {
 
   const std::size_t capacity_;
   const AdmissionPolicy policy_;
+  exec::FaultInjector* injector_;
   mutable std::mutex mu_;
   std::condition_variable not_full_;
   std::condition_variable not_empty_;

@@ -34,10 +34,17 @@ Priority defaultPriority(const Request& request) {
 }  // namespace
 
 WorkbenchService::WorkbenchService(ServiceOptions options)
-    : options_(options),
-      context_(options.machine, options.pool, options.cache),
-      sessions_(context_, std::max(options.shards, 1)),
-      queue_(options.queue_capacity, options.admission) {
+    : options_(std::move(options)),
+      context_(options_.machine, options_.pool, options_.cache),
+      injector_(options_.injector != nullptr ? options_.injector
+                                             : &exec::FaultInjector::global()),
+      store_(options_.durability.checkpoint_dir.empty()
+                 ? nullptr
+                 : std::make_unique<CheckpointStore>(
+                       options_.durability.checkpoint_dir, injector_)),
+      sessions_(context_, std::max(options_.shards, 1), store_.get(),
+                options_.durability.recover),
+      queue_(options_.queue_capacity, options_.admission, injector_) {
   const int shard_count = std::max(options_.shards, 1);
   shards_.reserve(static_cast<std::size_t>(shard_count));
   for (int i = 0; i < shard_count; ++i) {
@@ -69,6 +76,26 @@ void WorkbenchService::stop() {
   for (auto& shard : shards_) {
     if (shard->thread.joinable()) shard->thread.join();
   }
+  // Settle-all-promises: the shards are gone (or never ran — pop(-1)
+  // honours affinity pins, so a service stopped before start() leaves
+  // pinned session jobs queued).  Every remaining job resolves with an
+  // error reply; no caller is ever left holding an unsatisfiable future.
+  while (std::optional<Job> job = queue_.tryPopAny()) {
+    if (std::holds_alternative<OpenSession>(job->request)) {
+      // Drop the core the admission path reserved — the id never reached
+      // the caller.
+      sessions_.close(job->session);
+      job->session = 0;
+    }
+    ServiceReply reply;
+    reply.status = common::Status::error("service stopped before dispatch");
+    reply.stats.session = job->session;
+    job->promise.set_value(std::move(reply));
+  }
+  // Graceful durability: flush every open session to its checkpoint file
+  // so the next service incarnation pointed at the same directory adopts
+  // it (SessionTable's constructor scan).
+  if (store_ != nullptr) sessions_.flushAll();
 }
 
 std::future<ServiceReply> WorkbenchService::readyReject(Reject reason,
@@ -216,16 +243,7 @@ void WorkbenchService::shardLoop(int shard_index) {
         reply.stats.session = 0;  // the id was never handed out
       }
     } else {
-      try {
-        reply = serve(shard, shard_index, *job);
-      } catch (const std::exception& e) {
-        reply.status = common::Status::error(
-            common::strFormat("request failed: %s", e.what()));
-      } catch (...) {
-        // Anything escaping the shard thread would terminate the process and
-        // abandon every pending future; map it to an error reply instead.
-        reply.status = common::Status::error("request failed: unknown error");
-      }
+      reply = serveWithRecovery(shard, shard_index, *job);
     }
     const std::int64_t end_us = nowUs();
     reply.stats.shard = shard_index;
@@ -234,12 +252,21 @@ void WorkbenchService::shardLoop(int shard_index) {
     reply.stats.queue_us = start_us - job->admitted_us;
     reply.stats.run_us = end_us - start_us;
 
-    // Idle-session sweep: only the owning shard evicts, so an eviction can
-    // never race a claim (both run on this thread, between requests).
-    std::size_t evicted = 0;
+    // Idle-session sweep: only the owning shard evicts (spills, with a
+    // checkpoint store), so a sweep can never race a claim — both run on
+    // this thread, between requests.  The injector's forced eviction rides
+    // the same sweep point.
+    SessionTable::SweepResult swept;
     if (options_.session_ttl_us > 0) {
-      evicted = sessions_.evictIdle(shard_index, nowUs(),
-                                    options_.session_ttl_us);
+      swept = sessions_.sweepIdle(shard_index, nowUs(),
+                                  options_.session_ttl_us);
+    }
+    if (store_ != nullptr && injector_->shouldForceEvict()) {
+      const SessionTable::SweepResult forced =
+          sessions_.forceSpill(shard_index);
+      swept.spilled += forced.spilled;
+      swept.destroyed += forced.destroyed;
+      swept.write_failures += forced.write_failures;
     }
 
     {
@@ -262,13 +289,88 @@ void WorkbenchService::shardLoop(int shard_index) {
         }
       }
       shard.stats.checker_session_hits += reply.stats.checker_session_hits;
-      shard.stats.sessions_evicted += evicted;
+      shard.stats.sessions_evicted += swept.spilled + swept.destroyed;
+      shard.stats.sessions_spilled += swept.spilled;
+      shard.stats.spill_failures += swept.write_failures;
+      if (reply.stats.restored_from_disk) ++shard.stats.sessions_restored;
     }
     job->promise.set_value(std::move(reply));
   }
 }
 
+ServiceReply WorkbenchService::serveWithRecovery(Shard& shard,
+                                                 int shard_index, Job& job) {
+  const DurabilityOptions& durability = options_.durability;
+  const int max_retries =
+      durability.recover ? std::max(durability.max_retries, 0) : 0;
+  for (int attempt = 0;; ++attempt) {
+    std::string what;
+    try {
+      if (attempt == 0) return serve(shard, shard_index, job);
+      // Retry: run suppressed so an *injected* fault fires at most once
+      // per request — real faults still propagate and exhaust the budget.
+      exec::FaultInjector::Suppress suppress;
+      ServiceReply reply = serve(shard, shard_index, job);
+      reply.stats.retries = attempt;
+      std::lock_guard<std::mutex> lock(shard.mu);
+      ++shard.stats.faults_recovered;
+      return reply;
+    } catch (const std::exception& e) {
+      what = e.what();
+    } catch (...) {
+      // Anything escaping the shard thread would terminate the process and
+      // abandon every pending future; everything becomes a reply instead.
+      what = "unknown error";
+    }
+    {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      ++shard.stats.dispatch_faults;
+    }
+    bool can_retry = attempt < max_retries;
+    bool quarantined = false;
+    if (job.session != 0) {
+      // The session's core may be half-mutated by the failed attempt; it
+      // must not serve anything again as-is.  Either rebuild it from the
+      // last-good snapshot and retry, or destroy it — an honest
+      // kUnknownSession later beats silently corrupt state.
+      const int consecutive = sessions_.noteFault(job.session, shard_index);
+      const bool over_threshold =
+          consecutive >= std::max(durability.quarantine_after, 1);
+      if (!can_retry || over_threshold) {
+        sessions_.close(job.session);
+        quarantined = true;
+        can_retry = false;
+      } else if (sessions_.rebuild(job.session, shard_index)) {
+        std::lock_guard<std::mutex> lock(shard.mu);
+        ++shard.stats.cores_rebuilt;
+      } else {
+        // No usable snapshot; rebuild() destroyed the session.
+        quarantined = true;
+        can_retry = false;
+      }
+    }
+    if (quarantined) {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      ++shard.stats.sessions_quarantined;
+    }
+    if (can_retry) continue;
+    ServiceReply reply;
+    reply.stats.session = job.session;
+    reply.stats.retries = attempt;
+    reply.stats.rejected = Reject::kInternal;
+    reply.status = common::Status::error(
+        common::strFormat("internal error during dispatch: %s", what.c_str()));
+    std::lock_guard<std::mutex> lock(shard.mu);
+    ++shard.stats.internal_rejects;
+    return reply;
+  }
+}
+
 ServiceReply WorkbenchService::serve(Shard& shard, int shard_index, Job& job) {
+  // Chaos hook: an injected dispatch fault at the very top models a shard
+  // blowing up before any request work — the recovery loop around serve()
+  // must absorb it.
+  injector_->maybeThrow(exec::FaultSite::kDispatch);
   ServiceReply reply;
   reply.stats.pool_queue_depth = context_.pool().queueDepth();
   reply.stats.session = job.session;
@@ -286,14 +388,29 @@ ServiceReply WorkbenchService::serve(Shard& shard, int shard_index, Job& job) {
   WorkbenchCore* core = nullptr;
   if (job.session != 0) {
     // A session core is only ever touched by its affine shard, one request
-    // at a time — the claim can fail only if the session was idle-evicted
-    // (or closed) between admission and dispatch.
-    core = sessions_.claim(job.session, shard_index, nowUs());
+    // at a time.  The claim transparently restores a spilled session from
+    // its checkpoint (possibly migrated here from another shard); it fails
+    // only when the session was closed, idle-evicted without a store, or
+    // its checkpoint proved unusable.
+    SessionTable::ClaimInfo info;
+    core = sessions_.claim(job.session, shard_index, nowUs(), &info);
     if (core == nullptr) {
-      reply.status = common::Status::error("session expired");
+      if (info.restore_error != CheckpointError::kNone) {
+        {
+          std::lock_guard<std::mutex> lock(shard.mu);
+          ++shard.stats.restore_failures;
+        }
+        reply.status = common::Status::error(common::strFormat(
+            "session %llu checkpoint unusable (%s): %s",
+            static_cast<unsigned long long>(job.session),
+            checkpointErrorName(info.restore_error), info.message.c_str()));
+      } else {
+        reply.status = common::Status::error("session expired");
+      }
       reply.stats.rejected = Reject::kUnknownSession;
       return reply;
     }
+    reply.stats.restored_from_disk = info.restored;
   } else {
     // Stateless requests replay against freshly-constructed state: replies
     // are bit-identical to a fresh single-user Workbench serving the same
@@ -314,10 +431,20 @@ ServiceReply WorkbenchService::serve(Shard& shard, int shard_index, Job& job) {
   reply.stats.checker_session_hits =
       core->checkpoint().editor.checker_session_hits -
       before.editor.checker_session_hits;
-  // Re-stamp after serving: a session's idle clock starts when its last
-  // request *finished*, so a long-running command can't age it toward the
-  // TTL while it is being served.
-  if (job.session != 0) sessions_.claim(job.session, shard_index, nowUs());
+  if (job.session != 0) {
+    // Record the post-request state as the session's last-good snapshot:
+    // if the *next* request faults mid-flight, the core is rebuilt from
+    // exactly this state and the retry replays against what a fault-free
+    // run would have seen.
+    if (options_.durability.recover) {
+      sessions_.recordGood(job.session, shard_index,
+                           core->serializeState().dump());
+    }
+    // Re-stamp after serving: a session's idle clock starts when its last
+    // request *finished*, so a long-running command can't age it toward
+    // the TTL while it is being served.
+    sessions_.claim(job.session, shard_index, nowUs());
+  }
   return reply;
 }
 
@@ -447,6 +574,10 @@ void WorkbenchService::serveOne(WorkbenchCore& core,
   if (!request.script.empty()) {
     reply.session = core.runSession(request.script);
   }
+  // Chaos hook: a mid-request fault *after* the script replay has mutated
+  // the session — recovery must roll the core back to the last-good
+  // snapshot, not retry against the half-applied state.
+  injector_->maybeThrow(exec::FaultSite::kSession);
   for (const PlaneImage& input : request.inputs) {
     core.node().writePlane(input.plane, input.base, input.values);
   }

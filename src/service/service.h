@@ -46,7 +46,9 @@
 #include <variant>
 #include <vector>
 
+#include "exec/fault_injection.h"
 #include "nsc/workbench.h"
+#include "service/checkpoint.h"
 #include "service/request_queue.h"
 #include "service/session_table.h"
 
@@ -160,6 +162,10 @@ enum class Reject {
   kInvalidProgram,  // static verification proved the compiled program
                     // faults or is hardware-infeasible; never dispatched to
                     // an engine (reply.verify carries the diagnostics)
+  kInternal,        // dispatch raised an exception and recovery (if
+                    // configured) could not produce a trustworthy reply;
+                    // the promise is still settled — exceptions never kill
+                    // a shard thread or abandon a future
 };
 
 struct RequestStats {
@@ -182,6 +188,11 @@ struct RequestStats {
   int ensemble_lanes = 0;
   int replicas_batched = 0;
   int replicas_scalar = 0;
+  // Durability: how many dispatch attempts faulted and were retried from
+  // the session's last-good snapshot before this reply, and whether the
+  // session's core was restored from an on-disk checkpoint to serve it.
+  int retries = 0;
+  bool restored_from_disk = false;
   Reject rejected = Reject::kNone;
 };
 
@@ -230,9 +241,23 @@ struct ShardStats {
   std::uint64_t shed_deadline = 0;  // popped jobs rejected: expired deadline
   std::uint64_t sessions_opened = 0;
   std::uint64_t sessions_closed = 0;
-  std::uint64_t sessions_evicted = 0;   // idle past session_ttl_us
+  std::uint64_t sessions_evicted = 0;   // idle past session_ttl_us (spilled
+                                        // or destroyed)
   std::uint64_t session_commands = 0;   // requests served on a live session
   std::uint64_t checker_session_hits = 0;  // warm checker reuse, summed
+  // ---- Durability & failure isolation ----
+  std::uint64_t dispatch_faults = 0;     // exceptions caught during dispatch
+  std::uint64_t faults_recovered = 0;    // requests retried to success
+  std::uint64_t internal_rejects = 0;    // Reject::kInternal replies
+  std::uint64_t cores_rebuilt = 0;       // suspect cores quarantined and
+                                         // rebuilt from a last-good snapshot
+  std::uint64_t sessions_quarantined = 0;  // destroyed: repeated faults or
+                                           // no usable snapshot
+  std::uint64_t sessions_spilled = 0;    // checkpointed to disk and dropped
+  std::uint64_t spill_failures = 0;      // spill aborted (torn/corrupt/io),
+                                         // session kept resident
+  std::uint64_t sessions_restored = 0;   // restored from disk on claim
+  std::uint64_t restore_failures = 0;    // checkpoint unusable at claim
 };
 
 // Service-wide admission counters (what never reached a shard).
@@ -246,6 +271,28 @@ struct AdmissionStats {
   std::uint64_t rejected_program = 0;
 };
 
+// Durable-session and failure-recovery knobs.  Both default off: with the
+// defaults the service behaves exactly as before (idle sessions are
+// destroyed, dispatch exceptions become error replies) and the hot path
+// pays nothing.
+struct DurabilityOptions {
+  // Non-empty enables evict-to-disk: the idle sweep (and graceful stop())
+  // *spills* sessions to verified checkpoint files in this directory
+  // instead of destroying them; the next command transparently restores
+  // the session — possibly onto a different, less-loaded shard — and a
+  // restarted service adopts the directory's checkpoints wholesale.
+  std::string checkpoint_dir;
+  // Enables last-good snapshots + rebuild/retry: a dispatch exception on a
+  // session request quarantines the suspect core, rebuilds it from the
+  // snapshot taken after the session's last successful request, and
+  // retries; the retried reply is bit-identical to a fault-free run.
+  bool recover = false;
+  // Faulted-request retry budget (attempts beyond the first).
+  int max_retries = 1;
+  // Consecutive faults on one session before it is destroyed outright.
+  int quarantine_after = 3;
+};
+
 struct ServiceOptions {
   int shards = 4;
   std::size_t queue_capacity = 64;  // bounded admission (backpressure)
@@ -254,6 +301,11 @@ struct ServiceOptions {
   // the owning shard between requests) and the live-session cap.
   std::int64_t session_ttl_us = 0;
   std::size_t max_sessions = 256;
+  DurabilityOptions durability{};
+  // Fault-injection hooks for the chaos harness (tests/test_chaos.cpp);
+  // null uses the process-wide injector, which is inert unless the
+  // NSC_FAULTS environment variable configured it.
+  exec::FaultInjector* injector = nullptr;
   // When false, the constructor admits but does not serve until start() —
   // lets tests and warm-up code stage a queue deterministically.
   bool start = true;
@@ -285,7 +337,11 @@ class WorkbenchService {
   std::future<ServiceReply> submit(Request request, Admission admission = {});
 
   // Closes admission, serves everything already admitted, joins the shard
-  // threads.  Idempotent; the destructor calls it.
+  // threads, settles any job the shards never popped (a never-start()ed
+  // service leaves affinity-pinned jobs in the queue) with an error reply
+  // — no future is ever abandoned — and, when evict-to-disk is on, flushes
+  // every open session to its checkpoint file.  Idempotent; the destructor
+  // calls it.
   void stop();
 
   int shards() const { return static_cast<int>(shards_.size()); }
@@ -319,6 +375,13 @@ class WorkbenchService {
   };
 
   void shardLoop(int shard_index);
+  // serve() wrapped in the failure-isolation loop: an exception during
+  // dispatch is caught, counted, and — when DurabilityOptions::recover is
+  // on — the session core is rebuilt from its last-good snapshot and the
+  // request retried under FaultInjector::Suppress.  When recovery is off
+  // or exhausted, the reply is a structured Reject::kInternal; the shard
+  // thread and the caller's future always survive.
+  ServiceReply serveWithRecovery(Shard& shard, int shard_index, Job& job);
   // True when `job` is still within its dispatch deadline.
   static bool withinDeadline(const Job& job, std::int64_t now_us);
   // The verification gate every execute path passes after compiling:
@@ -344,6 +407,8 @@ class WorkbenchService {
 
   const ServiceOptions options_;
   WorkbenchContext context_;
+  exec::FaultInjector* injector_;          // never null (global() fallback)
+  std::unique_ptr<CheckpointStore> store_; // null unless checkpoint_dir set
   SessionTable sessions_;
   BoundedQueue<Job> queue_;
   std::atomic<std::uint64_t> next_sequence_{0};

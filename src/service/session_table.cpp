@@ -1,12 +1,27 @@
 #include "service/session_table.h"
 
 #include <algorithm>
+#include <utility>
 
 namespace nsc::svc {
 
-SessionTable::SessionTable(const WorkbenchContext& context, int shards)
+SessionTable::SessionTable(const WorkbenchContext& context, int shards,
+                           CheckpointStore* store, bool keep_last_good)
     : context_(context),
-      per_shard_(static_cast<std::size_t>(std::max(shards, 1)), 0) {}
+      store_(store),
+      keep_last_good_(keep_last_good),
+      per_shard_(static_cast<std::size_t>(std::max(shards, 1)), 0) {
+  if (store_ == nullptr) return;
+  // Adopt checkpoints left by a previous incarnation: each becomes a
+  // spilled session with no affinity, restored lazily on first command.
+  // Ids continue past the highest adopted id so they are never reused.
+  for (const std::uint64_t id : store_->listSessions()) {
+    Session session;
+    session.spilled = true;
+    sessions_.emplace(id, std::move(session));
+    next_id_ = std::max(next_id_, id + 1);
+  }
+}
 
 std::optional<SessionTable::Opened> SessionTable::open(
     std::size_t max_sessions, std::int64_t now_us) {
@@ -14,8 +29,23 @@ std::optional<SessionTable::Opened> SessionTable::open(
   // runner, and node memory, and must not serialize every shard's claim()
   // behind it.  An over-limit race just discards the speculative core.
   auto core = std::make_unique<WorkbenchCore>(context_);
+  std::string last_good;
+  if (keep_last_good_) {
+    // A brand-new session's last-good state is the fresh-core state; with
+    // it recorded, even a fault on the session's *first* command can be
+    // rebuilt and retried.  All fresh cores serialize identically, so the
+    // payload is computed once (outside the lock, like the core itself).
+    std::unique_lock<std::mutex> lock(mu_);
+    if (fresh_payload_.empty()) {
+      lock.unlock();
+      std::string payload = core->serializeState().dump();
+      lock.lock();
+      if (fresh_payload_.empty()) fresh_payload_ = std::move(payload);
+    }
+    last_good = fresh_payload_;
+  }
   std::lock_guard<std::mutex> lock(mu_);
-  if (sessions_.size() >= max_sessions) return std::nullopt;
+  if (resident_ >= max_sessions) return std::nullopt;
   const auto least = std::min_element(per_shard_.begin(), per_shard_.end());
   const int shard = static_cast<int>(least - per_shard_.begin());
   Opened opened;
@@ -25,62 +55,262 @@ std::optional<SessionTable::Opened> SessionTable::open(
   session.shard = shard;
   session.last_used_us = now_us;
   session.core = std::move(core);
+  session.last_good = std::move(last_good);
   sessions_.emplace(opened.id, std::move(session));
   ++per_shard_[static_cast<std::size_t>(shard)];
+  ++resident_;
   return opened;
 }
 
-int SessionTable::shardOf(std::uint64_t id) const {
+int SessionTable::shardOf(std::uint64_t id) {
   std::lock_guard<std::mutex> lock(mu_);
   const auto it = sessions_.find(id);
-  return it == sessions_.end() ? -1 : it->second.shard;
+  if (it == sessions_.end()) return -1;
+  if (it->second.shard < 0) {
+    // Spilled with no affinity: this is the migration point.  The session
+    // comes back on whatever shard is least loaded *now*, which need not
+    // be the shard it lived on before the spill.
+    const auto least = std::min_element(per_shard_.begin(), per_shard_.end());
+    it->second.shard = static_cast<int>(least - per_shard_.begin());
+    ++per_shard_[static_cast<std::size_t>(it->second.shard)];
+  }
+  return it->second.shard;
 }
 
 WorkbenchCore* SessionTable::claim(std::uint64_t id, int shard,
-                                   std::int64_t now_us) {
-  std::lock_guard<std::mutex> lock(mu_);
-  const auto it = sessions_.find(id);
+                                   std::int64_t now_us, ClaimInfo* info) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = sessions_.find(id);
+  if (it == sessions_.end() || !ownsLocked(it, shard)) return nullptr;
+  if (!it->second.spilled) {
+    it->second.last_used_us = now_us;
+    return it->second.core.get();
+  }
+  // Restore from disk, outside the lock: the adoption above made this the
+  // affine shard, so no other shard claims or sweeps the entry meanwhile.
+  lock.unlock();
+  CheckpointStore::ReadResult loaded = store_->read(id);
+  auto core = std::make_unique<WorkbenchCore>(context_);
+  if (loaded.ok()) {
+    const common::Status status = core->restoreState(loaded.payload);
+    if (!status.isOk()) {
+      loaded.error = CheckpointError::kBadState;
+      loaded.message = status.message();
+    }
+  }
+  if (!loaded.ok()) {
+    if (info != nullptr) {
+      info->restore_error = loaded.error;
+      info->message = std::move(loaded.message);
+    }
+    // The checkpoint is unusable; the session is gone.  Remove both the
+    // entry and the file so later commands get an honest kUnknownSession
+    // instead of re-failing the same restore forever.
+    store_->remove(id);
+    lock.lock();
+    it = sessions_.find(id);
+    if (it != sessions_.end()) eraseLocked(it);
+    return nullptr;
+  }
+  std::string payload;
+  if (keep_last_good_) payload = loaded.payload.dump();
+  lock.lock();
+  it = sessions_.find(id);
   if (it == sessions_.end() || it->second.shard != shard) return nullptr;
+  it->second.core = std::move(core);
+  it->second.spilled = false;
   it->second.last_used_us = now_us;
+  if (keep_last_good_) it->second.last_good = std::move(payload);
+  ++resident_;
+  if (info != nullptr) info->restored = true;
   return it->second.core.get();
 }
 
-bool SessionTable::close(std::uint64_t id) {
-  std::unique_ptr<WorkbenchCore> doomed;  // destroyed outside the lock
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    const auto it = sessions_.find(id);
-    if (it == sessions_.end()) return false;
-    --per_shard_[static_cast<std::size_t>(it->second.shard)];
-    doomed = std::move(it->second.core);
-    sessions_.erase(it);
+bool SessionTable::ownsLocked(std::map<std::uint64_t, Session>::iterator it,
+                              int shard) {
+  if (!it->second.spilled) return it->second.shard == shard;
+  // Spilled: any shard may take ownership.  A request can legitimately
+  // arrive pinned to a shard the entry no longer names — it was routed
+  // while the session was live, then a sweep spilled the session and
+  // cleared the affinity — and its checkpoint must still serve it
+  // transparently.  Adopting here is where a migration actually commits.
+  if (it->second.shard != shard) {
+    if (it->second.shard >= 0) {
+      --per_shard_[static_cast<std::size_t>(it->second.shard)];
+    }
+    it->second.shard = shard;
+    ++per_shard_[static_cast<std::size_t>(shard)];
   }
   return true;
 }
 
-std::size_t SessionTable::evictIdle(int shard, std::int64_t now_us,
-                                    std::int64_t ttl_us) {
-  if (ttl_us <= 0) return 0;
-  std::vector<std::unique_ptr<WorkbenchCore>> doomed;  // freed outside lock
+std::unique_ptr<WorkbenchCore> SessionTable::eraseLocked(
+    std::map<std::uint64_t, Session>::iterator it) {
+  if (it->second.shard >= 0) {
+    --per_shard_[static_cast<std::size_t>(it->second.shard)];
+  }
+  if (it->second.core != nullptr) --resident_;
+  std::unique_ptr<WorkbenchCore> core = std::move(it->second.core);
+  sessions_.erase(it);
+  return core;  // destroyed by the caller, outside the lock
+}
+
+bool SessionTable::close(std::uint64_t id) {
+  std::unique_ptr<WorkbenchCore> doomed;  // destroyed outside the lock
+  bool spilled = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    for (auto it = sessions_.begin(); it != sessions_.end();) {
-      if (it->second.shard == shard &&
-          now_us - it->second.last_used_us > ttl_us) {
-        --per_shard_[static_cast<std::size_t>(shard)];
-        doomed.push_back(std::move(it->second.core));
-        it = sessions_.erase(it);
-      } else {
-        ++it;
-      }
+    const auto it = sessions_.find(id);
+    if (it == sessions_.end()) return false;
+    spilled = it->second.spilled;
+    doomed = eraseLocked(it);
+  }
+  // Whether live or spilled, any on-disk checkpoint is now garbage.
+  if (store_ != nullptr && (spilled || store_->exists(id))) store_->remove(id);
+  return true;
+}
+
+SessionTable::SweepResult SessionTable::sweep(int shard, std::int64_t now_us,
+                                              std::int64_t ttl_us,
+                                              bool force) {
+  SweepResult result;
+  // Candidates are collected under the lock, then serialized and written
+  // outside it.  Only the affine shard mutates its sessions, so the core
+  // pointers stay valid across the unlock (flushAll runs post-join, where
+  // the same single-thread guarantee holds for every shard).
+  std::vector<std::pair<std::uint64_t, WorkbenchCore*>> candidates;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [id, session] : sessions_) {
+      if (session.spilled || session.core == nullptr) continue;
+      if (shard >= 0 && session.shard != shard) continue;
+      if (!force && now_us - session.last_used_us <= ttl_us) continue;
+      candidates.emplace_back(id, session.core.get());
     }
   }
-  return doomed.size();
+  std::vector<std::unique_ptr<WorkbenchCore>> doomed;  // freed outside lock
+  for (const auto& [id, core] : candidates) {
+    if (store_ == nullptr) {
+      std::lock_guard<std::mutex> lock(mu_);
+      const auto it = sessions_.find(id);
+      if (it == sessions_.end()) continue;
+      doomed.push_back(eraseLocked(it));
+      ++result.destroyed;
+      continue;
+    }
+    const common::Status wrote = store_->write(id, core->serializeState());
+    if (!wrote.isOk()) {
+      // The write failed verification (torn/corrupt, injected or real) or
+      // the directory is sick.  Keep the session resident — a failed spill
+      // must never cost state.
+      ++result.write_failures;
+      continue;
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = sessions_.find(id);
+    if (it == sessions_.end()) continue;
+    doomed.push_back(std::move(it->second.core));
+    it->second.core = nullptr;
+    it->second.spilled = true;
+    if (it->second.shard >= 0) {
+      --per_shard_[static_cast<std::size_t>(it->second.shard)];
+      it->second.shard = -1;
+    }
+    --resident_;
+    ++result.spilled;
+  }
+  return result;
+}
+
+SessionTable::SweepResult SessionTable::sweepIdle(int shard,
+                                                  std::int64_t now_us,
+                                                  std::int64_t ttl_us) {
+  if (ttl_us <= 0) return {};
+  return sweep(shard, now_us, ttl_us, /*force=*/false);
+}
+
+SessionTable::SweepResult SessionTable::forceSpill(int shard) {
+  if (store_ == nullptr) return {};
+  return sweep(shard, 0, 0, /*force=*/true);
+}
+
+SessionTable::SweepResult SessionTable::flushAll() {
+  if (store_ == nullptr) return {};
+  return sweep(-1, 0, 0, /*force=*/true);
+}
+
+void SessionTable::recordGood(std::uint64_t id, int shard,
+                              std::string payload) {
+  if (!keep_last_good_) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = sessions_.find(id);
+  if (it == sessions_.end() || it->second.shard != shard) return;
+  it->second.last_good = std::move(payload);
+  it->second.consecutive_faults = 0;
+}
+
+int SessionTable::noteFault(std::uint64_t id, int shard) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = sessions_.find(id);
+  if (it == sessions_.end() || !ownsLocked(it, shard)) return 0;
+  return ++it->second.consecutive_faults;
+}
+
+bool SessionTable::rebuild(std::uint64_t id, int shard) {
+  std::string payload;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = sessions_.find(id);
+    // A fault can land on a request whose session was spilled between
+    // routing and dispatch; the rebuild adopts it exactly like claim()
+    // would have (its in-memory last-good equals the spill checkpoint —
+    // both record the state after the last successful request).
+    if (it == sessions_.end() || !ownsLocked(it, shard)) return false;
+    payload = it->second.last_good;
+  }
+  std::unique_ptr<WorkbenchCore> rebuilt;
+  if (!payload.empty()) {
+    const common::Result<common::Json> parsed = common::Json::parse(payload);
+    if (parsed.isOk()) {
+      rebuilt = std::make_unique<WorkbenchCore>(context_);
+      if (!rebuilt->restoreState(parsed.value()).isOk()) rebuilt = nullptr;
+    }
+  }
+  const bool recovered = rebuilt != nullptr;
+  std::unique_ptr<WorkbenchCore> doomed;  // the suspect core, freed unlocked
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = sessions_.find(id);
+    if (it == sessions_.end() || it->second.shard != shard) return false;
+    if (recovered) {
+      // Swap the rebuilt core in; the entry keeps its affinity, fault
+      // count, and last-good snapshot.
+      std::swap(it->second.core, rebuilt);
+      doomed = std::move(rebuilt);
+      it->second.spilled = false;
+      if (doomed == nullptr) ++resident_;  // entry was core-less before
+    } else {
+      // No usable snapshot: the session cannot be made trustworthy again.
+      doomed = eraseLocked(it);
+    }
+  }
+  if (!recovered && store_ != nullptr) store_->remove(id);
+  return recovered;
 }
 
 std::size_t SessionTable::size() const {
   std::lock_guard<std::mutex> lock(mu_);
   return sessions_.size();
+}
+
+std::size_t SessionTable::residentCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return resident_;
+}
+
+std::size_t SessionTable::spilledCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sessions_.size() - resident_;
 }
 
 }  // namespace nsc::svc

@@ -16,10 +16,30 @@
 //            so the returned pointer is safe to use outside the lock until
 //            the same shard closes or evicts the session.
 //   close  — the affine shard (CloseSession is routed with the session's
-//            affinity), destroying the core.
-//   evictIdle — the affine shard, between requests: destroys *its own*
+//            affinity), destroying the core and any on-disk checkpoint.
+//   sweepIdle — the affine shard, between requests: handles *its own*
 //            sessions idle past a TTL.  A shard never sweeps another
-//            shard's sessions, so eviction can't race a concurrent claim.
+//            shard's sessions, so a sweep can't race a concurrent claim.
+//
+// Durability (optional, via a CheckpointStore): instead of destroying an
+// idle session, the sweep *spills* it — serializes the core to a verified
+// on-disk checkpoint and drops the core and the shard affinity.  A spilled
+// session is a table entry with no core; the next command for it routes to
+// the currently least-loaded shard (live migration) and claim() restores
+// the core from disk transparently.  A spill whose write fails verification
+// (torn/corrupted, injected or real) keeps the session in memory — replies
+// never change because a checkpoint couldn't be taken.  On construction
+// the table adopts any checkpoints already in the store, so sessions
+// survive a full service restart; ids continue past the highest adopted id.
+//
+// Failure recovery (optional, `keep_last_good`): after every successful
+// session request the owning shard records the core's serialized state
+// in memory (recordGood).  When dispatch faults, the shard calls
+// noteFault/rebuild: the suspect core is discarded and rebuilt from that
+// last-good snapshot so the request can be retried against exactly the
+// state a fault-free run would have seen.  Sessions that fault repeatedly
+// (or have no good snapshot) are destroyed — honest kUnknownSession
+// afterwards beats silently serving corrupt state.
 #pragma once
 
 #include <cstdint>
@@ -27,16 +47,21 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "nsc/workbench.h"
+#include "service/checkpoint.h"
 
 namespace nsc::svc {
 
 class SessionTable {
  public:
   // `context` outlives the table; every session core is built on it.
-  SessionTable(const WorkbenchContext& context, int shards);
+  // `store` (optional, borrowed) enables spill-to-disk; `keep_last_good`
+  // enables in-memory last-good snapshots for fault recovery.
+  SessionTable(const WorkbenchContext& context, int shards,
+               CheckpointStore* store = nullptr, bool keep_last_good = false);
 
   struct Opened {
     std::uint64_t id = 0;
@@ -45,39 +70,108 @@ class SessionTable {
 
   // Creates a session on the shard with the fewest live sessions (lowest
   // shard index breaks ties — deterministic placement).  Returns nullopt
-  // when `max_sessions` sessions are already live.  The core is
-  // constructed outside the table lock.
+  // when `max_sessions` cores are already resident (spilled sessions cost
+  // no memory and don't count).  The core is constructed outside the lock.
   std::optional<Opened> open(std::size_t max_sessions, std::int64_t now_us);
 
-  // The shard owning `id`, or -1 when the session is unknown (never
-  // opened, closed, or evicted).  This is the submit-time router.
-  int shardOf(std::uint64_t id) const;
+  // The shard owning `id`, or -1 when the session is unknown.  For a
+  // spilled session with no affinity this *assigns* the currently
+  // least-loaded shard — migration happens here, at routing time.
+  int shardOf(std::uint64_t id);
 
-  // The session's core, if `id` is live and owned by `shard`; stamps the
-  // session's last-used time.  Only the affine shard may claim.
-  WorkbenchCore* claim(std::uint64_t id, int shard, std::int64_t now_us);
+  struct ClaimInfo {
+    bool restored = false;  // core was restored from disk by this claim
+    CheckpointError restore_error = CheckpointError::kNone;
+    std::string message;
+  };
 
-  // Destroys the session.  Returns false when `id` is not live.
+  // The session's core, if `id` is live on `shard`; stamps the session's
+  // last-used time.  Only the affine shard may claim a live core.  A
+  // *spilled* session is claimable by any shard — a command routed before
+  // the spill cleared the affinity still arrives pinned to the old shard —
+  // and the claiming shard adopts it (this is where a migration commits)
+  // before restoring the core from the checkpoint store (outside the lock —
+  // safe, because adoption makes this the affine shard first).  A restore
+  // failure destroys the session and reports the typed error via `info`.
+  WorkbenchCore* claim(std::uint64_t id, int shard, std::int64_t now_us,
+                       ClaimInfo* info = nullptr);
+
+  // Destroys the session and its on-disk checkpoint.  Returns false when
+  // `id` is not known.
   bool close(std::uint64_t id);
 
-  // Destroys every session owned by `shard` whose idle time exceeds
-  // `ttl_us`.  Returns the number evicted.  No-op when ttl_us <= 0.
-  std::size_t evictIdle(int shard, std::int64_t now_us, std::int64_t ttl_us);
+  struct SweepResult {
+    std::size_t spilled = 0;        // written to disk and dropped from RAM
+    std::size_t destroyed = 0;      // no store configured: evicted outright
+    std::size_t write_failures = 0; // spill aborted, session kept in RAM
+  };
 
-  std::size_t size() const;
+  // Handles every session owned by `shard` whose idle time exceeds
+  // `ttl_us`: spills when a store is configured, destroys otherwise.
+  // No-op when ttl_us <= 0.
+  SweepResult sweepIdle(int shard, std::int64_t now_us, std::int64_t ttl_us);
+
+  // Spills every live session owned by `shard` regardless of idle time
+  // (fault-injection hook: forced eviction).  No-op without a store.
+  SweepResult forceSpill(int shard);
+
+  // Spills every live session on every shard — graceful-shutdown flush.
+  // Must only be called once shard threads have stopped.
+  SweepResult flushAll();
+
+  // ---- Fault recovery (affine shard only) ----
+
+  // Records `payload` (the core's serialized state) as the session's
+  // last-good snapshot and clears its consecutive-fault count.  No-op
+  // unless keep_last_good was set.
+  void recordGood(std::uint64_t id, int shard, std::string payload);
+
+  // Counts a dispatch fault against the session; returns the new
+  // consecutive-fault count (0 when the session is unknown).
+  int noteFault(std::uint64_t id, int shard);
+
+  // Replaces the session's (suspect) core with one rebuilt from the
+  // last-good snapshot.  Returns true when the session is ready to retry;
+  // on false the session has been destroyed (no snapshot, or the snapshot
+  // failed to restore) and the caller must fail the request.
+  bool rebuild(std::uint64_t id, int shard);
+
+  std::size_t size() const;          // all entries, spilled included
+  std::size_t residentCount() const; // entries with a live core
+  std::size_t spilledCount() const;
 
  private:
   struct Session {
-    int shard = -1;
+    int shard = -1;                // -1: spilled, no affinity yet
     std::int64_t last_used_us = 0;
-    std::unique_ptr<WorkbenchCore> core;
+    std::unique_ptr<WorkbenchCore> core;  // null while spilled
+    bool spilled = false;
+    int consecutive_faults = 0;
+    std::string last_good;         // serialized state; empty = none
   };
 
+  // Shared by sweepIdle/forceSpill/flushAll.  shard < 0 sweeps all shards.
+  SweepResult sweep(int shard, std::int64_t now_us, std::int64_t ttl_us,
+                    bool force);
+  // Under mu_: true when `shard` owns the entry.  A live entry is owned
+  // only by its affine shard; a spilled entry is adopted by whichever
+  // shard asks first (see claim()).
+  bool ownsLocked(std::map<std::uint64_t, Session>::iterator it, int shard);
+  // Erases the entry, fixes the routing/residency accounting, and hands
+  // the core back so the caller can destroy it outside the lock.
+  std::unique_ptr<WorkbenchCore> eraseLocked(
+      std::map<std::uint64_t, Session>::iterator it);
+
   const WorkbenchContext& context_;
+  CheckpointStore* store_;
+  const bool keep_last_good_;
   mutable std::mutex mu_;
   std::uint64_t next_id_ = 1;
-  std::vector<std::size_t> per_shard_;  // live session count per shard
+  std::size_t resident_ = 0;
+  std::vector<std::size_t> per_shard_;  // routed session count per shard
   std::map<std::uint64_t, Session> sessions_;
+  // Fresh cores all serialize identically; memoized for cheap open().
+  std::string fresh_payload_;
 };
 
 }  // namespace nsc::svc

@@ -12,8 +12,8 @@
 
 #include <algorithm>
 #include <cmath>
-#include <cstdlib>
 
+#include "common/env.h"
 #include "common/strings.h"
 
 namespace nsc::sim {
@@ -80,10 +80,12 @@ int resolveEnsembleLanes(int requested) {
         std::clamp<long>(v, 1, ReplicaBatch::kMaxLanes));
   };
   if (requested > 0) return clamped(requested);
-  if (const char* env = std::getenv("NSC_ENSEMBLE_LANES")) {
-    char* end = nullptr;
-    const long v = std::strtol(env, &end, 10);
-    if (end != env && *end == '\0' && v >= 1) return clamped(v);
+  // Strict parse (common/env.h): non-numeric, negative, zero, or overflowed
+  // NSC_ENSEMBLE_LANES values warn once and fall back to the default
+  // instead of silently running a different experiment.
+  if (const std::optional<long long> v =
+          common::envInt("NSC_ENSEMBLE_LANES", 1, ReplicaBatch::kMaxLanes)) {
+    return clamped(static_cast<long>(*v));
   }
   return kDefaultEnsembleLanes;
 }

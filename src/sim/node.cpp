@@ -40,6 +40,30 @@ void NodeSim::restart() {
   std::fill(loop_counters_.begin(), loop_counters_.end(), std::nullopt);
 }
 
+NodeSim::Snapshot NodeSim::snapshot() const {
+  Snapshot snap;
+  snap.planes = planes_;
+  snap.caches = caches_;
+  snap.cond_regs = cond_regs_;
+  snap.pc = pc_;
+  snap.halted = halted_;
+  return snap;
+}
+
+void NodeSim::restoreSnapshot(Snapshot snapshot) {
+  // Shape mismatches (a checkpoint from a different machine config) are the
+  // caller's to reject — the serialization layer validates counts against
+  // the machine before handing the snapshot over.  Here we adopt the images
+  // wholesale so restored memory is bit-identical to the source node's.
+  planes_ = std::move(snapshot.planes);
+  caches_ = std::move(snapshot.caches);
+  cond_regs_ = std::move(snapshot.cond_regs);
+  pc_ = snapshot.pc;
+  halted_ = snapshot.halted;
+  program_.reset();
+  loop_counters_.clear();
+}
+
 // ---------------------------------------------------------------------------
 // Memory access
 // ---------------------------------------------------------------------------

@@ -120,6 +120,27 @@ class NodeSim {
   // Re-arms the sequencer at instruction 0 without touching memory.
   void restart();
 
+  // ---- Durable-state hand-off (service durability layer) ----
+  //
+  // Everything that survives between instructions and is observable by a
+  // later request: plane/cache memory images, condition registers, and the
+  // sequencer position.  The loaded program is deliberately absent — it is
+  // immutable, shared, and re-resolved through the compiled-program cache
+  // by the next load(); loop counters are re-armed by load() as well.
+  struct Snapshot {
+    std::vector<std::vector<double>> planes;                // [plane][word]
+    std::vector<std::vector<std::vector<double>>> caches;   // [cache][buf][w]
+    std::vector<bool> cond_regs;
+    int pc = 0;
+    bool halted = false;
+  };
+  Snapshot snapshot() const;
+  // Restores a snapshot taken from a node on the same machine config.  The
+  // node afterwards has no loaded program (callers load before running,
+  // exactly as the service request paths always do); memory reads and a
+  // subsequent load+run behave bit-identically to the snapshotted node.
+  void restoreSnapshot(Snapshot snapshot);
+
   void setTraceSink(TraceSink sink) { trace_ = std::move(sink); }
 
  private:

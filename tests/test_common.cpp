@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 #include "common/bitvector.h"
+#include "common/env.h"
 #include "common/json.h"
 #include "common/rng.h"
 #include "common/status.h"
@@ -8,6 +11,44 @@
 
 namespace nsc::common {
 namespace {
+
+TEST(EnvTest, ParseIntIsStrict) {
+  EXPECT_EQ(parseInt("42"), 42);
+  EXPECT_EQ(parseInt("-7"), -7);
+  EXPECT_EQ(parseInt("+9"), 9);
+  EXPECT_EQ(parseInt("0"), 0);
+  // Everything std::atoi would half-accept is refused whole.
+  for (const char* bad : {"", " 8", "8 ", "8x", "x8", "0x10", "1.5", "-",
+                          "+", "99999999999999999999999"}) {
+    EXPECT_FALSE(parseInt(bad).has_value()) << "'" << bad << "'";
+  }
+}
+
+TEST(EnvTest, EnvIntRangeChecksAndWarnsOncePerVariable) {
+  resetEnvWarnings();
+  ::unsetenv("NSC_TEST_ENV_INT");
+  // Unset is not a misconfiguration: no value, no warning.
+  EXPECT_FALSE(envInt("NSC_TEST_ENV_INT", 1, 100).has_value());
+  EXPECT_EQ(envWarningCount(), 0u);
+
+  ::setenv("NSC_TEST_ENV_INT", "42", 1);
+  EXPECT_EQ(envInt("NSC_TEST_ENV_INT", 1, 100), 42);
+  EXPECT_EQ(envWarningCount(), 0u);
+
+  // Malformed: fallback plus exactly one warning, even when re-read.
+  ::setenv("NSC_TEST_ENV_INT", "junk", 1);
+  EXPECT_FALSE(envInt("NSC_TEST_ENV_INT", 1, 100).has_value());
+  EXPECT_FALSE(envInt("NSC_TEST_ENV_INT", 1, 100).has_value());
+  EXPECT_EQ(envWarningCount(), 1u);
+
+  // Out of range is the same misconfiguration class as unparseable.
+  resetEnvWarnings();
+  ::setenv("NSC_TEST_ENV_INT", "1000", 1);
+  EXPECT_FALSE(envInt("NSC_TEST_ENV_INT", 1, 100).has_value());
+  EXPECT_EQ(envWarningCount(), 1u);
+
+  ::unsetenv("NSC_TEST_ENV_INT");
+}
 
 TEST(BitVectorTest, SetAndGetWithinOneWord) {
   BitVector bv(64);

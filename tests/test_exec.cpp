@@ -5,11 +5,13 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdlib>
 #include <future>
 #include <stdexcept>
 #include <thread>
 #include <vector>
 
+#include "common/env.h"
 #include "exec/thread_pool.h"
 
 namespace nsc::exec {
@@ -19,6 +21,25 @@ TEST(ExecTest, ResolveThreadCountHonorsExplicitRequest) {
   EXPECT_EQ(resolveThreadCount(1), 1);
   EXPECT_EQ(resolveThreadCount(7), 7);
   EXPECT_GE(resolveThreadCount(0), 1);  // env / hardware fallback
+}
+
+TEST(ExecTest, ResolveThreadCountParsesEnvStrictly) {
+  common::resetEnvWarnings();
+  ::setenv("NSC_THREADS", "3", 1);
+  EXPECT_EQ(resolveThreadCount(0), 3);
+  EXPECT_EQ(common::envWarningCount(), 0u);
+  // A malformed or out-of-range value warns once and falls back to the
+  // hardware default — never std::atoi-style partial parses or zero.
+  for (const char* bad : {"not-a-number", "8x", "0", "-2", "999999"}) {
+    common::resetEnvWarnings();
+    ::setenv("NSC_THREADS", bad, 1);
+    EXPECT_GE(resolveThreadCount(0), 1) << bad;
+    EXPECT_EQ(common::envWarningCount(), 1u) << bad;
+  }
+  ::unsetenv("NSC_THREADS");
+  common::resetEnvWarnings();
+  EXPECT_GE(resolveThreadCount(0), 1);
+  EXPECT_EQ(common::envWarningCount(), 0u);
 }
 
 TEST(ExecTest, PoolSpawnsWorkersOnceUpFront) {
