@@ -27,7 +27,8 @@ struct ScalingRow {
 // One simulated multi-node run: 2^dimension nodes, each owning an
 // nx * nx * local_nz z-slab of the global grid (8^3 is the seed workload;
 // 16^3 and 32^3 are the production shapes from the ROADMAP).
-ScalingRow runScale(int dimension, int nx = 8, int local_nz = 10) {
+ScalingRow runScale(int dimension, int nx = 8, int local_nz = 10,
+                    int node_lanes = 0) {
   arch::Machine machine;
   cfd::JacobiBuildOptions options;
   options.grid = {nx, nx, local_nz + 2};  // owned layers + 2 ghost layers
@@ -41,10 +42,11 @@ ScalingRow runScale(int dimension, int nx = 8, int local_nz = 10) {
   mc::Generator generator(machine);
   const mc::GenerateResult gen = generator.generate(jacobi.program());
 
-  sim::HypercubeSystem system(machine, dimension);
+  sim::HypercubeSystem system(machine, dimension, {.node_lanes = node_lanes});
   system.loadAll(gen.exe);
   for (int n = 0; n < system.numNodes(); ++n) {
-    jacobi.load(system.node(n), problem);
+    sim::HypercubeSystem::NodeStore store = system.nodeStore(n);
+    jacobi.load(store, problem);
   }
 
   const int W = options.grid.W();
@@ -72,7 +74,7 @@ ScalingRow runScale(int dimension, int nx = 8, int local_nz = 10) {
       }
     }
     system.endExchange(stats);
-    for (int n = 0; n < system.numNodes(); ++n) system.node(n).restart();
+    system.restartAll();
   }
 
   ScalingRow row;
@@ -109,15 +111,27 @@ void printClaims() {
 
 // Seed shapes (8^3 slabs) keep their single-arg names so BENCH_*.json rows
 // stay comparable against the committed BENCH_seed.json baseline.  d=6 is
-// the paper's 64-node flagship; d=7 (128 nodes) exercises the beyond-paper
-// shape that tests/test_hypercube.cpp pins for stats consistency.
+// the paper's 64-node flagship; d=7 (128 nodes) and d=8 (256 nodes)
+// exercise the beyond-paper shapes that tests/test_hypercube.cpp pins for
+// stats consistency.  Since PR 9 these run the SoA node-batched engine at
+// the default lane width; BM_SystemPhaseScalar pins the scalar per-node
+// engine on the compute-heavy shapes for an in-snapshot A/B.
 void BM_SystemPhase(benchmark::State& state) {
   const int dim = static_cast<int>(state.range(0));
   for (auto _ : state) {
     benchmark::DoNotOptimize(runScale(dim).achieved_mflops);
   }
 }
-BENCHMARK(BM_SystemPhase)->Arg(0)->Arg(2)->Arg(4)->Arg(6)->Arg(7);
+BENCHMARK(BM_SystemPhase)->Arg(0)->Arg(2)->Arg(4)->Arg(6)->Arg(7)->Arg(8);
+
+void BM_SystemPhaseScalar(benchmark::State& state) {
+  const int dim = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        runScale(dim, 8, 10, /*node_lanes=*/1).achieved_mflops);
+  }
+}
+BENCHMARK(BM_SystemPhaseScalar)->Arg(4)->Arg(6);
 
 // Scaled production shapes from the ROADMAP: 16^3 and 32^3 slabs.
 void BM_SystemPhaseScaled(benchmark::State& state) {
@@ -181,12 +195,12 @@ void BM_PhaseThroughput_Pooled(benchmark::State& state) {
   arch::Machine machine;
   const mc::GenerateResult gen = buildPhaseProgram(machine, 8);
   exec::ThreadPool pool(exec::ExecOptions{kThroughputThreads});
-  sim::HypercubeSystem system(machine, 4, {}, {}, &pool);
+  sim::HypercubeSystem system(machine, 4, {}, &pool);
   system.loadAll(gen.exe);
   sim::SystemStats stats;
   for (auto _ : state) {
     system.runPhase(stats);
-    for (int n = 0; n < system.numNodes(); ++n) system.node(n).restart();
+    system.restartAll();
   }
   state.SetItemsProcessed(state.iterations());
 }
@@ -195,7 +209,9 @@ BENCHMARK(BM_PhaseThroughput_Pooled);
 void BM_PhaseThroughput_SpawnBaseline(benchmark::State& state) {
   arch::Machine machine;
   const mc::GenerateResult gen = buildPhaseProgram(machine, 8);
-  sim::HypercubeSystem system(machine, 4);
+  // Scalar mode: the seed-reproduction baseline drives per-node NodeSims
+  // from its own spawned threads.
+  sim::HypercubeSystem system(machine, 4, {.node_lanes = 1});
   system.loadAll(gen.exe);
   const int n = system.numNodes();
   std::vector<sim::RunStats> results(static_cast<std::size_t>(n));

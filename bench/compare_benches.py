@@ -21,6 +21,7 @@ optionally gate on it.
 
 import argparse
 import json
+import math
 import os
 import sys
 
@@ -84,6 +85,18 @@ def compare(new_path, base_path, fail_above_pct):
             marker = "  <-- regression"
         print(f"{short_name(key):56s} {human(base_ns):>10s} {human(new_ns):>10s} "
               f"{delta_pct:+7.1f}%  {speedup:6.2f}x{marker}")
+    # Geometric mean of the per-row speedups: the one-number summary of the
+    # snapshot pair (arithmetic means over-weight the slowest benchmarks).
+    ratios = []
+    for key in common:
+        new_ns = to_ns(*new_rows[key])
+        base_ns = to_ns(*base_rows[key])
+        if new_ns > 0 and base_ns > 0:
+            ratios.append(math.log(base_ns / new_ns))
+    if ratios:
+        geomean = math.exp(sum(ratios) / len(ratios))
+        print(f"{'geomean speedup (' + str(len(ratios)) + ' common rows)':56s} "
+              f"{'':>10s} {'':>10s} {'':8s}  {geomean:6.2f}x")
     # One-sided rows are reported, never silently dropped: a benchmark that
     # exists in only one snapshot usually means a bench was added, renamed,
     # or lost from the claims set — exactly what a reviewer needs to see.

@@ -165,11 +165,11 @@ void BM_SteadyBlockSystemPhase(benchmark::State& state) {
   sim::NodeSim::Options node_options;
   node_options.steady_block_override = override_block;
   for (auto _ : state) {
-    sim::HypercubeSystem system(w.machine, 2, sim::RouterOptions{},
-                                node_options);
+    sim::HypercubeSystem system(w.machine, 2, {.node = node_options});
     system.loadAll(w.gen.exe);
     for (int n = 0; n < system.numNodes(); ++n) {
-      w.jacobi.load(system.node(n), w.problem);
+      sim::HypercubeSystem::NodeStore store = system.nodeStore(n);
+      w.jacobi.load(store, w.problem);
     }
     sim::SystemStats stats;
     system.runPhase(stats);

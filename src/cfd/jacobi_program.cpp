@@ -392,22 +392,32 @@ prog::PipelineDiagram JacobiProgram::buildRestore(
 // Host-side load/extract
 // ---------------------------------------------------------------------------
 
-void JacobiProgram::load(sim::NodeSim& node,
+void JacobiProgram::load(sim::ReplicaStore& store,
                          const PoissonProblem& problem) const {
   const Grid3& g = layout_.grid;
   assert(g.nx == problem.grid.nx && g.ny == problem.grid.ny &&
          g.nz == problem.grid.nz);
   const auto pad = static_cast<std::uint64_t>(layout_.pad);
-  for (const arch::PlaneId p : layout_.u_a) node.writePlane(p, pad, problem.u0);
-  for (const arch::PlaneId p : layout_.u_b) node.writePlane(p, pad, problem.u0);
-  node.writePlane(layout_.f_plane, pad, problem.f);
+  for (const arch::PlaneId p : layout_.u_a) {
+    store.writePlane(p, pad, problem.u0);
+  }
+  for (const arch::PlaneId p : layout_.u_b) {
+    store.writePlane(p, pad, problem.u0);
+  }
+  store.writePlane(layout_.f_plane, pad, problem.f);
   if (layout_.mask_plane >= 0) {
-    node.writePlane(layout_.mask_plane, pad, g.interiorMask());
+    store.writePlane(layout_.mask_plane, pad, g.interiorMask());
   }
   if (layout_.res_plane >= 0) {
     const double zero[] = {0.0};
-    node.writePlane(layout_.res_plane, 0, zero);
+    store.writePlane(layout_.res_plane, 0, zero);
   }
+}
+
+void JacobiProgram::load(sim::NodeSim& node,
+                         const PoissonProblem& problem) const {
+  sim::NodeReplicaStore store(node);
+  load(store, problem);
 }
 
 std::uint64_t JacobiProgram::sweepsDone(const sim::RunStats& stats) {

@@ -407,12 +407,17 @@ WorkbenchCore::ReplicaRunOutcome WorkbenchCore::runReplicas(
   return outcome;
 }
 
+sim::HypercubeSystem WorkbenchCore::makeSystem(int dimension,
+                                               sim::SystemOptions options) {
+  return sim::HypercubeSystem(context_.machine(), dimension, options,
+                              &context_.pool(), &context_.cache());
+}
+
 sim::HypercubeSystem WorkbenchCore::makeSystem(
     int dimension, sim::RouterOptions router,
     sim::NodeSim::Options node_options) {
-  return sim::HypercubeSystem(context_.machine(), dimension, router,
-                              node_options, &context_.pool(),
-                              &context_.cache());
+  return makeSystem(dimension,
+                    sim::SystemOptions{.router = router, .node = node_options});
 }
 
 ed::Editor editorForProgram(const arch::Machine& machine,

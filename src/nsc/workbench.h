@@ -181,7 +181,10 @@ class WorkbenchCore {
                               const EnsembleOptions& options = {});
 
   // A multi-node system bound to this context's machine, pool, and
-  // program cache.
+  // program cache.  The SystemOptions form exposes the SPMD lane width
+  // (SystemOptions::node_lanes); the legacy form resolves it from the
+  // environment like a default-constructed SystemOptions would.
+  sim::HypercubeSystem makeSystem(int dimension, sim::SystemOptions options);
   sim::HypercubeSystem makeSystem(int dimension,
                                   sim::RouterOptions router = {},
                                   sim::NodeSim::Options node_options = {});
@@ -282,6 +285,9 @@ class Workbench {
   EnsembleOutcome runEnsemble(const prog::Program& program, int replicas,
                               const EnsembleOptions& options = {}) {
     return core_.runEnsemble(program, replicas, options);
+  }
+  sim::HypercubeSystem makeSystem(int dimension, sim::SystemOptions options) {
+    return core_.makeSystem(dimension, options);
   }
   sim::HypercubeSystem makeSystem(int dimension,
                                   sim::RouterOptions router = {},

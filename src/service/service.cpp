@@ -538,18 +538,21 @@ void WorkbenchService::serveOne(WorkbenchCore& core,
                                              : nullptr;
   reply.stats.program_cache_hit = compiled.cache_hit;
   if (reply.generation.ok && admitCompiled(compiled.program, reply)) {
-    sim::HypercubeSystem system = core.makeSystem(request.dimension,
-                                                  request.router);
+    sim::HypercubeSystem system = core.makeSystem(
+        request.dimension, sim::SystemOptions{.router = request.router,
+                                              .node_lanes =
+                                                  request.node_lanes});
     system.loadAll(reply.program);
     for (int phase = 0; phase < request.phases && !reply.system.error;
          ++phase) {
       // Phase-synchronous SPMD: every node re-runs its program to halt;
       // the makespan accumulates max-over-nodes per phase.
-      if (phase > 0) {
-        for (int n = 0; n < system.numNodes(); ++n) system.node(n).restart();
-      }
+      if (phase > 0) system.restartAll();
       system.runPhase(reply.system);
     }
+    reply.stats.node_lanes = system.nodeLanes();
+    reply.stats.nodes_batched = system.nodesBatched();
+    reply.stats.nodes_scalar = system.nodesScalar();
   }
   reply.complete_ = reply.session.clean() && reply.generation.ok &&
                     !reply.system.error && !reply.rejected();

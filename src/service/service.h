@@ -103,6 +103,11 @@ struct RunSystemPhases {
   int dimension = 2;
   int phases = 1;
   sim::RouterOptions router{};
+  // SPMD lane width for the system's compute phases (see
+  // sim::SystemOptions::node_lanes): 0 resolves via NSC_NODE_LANES, 1
+  // forces the scalar per-node engine.  Replies are bit-identical across
+  // widths; only RequestStats engine counters differ.
+  int node_lanes = 0;
 };
 
 // Open a stateful session: allocates a dedicated WorkbenchCore pinned to a
@@ -188,6 +193,13 @@ struct RequestStats {
   int ensemble_lanes = 0;
   int replicas_batched = 0;
   int replicas_scalar = 0;
+  // RunSystemPhases only: the resolved SPMD node-lane width, and how many
+  // node-phase executions ran batched (SoA lane groups) vs scalar (width-1
+  // systems, or batched-mode nodes that diverged / retired mid-phase),
+  // summed over the request's compute phases.
+  int node_lanes = 0;
+  std::uint64_t nodes_batched = 0;
+  std::uint64_t nodes_scalar = 0;
   // Durability: how many dispatch attempts faulted and were retried from
   // the session's last-good snapshot before this reply, and whether the
   // session's core was restored from an on-disk checkpoint to serve it.

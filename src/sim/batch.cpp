@@ -122,6 +122,28 @@ void ReplicaBatch::load(std::shared_ptr<const CompiledProgram> program) {
   pc_ = 0;
   halted_ = false;
   std::fill(cond_.begin(), cond_.end(), 0);
+  for (auto& node : retired_) {
+    if (node == nullptr) continue;
+    // A retired lane's continuation node was created with the budget that
+    // remained at its retirement; a fresh load grants the full per-run
+    // budget again, exactly like any scalar node being (re)loaded.
+    node->options_.max_instructions = options_.max_instructions;
+    node->load(program_);
+  }
+}
+
+void ReplicaBatch::restart() {
+  // NodeSim::restart across every lockstep lane: the lanes share one
+  // sequencer, so one reset covers them all; memory is untouched.
+  pc_ = 0;
+  halted_ = false;
+  std::fill(cond_.begin(), cond_.end(), 0);
+  std::fill(loop_counters_.begin(), loop_counters_.end(), std::nullopt);
+  for (auto& node : retired_) {
+    if (node == nullptr) continue;
+    node->options_.max_instructions = options_.max_instructions;
+    node->restart();
+  }
 }
 
 // Mirrors NodeSim::ensurePlaneSize per lane (each lane's logical size grows
@@ -198,20 +220,26 @@ void ReplicaBatch::writeCache(int lane, arch::CacheId cache, int buffer,
 std::vector<double> ReplicaBatch::readPlane(int lane, arch::PlaneId plane,
                                             std::uint64_t base,
                                             std::uint64_t count) const {
+  std::vector<double> out(count, 0.0);
+  readPlaneInto(lane, plane, base, out);
+  return out;
+}
+
+void ReplicaBatch::readPlaneInto(int lane, arch::PlaneId plane,
+                                 std::uint64_t base,
+                                 std::span<double> out) const {
   if (retired_[static_cast<std::size_t>(lane)] != nullptr) {
-    return retired_[static_cast<std::size_t>(lane)]->readPlane(plane, base,
-                                                               count);
+    retired_[static_cast<std::size_t>(lane)]->readPlaneInto(plane, base, out);
+    return;
   }
   const auto p = static_cast<std::size_t>(plane);
   const auto w = static_cast<std::size_t>(lanes_);
   const std::uint64_t words = lane_plane_words_[p][static_cast<std::size_t>(lane)];
-  std::vector<double> out(count, 0.0);
   const double* mem = planes_[p].data();
-  for (std::uint64_t i = 0; i < count; ++i) {
+  for (std::size_t i = 0; i < out.size(); ++i) {
     const std::uint64_t addr = base + i;
-    if (addr < words) out[i] = mem[addr * w + static_cast<std::size_t>(lane)];
+    out[i] = addr < words ? mem[addr * w + static_cast<std::size_t>(lane)] : 0.0;
   }
-  return out;
 }
 
 std::vector<double> ReplicaBatch::readCache(int lane, arch::CacheId cache,
@@ -673,6 +701,20 @@ BatchRunResult ReplicaBatch::run() {
   int active_count = W;
   std::uint64_t executed = 0;
 
+  // Lanes that left the batch in an earlier run stay scalar for good: their
+  // continuation nodes already hold the lane's exact state, so each further
+  // run (a new SPMD phase after restart()) simply executes on the reference
+  // engine and reports that run's stats, like any scalar node would.
+  for (int w = 0; w < W; ++w) {
+    const auto lane = static_cast<std::size_t>(w);
+    if (retired_[lane] == nullptr) continue;
+    active_[lane] = 0;
+    --active_count;
+    RunStats cont = retired_[lane]->run();
+    if (cont.instructions_executed > 0) ++out.drained_scalar;
+    runs_[lane] = std::move(cont);
+  }
+
   const auto forActive = [&](auto&& fn) {
     for (int w = 0; w < W; ++w) {
       if (active_[static_cast<std::size_t>(w)]) fn(w);
@@ -741,7 +783,11 @@ BatchRunResult ReplicaBatch::run() {
     });
     if (instr.error) {
       // Shape-level faults hit every lockstep lane identically, exactly as
-      // each scalar replica would fault on its own.
+      // each scalar replica would fault on its own.  The shared sequencer
+      // halts like NodeSim::run does on error, so a later restart()+run()
+      // (the next SPMD phase) replays identically to scalar nodes restarted
+      // after the same fault.
+      halted_ = true;
       forActive([&](int w) {
         RunStats& r = runs_[static_cast<std::size_t>(w)];
         r.error = true;

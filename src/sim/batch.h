@@ -89,8 +89,19 @@ class ReplicaBatch {
   int lanes() const { return lanes_; }
 
   // Loads a compiled program (shared, immutable) and re-arms the sequencer;
-  // lane memory is untouched, like NodeSim::load.
+  // lane memory is untouched, like NodeSim::load.  Lanes already retired to
+  // scalar continuation nodes load the same image (with a fresh instruction
+  // budget), exactly as per-node load would.
   void load(std::shared_ptr<const CompiledProgram> program);
+
+  // Re-arms the sequencer at instruction 0 for the next phase without
+  // touching lane memory — NodeSim::restart applied to every lane at once
+  // (pc, halt flag, condition registers, loop counters).  Retired lanes
+  // restart their scalar continuation nodes with the full per-run
+  // instruction budget restored, exactly like a scalar node re-entering a
+  // phase; the SPMD phase driver (sim/node_batch.h) calls this between
+  // compute phases.
+  void restart();
 
   // ---- Per-lane host memory access (scalar-engine semantics per lane) ----
   void writePlane(int lane, arch::PlaneId plane, std::uint64_t base,
@@ -99,6 +110,11 @@ class ReplicaBatch {
                   std::uint64_t base, std::span<const double> values);
   std::vector<double> readPlane(int lane, arch::PlaneId plane,
                                 std::uint64_t base, std::uint64_t count) const;
+  // Copy-free gather of one lane's plane words (scalar readPlaneInto
+  // semantics: zero-fill beyond the lane's backing store) — the exchange
+  // staging path of batched hypercube systems reads halo vectors this way.
+  void readPlaneInto(int lane, arch::PlaneId plane, std::uint64_t base,
+                     std::span<double> out) const;
   std::vector<double> readCache(int lane, arch::CacheId cache, int buffer,
                                 std::uint64_t base, std::uint64_t count) const;
   // The seeding view of one lane (for EnsembleOptions::init callbacks).
@@ -120,8 +136,13 @@ class ReplicaBatch {
   };
 
   // Runs every lane from the current pc to halt / error / budget, batched
-  // while lanes agree and scalar-drained after divergence.  One shot per
-  // load(); per-lane results are index-stable.
+  // while lanes agree and scalar-drained after divergence.  Per-lane
+  // results are index-stable.  Re-runnable across load()/restart()
+  // boundaries: each call reports that run only, and lanes retired in an
+  // earlier run continue on their scalar continuation nodes (counted in
+  // BatchRunResult::drained_scalar), so a multi-phase SPMD driver can
+  // restart() + run() per phase with per-phase stats identical to scalar
+  // nodes.
   BatchRunResult run();
 
  private:

@@ -9,16 +9,33 @@
 // its own sequencer); the system tracks a phase-synchronous makespan:
 // run-phase cost is the maximum node cycle count, exchange-phase cost is
 // the maximum routed-message cost, matching barrier-style SPMD CFD codes.
+//
+// Execution engine: because the machine is SPMD (loadAll gives every node
+// the same compiled image), the nodes of one compute phase are the same
+// workload shape the SoA ensemble engine (sim/batch.h) vectorizes.  With
+// node_lanes > 1 the system packs nodes into NodeBatch groups of that
+// width — per-node planes/caches/condition registers interleaved
+// address-major, one shared instruction stream stepped once per cycle for
+// W nodes — and runPhase steps groups instead of nodes.  Exchange phases
+// stage per-lane: sendVector gathers the source halo out of the SoA
+// columns into the router scratch buffer and scatters it into the
+// destination lane, so routing code and cost model are unchanged.  Nodes
+// that diverge or fault mid-phase retire into exact scalar NodeSim
+// continuations; results (SystemStats, planes, caches, faults) are
+// bit-identical to scalar execution for every lane width.  node_lanes == 1
+// selects the original per-node scalar path.
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "arch/machine.h"
 #include "exec/thread_pool.h"
 #include "microcode/generator.h"
 #include "sim/node.h"
+#include "sim/node_batch.h"
 #include "sim/stats.h"
 
 namespace nsc::sim {
@@ -29,6 +46,16 @@ struct RouterOptions {
   std::uint64_t message_startup_cycles = 32;
   std::uint64_t hop_latency_cycles = 8;
   double words_per_cycle = 1.0;  // link bandwidth
+};
+
+struct SystemOptions {
+  RouterOptions router{};
+  NodeSim::Options node{};
+  // SPMD lane width: how many hypercube nodes one SoA batch steps together
+  // during a compute phase.  0 resolves through NSC_NODE_LANES (default
+  // kDefaultNodeLanes); 1 forces the scalar per-node engine; any value is
+  // clamped to the node count, so 1-node systems always run scalar.
+  int node_lanes = 0;
 };
 
 struct SystemStats {
@@ -53,14 +80,13 @@ struct SystemStats {
 class HypercubeSystem {
  public:
   // dimension d gives 2^d nodes (the paper quotes a 64-node NSC, d = 6).
-  // `pool` is the execution pool node stepping runs on; nullptr means the
+  // `pool` is the execution pool phase stepping runs on; nullptr means the
   // process-wide exec::ThreadPool::shared().  The pool outlives the system
   // and is reused across every phase — runPhase never creates threads.
   // `cache` is the compiled-program cache loadAll(exe) resolves images
   // through; nullptr means CompiledProgramCache::shared().
   HypercubeSystem(const arch::Machine& machine, int dimension,
-                  RouterOptions router = {},
-                  NodeSim::Options node_options = {},
+                  SystemOptions options = {},
                   exec::ThreadPool* pool = nullptr,
                   CompiledProgramCache* cache = nullptr);
 
@@ -68,8 +94,51 @@ class HypercubeSystem {
 
   int dimension() const { return dimension_; }
   int numNodes() const { return 1 << dimension_; }
+  // Effective SPMD lane width (1 == scalar per-node engine).
+  int nodeLanes() const { return node_lanes_; }
+
+  // Direct node access is a scalar-mode facility (node_lanes() == 1):
+  // batched nodes live as SoA lanes with no per-node NodeSim to hand out.
+  // Throws std::out_of_range in batched mode; phase drivers should use the
+  // engine-neutral facade below instead.
   NodeSim& node(int id) { return *nodes_.at(idx(id)); }
   const NodeSim& node(int id) const { return *nodes_.at(idx(id)); }
+
+  // ---- Engine-neutral per-node memory facade ----
+  // Scalar-engine semantics per node on either path (batched lanes gather /
+  // scatter through the SoA columns; retired lanes route to their scalar
+  // continuation nodes).  Used by exchange staging, problem seeding, and
+  // result readback.
+  void writePlane(int node, arch::PlaneId plane, std::uint64_t base,
+                  std::span<const double> values);
+  void writeCache(int node, arch::CacheId cache, int buffer,
+                  std::uint64_t base, std::span<const double> values);
+  std::vector<double> readPlane(int node, arch::PlaneId plane,
+                                std::uint64_t base, std::uint64_t count) const;
+  void readPlaneInto(int node, arch::PlaneId plane, std::uint64_t base,
+                     std::span<double> out) const;
+  std::vector<double> readCache(int node, arch::CacheId cache, int buffer,
+                                std::uint64_t base, std::uint64_t count) const;
+  // The ReplicaStore seeding view of one node, so per-node init code (cfd
+  // problem loaders, ensemble-style callbacks) works on either engine.
+  class NodeStore final : public ReplicaStore {
+   public:
+    NodeStore(HypercubeSystem& system, int node)
+        : system_(system), node_(node) {}
+    void writePlane(arch::PlaneId plane, std::uint64_t base,
+                    std::span<const double> values) override {
+      system_.writePlane(node_, plane, base, values);
+    }
+    void writeCache(arch::CacheId cache, int buffer, std::uint64_t base,
+                    std::span<const double> values) override {
+      system_.writeCache(node_, cache, buffer, base, values);
+    }
+
+   private:
+    HypercubeSystem& system_;
+    int node_;
+  };
+  NodeStore nodeStore(int node) { return NodeStore(*this, node); }
 
   // e-cube (dimension-ordered) routing: number of hops and the node path.
   static int hopCount(int a, int b);
@@ -87,16 +156,28 @@ class HypercubeSystem {
 
   // Loads the same executable on every node (SPMD): resolves one immutable
   // compiled image through `cache` (first form: the cache this system was
-  // constructed with) and every node shares it.
+  // constructed with) and every node (or node-lane group) shares it.
   void loadAll(const mc::Executable& exe);
   void loadAll(const mc::Executable& exe, CompiledProgramCache& cache);
   void loadAll(std::shared_ptr<const CompiledProgram> program);
 
-  // Runs every node's program to halt (in parallel on the shared pool);
-  // adds max(node cycles) to the compute makespan and folds stats into
-  // `stats`.  Stats are folded on the calling thread in node order, so the
-  // result is bit-identical for any pool thread count.
+  // Re-arms every node's sequencer for the next compute phase without
+  // touching node memory (NodeSim::restart system-wide); multi-phase
+  // drivers call this between runPhase calls on either engine.
+  void restartAll();
+
+  // Runs every node's program to halt (batched lane groups or scalar nodes,
+  // in parallel on the shared pool); adds max(node cycles) to the compute
+  // makespan and folds stats into `stats`.  Stats are folded on the calling
+  // thread in node order, so the result is bit-identical for any pool
+  // thread count — and for any lane width.
   void runPhase(SystemStats& stats);
+
+  // Cumulative engine counters: nodes stepped inside SoA lane groups vs on
+  // the scalar engine (scalar mode, or batched-mode lanes that diverged /
+  // retired and drained scalar), summed over runPhase calls.
+  std::uint64_t nodesBatched() const { return nodes_batched_; }
+  std::uint64_t nodesScalar() const { return nodes_scalar_; }
 
   // Marks the start of an exchange phase: subsequent sendVector costs are
   // accumulated as max-over-destination-node, then folded at the next
@@ -109,13 +190,27 @@ class HypercubeSystem {
   static constexpr std::size_t idx(int i) {
     return static_cast<std::size_t>(i);
   }
+  // Batched mode: node id -> owning lane group / lane within it.  Groups
+  // are contiguous id ranges of node_lanes_ nodes (the tail group may be
+  // narrower if the width doesn't divide the node count).
+  NodeBatch& group(int node) { return *groups_.at(idx(node / node_lanes_)); }
+  const NodeBatch& group(int node) const {
+    return *groups_.at(idx(node / node_lanes_));
+  }
+  int laneOf(int node) const { return node % node_lanes_; }
 
   const arch::Machine& machine_;
   int dimension_;
   RouterOptions router_;
+  int node_lanes_;
   exec::ThreadPool* pool_;
   CompiledProgramCache* cache_;
+  // Exactly one of these is populated: scalar mode owns per-node NodeSims,
+  // batched mode owns SoA lane groups.
   std::vector<std::unique_ptr<NodeSim>> nodes_;
+  std::vector<std::unique_ptr<NodeBatch>> groups_;
+  std::uint64_t nodes_batched_ = 0;
+  std::uint64_t nodes_scalar_ = 0;
   // Per-destination-node accumulated exchange cost in the open phase.
   std::vector<std::uint64_t> exchange_cost_;
   bool exchange_open_ = false;

@@ -1,0 +1,24 @@
+#include "sim/node_batch.h"
+
+#include <algorithm>
+
+#include "common/env.h"
+
+namespace nsc::sim {
+
+int resolveNodeLanes(int requested) {
+  const auto clamped = [](long v) {
+    return static_cast<int>(std::clamp<long>(v, 1, ReplicaBatch::kMaxLanes));
+  };
+  if (requested > 0) return clamped(requested);
+  // Strict parse (common/env.h): non-numeric, negative, zero, or overflowed
+  // NSC_NODE_LANES values warn once and fall back to the default instead of
+  // silently running a different experiment.
+  if (const std::optional<long long> v =
+          common::envInt("NSC_NODE_LANES", 1, ReplicaBatch::kMaxLanes)) {
+    return clamped(static_cast<long>(*v));
+  }
+  return kDefaultNodeLanes;
+}
+
+}  // namespace nsc::sim

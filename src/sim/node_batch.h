@@ -1,0 +1,114 @@
+// NodeBatch: structure-of-arrays batched execution of one SPMD phase — the
+// W lanes of a ReplicaBatch reinterpreted as W hypercube *nodes* sharing
+// one CompiledProgram, not W ensemble replicas.
+//
+// The paper's machine is SPMD: every node of a HypercubeSystem phase runs
+// the same instruction stream over its own slab of data, which is exactly
+// the execution shape sim/batch.h vectorizes.  A NodeBatch owns one lane
+// group of a batched system (nodes [base, base + lanes)): per-node planes,
+// caches, and condition registers live address-major in SoA columns, one
+// shape copy of every token stream steps once per cycle, and the value
+// loops advance all W nodes together — a d-dimensional phase becomes
+// ceil(2^d / W) batch steps instead of 2^d scalar node sweeps.
+//
+// What nodes need that replicas never did is *phase structure*:
+//   * restart() re-arms the shared sequencer between compute phases
+//     (NodeSim::restart applied to every lane at once);
+//   * runPhase() is re-runnable — each call reports exactly that phase's
+//     per-node RunStats, bit-identical to 2^d scalar NodeSim::run calls;
+//   * per-lane exchange staging — readPlaneInto/writePlane gather and
+//     scatter halo vectors lane-major between the SoA columns and the
+//     router's staging buffer, so sendVector works unchanged on batched
+//     systems (HypercubeSystem routes its per-node facade through here).
+//
+// The divergence contract is inherited from ReplicaBatch: nodes run in
+// lockstep until a branch consults condition registers that disagree, at
+// which point the minority lanes retire into exact scalar NodeSim
+// continuations and stay scalar for every later phase.  Shape-level faults
+// (DMA bounds, timeouts) hit all lockstep lanes identically.  Either way,
+// SystemStats / InstrStats / plane contents match scalar execution bit for
+// bit (golden + property tested).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "arch/machine.h"
+#include "sim/batch.h"
+#include "sim/compiled.h"
+#include "sim/node.h"
+#include "sim/stats.h"
+
+namespace nsc::sim {
+
+class NodeBatch {
+ public:
+  // `lanes` hypercube nodes stepped as one SoA group (clamped to
+  // ReplicaBatch::kMaxLanes).
+  NodeBatch(const arch::Machine& machine, int lanes,
+            NodeSim::Options options = {})
+      : batch_(machine, lanes, options) {}
+
+  int lanes() const { return batch_.lanes(); }
+
+  // Loads the shared SPMD image (immutable, typically aliased by every
+  // group of the system) and re-arms the sequencer; node memory is
+  // untouched, like NodeSim::load on each member node.
+  void load(std::shared_ptr<const CompiledProgram> program) {
+    batch_.load(std::move(program));
+  }
+
+  // Re-arms the sequencer for the next compute phase without touching node
+  // memory; previously retired nodes restart their scalar continuations.
+  void restart() { batch_.restart(); }
+
+  // Runs one compute phase: every node from the current pc to halt / error
+  // / budget.  runs[w] is node lane w's stats for this phase only,
+  // bit-identical to a scalar NodeSim phase; drained_scalar counts lanes
+  // that executed on the scalar engine (divergence retirements plus lanes
+  // already retired in an earlier phase).
+  BatchRunResult runPhase() { return batch_.run(); }
+
+  // ---- Per-node host memory access (scalar-engine semantics per lane;
+  // exchange staging + problem seeding) ----
+  void writePlane(int lane, arch::PlaneId plane, std::uint64_t base,
+                  std::span<const double> values) {
+    batch_.writePlane(lane, plane, base, values);
+  }
+  void writeCache(int lane, arch::CacheId cache, int buffer,
+                  std::uint64_t base, std::span<const double> values) {
+    batch_.writeCache(lane, cache, buffer, base, values);
+  }
+  std::vector<double> readPlane(int lane, arch::PlaneId plane,
+                                std::uint64_t base, std::uint64_t count) const {
+    return batch_.readPlane(lane, plane, base, count);
+  }
+  std::vector<double> readCache(int lane, arch::CacheId cache, int buffer,
+                                std::uint64_t base, std::uint64_t count) const {
+    return batch_.readCache(lane, cache, buffer, base, count);
+  }
+  void readPlaneInto(int lane, arch::PlaneId plane, std::uint64_t base,
+                     std::span<double> out) const {
+    batch_.readPlaneInto(lane, plane, base, out);
+  }
+
+  // The seeding view of one node (EnsembleOptions-style init callbacks and
+  // cfd loaders write through the ReplicaStore interface).
+  ReplicaBatch::LaneStore laneStore(int lane) {
+    return ReplicaBatch::LaneStore(batch_, lane);
+  }
+
+ private:
+  ReplicaBatch batch_;
+};
+
+// Resolves the effective SPMD node-lane width: an explicit request >= 1
+// wins (clamped to ReplicaBatch::kMaxLanes), else the NSC_NODE_LANES
+// environment variable, else kDefaultNodeLanes.  1 selects the scalar
+// per-node path.
+inline constexpr int kDefaultNodeLanes = 8;
+int resolveNodeLanes(int requested);
+
+}  // namespace nsc::sim

@@ -24,6 +24,7 @@ const char* verifyCodeName(VerifyCode code) {
     case VerifyCode::kUnroutedInput: return "unrouted-input";
     case VerifyCode::kUnconsumedRoute: return "unconsumed-route";
     case VerifyCode::kExchangeContention: return "exchange-contention";
+    case VerifyCode::kExchangeDangling: return "exchange-dangling";
   }
   return "?";
 }
@@ -44,6 +45,7 @@ FaultKind predictedFault(VerifyCode code) {
     case VerifyCode::kUnroutedInput:
     case VerifyCode::kUnconsumedRoute:
     case VerifyCode::kExchangeContention:
+    case VerifyCode::kExchangeDangling:
       return FaultKind::kNone;
   }
   return FaultKind::kNone;
@@ -117,6 +119,9 @@ check::DiagnosticList VerifyReport::toDiagnostics() const {
         break;
       case VerifyCode::kExchangeContention:
         rule = check::Rule::kPlaneContention;
+        break;
+      case VerifyCode::kExchangeDangling:
+        rule = check::Rule::kDanglingOutput;
         break;
     }
     list.add(rule, d.severity, d.format(), d.instruction);
@@ -577,6 +582,51 @@ std::vector<VerifyDiagnostic> verifyExchangePlan(
         "router cost model charges them as if the link were private",
         link.first, link.second, users.size(), who.c_str());
     out.push_back(std::move(d));
+  }
+  return out;
+}
+
+std::vector<VerifyDiagnostic> verifyExchangeSchedule(
+    int dimension, const std::vector<std::vector<ExchangeMessage>>& phases) {
+  std::vector<VerifyDiagnostic> out;
+  const int nodes = 1 << dimension;
+  // received[n]: node n was the destination of some message in an already
+  // verified (strictly earlier) phase.
+  std::vector<std::uint8_t> received(static_cast<std::size_t>(nodes), 0);
+  for (std::size_t p = 0; p < phases.size(); ++p) {
+    // Per-phase routing analysis first; tag every finding with its phase so
+    // a schedule-wide report reads like a per-instruction program report.
+    std::vector<VerifyDiagnostic> phase_diags =
+        verifyExchangePlan(dimension, phases[p]);
+    for (VerifyDiagnostic& d : phase_diags) {
+      d.instruction = static_cast<int>(p);
+      out.push_back(std::move(d));
+    }
+    // Forward messages relay data delivered by an earlier phase; a forward
+    // out of a node nothing has written to yet ships stale or zero halo
+    // words at runtime, so the dependency failure is an error.
+    for (std::size_t m = 0; m < phases[p].size(); ++m) {
+      const ExchangeMessage& msg = phases[p][m];
+      if (!msg.forward) continue;
+      if (msg.src < 0 || msg.src >= nodes) continue;  // reported above
+      if (received[static_cast<std::size_t>(msg.src)]) continue;
+      VerifyDiagnostic d;
+      d.code = VerifyCode::kExchangeDangling;
+      d.severity = check::Severity::kError;
+      d.instruction = static_cast<int>(p);
+      d.message = strFormat(
+          "phase %zu message %zu forwards %d -> %d, but no earlier phase "
+          "delivered anything to node %d",
+          p, m, msg.src, msg.dst, msg.src);
+      out.push_back(std::move(d));
+    }
+    // This phase's deliveries become available to later phases only after
+    // the phase barrier, so mark destinations once the whole phase is
+    // checked.
+    for (const ExchangeMessage& msg : phases[p]) {
+      if (msg.dst < 0 || msg.dst >= nodes) continue;
+      received[static_cast<std::size_t>(msg.dst)] = 1;
+    }
   }
   return out;
 }

@@ -67,6 +67,7 @@ enum class VerifyCode : std::uint8_t {
   kUnroutedInput,        // wired switch input with no route driving it
   kUnconsumedRoute,      // routed destination no consumer reads
   kExchangeContention,   // hypercube link shared by concurrent messages
+  kExchangeDangling,     // forwards data no earlier phase delivered
 };
 
 const char* verifyCodeName(VerifyCode code);
@@ -162,6 +163,10 @@ struct ExchangeMessage {
   int src = 0;
   int dst = 0;
   std::uint64_t words = 0;
+  // The payload is halo data the source received from a *previous* exchange
+  // phase (multi-hop staging: e.g. a corner value relayed edge-by-edge).
+  // Schedule verification proves such a delivery actually happened.
+  bool forward = false;
 };
 
 // Statically routes every message along its e-cube path and reports each
@@ -170,5 +175,15 @@ struct ExchangeMessage {
 // private, so contention means the modelled makespan is optimistic).
 std::vector<VerifyDiagnostic> verifyExchangePlan(
     int dimension, const std::vector<ExchangeMessage>& messages);
+
+// Cross-phase schedule verification for chained exchanges: runs
+// verifyExchangePlan on every phase (diagnostics carry the phase index in
+// `instruction`), then checks forwarding dependencies across phases — a
+// message marked `forward` whose source node was never the destination of
+// any earlier phase's message relays data nothing delivered, reported as a
+// kExchangeDangling error (the runtime would silently ship stale or zero
+// halo words, the distributed analogue of a dangling route).
+std::vector<VerifyDiagnostic> verifyExchangeSchedule(
+    int dimension, const std::vector<std::vector<ExchangeMessage>>& phases);
 
 }  // namespace nsc::sim

@@ -395,7 +395,9 @@ TEST(CompiledProgram, SharedAcrossHypercubeNodes) {
   const mc::GenerateResult gen = generator.generate(jacobi.program());
   ASSERT_TRUE(gen.ok) << gen.diagnostics.format();
 
-  sim::HypercubeSystem system(machine, 3);
+  // Scalar mode: the pointer-sharing witness inspects per-node NodeSims,
+  // which only exist off the batched path.
+  sim::HypercubeSystem system(machine, 3, {.node_lanes = 1});
   system.loadAll(gen.exe);
   const auto& image = system.node(0).program();
   ASSERT_NE(image, nullptr);

@@ -20,6 +20,7 @@
 #include "microcode/generator.h"
 #include "sim/batch.h"
 #include "sim/compiled.h"
+#include "sim/hypercube.h"
 #include "sim/node.h"
 #include "sim/verify.h"
 #include "test_helpers.h"
@@ -384,6 +385,41 @@ TEST_P(VerifierSoundnessTest, CleanRunsFaultFreeErrorsPredictTheRuntimeFault) {
     EXPECT_EQ(legacy.error, lane.error) << report.format();
     EXPECT_EQ(legacy.fault, lane.fault) << report.format();
     EXPECT_EQ(compiled.error_message, lane.error_message) << report.format();
+  }
+
+  // And the SPMD axis: the same mutation replayed through a W=4 NodeBatch
+  // phase (a d=2 hypercube whose four nodes ride one SoA group) must agree
+  // with a scalar system on the error verdict, message, and per-node stats
+  // — across a restartAll phase boundary.
+  const auto runSystem = [&](int lanes) {
+    sim::HypercubeSystem system(machine, 2,
+                                {.node = batch_options, .node_lanes = lanes});
+    system.loadAll(program);
+    for (int node = 0; node < system.numNodes(); ++node) {
+      system.writePlane(node, 0, 0, test::iota(static_cast<std::size_t>(n), 1.0, 0.5));
+      system.writePlane(node, 1, 0, test::iota(static_cast<std::size_t>(n), -2.0, 0.25));
+    }
+    sim::SystemStats stats;
+    for (int phase = 0; phase < 2 && !stats.error; ++phase) {
+      if (phase > 0) system.restartAll();
+      system.runPhase(stats);
+    }
+    return stats;
+  };
+  const sim::SystemStats sys_scalar = runSystem(1);
+  const sim::SystemStats sys_batched = runSystem(4);
+  EXPECT_EQ(sys_scalar.error, sys_batched.error) << report.format();
+  EXPECT_EQ(sys_scalar.error_message, sys_batched.error_message);
+  EXPECT_EQ(sys_scalar.error, legacy.error) << report.format();
+  ASSERT_EQ(sys_scalar.node_stats.size(), sys_batched.node_stats.size());
+  for (std::size_t i = 0; i < sys_scalar.node_stats.size(); ++i) {
+    EXPECT_EQ(sys_scalar.node_stats[i].total_cycles,
+              sys_batched.node_stats[i].total_cycles) << "node " << i;
+    EXPECT_EQ(sys_scalar.node_stats[i].total_flops,
+              sys_batched.node_stats[i].total_flops) << "node " << i;
+    EXPECT_EQ(sys_scalar.node_stats[i].instructions_executed,
+              sys_batched.node_stats[i].instructions_executed)
+        << "node " << i;
   }
 
   std::set<sim::FaultKind> predicted;

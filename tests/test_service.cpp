@@ -523,9 +523,7 @@ TEST(ServiceTest, SystemPhasesMatchesDirectSystem) {
   system.loadAll(gen.exe);
   sim::SystemStats want;
   for (int phase = 0; phase < 3; ++phase) {
-    if (phase > 0) {
-      for (int n = 0; n < system.numNodes(); ++n) system.node(n).restart();
-    }
+    if (phase > 0) system.restartAll();
     system.runPhase(want);
   }
 
@@ -544,6 +542,24 @@ TEST(ServiceTest, SystemPhasesMatchesDirectSystem) {
     EXPECT_EQ(reply.system.node_stats[i].total_cycles,
               want.node_stats[i].total_cycles) << "node " << i;
   }
+  // Engine accounting: the default lane width batches the 4-node system
+  // (lanes clamp to numNodes), and every node-phase ran on the SoA engine.
+  EXPECT_EQ(reply.stats.node_lanes, 4);
+  EXPECT_EQ(reply.stats.nodes_batched, 12u);
+  EXPECT_EQ(reply.stats.nodes_scalar, 0u);
+
+  // An explicit scalar request answers bit-identically — the lane width is
+  // an engine choice, not an observable.
+  RunSystemPhases scalar_request = request;
+  scalar_request.node_lanes = 1;
+  ServiceReply scalar = service.submit(scalar_request).get();
+  ASSERT_TRUE(scalar.ok()) << scalar.status.message();
+  EXPECT_EQ(scalar.stats.node_lanes, 1);
+  EXPECT_EQ(scalar.stats.nodes_batched, 0u);
+  EXPECT_EQ(scalar.stats.nodes_scalar, 12u);
+  EXPECT_EQ(scalar.system.compute_makespan_cycles,
+            reply.system.compute_makespan_cycles);
+  EXPECT_EQ(scalar.system.total_flops, reply.system.total_flops);
 }
 
 // ---------------------------------------------------------------------------

@@ -317,6 +317,62 @@ TEST(ExchangePlan, OutOfRangeNodeIsAnError) {
   EXPECT_NE(diags[0].message.find("outside"), std::string::npos);
 }
 
+TEST(ExchangeSchedule, ChainedForwardsAreClean) {
+  // Phase 0 delivers 0 -> 1; phase 1 forwards from node 1 (fed) and phase 2
+  // forwards the relay on from node 2 (fed by phase 1): a legal multi-hop
+  // staging chain.
+  const std::vector<std::vector<sim::ExchangeMessage>> phases = {
+      {{0, 1, 64}},
+      {{1, 2, 64, /*forward=*/true}},
+      {{2, 3, 64, /*forward=*/true}},
+  };
+  EXPECT_TRUE(sim::verifyExchangeSchedule(2, phases).empty());
+}
+
+TEST(ExchangeSchedule, ForwardWithoutPriorDeliveryIsDangling) {
+  // Node 2 never received anything before phase 1 asks it to forward.
+  const std::vector<std::vector<sim::ExchangeMessage>> phases = {
+      {{0, 1, 64}},
+      {{2, 3, 64, /*forward=*/true}},
+  };
+  const auto diags = sim::verifyExchangeSchedule(2, phases);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].code, VerifyCode::kExchangeDangling);
+  EXPECT_EQ(diags[0].severity, check::Severity::kError);
+  EXPECT_EQ(diags[0].instruction, 1);  // the offending phase
+  EXPECT_NE(diags[0].message.find("no earlier phase"), std::string::npos);
+}
+
+TEST(ExchangeSchedule, FirstPhaseForwardIsAlwaysDangling) {
+  // A forward in phase 0 can never have been fed — deliveries only become
+  // visible after the phase barrier, so even a same-phase 0 -> 1 delivery
+  // does not feed the 1 -> 2 forward.
+  const std::vector<std::vector<sim::ExchangeMessage>> phases = {
+      {{0, 1, 64}, {1, 2, 64, /*forward=*/true}},
+  };
+  const auto diags = sim::verifyExchangeSchedule(2, phases);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].code, VerifyCode::kExchangeDangling);
+  EXPECT_EQ(diags[0].instruction, 0);
+}
+
+TEST(ExchangeSchedule, PerPhaseFindingsCarryThePhaseIndex) {
+  // Phase 1 has both a contention warning (duplicated route) and an
+  // out-of-range error; both must be tagged with phase 1, and the schedule
+  // must still track deliveries across the noisy phase.
+  const std::vector<std::vector<sim::ExchangeMessage>> phases = {
+      {{0, 1, 64}},
+      {{0, 3, 64}, {0, 3, 32}, {5, 0, 8}},
+      {{1, 2, 16, /*forward=*/true}},
+  };
+  const auto diags = sim::verifyExchangeSchedule(2, phases);
+  ASSERT_FALSE(diags.empty());
+  for (const sim::VerifyDiagnostic& d : diags) {
+    EXPECT_EQ(d.code, VerifyCode::kExchangeContention);
+    EXPECT_EQ(d.instruction, 1) << d.format();
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Report plumbing.
 // ---------------------------------------------------------------------------
