@@ -1,0 +1,192 @@
+#include "client/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/strings.h"
+#include "net/frame.h"
+
+namespace nsc {
+
+using common::Result;
+using common::Status;
+
+common::Status Client::connect() {
+  close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    return Status::error(common::strFormat("socket: %s", std::strerror(errno)));
+  }
+  if (options_.timeout_ms > 0) {
+    timeval tv{};
+    tv.tv_sec = static_cast<time_t>(options_.timeout_ms / 1000);
+    tv.tv_usec = static_cast<suseconds_t>((options_.timeout_ms % 1000) * 1000);
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    close();
+    return Status::error(
+        common::strFormat("bad address: %s", options_.host.c_str()));
+  }
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    const int err = errno;
+    close();
+    return Status::error(common::strFormat(
+        "connect %s:%u: %s", options_.host.c_str(),
+        static_cast<unsigned>(options_.port), std::strerror(err)));
+  }
+  return Status::ok();
+}
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+common::Status Client::sendAll(const std::string& bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return Status::error(
+          common::strFormat("send: %s", std::strerror(errno)));
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return Status::ok();
+}
+
+common::Result<svc::ServiceReply> Client::readReply(std::uint64_t request_id) {
+  net::FrameReader reader(options_.max_payload);
+  char buf[64 * 1024];
+  net::Frame frame;
+  for (;;) {
+    const net::FrameReader::Next next = reader.next(frame);
+    if (next == net::FrameReader::Next::kError) {
+      return Result<svc::ServiceReply>::error(common::strFormat(
+          "reply stream error: %s", frameErrorName(reader.error())));
+    }
+    if (next == net::FrameReader::Next::kNeedMore) {
+      const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+      if (n == 0) {
+        return Result<svc::ServiceReply>::error(
+            "server closed the connection");
+      }
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return Result<svc::ServiceReply>::error(
+            common::strFormat("recv: %s", std::strerror(errno)));
+      }
+      reader.feed(buf, static_cast<std::size_t>(n));
+      continue;
+    }
+
+    if (frame.type == static_cast<std::uint16_t>(net::FrameType::kReply) &&
+        frame.request_id == request_id) {
+      auto parsed = common::Json::parse(frame.payload);
+      if (!parsed.isOk()) {
+        return Result<svc::ServiceReply>::error(
+            common::strFormat("bad reply payload: %s",
+                              parsed.message().c_str()));
+      }
+      return net::replyFromJson(parsed.value());
+    }
+    if (frame.type ==
+        static_cast<std::uint16_t>(net::FrameType::kProtocolError)) {
+      auto parsed = common::Json::parse(frame.payload);
+      last_protocol_error_ = parsed.isOk()
+                                 ? net::protocolErrorFromJson(parsed.value())
+                                 : net::ProtocolError{"unknown", ""};
+      return Result<svc::ServiceReply>::error(common::strFormat(
+          "protocol error %s: %s", last_protocol_error_.code.c_str(),
+          last_protocol_error_.message.c_str()));
+    }
+    // A reply for some other id (a previous call that timed out client-side
+    // settled late) — skip it and keep reading.
+    frame = net::Frame{};
+  }
+}
+
+common::Result<svc::ServiceReply> Client::call(svc::Request request,
+                                               svc::Admission admission) {
+  if (!connected()) {
+    const Status status = connect();
+    if (!status.isOk()) {
+      return Result<svc::ServiceReply>::error(status.message());
+    }
+  }
+  net::Frame frame;
+  frame.type = static_cast<std::uint16_t>(net::frameTypeFor(request));
+  frame.request_id = next_request_id_++;
+  frame.payload = net::requestToJson(request, admission).dump();
+  const std::string bytes = net::encodeFrame(frame);
+
+  Status sent = sendAll(bytes);
+  if (!sent.isOk() && options_.reconnect) {
+    // The connection proved dead before the request could have been
+    // served; one re-dial + resend is safe.
+    const Status redial = connect();
+    if (!redial.isOk()) {
+      return Result<svc::ServiceReply>::error(redial.message());
+    }
+    sent = sendAll(bytes);
+  }
+  if (!sent.isOk()) {
+    close();
+    return Result<svc::ServiceReply>::error(sent.message());
+  }
+  auto reply = readReply(frame.request_id);
+  if (!reply.isOk()) {
+    // Either the stream is unsynchronized, timed out, or the server is
+    // draining this connection; a fresh call() re-dials.
+    close();
+  }
+  return reply;
+}
+
+common::Result<svc::ServiceReply> Client::openSession(std::string script) {
+  return call(svc::OpenSession{std::move(script)});
+}
+common::Result<svc::ServiceReply> Client::sessionCommand(
+    svc::SessionCommand cmd) {
+  return call(std::move(cmd));
+}
+common::Result<svc::ServiceReply> Client::closeSession(std::uint64_t session) {
+  return call(svc::CloseSession{session});
+}
+common::Result<svc::ServiceReply> Client::submitSession(std::string script) {
+  return call(svc::SubmitSession{std::move(script)});
+}
+common::Result<svc::ServiceReply> Client::generateAndRun(
+    svc::GenerateAndRun req) {
+  return call(std::move(req));
+}
+common::Result<svc::ServiceReply> Client::runEnsemble(svc::RunEnsemble req) {
+  return call(std::move(req));
+}
+common::Result<svc::ServiceReply> Client::runSystemPhases(
+    svc::RunSystemPhases req) {
+  return call(std::move(req));
+}
+
+}  // namespace nsc

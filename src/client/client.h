@@ -1,0 +1,80 @@
+// nsc::Client — thin blocking client for the framed wire protocol.
+//
+// One connection, one outstanding request at a time: call() frames the
+// request, writes it, and blocks until the matching kReply (decoded back
+// into a svc::ServiceReply bit-identical to the in-process one) or a
+// kProtocolError (surfaced as a failed Result; lastProtocolError() keeps
+// the typed code).  Socket timeouts bound every blocking step; when
+// `reconnect` is set, a connection that proves dead on *send* is re-dialed
+// once and the request re-sent — a failure after the request may have
+// reached the server is never silently retried (requests are not assumed
+// idempotent).
+//
+// Pipelining (many requests in flight, replies out of order) is the
+// server's business; a client that wants it can speak frames directly
+// (net/frame.h + net/wire.h are public).  This class is the convenience
+// edge: nsc_loadgen drives hundreds of these from plain threads.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "net/wire.h"
+#include "service/service.h"
+
+namespace nsc {
+
+struct ClientOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  // Send/receive timeout for each blocking socket operation; 0 = none.
+  std::int64_t timeout_ms = 30000;
+  // Re-dial + resend once when the connection proves dead on send.
+  bool reconnect = true;
+  std::size_t max_payload = net::kDefaultMaxPayload;
+};
+
+class Client {
+ public:
+  explicit Client(ClientOptions options) : options_(std::move(options)) {}
+  ~Client() { close(); }
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  common::Status connect();
+  void close();
+  bool connected() const { return fd_ >= 0; }
+
+  // Frames `request`, writes it, blocks for the matching reply.
+  common::Result<svc::ServiceReply> call(svc::Request request,
+                                         svc::Admission admission = {});
+
+  // Typed conveniences over call().
+  common::Result<svc::ServiceReply> openSession(std::string script = {});
+  common::Result<svc::ServiceReply> sessionCommand(svc::SessionCommand cmd);
+  common::Result<svc::ServiceReply> closeSession(std::uint64_t session);
+  common::Result<svc::ServiceReply> submitSession(std::string script);
+  common::Result<svc::ServiceReply> generateAndRun(svc::GenerateAndRun req);
+  common::Result<svc::ServiceReply> runEnsemble(svc::RunEnsemble req);
+  common::Result<svc::ServiceReply> runSystemPhases(svc::RunSystemPhases req);
+
+  // The last kProtocolError the server sent this client (code is one of
+  // net::protocolErrorCodes()); empty code when none.
+  const net::ProtocolError& lastProtocolError() const {
+    return last_protocol_error_;
+  }
+
+ private:
+  common::Status sendAll(const std::string& bytes);
+  // Reads frames until one with `request_id` arrives (a blocking client
+  // has exactly one in flight, so in practice the first frame matches).
+  common::Result<svc::ServiceReply> readReply(std::uint64_t request_id);
+
+  ClientOptions options_;
+  int fd_ = -1;
+  std::uint64_t next_request_id_ = 1;
+  net::ProtocolError last_protocol_error_;
+};
+
+}  // namespace nsc

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 
 #include "common/strings.h"
 
@@ -51,6 +52,20 @@ void appendEscaped(std::string& out, const std::string& s) {
 }
 
 void appendNumber(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    // printf's "nan"/"inf" text is not JSON — a dump containing it would
+    // not parse back, which is exactly the silent round-trip break the
+    // wire protocol cannot afford.  Emit explicit NaN / Infinity /
+    // -Infinity tokens instead (the parser accepts them; NaN payload bits
+    // are canonicalized to the quiet NaN — transports that need the exact
+    // bit pattern use the 16-hex word encoding, not JSON numbers).
+    if (std::isnan(v)) {
+      out += "NaN";
+    } else {
+      out += v < 0 ? "-Infinity" : "Infinity";
+    }
+    return;
+  }
   if (std::floor(v) == v && std::abs(v) < 1e15) {
     out += strFormat("%lld", static_cast<long long>(v));
   } else {
@@ -114,13 +129,30 @@ class Parser {
       case 'n':
         if (text_.substr(pos_, 4) == "null") { pos_ += 4; return Json(nullptr); }
         return Result<Json>::error(errAt("bad literal"));
+      case 'N':
+        if (text_.substr(pos_, 3) == "NaN") {
+          pos_ += 3;
+          return Json(std::numeric_limits<double>::quiet_NaN());
+        }
+        return Result<Json>::error(errAt("bad literal"));
       default: return parseNumber();
     }
   }
 
   Result<Json> parseNumber() {
     const std::size_t start = pos_;
-    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) ++pos_;
+    bool negative = false;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      negative = text_[pos_] == '-';
+      ++pos_;
+    }
+    // The explicit non-finite tokens appendNumber emits ("Infinity",
+    // "-Infinity"; bare "NaN" is handled in parseValue).
+    if (text_.substr(pos_, 8) == "Infinity") {
+      pos_ += 8;
+      const double inf = std::numeric_limits<double>::infinity();
+      return Json(negative ? -inf : inf);
+    }
     bool any = false;
     auto digits = [&] {
       while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {

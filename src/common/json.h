@@ -1,9 +1,20 @@
 // Minimal JSON value, parser, and pretty-printer.
 //
 // Used for program/diagram file I/O (the editor saves both graphical and
-// semantic data, paper Section 4).  Supports the full JSON grammar except
-// \u escapes beyond Latin-1; numbers are stored as double with an integer
-// fast path preserved on output when exact.
+// semantic data, paper Section 4), session checkpoints, and the wire
+// protocol (net/wire.h).  Supports the full JSON grammar except \u escapes
+// beyond Latin-1; numbers are stored as double with an integer fast path
+// preserved on output when exact.
+//
+// Non-finite dialect: standard JSON has no representation for NaN or the
+// infinities, and printf-style "nan"/"inf" text would not parse back — a
+// silent round-trip break.  dump() emits explicit NaN / Infinity /
+// -Infinity tokens and parse() accepts them, so every double value class
+// round-trips.  NaN payload bits are canonicalized to the quiet NaN; where
+// bit-exactness matters (checkpoint plane words, wire plane images), values
+// travel as 16-hex-digit IEEE-754 bit-pattern strings instead of numbers.
+// Note NaN != NaN, so Json::operator== is false for documents holding NaN;
+// compare dumps when that matters.
 #pragma once
 
 #include <cstdint>

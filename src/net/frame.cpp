@@ -1,0 +1,143 @@
+#include "net/frame.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace nsc::net {
+
+namespace {
+
+void appendLe16(std::string& out, std::uint16_t v) {
+  out.push_back(static_cast<char>(v & 0xff));
+  out.push_back(static_cast<char>((v >> 8) & 0xff));
+}
+
+void appendLe32(std::string& out, std::uint32_t v) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    out.push_back(static_cast<char>((v >> static_cast<unsigned>(shift)) & 0xff));
+  }
+}
+
+void appendLe64(std::string& out, std::uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    out.push_back(static_cast<char>((v >> static_cast<unsigned>(shift)) & 0xff));
+  }
+}
+
+std::uint64_t readLe(const char* data, int bytes) {
+  std::uint64_t v = 0;
+  for (int i = bytes - 1; i >= 0; --i) {
+    v = (v << 8) | static_cast<std::uint8_t>(data[i]);
+  }
+  return v;
+}
+
+}  // namespace
+
+const char* frameTypeName(FrameType type) {
+  switch (type) {
+    case FrameType::kOpenSession: return "OpenSession";
+    case FrameType::kSessionCommand: return "SessionCommand";
+    case FrameType::kCloseSession: return "CloseSession";
+    case FrameType::kSubmitSession: return "SubmitSession";
+    case FrameType::kGenerateAndRun: return "GenerateAndRun";
+    case FrameType::kRunEnsemble: return "RunEnsemble";
+    case FrameType::kRunSystemPhases: return "RunSystemPhases";
+    case FrameType::kReply: return "Reply";
+    case FrameType::kProtocolError: return "ProtocolError";
+  }
+  return "?";
+}
+
+bool frameTypeIsRequest(std::uint16_t type) {
+  return type >= static_cast<std::uint16_t>(FrameType::kOpenSession) &&
+         type <= static_cast<std::uint16_t>(FrameType::kRunSystemPhases);
+}
+
+bool frameTypeKnown(std::uint16_t type) {
+  return frameTypeIsRequest(type) ||
+         type == static_cast<std::uint16_t>(FrameType::kReply) ||
+         type == static_cast<std::uint16_t>(FrameType::kProtocolError);
+}
+
+const std::vector<std::pair<std::uint16_t, const char*>>& allFrameTypes() {
+  static const std::vector<std::pair<std::uint16_t, const char*>> kTypes = [] {
+    std::vector<std::pair<std::uint16_t, const char*>> types;
+    for (std::uint16_t code = 0; code < 256; ++code) {
+      if (frameTypeKnown(code)) {
+        types.emplace_back(code, frameTypeName(static_cast<FrameType>(code)));
+      }
+    }
+    return types;
+  }();
+  return kTypes;
+}
+
+const char* frameErrorName(FrameError error) {
+  switch (error) {
+    case FrameError::kNone: return "none";
+    case FrameError::kBadMagic: return "bad-magic";
+    case FrameError::kOversized: return "oversized";
+  }
+  return "?";
+}
+
+void appendFrame(std::string& out, const Frame& frame) {
+  out.reserve(out.size() + kHeaderBytes + frame.payload.size());
+  out.append(kMagic, sizeof(kMagic));
+  appendLe16(out, frame.version);
+  appendLe16(out, frame.type);
+  appendLe64(out, frame.request_id);
+  appendLe32(out, static_cast<std::uint32_t>(frame.payload.size()));
+  out += frame.payload;
+}
+
+std::string encodeFrame(const Frame& frame) {
+  std::string out;
+  appendFrame(out, frame);
+  return out;
+}
+
+void FrameReader::feed(const char* data, std::size_t size) {
+  if (error_ != FrameError::kNone) return;
+  // Compact lazily: drop consumed bytes once they dominate the buffer so a
+  // long-lived connection does not grow its read buffer without bound.
+  if (consumed_ > 4096 && consumed_ * 2 > buffer_.size()) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  buffer_.append(data, size);
+}
+
+FrameReader::Next FrameReader::next(Frame& out) {
+  if (error_ != FrameError::kNone) return Next::kError;
+  const std::size_t available = buffer_.size() - consumed_;
+  if (available < kHeaderBytes) {
+    // Even a partial header can already prove the stream unsynchronized.
+    if (std::memcmp(buffer_.data() + consumed_, kMagic,
+                    std::min(available, sizeof(kMagic))) != 0) {
+      error_ = FrameError::kBadMagic;
+      return Next::kError;
+    }
+    return Next::kNeedMore;
+  }
+  const char* header = buffer_.data() + consumed_;
+  if (std::memcmp(header, kMagic, sizeof(kMagic)) != 0) {
+    error_ = FrameError::kBadMagic;
+    return Next::kError;
+  }
+  const std::uint32_t length = static_cast<std::uint32_t>(readLe(header + 16, 4));
+  if (length > max_payload_) {
+    error_ = FrameError::kOversized;
+    return Next::kError;
+  }
+  if (available < kHeaderBytes + length) return Next::kNeedMore;
+  out.version = static_cast<std::uint16_t>(readLe(header + 4, 2));
+  out.type = static_cast<std::uint16_t>(readLe(header + 6, 2));
+  out.request_id = readLe(header + 8, 8);
+  out.payload.assign(header + kHeaderBytes, length);
+  consumed_ += kHeaderBytes + length;
+  return Next::kFrame;
+}
+
+}  // namespace nsc::net

@@ -1,0 +1,101 @@
+// Wire framing for the network edge (docs/PROTOCOL.md is the normative
+// spec; tests/test_net.cpp keeps the two in lockstep).
+//
+// Every message in either direction is one frame:
+//
+//   offset  size  field
+//   0       4     magic "NSCW"
+//   4       2     protocol version (little-endian u16, currently 1)
+//   6       2     frame type       (little-endian u16, see FrameType)
+//   8       8     request id       (little-endian u64, chosen by the client)
+//   16      4     payload length N (little-endian u32)
+//   20      N     payload (UTF-8 JSON, schema per frame type — net/wire.h)
+//
+// The frame layer is deliberately dumb: it validates the magic and bounds
+// the payload length (a hostile or corrupt length prefix must not make the
+// server allocate gigabytes), and hands everything else — version checks,
+// type dispatch, JSON parsing — to the connection layer, which can still
+// answer over the intact framing.  A magic or length violation means the
+// byte stream itself is unsynchronized; the only safe response is a final
+// kProtocolError frame and a close (net/server.cpp).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace nsc::net {
+
+inline constexpr char kMagic[4] = {'N', 'S', 'C', 'W'};
+inline constexpr std::uint16_t kProtocolVersion = 1;
+inline constexpr std::size_t kHeaderBytes = 20;
+// Default payload bound.  Plane images dominate payload size; 64 MiB is
+// ~4M doubles in 16-hex encoding, far above any simulated plane.
+inline constexpr std::uint32_t kDefaultMaxPayload = 64u << 20;
+
+// One code per svc::Request alternative, plus the two server->client
+// types.  Values are wire contract — append, never renumber.
+enum class FrameType : std::uint16_t {
+  kOpenSession = 1,
+  kSessionCommand = 2,
+  kCloseSession = 3,
+  kSubmitSession = 4,
+  kGenerateAndRun = 5,
+  kRunEnsemble = 6,
+  kRunSystemPhases = 7,
+  kReply = 128,          // payload: serialized svc::ServiceReply
+  kProtocolError = 129,  // payload: {"code": ..., "message": ...}
+};
+
+const char* frameTypeName(FrameType type);
+bool frameTypeIsRequest(std::uint16_t type);
+bool frameTypeKnown(std::uint16_t type);
+// Every (code, name) pair — the table docs/PROTOCOL.md must mirror.
+const std::vector<std::pair<std::uint16_t, const char*>>& allFrameTypes();
+
+struct Frame {
+  std::uint16_t version = kProtocolVersion;
+  std::uint16_t type = 0;
+  std::uint64_t request_id = 0;
+  std::string payload;
+};
+
+// Appends the encoded frame (header + payload) to `out`.
+void appendFrame(std::string& out, const Frame& frame);
+std::string encodeFrame(const Frame& frame);
+
+// How an incoming byte stream can violate the frame layer itself (payload
+// problems are the connection layer's business).
+enum class FrameError : std::uint8_t {
+  kNone = 0,
+  kBadMagic,   // header does not start "NSCW" — stream unsynchronized
+  kOversized,  // declared payload length above the configured bound
+};
+const char* frameErrorName(FrameError error);
+
+// Incremental frame decoder: feed() bytes as they arrive, next() yields
+// complete frames.  A partial header or payload is simply "need more";
+// kBadMagic / kOversized are sticky — once the stream is unsynchronized no
+// further frame can be trusted.
+class FrameReader {
+ public:
+  explicit FrameReader(std::size_t max_payload = kDefaultMaxPayload)
+      : max_payload_(max_payload) {}
+
+  void feed(const char* data, std::size_t size);
+
+  enum class Next : std::uint8_t { kFrame, kNeedMore, kError };
+  Next next(Frame& out);
+
+  FrameError error() const { return error_; }
+  std::size_t buffered() const { return buffer_.size() - consumed_; }
+
+ private:
+  std::size_t max_payload_;
+  std::string buffer_;
+  std::size_t consumed_ = 0;
+  FrameError error_ = FrameError::kNone;
+};
+
+}  // namespace nsc::net

@@ -1,0 +1,372 @@
+#include "net/server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+#include "common/strings.h"
+#include "net/wire.h"
+
+namespace nsc::net {
+
+namespace {
+
+void setNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+std::int64_t nowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+Server::Server(svc::WorkbenchService& service, ServerOptions options)
+    : service_(service), options_(std::move(options)) {}
+
+Server::~Server() { stop(); }
+
+common::Status Server::start() {
+  if (started_) return common::Status::ok();
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return common::Status::error(
+        common::strFormat("socket: %s", std::strerror(errno)));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return common::Status::error(
+        common::strFormat("bad bind address: %s", options_.host.c_str()));
+  }
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    const int err = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return common::Status::error(
+        common::strFormat("bind %s:%u: %s", options_.host.c_str(),
+                          static_cast<unsigned>(options_.port),
+                          std::strerror(err)));
+  }
+  if (::listen(listen_fd_, options_.backlog) != 0) {
+    const int err = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return common::Status::error(
+        common::strFormat("listen: %s", std::strerror(err)));
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) == 0) {
+    port_.store(ntohs(bound.sin_port));
+  }
+  setNonBlocking(listen_fd_);
+
+  int pipe_fds[2] = {-1, -1};
+  if (::pipe(pipe_fds) != 0) {
+    const int err = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return common::Status::error(
+        common::strFormat("pipe: %s", std::strerror(err)));
+  }
+  wake_read_fd_ = pipe_fds[0];
+  wake_write_fd_ = pipe_fds[1];
+  setNonBlocking(wake_read_fd_);
+
+  stopping_.store(false);
+  thread_ = std::thread([this] { run(); });
+  started_ = true;
+  return common::Status::ok();
+}
+
+void Server::stop() {
+  if (!started_) return;
+  stopping_.store(true);
+  const char byte = 0;
+  // Best-effort wakeup; the loop also polls on a bounded timeout.
+  [[maybe_unused]] ssize_t n = ::write(wake_write_fd_, &byte, 1);
+  if (thread_.joinable()) thread_.join();
+  ::close(wake_write_fd_);
+  ::close(wake_read_fd_);
+  ::close(listen_fd_);
+  wake_write_fd_ = wake_read_fd_ = listen_fd_ = -1;
+  started_ = false;
+  port_.store(0);
+}
+
+ServerStats Server::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+void Server::run() {
+  std::int64_t drain_deadline_ms = -1;
+  for (;;) {
+    const bool stopping = stopping_.load();
+    if (stopping && drain_deadline_ms < 0) {
+      drain_deadline_ms = nowMs() + options_.drain_timeout_ms;
+    }
+
+    // Settle futures first: replies land in outboxes before we choose
+    // poll events, so POLLOUT interest reflects them this same tick.
+    for (auto& conn : connections_) settleReplies(*conn);
+    for (std::size_t i = 0; i < orphans_.size();) {
+      if (orphans_[i].future.wait_for(std::chrono::seconds(0)) ==
+          std::future_status::ready) {
+        orphans_[i].future.get();
+        orphans_.erase(orphans_.begin() + static_cast<std::ptrdiff_t>(i));
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.orphans_settled;
+      } else {
+        ++i;
+      }
+    }
+
+    // Close finished connections.  EOF from the peer means abandonment —
+    // a client that wants its replies holds the socket open until they
+    // arrive (nsc::Client does) — so its in-flight futures are adopted as
+    // orphans immediately.  A draining connection (protocol error after an
+    // unsynchronized stream) closes once its error frame and any earlier
+    // replies have flushed.  Under stop(), idle flushed connections go too.
+    for (std::size_t i = 0; i < connections_.size();) {
+      Connection& conn = *connections_[i];
+      const bool flushed = conn.outbox.empty();
+      const bool idle = conn.pending.empty();
+      const bool done = flushed && idle && conn.draining;
+      if (conn.peer_eof || done || (stopping && flushed && idle)) {
+        closeConnection(i);
+      } else {
+        ++i;
+      }
+    }
+
+    if (stopping && connections_.empty() && orphans_.empty()) break;
+    if (stopping && drain_deadline_ms >= 0 && nowMs() >= drain_deadline_ms) {
+      // Drain budget exhausted: abandon the remaining sockets (their
+      // futures still settle service-side; stop() joins the service later).
+      while (!connections_.empty()) closeConnection(0);
+      break;
+    }
+
+    std::vector<pollfd> fds;
+    fds.reserve(connections_.size() + 2);
+    fds.push_back({wake_read_fd_, POLLIN, 0});
+    if (!stopping) fds.push_back({listen_fd_, POLLIN, 0});
+    const std::size_t base = fds.size();
+    const std::size_t polled = connections_.size();
+    for (auto& conn : connections_) {
+      short events = 0;
+      if (!conn->draining && !conn->peer_eof && !stopping) events |= POLLIN;
+      if (!conn->outbox.empty()) events |= POLLOUT;
+      fds.push_back({conn->fd, events, 0});
+    }
+
+    // Busy-ish tick while work is in flight so settled futures become
+    // replies promptly; long tick when idle.
+    bool in_flight = !orphans_.empty();
+    for (const auto& conn : connections_) {
+      in_flight = in_flight || !conn->pending.empty();
+    }
+    const int timeout_ms = in_flight ? 1 : 50;
+    const int ready = ::poll(fds.data(), fds.size(), timeout_ms);
+    if (ready < 0 && errno != EINTR) break;
+
+    if (fds[0].revents & POLLIN) {
+      char scratch[64];
+      while (::read(wake_read_fd_, scratch, sizeof(scratch)) > 0) {}
+    }
+    if (!stopping && (fds[base - 1].revents & POLLIN)) {
+      for (;;) {
+        const int fd = ::accept(listen_fd_, nullptr, nullptr);
+        if (fd < 0) break;
+        setNonBlocking(fd);
+        const int one = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+        auto conn = std::make_unique<Connection>(options_.max_payload);
+        conn->fd = fd;
+        connections_.push_back(std::move(conn));
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.connections_accepted;
+      }
+    }
+
+    // Only the connections that were polled this tick have fds entries —
+    // accept() above may have appended new ones past `polled`.
+    for (std::size_t i = 0; i < polled; ++i) {
+      const pollfd& pfd = fds[base + i];
+      Connection& conn = *connections_[i];
+      if (pfd.revents & POLLIN) handleReadable(conn);  // may set peer_eof
+      if (pfd.revents & (POLLERR | POLLNVAL)) conn.peer_eof = true;
+      if ((pfd.revents & POLLHUP) && !(pfd.revents & POLLIN)) {
+        conn.peer_eof = true;
+      }
+      if ((pfd.revents & POLLOUT) && !flushOutbox(conn)) {
+        conn.peer_eof = true;
+        conn.outbox.clear();
+      }
+    }
+  }
+}
+
+void Server::handleReadable(Connection& conn) {
+  char buf[64 * 1024];
+  for (;;) {
+    const ssize_t n = ::recv(conn.fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      conn.reader.feed(buf, static_cast<std::size_t>(n));
+      if (static_cast<std::size_t>(n) < sizeof(buf)) break;
+      continue;
+    }
+    if (n == 0) {
+      conn.peer_eof = true;
+      break;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    conn.peer_eof = true;
+    break;
+  }
+
+  Frame frame;
+  for (;;) {
+    const FrameReader::Next next = conn.reader.next(frame);
+    if (next == FrameReader::Next::kFrame) {
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.frames_received;
+      }
+      handleFrame(conn, std::move(frame));
+      frame = Frame{};
+      continue;
+    }
+    if (next == FrameReader::Next::kError) {
+      // Stream unsynchronized: one final error frame, then drain + close.
+      sendProtocolError(
+          conn, 0, frameErrorName(conn.reader.error()),
+          common::strFormat("frame stream error: %s",
+                            frameErrorName(conn.reader.error())));
+      conn.draining = true;
+    }
+    break;
+  }
+}
+
+void Server::handleFrame(Connection& conn, Frame&& frame) {
+  if (frame.version != kProtocolVersion) {
+    sendProtocolError(conn, frame.request_id, "bad-version",
+                      common::strFormat("protocol version %u, server speaks %u",
+                                        frame.version, kProtocolVersion));
+    return;
+  }
+  if (!frameTypeKnown(frame.type)) {
+    sendProtocolError(conn, frame.request_id, "unknown-type",
+                      common::strFormat("unknown frame type %u", frame.type));
+    return;
+  }
+  if (!frameTypeIsRequest(frame.type)) {
+    sendProtocolError(
+        conn, frame.request_id, "bad-request",
+        common::strFormat("frame type %s is not a request",
+                          frameTypeName(static_cast<FrameType>(frame.type))));
+    return;
+  }
+  auto parsed = common::Json::parse(frame.payload);
+  if (!parsed.isOk()) {
+    sendProtocolError(conn, frame.request_id, "bad-json", parsed.message());
+    return;
+  }
+  auto decoded = requestFromJson(frame.type, parsed.value());
+  if (!decoded.isOk()) {
+    sendProtocolError(conn, frame.request_id, "bad-request",
+                      decoded.message());
+    return;
+  }
+  Pending pending;
+  pending.request_id = frame.request_id;
+  pending.future = service_.submit(std::move(decoded.value().request),
+                                   decoded.value().admission);
+  conn.pending.push_back(std::move(pending));
+}
+
+void Server::sendProtocolError(Connection& conn, std::uint64_t request_id,
+                               const char* code, std::string message) {
+  Frame frame;
+  frame.type = static_cast<std::uint16_t>(FrameType::kProtocolError);
+  frame.request_id = request_id;
+  frame.payload =
+      protocolErrorToJson({code, std::move(message)}).dump();
+  appendFrame(conn.outbox, frame);
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  ++stats_.protocol_errors;
+}
+
+void Server::settleReplies(Connection& conn) {
+  for (std::size_t i = 0; i < conn.pending.size();) {
+    Pending& pending = conn.pending[i];
+    if (pending.future.wait_for(std::chrono::seconds(0)) !=
+        std::future_status::ready) {
+      ++i;
+      continue;
+    }
+    const svc::ServiceReply reply = pending.future.get();
+    Frame frame;
+    frame.type = static_cast<std::uint16_t>(FrameType::kReply);
+    frame.request_id = pending.request_id;
+    frame.payload = replyToJson(reply).dump();
+    appendFrame(conn.outbox, frame);
+    conn.pending.erase(conn.pending.begin() + static_cast<std::ptrdiff_t>(i));
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.replies_sent;
+  }
+}
+
+bool Server::flushOutbox(Connection& conn) {
+  while (!conn.outbox.empty()) {
+    const ssize_t n =
+        ::send(conn.fd, conn.outbox.data(), conn.outbox.size(), MSG_NOSIGNAL);
+    if (n > 0) {
+      conn.outbox.erase(0, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;
+    return false;  // peer gone mid-write
+  }
+  return true;
+}
+
+void Server::closeConnection(std::size_t index) {
+  Connection& conn = *connections_[index];
+  ::close(conn.fd);
+  const std::size_t adopted = conn.pending.size();
+  for (Pending& pending : conn.pending) {
+    orphans_.push_back(std::move(pending));
+  }
+  connections_.erase(connections_.begin() +
+                     static_cast<std::ptrdiff_t>(index));
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  ++stats_.connections_closed;
+  stats_.orphans_adopted += adopted;
+}
+
+}  // namespace nsc::net

@@ -1,0 +1,129 @@
+// The network edge: a TCP listener that speaks the framed wire protocol
+// (net/frame.h, net/wire.h) and maps frames onto WorkbenchService futures.
+//
+// Threading model: ONE server thread runs a poll() loop over the listening
+// socket, a self-pipe (stop wakeup), and every live connection.  The server
+// thread never executes a request — it decodes frames, submits them to the
+// service (whose shard threads do the work), and each tick scans the
+// pending futures with wait_for(0), encoding replies onto the owning
+// connection's write buffer *in settlement order*.  Requests pipelined on
+// one connection therefore come back out of order when a later one settles
+// first; the request id ties each reply to its request.
+//
+// Error discipline (tests/test_net.cpp drives every branch):
+//
+//   * kBadMagic / kOversized — the byte stream itself is unsynchronized;
+//     the connection gets one final kProtocolError frame (request id 0)
+//     and is closed after the write drains.  Other connections are
+//     untouched.
+//   * bad version / unknown type / unparseable JSON / type-invalid request
+//     — framing is intact; the connection gets a kProtocolError frame
+//     carrying the offending frame's request id and stays open.
+//   * A client that disconnects with requests in flight orphans its
+//     pending futures: the server adopts them and keeps polling until they
+//     settle (the service promises every admitted job settles), so a torn
+//     connection never abandons a shard's work mid-flight.
+//     ServerStats::orphans_settled is the witness.
+//
+// stop() is a graceful drain: admission of new connections and frames
+// ends, pending replies are written out, then sockets close.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "net/frame.h"
+#include "service/service.h"
+
+namespace nsc::net {
+
+struct ServerOptions {
+  // Bind address.  Port 0 binds an ephemeral port; port() reports it.
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  int backlog = 64;
+  std::size_t max_payload = kDefaultMaxPayload;
+  // Drain budget for stop(): how long to keep serving in-flight requests
+  // and flushing write buffers before closing sockets anyway.
+  std::int64_t drain_timeout_ms = 30000;
+};
+
+struct ServerStats {
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t connections_closed = 0;
+  std::uint64_t frames_received = 0;
+  std::uint64_t replies_sent = 0;
+  std::uint64_t protocol_errors = 0;  // kProtocolError frames sent
+  std::uint64_t orphans_adopted = 0;  // futures torn connections left behind
+  std::uint64_t orphans_settled = 0;  // ... that have since settled
+};
+
+class Server {
+ public:
+  Server(svc::WorkbenchService& service, ServerOptions options = {});
+  ~Server();  // stop()
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // Binds, listens, and launches the server thread.  Idempotent.
+  common::Status start();
+
+  // Graceful drain; idempotent.
+  void stop();
+
+  // The bound port (resolves ephemeral binds); 0 before start().
+  std::uint16_t port() const { return port_.load(); }
+
+  ServerStats stats() const;
+
+ private:
+  struct Pending {
+    std::uint64_t request_id = 0;
+    std::future<svc::ServiceReply> future;
+  };
+  struct Connection {
+    int fd = -1;
+    FrameReader reader;
+    std::string outbox;            // encoded frames awaiting send
+    std::vector<Pending> pending;  // submitted, not yet settled
+    bool draining = false;         // no more reads; close once flushed
+    bool peer_eof = false;
+
+    explicit Connection(std::size_t max_payload) : reader(max_payload) {}
+  };
+
+  void run();
+  void handleReadable(Connection& conn);
+  void handleFrame(Connection& conn, Frame&& frame);
+  void sendProtocolError(Connection& conn, std::uint64_t request_id,
+                         const char* code, std::string message);
+  // Moves settled futures out of pending lists into encoded reply frames.
+  void settleReplies(Connection& conn);
+  bool flushOutbox(Connection& conn);  // false: connection is dead
+  void closeConnection(std::size_t index);
+
+  svc::WorkbenchService& service_;
+  const ServerOptions options_;
+  std::atomic<std::uint16_t> port_{0};
+  int listen_fd_ = -1;
+  int wake_read_fd_ = -1;
+  int wake_write_fd_ = -1;
+  std::thread thread_;
+  std::atomic<bool> stopping_{false};
+  bool started_ = false;
+
+  std::vector<std::unique_ptr<Connection>> connections_;
+  std::vector<Pending> orphans_;  // futures of disconnected clients
+
+  mutable std::mutex stats_mu_;
+  ServerStats stats_;
+};
+
+}  // namespace nsc::net

@@ -1,0 +1,953 @@
+#include "net/wire.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <utility>
+
+#include "common/strings.h"
+#include "sim/verify.h"
+
+namespace nsc::net {
+
+// Private-member bridge declared as a friend by svc::ServiceReply.
+struct ReplyAccess {
+  static bool complete(const svc::ServiceReply& reply) {
+    return reply.complete_;
+  }
+  static void setComplete(svc::ServiceReply& reply, bool value) {
+    reply.complete_ = value;
+  }
+};
+
+namespace {
+
+using common::Json;
+using common::JsonArray;
+using common::JsonObject;
+using common::Result;
+
+// ---------------------------------------------------------------------------
+// Decode helpers: first error wins, messages name the offending field.
+// ---------------------------------------------------------------------------
+
+struct Ctx {
+  std::string err;
+  bool ok() const { return err.empty(); }
+  bool fail(std::string message) {
+    if (err.empty()) err = std::move(message);
+    return false;
+  }
+};
+
+bool needObject(Ctx& ctx, const Json& j, const char* what) {
+  if (j.isObject()) return true;
+  return ctx.fail(common::strFormat("%s: expected object", what));
+}
+
+bool getNum(Ctx& ctx, const Json& obj, const char* key, double& out,
+            bool required) {
+  if (!obj.has(key)) {
+    if (required) return ctx.fail(common::strFormat("missing field %s", key));
+    return true;
+  }
+  if (!obj.at(key).isNumber()) {
+    return ctx.fail(common::strFormat("field %s: expected number", key));
+  }
+  out = obj.at(key).asDouble();
+  return true;
+}
+
+bool getInt(Ctx& ctx, const Json& obj, const char* key, std::int64_t& out,
+            bool required = false) {
+  double v = static_cast<double>(out);
+  if (!getNum(ctx, obj, key, v, required)) return false;
+  out = static_cast<std::int64_t>(v);
+  return true;
+}
+
+bool getU64(Ctx& ctx, const Json& obj, const char* key, std::uint64_t& out,
+            bool required = false) {
+  double v = static_cast<double>(out);
+  if (!getNum(ctx, obj, key, v, required)) return false;
+  if (v < 0) return ctx.fail(common::strFormat("field %s: negative", key));
+  out = static_cast<std::uint64_t>(v);
+  return true;
+}
+
+bool getIntField(Ctx& ctx, const Json& obj, const char* key, int& out,
+                 bool required = false) {
+  std::int64_t v = out;
+  if (!getInt(ctx, obj, key, v, required)) return false;
+  out = static_cast<int>(v);
+  return true;
+}
+
+bool getBool(Ctx& ctx, const Json& obj, const char* key, bool& out,
+             bool required = false) {
+  if (!obj.has(key)) {
+    if (required) return ctx.fail(common::strFormat("missing field %s", key));
+    return true;
+  }
+  if (!obj.at(key).isBool()) {
+    return ctx.fail(common::strFormat("field %s: expected bool", key));
+  }
+  out = obj.at(key).asBool();
+  return true;
+}
+
+bool getString(Ctx& ctx, const Json& obj, const char* key, std::string& out,
+               bool required = false) {
+  if (!obj.has(key)) {
+    if (required) return ctx.fail(common::strFormat("missing field %s", key));
+    return true;
+  }
+  if (!obj.at(key).isString()) {
+    return ctx.fail(common::strFormat("field %s: expected string", key));
+  }
+  out = obj.at(key).asString();
+  return true;
+}
+
+// u64 carried as a decimal string (for values beyond 2^53 — CycleWindow).
+Json u64String(std::uint64_t v) {
+  return common::strFormat("%llu", static_cast<unsigned long long>(v));
+}
+
+bool getU64String(Ctx& ctx, const Json& obj, const char* key,
+                  std::uint64_t& out) {
+  std::string text;
+  if (!getString(ctx, obj, key, text)) return false;
+  if (text.empty()) return true;
+  char* end = nullptr;
+  out = std::strtoull(text.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') {
+    return ctx.fail(common::strFormat("field %s: bad u64 string", key));
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Leaf codecs.
+// ---------------------------------------------------------------------------
+
+Json statusToJson(const common::Status& status) {
+  JsonObject obj;
+  obj["ok"] = status.isOk();
+  if (!status.isOk()) obj["message"] = status.message();
+  return Json(std::move(obj));
+}
+
+common::Status statusFromJson(Ctx& ctx, const Json& j) {
+  if (!needObject(ctx, j, "status")) return common::Status::ok();
+  bool ok = true;
+  std::string message;
+  getBool(ctx, j, "ok", ok, /*required=*/true);
+  getString(ctx, j, "message", message);
+  if (ok) return common::Status::ok();
+  return common::Status::error(std::move(message));
+}
+
+Json planeImageToJson(const svc::PlaneImage& image) {
+  JsonObject obj;
+  obj["plane"] = image.plane;
+  obj["base"] = image.base;
+  obj["values"] = encodeWordsHex(image.values);
+  return Json(std::move(obj));
+}
+
+svc::PlaneImage planeImageFromJson(Ctx& ctx, const Json& j) {
+  svc::PlaneImage image;
+  if (!needObject(ctx, j, "inputs[]")) return image;
+  getIntField(ctx, j, "plane", image.plane);
+  getU64(ctx, j, "base", image.base);
+  std::string hex;
+  getString(ctx, j, "values", hex);
+  if (ctx.ok() && !decodeWordsHex(hex, image.values)) {
+    ctx.fail("field values: bad 16-hex word encoding");
+  }
+  return image;
+}
+
+Json planeRangeToJson(const svc::PlaneRange& range) {
+  JsonObject obj;
+  obj["plane"] = range.plane;
+  obj["base"] = range.base;
+  obj["count"] = range.count;
+  return Json(std::move(obj));
+}
+
+svc::PlaneRange planeRangeFromJson(Ctx& ctx, const Json& j) {
+  svc::PlaneRange range;
+  if (!needObject(ctx, j, "outputs[]")) return range;
+  getIntField(ctx, j, "plane", range.plane);
+  getU64(ctx, j, "base", range.base);
+  getU64(ctx, j, "count", range.count);
+  return range;
+}
+
+Json sessionResultToJson(const ed::SessionResult& session) {
+  JsonObject obj;
+  obj["commands"] = session.commands;
+  obj["failures"] = session.failures;
+  JsonArray log;
+  log.reserve(session.log.size());
+  for (const std::string& line : session.log) log.emplace_back(line);
+  obj["log"] = std::move(log);
+  obj["status"] = statusToJson(session.status);
+  return Json(std::move(obj));
+}
+
+ed::SessionResult sessionResultFromJson(Ctx& ctx, const Json& j) {
+  ed::SessionResult session;
+  if (!needObject(ctx, j, "session")) return session;
+  getIntField(ctx, j, "commands", session.commands);
+  getIntField(ctx, j, "failures", session.failures);
+  if (j.has("log")) {
+    if (!j.at("log").isArray()) {
+      ctx.fail("field log: expected array");
+      return session;
+    }
+    for (const Json& line : j.at("log").asArray()) {
+      if (!line.isString()) {
+        ctx.fail("field log: expected strings");
+        return session;
+      }
+      session.log.push_back(line.asString());
+    }
+  }
+  if (j.has("status")) session.status = statusFromJson(ctx, j.at("status"));
+  return session;
+}
+
+Json generationToJson(const mc::GenerateResult& generation) {
+  JsonObject obj;
+  obj["ok"] = generation.ok;
+  JsonArray diagnostics;
+  for (const check::Diagnostic& d : generation.diagnostics.all()) {
+    JsonObject item;
+    item["rule"] = static_cast<int>(d.rule);
+    item["severity"] = static_cast<int>(d.severity);
+    item["message"] = d.message;
+    item["pipeline"] = d.pipeline;
+    diagnostics.emplace_back(std::move(item));
+  }
+  obj["diagnostics"] = std::move(diagnostics);
+  return Json(std::move(obj));
+}
+
+mc::GenerateResult generationFromJson(Ctx& ctx, const Json& j) {
+  mc::GenerateResult generation;
+  if (!needObject(ctx, j, "generation")) return generation;
+  getBool(ctx, j, "ok", generation.ok);
+  if (j.has("diagnostics")) {
+    if (!j.at("diagnostics").isArray()) {
+      ctx.fail("field diagnostics: expected array");
+      return generation;
+    }
+    for (const Json& item : j.at("diagnostics").asArray()) {
+      if (!needObject(ctx, item, "diagnostics[]")) return generation;
+      int rule = 0;
+      int severity = 0;
+      int pipeline = -1;
+      std::string message;
+      getIntField(ctx, item, "rule", rule);
+      getIntField(ctx, item, "severity", severity);
+      getIntField(ctx, item, "pipeline", pipeline);
+      getString(ctx, item, "message", message);
+      if (severity != 0 && severity != 1) {
+        ctx.fail("field severity: out of range");
+        return generation;
+      }
+      generation.diagnostics.add(static_cast<check::Rule>(rule),
+                                 static_cast<check::Severity>(severity),
+                                 std::move(message), pipeline);
+    }
+  }
+  return generation;
+}
+
+Json instrStatsToJson(const sim::InstrStats& instr) {
+  JsonObject obj;
+  obj["instruction"] = instr.instruction;
+  obj["name"] = instr.name;
+  obj["cycles"] = instr.cycles;
+  obj["flops"] = instr.flops;
+  obj["hazards"] = instr.hazards;
+  obj["error"] = instr.error;
+  obj["fault"] = static_cast<int>(instr.fault);
+  obj["message"] = instr.error_message;
+  return Json(std::move(obj));
+}
+
+bool faultFromInt(Ctx& ctx, int value, sim::FaultKind& out) {
+  if (value < 0 || value > static_cast<int>(sim::FaultKind::kTimeout)) {
+    return ctx.fail("field fault: out of range");
+  }
+  out = static_cast<sim::FaultKind>(value);
+  return true;
+}
+
+sim::InstrStats instrStatsFromJson(Ctx& ctx, const Json& j) {
+  sim::InstrStats instr;
+  if (!needObject(ctx, j, "trace[]")) return instr;
+  getIntField(ctx, j, "instruction", instr.instruction);
+  getString(ctx, j, "name", instr.name);
+  getU64(ctx, j, "cycles", instr.cycles);
+  getU64(ctx, j, "flops", instr.flops);
+  getU64(ctx, j, "hazards", instr.hazards);
+  getBool(ctx, j, "error", instr.error);
+  int fault = 0;
+  getIntField(ctx, j, "fault", fault);
+  if (ctx.ok()) faultFromInt(ctx, fault, instr.fault);
+  getString(ctx, j, "message", instr.error_message);
+  return instr;
+}
+
+Json runStatsToJson(const sim::RunStats& run) {
+  JsonObject obj;
+  obj["total_cycles"] = run.total_cycles;
+  obj["total_flops"] = run.total_flops;
+  obj["total_hazards"] = run.total_hazards;
+  obj["instructions_executed"] = run.instructions_executed;
+  JsonArray launches;
+  launches.reserve(run.fu_launches.size());
+  for (std::uint64_t l : run.fu_launches) launches.emplace_back(l);
+  obj["fu_launches"] = std::move(launches);
+  JsonArray trace;
+  trace.reserve(run.trace.size());
+  for (const sim::InstrStats& instr : run.trace) {
+    trace.push_back(instrStatsToJson(instr));
+  }
+  obj["trace"] = std::move(trace);
+  obj["halted"] = run.halted;
+  obj["error"] = run.error;
+  obj["fault"] = static_cast<int>(run.fault);
+  obj["message"] = run.error_message;
+  return Json(std::move(obj));
+}
+
+sim::RunStats runStatsFromJson(Ctx& ctx, const Json& j) {
+  sim::RunStats run;
+  if (!needObject(ctx, j, "run")) return run;
+  getU64(ctx, j, "total_cycles", run.total_cycles);
+  getU64(ctx, j, "total_flops", run.total_flops);
+  getU64(ctx, j, "total_hazards", run.total_hazards);
+  getU64(ctx, j, "instructions_executed", run.instructions_executed);
+  if (j.has("fu_launches")) {
+    if (!j.at("fu_launches").isArray()) {
+      ctx.fail("field fu_launches: expected array");
+      return run;
+    }
+    for (const Json& l : j.at("fu_launches").asArray()) {
+      if (!l.isNumber()) {
+        ctx.fail("field fu_launches: expected numbers");
+        return run;
+      }
+      run.fu_launches.push_back(
+          static_cast<std::uint64_t>(l.asDouble()));
+    }
+  }
+  if (j.has("trace")) {
+    if (!j.at("trace").isArray()) {
+      ctx.fail("field trace: expected array");
+      return run;
+    }
+    for (const Json& item : j.at("trace").asArray()) {
+      run.trace.push_back(instrStatsFromJson(ctx, item));
+      if (!ctx.ok()) return run;
+    }
+  }
+  getBool(ctx, j, "halted", run.halted);
+  getBool(ctx, j, "error", run.error);
+  int fault = 0;
+  getIntField(ctx, j, "fault", fault);
+  if (ctx.ok()) faultFromInt(ctx, fault, run.fault);
+  getString(ctx, j, "message", run.error_message);
+  return run;
+}
+
+Json systemStatsToJson(const sim::SystemStats& system) {
+  JsonObject obj;
+  JsonArray nodes;
+  nodes.reserve(system.node_stats.size());
+  for (const sim::RunStats& node : system.node_stats) {
+    nodes.push_back(runStatsToJson(node));
+  }
+  obj["node_stats"] = std::move(nodes);
+  obj["compute_makespan_cycles"] = system.compute_makespan_cycles;
+  obj["comm_cycles"] = system.comm_cycles;
+  obj["total_flops"] = system.total_flops;
+  obj["error"] = system.error;
+  obj["message"] = system.error_message;
+  return Json(std::move(obj));
+}
+
+sim::SystemStats systemStatsFromJson(Ctx& ctx, const Json& j) {
+  sim::SystemStats system;
+  if (!needObject(ctx, j, "system")) return system;
+  if (j.has("node_stats")) {
+    if (!j.at("node_stats").isArray()) {
+      ctx.fail("field node_stats: expected array");
+      return system;
+    }
+    for (const Json& node : j.at("node_stats").asArray()) {
+      system.node_stats.push_back(runStatsFromJson(ctx, node));
+      if (!ctx.ok()) return system;
+    }
+  }
+  getU64(ctx, j, "compute_makespan_cycles", system.compute_makespan_cycles);
+  getU64(ctx, j, "comm_cycles", system.comm_cycles);
+  getU64(ctx, j, "total_flops", system.total_flops);
+  getBool(ctx, j, "error", system.error);
+  getString(ctx, j, "message", system.error_message);
+  return system;
+}
+
+Json verifyToJson(const sim::VerifyReport& verify) {
+  JsonObject obj;
+  JsonArray diagnostics;
+  diagnostics.reserve(verify.diagnostics.size());
+  for (const sim::VerifyDiagnostic& d : verify.diagnostics) {
+    JsonObject item;
+    item["code"] = static_cast<int>(d.code);
+    item["severity"] = static_cast<int>(d.severity);
+    item["instruction"] = d.instruction;
+    JsonObject endpoint;
+    endpoint["kind"] = static_cast<int>(d.endpoint.kind);
+    endpoint["unit"] = d.endpoint.unit;
+    endpoint["port"] = d.endpoint.port;
+    item["endpoint"] = std::move(endpoint);
+    JsonObject window;
+    window["first"] = d.window.first;
+    window["last"] = u64String(d.window.last);  // may be kForever > 2^53
+    window["any"] = d.window.any;
+    window["tagged"] = d.window.tagged;
+    item["window"] = std::move(window);
+    item["message"] = d.message;
+    diagnostics.emplace_back(std::move(item));
+  }
+  obj["diagnostics"] = std::move(diagnostics);
+  return Json(std::move(obj));
+}
+
+std::shared_ptr<const sim::VerifyReport> verifyFromJson(Ctx& ctx,
+                                                        const Json& j) {
+  auto verify = std::make_shared<sim::VerifyReport>();
+  if (!needObject(ctx, j, "verify")) return nullptr;
+  if (j.has("diagnostics")) {
+    if (!j.at("diagnostics").isArray()) {
+      ctx.fail("field verify.diagnostics: expected array");
+      return nullptr;
+    }
+    for (const Json& item : j.at("diagnostics").asArray()) {
+      if (!needObject(ctx, item, "verify.diagnostics[]")) return nullptr;
+      sim::VerifyDiagnostic d;
+      int code = 0;
+      int severity = 0;
+      getIntField(ctx, item, "code", code);
+      getIntField(ctx, item, "severity", severity);
+      getIntField(ctx, item, "instruction", d.instruction);
+      if (severity != 0 && severity != 1) {
+        ctx.fail("field verify severity: out of range");
+        return nullptr;
+      }
+      d.code = static_cast<sim::VerifyCode>(code);
+      d.severity = static_cast<check::Severity>(severity);
+      if (item.has("endpoint")) {
+        const Json& endpoint = item.at("endpoint");
+        if (!needObject(ctx, endpoint, "verify endpoint")) return nullptr;
+        int kind = 0;
+        getIntField(ctx, endpoint, "kind", kind);
+        d.endpoint.kind = static_cast<arch::EndpointKind>(kind);
+        getIntField(ctx, endpoint, "unit", d.endpoint.unit);
+        getIntField(ctx, endpoint, "port", d.endpoint.port);
+      }
+      if (item.has("window")) {
+        const Json& window = item.at("window");
+        if (!needObject(ctx, window, "verify window")) return nullptr;
+        getU64(ctx, window, "first", d.window.first);
+        getU64String(ctx, window, "last", d.window.last);
+        getBool(ctx, window, "any", d.window.any);
+        getBool(ctx, window, "tagged", d.window.tagged);
+      }
+      getString(ctx, item, "message", d.message);
+      if (!ctx.ok()) return nullptr;
+      verify->diagnostics.push_back(std::move(d));
+    }
+  }
+  return verify;
+}
+
+Json requestStatsToJson(const svc::RequestStats& stats) {
+  JsonObject obj;
+  obj["shard"] = stats.shard;
+  obj["sequence"] = stats.sequence;
+  obj["shard_sequence"] = stats.shard_sequence;
+  obj["priority"] = static_cast<int>(stats.priority);
+  obj["queue_us"] = stats.queue_us;
+  obj["run_us"] = stats.run_us;
+  obj["program_cache_hit"] = stats.program_cache_hit;
+  obj["pool_queue_depth"] = static_cast<std::uint64_t>(stats.pool_queue_depth);
+  obj["session"] = stats.session;
+  obj["checker_session_hits"] = stats.checker_session_hits;
+  obj["ensemble_lanes"] = stats.ensemble_lanes;
+  obj["replicas_batched"] = stats.replicas_batched;
+  obj["replicas_scalar"] = stats.replicas_scalar;
+  obj["node_lanes"] = stats.node_lanes;
+  obj["nodes_batched"] = stats.nodes_batched;
+  obj["nodes_scalar"] = stats.nodes_scalar;
+  obj["retries"] = stats.retries;
+  obj["restored_from_disk"] = stats.restored_from_disk;
+  obj["rejected"] = static_cast<int>(stats.rejected);
+  return Json(std::move(obj));
+}
+
+svc::RequestStats requestStatsFromJson(Ctx& ctx, const Json& j) {
+  svc::RequestStats stats;
+  if (!needObject(ctx, j, "stats")) return stats;
+  getIntField(ctx, j, "shard", stats.shard);
+  getU64(ctx, j, "sequence", stats.sequence);
+  getU64(ctx, j, "shard_sequence", stats.shard_sequence);
+  int priority = 0;
+  getIntField(ctx, j, "priority", priority);
+  if (priority != 0 && priority != 1) {
+    ctx.fail("field priority: out of range");
+    return stats;
+  }
+  stats.priority = static_cast<svc::Priority>(priority);
+  getInt(ctx, j, "queue_us", stats.queue_us);
+  getInt(ctx, j, "run_us", stats.run_us);
+  getBool(ctx, j, "program_cache_hit", stats.program_cache_hit);
+  std::uint64_t depth = 0;
+  getU64(ctx, j, "pool_queue_depth", depth);
+  stats.pool_queue_depth = static_cast<std::size_t>(depth);
+  getU64(ctx, j, "session", stats.session);
+  getU64(ctx, j, "checker_session_hits", stats.checker_session_hits);
+  getIntField(ctx, j, "ensemble_lanes", stats.ensemble_lanes);
+  getIntField(ctx, j, "replicas_batched", stats.replicas_batched);
+  getIntField(ctx, j, "replicas_scalar", stats.replicas_scalar);
+  getIntField(ctx, j, "node_lanes", stats.node_lanes);
+  getU64(ctx, j, "nodes_batched", stats.nodes_batched);
+  getU64(ctx, j, "nodes_scalar", stats.nodes_scalar);
+  getIntField(ctx, j, "retries", stats.retries);
+  getBool(ctx, j, "restored_from_disk", stats.restored_from_disk);
+  int rejected = 0;
+  getIntField(ctx, j, "rejected", rejected);
+  if (rejected < 0 || rejected > static_cast<int>(svc::Reject::kInternal)) {
+    ctx.fail("field rejected: out of range");
+    return stats;
+  }
+  stats.rejected = static_cast<svc::Reject>(rejected);
+  return stats;
+}
+
+Json admissionToJson(const svc::Admission& admission) {
+  JsonObject obj;
+  if (admission.priority.has_value()) {
+    obj["priority"] = static_cast<int>(*admission.priority);
+  }
+  if (admission.deadline_us != 0) obj["deadline_us"] = admission.deadline_us;
+  return Json(std::move(obj));
+}
+
+svc::Admission admissionFromJson(Ctx& ctx, const Json& j) {
+  svc::Admission admission;
+  if (!needObject(ctx, j, "admission")) return admission;
+  if (j.has("priority")) {
+    int priority = 0;
+    getIntField(ctx, j, "priority", priority);
+    if (priority != 0 && priority != 1) {
+      ctx.fail("field admission.priority: out of range");
+      return admission;
+    }
+    admission.priority = static_cast<svc::Priority>(priority);
+  }
+  getInt(ctx, j, "deadline_us", admission.deadline_us);
+  return admission;
+}
+
+bool getPlaneImages(Ctx& ctx, const Json& j, const char* key,
+                    std::vector<svc::PlaneImage>& out) {
+  if (!j.has(key)) return true;
+  if (!j.at(key).isArray()) {
+    return ctx.fail(common::strFormat("field %s: expected array", key));
+  }
+  for (const Json& item : j.at(key).asArray()) {
+    out.push_back(planeImageFromJson(ctx, item));
+    if (!ctx.ok()) return false;
+  }
+  return true;
+}
+
+bool getPlaneRanges(Ctx& ctx, const Json& j, const char* key,
+                    std::vector<svc::PlaneRange>& out) {
+  if (!j.has(key)) return true;
+  if (!j.at(key).isArray()) {
+    return ctx.fail(common::strFormat("field %s: expected array", key));
+  }
+  for (const Json& item : j.at(key).asArray()) {
+    out.push_back(planeRangeFromJson(ctx, item));
+    if (!ctx.ok()) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Hex words.
+// ---------------------------------------------------------------------------
+
+std::string encodeWordsHex(const std::vector<double>& words) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(words.size() * 16);
+  for (const double word : words) {
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(word));
+    std::memcpy(&bits, &word, sizeof(bits));
+    for (int shift = 60; shift >= 0; shift -= 4) {
+      out.push_back(kDigits[(bits >> static_cast<unsigned>(shift)) & 0xfULL]);
+    }
+  }
+  return out;
+}
+
+bool decodeWordsHex(const std::string& hex, std::vector<double>& out) {
+  if (hex.size() % 16 != 0) return false;
+  out.clear();
+  out.reserve(hex.size() / 16);
+  for (std::size_t i = 0; i < hex.size(); i += 16) {
+    std::uint64_t bits = 0;
+    for (std::size_t j = 0; j < 16; ++j) {
+      const char c = hex[i + j];
+      std::uint64_t digit = 0;
+      if (c >= '0' && c <= '9') {
+        digit = static_cast<std::uint64_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        digit = static_cast<std::uint64_t>(10 + (c - 'a'));
+      } else {
+        return false;
+      }
+      bits = (bits << 4) | digit;
+    }
+    double word = 0.0;
+    std::memcpy(&word, &bits, sizeof(word));
+    out.push_back(word);
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Requests.
+// ---------------------------------------------------------------------------
+
+FrameType frameTypeFor(const svc::Request& request) {
+  if (std::holds_alternative<svc::OpenSession>(request)) {
+    return FrameType::kOpenSession;
+  }
+  if (std::holds_alternative<svc::SessionCommand>(request)) {
+    return FrameType::kSessionCommand;
+  }
+  if (std::holds_alternative<svc::CloseSession>(request)) {
+    return FrameType::kCloseSession;
+  }
+  if (std::holds_alternative<svc::SubmitSession>(request)) {
+    return FrameType::kSubmitSession;
+  }
+  if (std::holds_alternative<svc::GenerateAndRun>(request)) {
+    return FrameType::kGenerateAndRun;
+  }
+  if (std::holds_alternative<svc::RunEnsemble>(request)) {
+    return FrameType::kRunEnsemble;
+  }
+  return FrameType::kRunSystemPhases;
+}
+
+common::Json requestToJson(const svc::Request& request,
+                           const svc::Admission& admission) {
+  JsonObject obj;
+  if (const auto* open = std::get_if<svc::OpenSession>(&request)) {
+    obj["script"] = open->script;
+  } else if (const auto* command = std::get_if<svc::SessionCommand>(&request)) {
+    obj["session"] = command->session;
+    obj["script"] = command->script;
+    obj["run"] = command->run;
+    JsonArray inputs;
+    for (const svc::PlaneImage& image : command->inputs) {
+      inputs.push_back(planeImageToJson(image));
+    }
+    obj["inputs"] = std::move(inputs);
+    JsonArray outputs;
+    for (const svc::PlaneRange& range : command->outputs) {
+      outputs.push_back(planeRangeToJson(range));
+    }
+    obj["outputs"] = std::move(outputs);
+  } else if (const auto* close = std::get_if<svc::CloseSession>(&request)) {
+    obj["session"] = close->session;
+  } else if (const auto* submit = std::get_if<svc::SubmitSession>(&request)) {
+    obj["script"] = submit->script;
+  } else if (const auto* gen = std::get_if<svc::GenerateAndRun>(&request)) {
+    obj["script"] = gen->script;
+    JsonArray inputs;
+    for (const svc::PlaneImage& image : gen->inputs) {
+      inputs.push_back(planeImageToJson(image));
+    }
+    obj["inputs"] = std::move(inputs);
+    JsonArray outputs;
+    for (const svc::PlaneRange& range : gen->outputs) {
+      outputs.push_back(planeRangeToJson(range));
+    }
+    obj["outputs"] = std::move(outputs);
+  } else if (const auto* ensemble = std::get_if<svc::RunEnsemble>(&request)) {
+    obj["script"] = ensemble->script;
+    obj["replicas"] = ensemble->replicas;
+    obj["lanes"] = ensemble->lanes;
+  } else if (const auto* system = std::get_if<svc::RunSystemPhases>(&request)) {
+    obj["script"] = system->script;
+    obj["dimension"] = system->dimension;
+    obj["phases"] = system->phases;
+    obj["node_lanes"] = system->node_lanes;
+    JsonObject router;
+    router["message_startup_cycles"] = system->router.message_startup_cycles;
+    router["hop_latency_cycles"] = system->router.hop_latency_cycles;
+    router["words_per_cycle"] = system->router.words_per_cycle;
+    obj["router"] = std::move(router);
+  }
+  const Json admission_json = admissionToJson(admission);
+  if (!admission_json.asObject().empty()) obj["admission"] = admission_json;
+  return Json(std::move(obj));
+}
+
+common::Result<DecodedRequest> requestFromJson(std::uint16_t type,
+                                               const common::Json& payload) {
+  if (!frameTypeIsRequest(type)) {
+    return Result<DecodedRequest>::error(
+        common::strFormat("frame type %u is not a request", type));
+  }
+  Ctx ctx;
+  DecodedRequest decoded;
+  if (!needObject(ctx, payload, "request payload")) {
+    return Result<DecodedRequest>::error(ctx.err);
+  }
+  switch (static_cast<FrameType>(type)) {
+    case FrameType::kOpenSession: {
+      svc::OpenSession request;
+      getString(ctx, payload, "script", request.script);
+      decoded.request = std::move(request);
+      break;
+    }
+    case FrameType::kSessionCommand: {
+      svc::SessionCommand request;
+      getU64(ctx, payload, "session", request.session, /*required=*/true);
+      getString(ctx, payload, "script", request.script);
+      getBool(ctx, payload, "run", request.run);
+      getPlaneImages(ctx, payload, "inputs", request.inputs);
+      getPlaneRanges(ctx, payload, "outputs", request.outputs);
+      decoded.request = std::move(request);
+      break;
+    }
+    case FrameType::kCloseSession: {
+      svc::CloseSession request;
+      getU64(ctx, payload, "session", request.session, /*required=*/true);
+      decoded.request = request;
+      break;
+    }
+    case FrameType::kSubmitSession: {
+      svc::SubmitSession request;
+      getString(ctx, payload, "script", request.script, /*required=*/true);
+      decoded.request = std::move(request);
+      break;
+    }
+    case FrameType::kGenerateAndRun: {
+      svc::GenerateAndRun request;
+      getString(ctx, payload, "script", request.script, /*required=*/true);
+      getPlaneImages(ctx, payload, "inputs", request.inputs);
+      getPlaneRanges(ctx, payload, "outputs", request.outputs);
+      decoded.request = std::move(request);
+      break;
+    }
+    case FrameType::kRunEnsemble: {
+      svc::RunEnsemble request;
+      getString(ctx, payload, "script", request.script, /*required=*/true);
+      getIntField(ctx, payload, "replicas", request.replicas);
+      getIntField(ctx, payload, "lanes", request.lanes);
+      decoded.request = std::move(request);
+      break;
+    }
+    case FrameType::kRunSystemPhases: {
+      svc::RunSystemPhases request;
+      getString(ctx, payload, "script", request.script, /*required=*/true);
+      getIntField(ctx, payload, "dimension", request.dimension);
+      getIntField(ctx, payload, "phases", request.phases);
+      getIntField(ctx, payload, "node_lanes", request.node_lanes);
+      if (payload.has("router")) {
+        const Json& router = payload.at("router");
+        if (needObject(ctx, router, "router")) {
+          getU64(ctx, router, "message_startup_cycles",
+                 request.router.message_startup_cycles);
+          getU64(ctx, router, "hop_latency_cycles",
+                 request.router.hop_latency_cycles);
+          double words = request.router.words_per_cycle;
+          getNum(ctx, router, "words_per_cycle", words, /*required=*/false);
+          request.router.words_per_cycle = words;
+        }
+      }
+      decoded.request = std::move(request);
+      break;
+    }
+    default:
+      return Result<DecodedRequest>::error("unreachable");
+  }
+  if (ctx.ok() && payload.has("admission")) {
+    decoded.admission = admissionFromJson(ctx, payload.at("admission"));
+  }
+  if (!ctx.ok()) return Result<DecodedRequest>::error(ctx.err);
+  return decoded;
+}
+
+// ---------------------------------------------------------------------------
+// Replies.
+// ---------------------------------------------------------------------------
+
+common::Json replyToJson(const svc::ServiceReply& reply) {
+  JsonObject obj;
+  obj["status"] = statusToJson(reply.status);
+  obj["session"] = sessionResultToJson(reply.session);
+  obj["generation"] = generationToJson(reply.generation);
+  obj["run"] = runStatsToJson(reply.run);
+  JsonArray ensemble;
+  ensemble.reserve(reply.ensemble.size());
+  for (const sim::RunStats& run : reply.ensemble) {
+    ensemble.push_back(runStatsToJson(run));
+  }
+  obj["ensemble"] = std::move(ensemble);
+  obj["system"] = systemStatsToJson(reply.system);
+  JsonArray outputs;
+  outputs.reserve(reply.outputs.size());
+  for (const std::vector<double>& plane : reply.outputs) {
+    outputs.emplace_back(encodeWordsHex(plane));
+  }
+  obj["outputs"] = std::move(outputs);
+  if (reply.verify != nullptr) {
+    obj["verify"] = verifyToJson(*reply.verify);
+  } else {
+    obj["verify"] = nullptr;
+  }
+  obj["stats"] = requestStatsToJson(reply.stats);
+  obj["complete"] = ReplyAccess::complete(reply);
+  return Json(std::move(obj));
+}
+
+common::Result<svc::ServiceReply> replyFromJson(const common::Json& payload) {
+  Ctx ctx;
+  svc::ServiceReply reply;
+  if (!needObject(ctx, payload, "reply payload")) {
+    return Result<svc::ServiceReply>::error(ctx.err);
+  }
+  if (payload.has("status")) {
+    reply.status = statusFromJson(ctx, payload.at("status"));
+  }
+  if (payload.has("session")) {
+    reply.session = sessionResultFromJson(ctx, payload.at("session"));
+  }
+  if (payload.has("generation")) {
+    reply.generation = generationFromJson(ctx, payload.at("generation"));
+  }
+  if (payload.has("run")) {
+    reply.run = runStatsFromJson(ctx, payload.at("run"));
+  }
+  if (payload.has("ensemble")) {
+    if (!payload.at("ensemble").isArray()) {
+      ctx.fail("field ensemble: expected array");
+    } else {
+      for (const Json& run : payload.at("ensemble").asArray()) {
+        reply.ensemble.push_back(runStatsFromJson(ctx, run));
+        if (!ctx.ok()) break;
+      }
+    }
+  }
+  if (ctx.ok() && payload.has("system")) {
+    reply.system = systemStatsFromJson(ctx, payload.at("system"));
+  }
+  if (ctx.ok() && payload.has("outputs")) {
+    if (!payload.at("outputs").isArray()) {
+      ctx.fail("field outputs: expected array");
+    } else {
+      for (const Json& plane : payload.at("outputs").asArray()) {
+        if (!plane.isString()) {
+          ctx.fail("field outputs: expected hex strings");
+          break;
+        }
+        std::vector<double> words;
+        if (!decodeWordsHex(plane.asString(), words)) {
+          ctx.fail("field outputs: bad 16-hex word encoding");
+          break;
+        }
+        reply.outputs.push_back(std::move(words));
+      }
+    }
+  }
+  if (ctx.ok() && payload.has("verify") && !payload.at("verify").isNull()) {
+    reply.verify = verifyFromJson(ctx, payload.at("verify"));
+  }
+  if (ctx.ok() && payload.has("stats")) {
+    reply.stats = requestStatsFromJson(ctx, payload.at("stats"));
+  }
+  bool complete = false;
+  getBool(ctx, payload, "complete", complete);
+  ReplyAccess::setComplete(reply, complete);
+  if (!ctx.ok()) return Result<svc::ServiceReply>::error(ctx.err);
+  return reply;
+}
+
+const std::vector<std::string>& nondeterministicStatsFields() {
+  static const std::vector<std::string> kFields = {
+      "shard",    "sequence",       "shard_sequence",
+      "queue_us", "run_us",         "pool_queue_depth",
+  };
+  return kFields;
+}
+
+common::Json deterministicReplyJson(const svc::ServiceReply& reply) {
+  Json json = replyToJson(reply);
+  JsonObject& stats = json["stats"].asObject();
+  for (const std::string& field : nondeterministicStatsFields()) {
+    stats.erase(field);
+  }
+  return json;
+}
+
+// ---------------------------------------------------------------------------
+// Protocol errors.
+// ---------------------------------------------------------------------------
+
+common::Json protocolErrorToJson(const ProtocolError& error) {
+  JsonObject obj;
+  obj["code"] = error.code;
+  obj["message"] = error.message;
+  return Json(std::move(obj));
+}
+
+ProtocolError protocolErrorFromJson(const common::Json& payload) {
+  ProtocolError error;
+  if (payload.isObject()) {
+    error.code = payload.getString("code", "unknown");
+    error.message = payload.getString("message");
+  } else {
+    error.code = "unknown";
+  }
+  return error;
+}
+
+const std::vector<const char*>& protocolErrorCodes() {
+  static const std::vector<const char*> kCodes = {
+      "bad-magic", "oversized",  "bad-version",
+      "unknown-type", "bad-json", "bad-request",
+  };
+  return kCodes;
+}
+
+}  // namespace nsc::net

@@ -52,6 +52,12 @@
 #include "service/request_queue.h"
 #include "service/session_table.h"
 
+namespace nsc::net {
+// Wire codec (net/wire.h): needs to serialize ServiceReply::complete_ so a
+// reply decoded client-side answers ok() exactly like the in-process one.
+struct ReplyAccess;
+}  // namespace nsc::net
+
 namespace nsc::svc {
 
 // ---------------------------------------------------------------------------
@@ -241,6 +247,7 @@ struct ServiceReply {
 
  private:
   friend class WorkbenchService;
+  friend struct nsc::net::ReplyAccess;
   bool complete_ = false;
 };
 

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdlib>
+#include <limits>
 
 #include "common/bitvector.h"
 #include "common/env.h"
@@ -178,6 +180,46 @@ TEST(JsonTest, TypedGettersWithDefaults) {
 TEST(JsonTest, EscapedStringsSurviveRoundTrip) {
   const Json j{std::string("a\"b\\c\nd\te")};
   EXPECT_EQ(Json::parse(j.dump()).value().asString(), "a\"b\\c\nd\te");
+}
+
+TEST(JsonTest, NonFiniteDoublesRoundTripExplicitly) {
+  const double inf = std::numeric_limits<double>::infinity();
+  // Serialization emits explicit tokens, never printf's unparseable
+  // "nan"/"inf" text.
+  EXPECT_EQ(Json(std::nan("")).dump(), "NaN");
+  EXPECT_EQ(Json(inf).dump(), "Infinity");
+  EXPECT_EQ(Json(-inf).dump(), "-Infinity");
+
+  const auto nan_parsed = Json::parse("NaN");
+  ASSERT_TRUE(nan_parsed.isOk()) << nan_parsed.message();
+  EXPECT_TRUE(std::isnan(nan_parsed.value().asDouble()));
+  EXPECT_EQ(Json::parse("Infinity").value().asDouble(), inf);
+  EXPECT_EQ(Json::parse("-Infinity").value().asDouble(), -inf);
+  EXPECT_EQ(Json::parse("+Infinity").value().asDouble(), inf);
+
+  // Embedded in a document: the round trip preserves the value class.
+  JsonObject obj;
+  obj["lo"] = -inf;
+  obj["hi"] = inf;
+  obj["bad"] = std::nan("");
+  obj["fine"] = 0.5;
+  const Json original{std::move(obj)};
+  const auto reparsed = Json::parse(original.dump());
+  ASSERT_TRUE(reparsed.isOk()) << reparsed.message();
+  EXPECT_EQ(reparsed.value().at("lo").asDouble(), -inf);
+  EXPECT_EQ(reparsed.value().at("hi").asDouble(), inf);
+  EXPECT_TRUE(std::isnan(reparsed.value().at("bad").asDouble()));
+  EXPECT_EQ(reparsed.value().at("fine").asDouble(), 0.5);
+  // NaN != NaN, so compare the canonical dumps, not the documents.
+  EXPECT_EQ(Json::parse(original.dump()).value().dump(), original.dump());
+}
+
+TEST(JsonTest, NonFiniteTokensRejectTrailingGarbage) {
+  EXPECT_FALSE(Json::parse("NaNx").isOk());
+  EXPECT_FALSE(Json::parse("Nan").isOk());
+  EXPECT_FALSE(Json::parse("Infinit").isOk());
+  EXPECT_FALSE(Json::parse("-Inf").isOk());
+  EXPECT_FALSE(Json::parse("Infinity7").isOk());
 }
 
 TEST(StatusTest, OkAndError) {

@@ -1,0 +1,179 @@
+// nsc_serve — the workbench daemon: a WorkbenchService behind the framed
+// wire protocol (net/server.h).  docs/OPERATIONS.md is the operator manual;
+// every flag below has an NSC_SERVE_* environment fallback (flag wins), and
+// the engine knobs (NSC_THREADS, NSC_ENSEMBLE_LANES, NSC_NODE_LANES,
+// NSC_FAULTS) are read by the layers underneath exactly as in-process.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "common/env.h"
+#include "net/server.h"
+#include "service/service.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+void onSignal(int) { g_stop = 1; }
+
+struct Flags {
+  std::string host = "127.0.0.1";
+  int port = 7411;
+  std::string port_file;  // write the bound port here once listening
+  int shards = 4;
+  int queue_capacity = 64;
+  long long session_ttl_us = 0;
+  int max_sessions = 256;
+  std::string checkpoint_dir;
+  bool recover = false;
+  bool shed_overload = false;
+  int shed_watermark = 0;
+  bool help = false;
+  bool bad = false;
+};
+
+void usage() {
+  std::printf(
+      "nsc_serve — NSC workbench daemon (wire protocol on TCP)\n"
+      "\n"
+      "  --host ADDR            bind address            [127.0.0.1]\n"
+      "  --port N               TCP port, 0 = ephemeral [7411]\n"
+      "  --port-file PATH       write the bound port to PATH when listening\n"
+      "  --shards N             workbench shards        [4]\n"
+      "  --queue-capacity N     admission queue bound   [64]\n"
+      "  --session-ttl-us N     idle-session eviction TTL, 0 = never [0]\n"
+      "  --max-sessions N       live-session cap        [256]\n"
+      "  --checkpoint-dir DIR   enable durable sessions (spill/restore/adopt)\n"
+      "  --recover              enable last-good-snapshot fault recovery\n"
+      "  --shed-overload        shed batch work past the watermark instead of\n"
+      "                         blocking admission\n"
+      "  --shed-watermark N     shed depth, 0 = queue capacity [0]\n"
+      "\n"
+      "Environment: NSC_SERVE_PORT / NSC_SERVE_SHARDS mirror the flags;\n"
+      "NSC_THREADS, NSC_ENSEMBLE_LANES, NSC_NODE_LANES, NSC_FAULTS configure\n"
+      "the engines underneath (see docs/OPERATIONS.md).\n");
+}
+
+Flags parseFlags(int argc, char** argv) {
+  Flags flags;
+  if (auto port = nsc::common::envInt("NSC_SERVE_PORT", 0, 65535)) {
+    flags.port = static_cast<int>(*port);
+  }
+  if (auto shards = nsc::common::envInt("NSC_SERVE_SHARDS", 1, 256)) {
+    flags.shards = static_cast<int>(*shards);
+  }
+  auto intArg = [&](int& i, long long lo, long long hi, long long& out) {
+    if (i + 1 >= argc) return false;
+    const auto parsed = nsc::common::parseInt(argv[++i]);
+    if (!parsed || *parsed < lo || *parsed > hi) return false;
+    out = *parsed;
+    return true;
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    long long v = 0;
+    if (arg == "--help" || arg == "-h") {
+      flags.help = true;
+    } else if (arg == "--host" && i + 1 < argc) {
+      flags.host = argv[++i];
+    } else if (arg == "--port" && intArg(i, 0, 65535, v)) {
+      flags.port = static_cast<int>(v);
+    } else if (arg == "--port-file" && i + 1 < argc) {
+      flags.port_file = argv[++i];
+    } else if (arg == "--shards" && intArg(i, 1, 256, v)) {
+      flags.shards = static_cast<int>(v);
+    } else if (arg == "--queue-capacity" && intArg(i, 1, 1 << 20, v)) {
+      flags.queue_capacity = static_cast<int>(v);
+    } else if (arg == "--session-ttl-us" && intArg(i, 0, 1LL << 60, v)) {
+      flags.session_ttl_us = v;
+    } else if (arg == "--max-sessions" && intArg(i, 1, 1 << 20, v)) {
+      flags.max_sessions = static_cast<int>(v);
+    } else if (arg == "--checkpoint-dir" && i + 1 < argc) {
+      flags.checkpoint_dir = argv[++i];
+    } else if (arg == "--recover") {
+      flags.recover = true;
+    } else if (arg == "--shed-overload") {
+      flags.shed_overload = true;
+    } else if (arg == "--shed-watermark" && intArg(i, 0, 1 << 20, v)) {
+      flags.shed_watermark = static_cast<int>(v);
+    } else {
+      std::fprintf(stderr, "nsc_serve: bad or incomplete flag: %s\n",
+                   arg.c_str());
+      flags.bad = true;
+      break;
+    }
+  }
+  return flags;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags = parseFlags(argc, argv);
+  if (flags.help || flags.bad) {
+    usage();
+    return flags.bad ? 2 : 0;
+  }
+
+  nsc::svc::ServiceOptions service_options;
+  service_options.shards = flags.shards;
+  service_options.queue_capacity =
+      static_cast<std::size_t>(flags.queue_capacity);
+  service_options.session_ttl_us = flags.session_ttl_us;
+  service_options.max_sessions = static_cast<std::size_t>(flags.max_sessions);
+  if (flags.shed_overload) {
+    service_options.admission.overload =
+        nsc::svc::AdmissionPolicy::Overload::kShed;
+    service_options.admission.shed_watermark =
+        static_cast<std::size_t>(flags.shed_watermark);
+  }
+  service_options.durability.checkpoint_dir = flags.checkpoint_dir;
+  service_options.durability.recover = flags.recover;
+  nsc::svc::WorkbenchService service(service_options);
+
+  nsc::net::ServerOptions server_options;
+  server_options.host = flags.host;
+  server_options.port = static_cast<std::uint16_t>(flags.port);
+  nsc::net::Server server(service, server_options);
+  const nsc::common::Status status = server.start();
+  if (!status.isOk()) {
+    std::fprintf(stderr, "nsc_serve: %s\n", status.message().c_str());
+    return 1;
+  }
+  std::printf("nsc_serve: listening on %s:%u (%d shards, queue %d%s%s)\n",
+              flags.host.c_str(), static_cast<unsigned>(server.port()),
+              flags.shards, flags.queue_capacity,
+              flags.checkpoint_dir.empty() ? "" : ", durable sessions",
+              flags.recover ? ", fault recovery" : "");
+  std::fflush(stdout);
+  if (!flags.port_file.empty()) {
+    std::FILE* f = std::fopen(flags.port_file.c_str(), "w");
+    if (f != nullptr) {
+      std::fprintf(f, "%u\n", static_cast<unsigned>(server.port()));
+      std::fclose(f);
+    } else {
+      std::fprintf(stderr, "nsc_serve: cannot write %s\n",
+                   flags.port_file.c_str());
+    }
+  }
+
+  std::signal(SIGINT, onSignal);
+  std::signal(SIGTERM, onSignal);
+  while (g_stop == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+
+  const nsc::net::ServerStats stats = server.stats();
+  std::printf("nsc_serve: draining (%llu connections served, %llu frames, "
+              "%llu replies, %llu protocol errors)\n",
+              static_cast<unsigned long long>(stats.connections_accepted),
+              static_cast<unsigned long long>(stats.frames_received),
+              static_cast<unsigned long long>(stats.replies_sent),
+              static_cast<unsigned long long>(stats.protocol_errors));
+  server.stop();
+  service.stop();
+  return 0;
+}
